@@ -1,0 +1,527 @@
+package timingwheels
+
+// Wall-clock benchmarks, one group per figure/table of the paper. The
+// abstract-cost versions (instruction-count analogues) are produced by
+// cmd/twbench; these report ns/op and allocs on real hardware.
+//
+//	Figure 4  -> BenchmarkFig4Start / BenchmarkFig4PerTick
+//	Sec. 3.2  -> BenchmarkSec32InsertDistributions
+//	Figure 6  -> BenchmarkFig6TreeStart
+//	Sec. 5    -> BenchmarkScheme4Ops
+//	Sec. 6.1  -> BenchmarkScheme5Start / BenchmarkScheme6Ops
+//	Sec. 7    -> BenchmarkSec7Scheme6PerTick
+//	Sec. 6.2  -> BenchmarkScheme7Ops / BenchmarkScheme6VsScheme7Lifetime
+//	Sec. 5    -> BenchmarkHybridOps (the wheel+overflow combination)
+//	App. A.2  -> BenchmarkRuntimeConcurrent
+//	Stdlib    -> BenchmarkVsStdlib (credibility check vs runtime timers)
+//	Ablations -> BenchmarkAblationMaskVsMod / BenchmarkAblationRoundsVsAbsolute
+//	          -> BenchmarkAblationMigrationPolicy / BenchmarkAblationBitmapAdvance
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"timingwheels/internal/baseline"
+	"timingwheels/internal/core"
+	"timingwheels/internal/dist"
+	"timingwheels/internal/hashwheel"
+	"timingwheels/internal/hier"
+	"timingwheels/internal/hybrid"
+	"timingwheels/internal/tree"
+	"timingwheels/internal/wheel"
+	"timingwheels/timer"
+)
+
+func noop(core.ID) {}
+
+// preload fills a facility with n long-lived timers whose expiries are
+// spread across slots/positions.
+func preload(b *testing.B, f core.Facility, n int, maxInterval int64) {
+	b.Helper()
+	rng := dist.NewRNG(1987)
+	for i := 0; i < n; i++ {
+		iv := core.Tick(maxInterval/2 + int64(rng.Intn(int(maxInterval/2))))
+		if _, err := f.StartTimer(iv, noop); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchStartStop measures a StartTimer+StopTimer pair with n timers
+// resident, which keeps the population constant across iterations.
+func benchStartStop(b *testing.B, f core.Facility, n int, maxInterval int64) {
+	b.Helper()
+	preload(b, f, n, maxInterval)
+	rng := dist.NewRNG(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iv := core.Tick(1 + rng.Intn(int(maxInterval)))
+		h, err := f.StartTimer(iv, noop)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.StopTimer(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPerTick measures Tick with n long-lived timers resident.
+func benchPerTick(b *testing.B, f core.Facility, n int) {
+	b.Helper()
+	preload(b, f, n, 1<<40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Tick()
+	}
+}
+
+var benchNs = []int{64, 1024, 16384}
+
+// BenchmarkFig4Start: Figure 4's START_TIMER column — Scheme 1 flat,
+// Scheme 2 linear in n.
+func BenchmarkFig4Start(b *testing.B) {
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("scheme1/n=%d", n), func(b *testing.B) {
+			benchStartStop(b, baseline.NewScheme1(nil), n, 1<<30)
+		})
+		b.Run(fmt.Sprintf("scheme2/n=%d", n), func(b *testing.B) {
+			benchStartStop(b, baseline.NewScheme2(baseline.SearchFromFront, nil), n, 1<<30)
+		})
+	}
+}
+
+// BenchmarkFig4PerTick: Figure 4's PER_TICK_BOOKKEEPING column —
+// Scheme 1 linear in n, Scheme 2 flat.
+func BenchmarkFig4PerTick(b *testing.B) {
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("scheme1/n=%d", n), func(b *testing.B) {
+			benchPerTick(b, baseline.NewScheme1(nil), n)
+		})
+		b.Run(fmt.Sprintf("scheme2/n=%d", n), func(b *testing.B) {
+			benchPerTick(b, baseline.NewScheme2(baseline.SearchFromFront, nil), n)
+		})
+	}
+}
+
+// BenchmarkSec32InsertDistributions: section 3.2's dependence of the
+// ordered-list insert on the interval distribution and search direction.
+func BenchmarkSec32InsertDistributions(b *testing.B) {
+	const n = 1024
+	cases := []struct {
+		name string
+		dir  baseline.SearchDirection
+		iv   dist.Interval
+	}{
+		{"exp/front", baseline.SearchFromFront, dist.Exponential{MeanTicks: 1 << 20}},
+		{"exp/rear", baseline.SearchFromRear, dist.Exponential{MeanTicks: 1 << 20}},
+		{"uniform/front", baseline.SearchFromFront, dist.Uniform{Lo: 1, Hi: 1 << 21}},
+		{"uniform/rear", baseline.SearchFromRear, dist.Uniform{Lo: 1, Hi: 1 << 21}},
+		{"constant/rear", baseline.SearchFromRear, dist.Constant{Value: 1 << 20}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			f := baseline.NewScheme2(c.dir, nil)
+			rng := dist.NewRNG(3)
+			for i := 0; i < n; i++ {
+				if _, err := f.StartTimer(core.Tick(c.iv.Draw(rng)), noop); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h, err := f.StartTimer(core.Tick(c.iv.Draw(rng)), noop)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := f.StopTimer(h); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6TreeStart: Figure 6 — tree-based START_TIMER at O(log n),
+// plus the BST's degenerate case.
+func BenchmarkFig6TreeStart(b *testing.B) {
+	for _, kind := range []tree.Kind{
+		tree.KindHeap, tree.KindLeftist, tree.KindSkew,
+		tree.KindBST, tree.KindAVL, tree.KindPairing,
+	} {
+		for _, n := range benchNs {
+			b.Run(fmt.Sprintf("%s/n=%d", kind, n), func(b *testing.B) {
+				benchStartStop(b, tree.NewScheme3(kind, nil), n, 1<<30)
+			})
+		}
+	}
+	// The degenerate case: constant intervals build a right spine.
+	b.Run("bst-degenerate/n=4096", func(b *testing.B) {
+		f := tree.NewScheme3(tree.KindBST, nil)
+		for i := 0; i < 4096; i++ {
+			if _, err := f.StartTimer(1<<30, noop); err != nil {
+				b.Fatal(err)
+			}
+			f.Tick()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h, err := f.StartTimer(1<<30, noop)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := f.StopTimer(h); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkScheme4Ops: section 5 — O(1) start/stop and per-tick within
+// MaxInterval, independent of n.
+func BenchmarkScheme4Ops(b *testing.B) {
+	const size = 1 << 16
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("startstop/n=%d", n), func(b *testing.B) {
+			benchStartStop(b, wheel.NewScheme4(size, nil), n, size)
+		})
+		b.Run(fmt.Sprintf("tick/n=%d", n), func(b *testing.B) {
+			f := wheel.NewScheme4(size, nil)
+			preload(b, f, n, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Tick()
+			}
+		})
+	}
+}
+
+// BenchmarkScheme5Start: section 6.1.1 — sorted-bucket insert cost under
+// a uniform hash vs the one-bucket adversary.
+func BenchmarkScheme5Start(b *testing.B) {
+	const size = 4096
+	b.Run("uniform/n=1024", func(b *testing.B) {
+		benchStartStop(b, hashwheel.NewScheme5(size, nil), 1024, 1<<30)
+	})
+	b.Run("one-bucket/n=1024", func(b *testing.B) {
+		f := hashwheel.NewScheme5(size, nil)
+		for i := 0; i < 1024; i++ {
+			if _, err := f.StartTimer(core.Tick(size*(2+i)), noop); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h, err := f.StartTimer(core.Tick(size*(2000+i%1000)), noop)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := f.StopTimer(h); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkScheme6Ops: section 6.1.2 — O(1) worst-case start/stop and
+// amortized n/TableSize per-tick.
+func BenchmarkScheme6Ops(b *testing.B) {
+	const size = 4096
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("startstop/n=%d", n), func(b *testing.B) {
+			benchStartStop(b, hashwheel.NewScheme6(size, nil), n, 1<<30)
+		})
+		b.Run(fmt.Sprintf("tick/n=%d", n), func(b *testing.B) {
+			benchPerTick(b, hashwheel.NewScheme6(size, nil), n)
+		})
+	}
+}
+
+// BenchmarkSec7Scheme6PerTick: the section 7 cost model — per-tick time
+// as the n/TableSize ratio sweeps (wall-clock analogue of twbench e6).
+func BenchmarkSec7Scheme6PerTick(b *testing.B) {
+	const size = 256
+	for _, ratio := range []int{0, 1, 4, 16} {
+		b.Run(fmt.Sprintf("ratio=%d", ratio), func(b *testing.B) {
+			benchPerTick(b, hashwheel.NewScheme6(size, nil), ratio*size)
+		})
+	}
+}
+
+// BenchmarkScheme7Ops: section 6.2 — hierarchical start (O(m) level
+// search) and per-tick with cascades.
+func BenchmarkScheme7Ops(b *testing.B) {
+	radices := []int{256, 64, 64, 64} // span 2^26
+	const maxInterval = 1<<26 - 1
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("startstop/n=%d", n), func(b *testing.B) {
+			benchStartStop(b, hier.NewScheme7(radices, hier.MigrateAlways, nil), n, maxInterval)
+		})
+		b.Run(fmt.Sprintf("tick/n=%d", n), func(b *testing.B) {
+			f := hier.NewScheme7(radices, hier.MigrateAlways, nil)
+			preload(b, f, n, maxInterval)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Tick()
+			}
+		})
+	}
+}
+
+// BenchmarkScheme6VsScheme7Lifetime: the section 6.2 trade-off measured
+// as total time to run a full load/expire cycle of long timers at equal
+// memory.
+func BenchmarkScheme6VsScheme7Lifetime(b *testing.B) {
+	const meanT = 1 << 17
+	const n = 1024
+	run := func(b *testing.B, f core.Facility) {
+		b.Helper()
+		rng := dist.NewRNG(5)
+		fired := 0
+		for i := 0; i < n; i++ {
+			iv := core.Tick(1 + rng.Intn(meanT))
+			if _, err := f.StartTimer(iv, func(core.ID) { fired++ }); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for fired < n {
+			f.Tick()
+		}
+	}
+	b.Run("scheme6/M=256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, hashwheel.NewScheme6(256, nil))
+		}
+	})
+	b.Run("scheme7/M=256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, hier.NewScheme7([]int{64, 64, 64, 64}, hier.MigrateAlways, nil))
+		}
+	})
+}
+
+// BenchmarkHybridOps: the section 5 wheel+overflow combination — wheel
+// constants for short timers, one migration for long ones.
+func BenchmarkHybridOps(b *testing.B) {
+	const size = 4096
+	b.Run("startstop-short/n=1024", func(b *testing.B) {
+		benchStartStop(b, hybrid.New(size, nil), 1024, size)
+	})
+	b.Run("startstop-long/n=1024", func(b *testing.B) {
+		f := hybrid.New(size, nil)
+		preload(b, f, 1024, 1<<30)
+		rng := dist.NewRNG(7)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			iv := core.Tick(size + 1 + rng.Intn(1<<29))
+			h, err := f.StartTimer(iv, noop)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := f.StopTimer(h); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tick/n=16384-parked", func(b *testing.B) {
+		benchPerTick(b, hybrid.New(size, nil), 16384)
+	})
+}
+
+// BenchmarkAblationMaskVsMod: section 6.1.2's "AND instruction" claim —
+// power-of-two tables index with a mask, others with modulo.
+func BenchmarkAblationMaskVsMod(b *testing.B) {
+	b.Run("mask/size=4096", func(b *testing.B) {
+		benchStartStop(b, hashwheel.NewScheme6(4096, nil), 1024, 1<<30)
+	})
+	b.Run("mod/size=4099", func(b *testing.B) {
+		benchStartStop(b, hashwheel.NewScheme6(4099, nil), 1024, 1<<30)
+	})
+}
+
+// BenchmarkAblationRoundsVsAbsolute: the DECREMENT vs COMPARE choice of
+// section 3.1, applied to Scheme 6's per-tick scan.
+func BenchmarkAblationRoundsVsAbsolute(b *testing.B) {
+	const size = 256
+	const n = 4096
+	b.Run("rounds-decrement", func(b *testing.B) {
+		benchPerTick(b, hashwheel.NewScheme6(size, nil), n)
+	})
+	b.Run("absolute-compare", func(b *testing.B) {
+		benchPerTick(b, hashwheel.NewScheme6Absolute(size, nil), n)
+	})
+}
+
+// BenchmarkAblationMigrationPolicy: Scheme 7 policies — the per-tick
+// saving bought by giving up expiry precision.
+func BenchmarkAblationMigrationPolicy(b *testing.B) {
+	radices := []int{64, 64, 64}
+	for _, p := range []hier.Policy{hier.MigrateAlways, hier.MigrateOnce, hier.MigrateNever} {
+		b.Run(p.String(), func(b *testing.B) {
+			f := hier.NewScheme7(radices, p, nil)
+			rng := dist.NewRNG(9)
+			fired := 0
+			for i := 0; i < 4096; i++ {
+				iv := core.Tick(1 + rng.Intn(200000))
+				if _, err := f.StartTimer(iv, func(core.ID) { fired++ }); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Tick()
+			}
+		})
+	}
+}
+
+// BenchmarkRuntimeConcurrent: Appendix A.2 — concurrent scheduling
+// against a single locked runtime vs a sharded one.
+func BenchmarkRuntimeConcurrent(b *testing.B) {
+	b.Run("single", func(b *testing.B) {
+		rt := timer.NewRuntime(timer.WithGranularity(time.Millisecond),
+			timer.WithScheme(timer.NewHashedWheel(1<<14)))
+		defer rt.Close()
+		var fired atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				t, err := rt.AfterFunc(time.Second, func() { fired.Add(1) })
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				t.Stop()
+			}
+		})
+	})
+	b.Run("sharded-4", func(b *testing.B) {
+		s := timer.NewSharded(4, timer.WithGranularity(time.Millisecond),
+			timer.WithScheme(timer.NewHashedWheel(1<<14)))
+		defer s.Close()
+		var fired atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				t, err := s.AfterFunc(time.Second, func() { fired.Add(1) })
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				t.Stop()
+			}
+		})
+	})
+}
+
+// BenchmarkVsStdlib compares the AfterFunc+Stop hot path (the
+// retransmission pattern: nearly every timer is cancelled) between this
+// repository's wheel runtime and the Go standard library's runtime
+// timers, under parallel load with a resident timer population.
+func BenchmarkVsStdlib(b *testing.B) {
+	const resident = 8192
+	b.Run("timingwheels", func(b *testing.B) {
+		rt := timer.NewRuntime(timer.WithGranularity(time.Millisecond),
+			timer.WithScheme(timer.NewHashedWheel(1<<14)))
+		defer rt.Close()
+		for i := 0; i < resident; i++ {
+			if _, err := rt.AfterFunc(time.Hour, func() {}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				t, err := rt.AfterFunc(time.Second, func() {})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				t.Stop()
+			}
+		})
+	})
+	b.Run("stdlib-time", func(b *testing.B) {
+		var keep []*time.Timer
+		for i := 0; i < resident; i++ {
+			keep = append(keep, time.AfterFunc(time.Hour, func() {}))
+		}
+		defer func() {
+			for _, t := range keep {
+				t.Stop()
+			}
+		}()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				t := time.AfterFunc(time.Second, func() {})
+				t.Stop()
+			}
+		})
+	})
+}
+
+// BenchmarkVirtualAdvance: idle-time handling — schemes with a NextExpiry
+// fast path skip idle spans; wheels pay a constant per tick.
+func BenchmarkVirtualAdvance(b *testing.B) {
+	const span = 1 << 16
+	build := map[string]func() core.Facility{
+		"scheme2": func() core.Facility { return baseline.NewScheme2(baseline.SearchFromFront, nil) },
+		"scheme3": func() core.Facility { return tree.NewScheme3(tree.KindHeap, nil) },
+		"scheme6": func() core.Facility { return hashwheel.NewScheme6(4096, nil) },
+	}
+	for name, f := range build {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fac := f()
+				fired := false
+				if _, err := fac.StartTimer(span, func(core.ID) { fired = true }); err != nil {
+					b.Fatal(err)
+				}
+				core.AdvanceBy(fac, span)
+				if !fired {
+					b.Fatal("timer did not fire")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBitmapAdvance: the occupancy-bitmap idle-skip — one
+// sparse population advanced across a long horizon, Advance vs raw
+// ticking.
+func BenchmarkAblationBitmapAdvance(b *testing.B) {
+	const size = 1 << 14
+	const horizon = 1 << 16
+	load := func(f core.Facility) {
+		rng := dist.NewRNG(13)
+		for i := 0; i < 32; i++ {
+			if _, err := f.StartTimer(core.Tick(1+rng.Intn(horizon)), noop); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("scheme6-advance", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f := hashwheel.NewScheme6(size, nil)
+			load(f)
+			f.Advance(horizon)
+		}
+	})
+	b.Run("scheme6-rawticks", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f := hashwheel.NewScheme6(size, nil)
+			load(f)
+			for t := 0; t < horizon; t++ {
+				f.Tick()
+			}
+		}
+	})
+	b.Run("hybrid-advance", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f := hybrid.New(size, nil)
+			load(f)
+			f.Advance(horizon)
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"fmt"
+
+	"timingwheels/internal/analysis"
+	"timingwheels/internal/core"
+	"timingwheels/internal/dist"
+	"timingwheels/internal/hier"
+	"timingwheels/internal/hwsim"
+)
+
+// runE8 reproduces Appendix A: a hardware scan chip interrupts the host
+// T/M times per timer under Scheme 6 and at most m times under Scheme 7.
+func runE8(e env) {
+	const m6size = 64
+	radices := []int{16, 16, 16} // spans 4096 ticks, m = 3
+	lifetimes := []int64{64, 256, 1024, 4000}
+	if e.quick {
+		lifetimes = []int64{64, 1024}
+	}
+	header("chip", "T", "touches/timer", "model", "interrupts/tick")
+	for _, T := range lifetimes {
+		ticks := int64(40 * T)
+		if e.quick {
+			ticks = 10 * T
+		}
+		c6 := hwsim.NewChip6(m6size)
+		c7 := hwsim.NewChip7(radices)
+		cf := hwsim.NewFullChip(m6size)
+		rng := dist.NewRNG(e.seed)
+		for tick := int64(0); tick < ticks; tick++ {
+			if rng.Intn(8) == 0 {
+				c6.Start(T)
+				c7.Start(T)
+				cf.Start(T)
+			}
+			c6.Tick()
+			c7.Tick()
+			cf.Tick()
+		}
+		r6, r7, rf := c6.Report(), c7.Report(), cf.Report()
+		row("scheme6-scan", T, r6.TouchesPerTimer,
+			analysis.ScanInterruptsScheme6(float64(T), m6size), r6.InterruptsPerTick)
+		row("scheme7-scan", T, r7.TouchesPerTimer,
+			fmt.Sprintf("<=%v", analysis.ScanInterruptsScheme7(float64(len(radices)))),
+			r7.InterruptsPerTick)
+		row("full-offload", T, rf.TouchesPerTimer, 1.0, rf.InterruptsPerTick)
+	}
+	note("scan chips: host examinations per timer track T/M (scheme6)")
+	note("vs <= m (scheme7); the full-offload chip interrupts only on")
+	note("expiry — exactly one host touch per timer, at the cost of the")
+	note("chip owning all timer memory (Appendix A's extreme design).")
+}
+
+// runE10 reproduces the section 6.2 memory argument (244 slots vs 8.64M)
+// and the Wick Nichols precision trade-off across migration policies.
+func runE10(e env) {
+	hSlots, flat := analysis.HierarchySlots(hier.DayRadices)
+	note("paper example: %v slots hierarchical vs %v flat (100 days of seconds)", hSlots, flat)
+
+	radices := []int{10, 10, 10}
+	policies := []hier.Policy{hier.MigrateAlways, hier.MigrateOnce, hier.MigrateNever}
+	header("policy", "timers", "migrations/timer", "err_mean", "err_max", "err_max/interval")
+	for _, p := range policies {
+		s := hier.NewScheme7(radices, p, nil)
+		rng := dist.NewRNG(e.seed)
+		n := 5000
+		if e.quick {
+			n = 1000
+		}
+		type want struct {
+			at       core.Tick
+			interval core.Tick
+		}
+		wants := make(map[core.ID]want)
+		var errSum float64
+		var errMax core.Tick
+		var worstFrac float64
+		fired := 0
+		record := func(id core.ID, now core.Tick) {
+			w := wants[id]
+			diff := now - w.at
+			if diff < 0 {
+				diff = -diff
+			}
+			errSum += float64(diff)
+			if diff > errMax {
+				errMax = diff
+			}
+			if f := float64(diff) / float64(w.interval); f > worstFrac {
+				worstFrac = f
+			}
+			fired++
+		}
+		started := 0
+		for started < n {
+			iv := core.Tick(1 + rng.Intn(900))
+			h, err := s.StartTimer(iv, func(id core.ID) { record(id, s.Now()) })
+			if err != nil {
+				panic(err)
+			}
+			wants[h.TimerID()] = want{at: s.Now() + iv, interval: iv}
+			started++
+			for j := 0; j < 7; j++ {
+				s.Tick()
+			}
+		}
+		for s.Len() > 0 {
+			s.Tick()
+		}
+		row(p.String(), fired, float64(s.Migrations)/float64(fired),
+			errSum/float64(fired), int64(errMax), worstFrac)
+	}
+	note("always: exact expiry, up to m-1 migrations per timer;")
+	note("once: error bounded by half the next-finer slot, <=1 migration;")
+	note("never: zero migrations, error up to ~50%% of the interval")
+	note("(the paper's 1min30s-rounded-to-1min example).")
+}
+
+// runE11 prints the Figures 10-11 worked example as a trace: a 50 min
+// 45 s timer started at 11 days 10:24:30 in the seconds/minutes/hours/
+// days hierarchy.
+func runE11(e env) {
+	s := hier.NewScheme7(hier.DayRadices, hier.MigrateAlways, nil)
+	start := core.Tick(((11*24+10)*60+24)*60 + 30)
+	for s.Now() < start {
+		s.Tick()
+	}
+	const interval = 50*60 + 45
+	hms := func(t core.Tick) string {
+		return fmt.Sprintf("%dd %02d:%02d:%02d", t/86400, t%86400/3600, t%3600/60, t%60)
+	}
+	fmt.Printf("current time: %s (tick %d)\n", hms(s.Now()), s.Now())
+	fmt.Printf("start timer : 50 min 45 s (%d ticks)\n", interval)
+	var firedAt core.Tick = -1
+	if _, err := s.StartTimer(interval, func(core.ID) { firedAt = s.Now() }); err != nil {
+		panic(err)
+	}
+	occ := s.LevelOccupancy()
+	fmt.Printf("inserted    : level occupancy (sec,min,hour,day) = %v\n", occ)
+	lastMig := s.Migrations
+	for firedAt < 0 {
+		s.Tick()
+		if s.Migrations != lastMig {
+			lastMig = s.Migrations
+			fmt.Printf("migration   : at %s, occupancy now %v\n", hms(s.Now()), s.LevelOccupancy())
+		}
+	}
+	fmt.Printf("fired       : %s (tick %d)\n", hms(firedAt), firedAt)
+	want := start + interval
+	fmt.Printf("expected    : %s (tick %d) — %s\n", hms(want), want, okStr(firedAt == want))
+	note("paper: expiry at 11 days 11:15:15, reached via the minute array")
+	note("slot 15 and second array slot 15 (Figure 11).")
+	_ = e
+}
+
+func okStr(ok bool) string {
+	if ok {
+		return "MATCH"
+	}
+	return "MISMATCH"
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"timingwheels/internal/baseline"
+	"timingwheels/internal/core"
+	"timingwheels/internal/hashwheel"
+	"timingwheels/internal/hier"
+	"timingwheels/internal/metrics"
+	"timingwheels/internal/proto"
+)
+
+// runE14 tests the paper's concluding claim: "designers and implementors
+// have assumed that protocols that use a large number of timers are
+// expensive and perform poorly. This is an artifact of existing
+// implementations..." A fixed per-connection transfer runs over the
+// VMS/UNIX-style ordered list and over the recommended wheels; the
+// timer module's cost per delivered packet scales with the connection
+// count only for the ordered list.
+func runE14(e env) {
+	conns := []int{25, 100, 400}
+	if e.quick {
+		conns = []int{25, 200}
+	}
+	schemes := []struct {
+		name string
+		f    factoryFn
+	}{
+		{"scheme1", func(c *metrics.Cost) core.Facility { return baseline.NewScheme1(c) }},
+		{"scheme2-front", func(c *metrics.Cost) core.Facility {
+			return baseline.NewScheme2(baseline.SearchFromFront, c)
+		}},
+		{"scheme6", func(c *metrics.Cost) core.Facility { return hashwheel.NewScheme6(4096, c) }},
+		{"scheme7", func(c *metrics.Cost) core.Facility {
+			return hier.NewScheme7([]int{256, 64, 64}, hier.MigrateAlways, c)
+		}},
+	}
+	header("scheme", "conns", "timers_started", "retransmits", "timer_units", "units/packet")
+	for _, s := range schemes {
+		for _, n := range conns {
+			cfg := proto.Config{
+				Connections:    n,
+				PacketsPerConn: 50,
+				Window:         8,
+				OneWayDelay:    10,
+				RTO:            48,
+				Keepalive:      15,
+				LossOneIn:      11,
+				Seed:           e.seed,
+			}
+			var cost metrics.Cost
+			fac := s.f(&cost)
+			res, err := proto.Run(fac, cfg)
+			if err != nil {
+				note("%s conns=%d: %v", s.name, n, err)
+				continue
+			}
+			units := cost.Snapshot().Units()
+			row(s.name, n, res.TimerStarts, res.Retransmits, units,
+				float64(units)/float64(res.Delivered))
+		}
+	}
+	note("same transfer, same loss pattern, same protocol trace; only the")
+	note("timer module differs. units/packet grows with the connection")
+	note("count for the ordered list (its START_TIMER walks all concurrent")
+	note("RTO timers) and stays flat for the wheels — the paper's closing")
+	note("claim, quantified.")
+}

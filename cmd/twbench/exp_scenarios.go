@@ -1,0 +1,55 @@
+package main
+
+import (
+	"timingwheels/internal/baseline"
+	"timingwheels/internal/core"
+	"timingwheels/internal/hashwheel"
+	"timingwheels/internal/hier"
+	"timingwheels/internal/hybrid"
+	"timingwheels/internal/metrics"
+	"timingwheels/internal/workload"
+)
+
+// runE15 sweeps every named workload preset (the timer populations the
+// paper's introduction motivates) across the recommended schemes plus
+// the ordered-list incumbent, printing per-operation costs. It is the
+// "which scheme should I pick for my workload" table the paper's
+// conclusions sketch in prose.
+func runE15(e env) {
+	schemes := []struct {
+		name string
+		f    factoryFn
+	}{
+		{"scheme2-front", func(c *metrics.Cost) core.Facility {
+			return baseline.NewScheme2(baseline.SearchFromFront, c)
+		}},
+		{"scheme6", func(c *metrics.Cost) core.Facility { return hashwheel.NewScheme6(4096, c) }},
+		{"scheme7", func(c *metrics.Cost) core.Facility {
+			return hier.NewScheme7([]int{256, 64, 64, 64}, hier.MigrateAlways, c)
+		}},
+		{"hybrid", func(c *metrics.Cost) core.Facility { return hybrid.New(4096, c) }},
+	}
+	header("scenario", "scheme", "n_mean", "start_mean", "stop_mean", "tick_mean", "tick_p99")
+	for _, sc := range workload.Scenarios() {
+		for _, s := range schemes {
+			cfg := sc.Build(e.seed)
+			if e.quick {
+				if cfg.Measure > 15000 {
+					cfg.Measure = 15000
+				}
+				if cfg.Warmup > 8000 {
+					cfg.Warmup = 8000
+				}
+			}
+			var cost metrics.Cost
+			res := workload.Run(s.f(&cost), cfg, &cost)
+			row(sc.Name, s.name, res.QueueLen.Mean(),
+				res.StartCost.Mean(), res.StopCost.Mean(),
+				res.TickCost.Mean(), res.TickCost.Percentile(99))
+		}
+	}
+	note("presets: see `twload -preset list`. The ordered list is")
+	note("competitive only while populations stay tiny; the wheels hold")
+	note("their constants across every scenario, with scheme7/hybrid")
+	note("trading slightly costlier starts for long-range coverage.")
+}

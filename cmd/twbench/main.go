@@ -1,0 +1,116 @@
+// Command twbench regenerates every quantitative result in Varghese &
+// Lauck (SOSP 1987): the latency tables of Figures 4 and 6, the
+// analytic insertion costs of section 3.2, the hashed-wheel behaviour of
+// section 6.1, the VAX per-tick cost model of section 7, the Scheme 6 vs
+// Scheme 7 trade-off of section 6.2, the hardware-assist interrupt
+// counts of Appendix A, the simulation-wheel overflow behaviour of
+// section 4.2, and the worked hierarchy example of Figures 10-11.
+//
+// Usage:
+//
+//	twbench [-exp all|e1|e2|...|e12] [-quick] [-seed N]
+//
+// Each experiment prints a self-describing table; EXPERIMENTS.md records
+// a captured run against the paper's claims.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// experiment is one reproducible result.
+type experiment struct {
+	id    string
+	title string
+	run   func(e env)
+}
+
+// env carries shared knobs into experiments.
+type env struct {
+	quick bool
+	seed  uint64
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"e1", "Figure 4: Scheme 1 vs Scheme 2 latencies vs n", runE1},
+		{"e2", "Section 3.2: sorted-list insertion cost vs analytic models", runE2},
+		{"e3", "Figure 6: tree-based schemes, O(log n) start and BST degeneration", runE3},
+		{"e4", "Section 5: Scheme 4 O(1) latencies within MaxInterval", runE4},
+		{"e5", "Section 6.1: hashed-wheel sensitivity to hash distribution", runE5},
+		{"e6", "Section 7: Scheme 6 per-tick cost model (4 + 15 n/TableSize)", runE6},
+		{"e7", "Section 6.2: Scheme 6 vs Scheme 7 trade-off and crossover", runE7},
+		{"e8", "Appendix A: hardware-assist host interrupts (T/M vs m)", runE8},
+		{"e9", "Section 4.2: simulation-wheel overflow by rotation policy", runE9},
+		{"e10", "Section 6.2: hierarchy memory and precision trade-off", runE10},
+		{"e11", "Figures 10-11: hierarchical worked example trace", runE11},
+		{"e12", "Figure 3: G/G/inf model — Little's law and residual life", runE12},
+		{"e13", "Extension: per-tick tail latency under bursty arrivals", runE13},
+		{"e14", "Conclusion (sec. 7): timer-heavy protocol cost vs connection count", runE14},
+		{"e15", "Scenario sweep: every workload preset across the recommended schemes", runE15},
+	}
+}
+
+func main() {
+	expFlag := flag.String("exp", "all", "experiment id (e1..e12) or 'all'")
+	quick := flag.Bool("quick", false, "smaller parameters for a fast pass")
+	seed := flag.Uint64("seed", 1987, "base RNG seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	exps := experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-4s %s\n", e.id, e.title)
+		}
+		return
+	}
+	want := strings.ToLower(*expFlag)
+	sel := exps[:0:0]
+	for _, e := range exps {
+		if want == "all" || want == e.id {
+			sel = append(sel, e)
+		}
+	}
+	if len(sel) == 0 {
+		fmt.Fprintf(os.Stderr, "twbench: unknown experiment %q (use -list)\n", *expFlag)
+		os.Exit(2)
+	}
+	sort.Slice(sel, func(i, j int) bool { return sel[i].id < sel[j].id })
+	e := env{quick: *quick, seed: *seed}
+	for i, x := range sel {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("=== %s: %s ===\n", strings.ToUpper(x.id), x.title)
+		x.run(e)
+	}
+}
+
+// header prints a column header row followed by a rule.
+func header(cols ...string) {
+	fmt.Println(strings.Join(cols, "\t"))
+}
+
+// row prints one tab-separated data row.
+func row(cells ...interface{}) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			parts[i] = fmt.Sprintf("%.3f", v)
+		default:
+			parts[i] = fmt.Sprint(v)
+		}
+	}
+	fmt.Println(strings.Join(parts, "\t"))
+}
+
+// note prints an indented commentary line.
+func note(format string, args ...interface{}) {
+	fmt.Printf("  # "+format+"\n", args...)
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestExperimentsRunQuick executes every experiment with quick
+// parameters, guarding the harness against regressions (panics, slice
+// bounds, bad configs). Output goes to the test's stdout.
+func TestExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep skipped in -short mode")
+	}
+	// Silence the experiment tables during tests.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+
+	e := env{quick: true, seed: 42}
+	for _, x := range experiments() {
+		x := x
+		t.Run(x.id, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("experiment %s panicked: %v", x.id, r)
+				}
+			}()
+			x.run(e)
+		})
+	}
+}
+
+func TestExperimentIDsUniqueAndOrdered(t *testing.T) {
+	seen := map[string]bool{}
+	for _, x := range experiments() {
+		if seen[x.id] {
+			t.Fatalf("duplicate experiment id %q", x.id)
+		}
+		seen[x.id] = true
+		if x.title == "" || x.run == nil {
+			t.Fatalf("experiment %q is incomplete", x.id)
+		}
+	}
+	for i := 1; i <= 12; i++ {
+		if !seen[fmt.Sprintf("e%d", i)] {
+			t.Fatalf("missing experiment e%d", i)
+		}
+	}
+}

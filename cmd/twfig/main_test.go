@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestFiguresRender executes every figure renderer, guarding against
+// panics and index errors in the introspection paths.
+func TestFiguresRender(t *testing.T) {
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	for name, fn := range map[string]func(){
+		"fig7":  fig7,
+		"fig8":  fig8,
+		"fig9":  fig9,
+		"fig10": fig10and11,
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("%s panicked: %v", name, r)
+				}
+			}()
+			fn()
+		})
+	}
+}

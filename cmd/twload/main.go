@@ -1,0 +1,154 @@
+// Command twload drives any timer scheme with a configurable synthetic
+// workload (the G/G/inf model of Figure 3) and reports per-operation
+// cost statistics — a workbench for exploring the schemes beyond the
+// canned experiments of twbench.
+//
+// Example:
+//
+//	twload -scheme scheme6 -size 4096 -rate 2 -dist exp -mean 500 -cancel 0.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"timingwheels/internal/baseline"
+	"timingwheels/internal/core"
+	"timingwheels/internal/dist"
+	"timingwheels/internal/hashwheel"
+	"timingwheels/internal/hier"
+	"timingwheels/internal/metrics"
+	"timingwheels/internal/tree"
+	"timingwheels/internal/wheel"
+	"timingwheels/internal/workload"
+)
+
+func main() {
+	scheme := flag.String("scheme", "scheme6",
+		"scheme1 | scheme2-front | scheme2-rear | scheme3-heap | scheme3-leftist | "+
+			"scheme3-skew | scheme3-bst | scheme3-avl | scheme4 | scheme5 | scheme6 | scheme7")
+	size := flag.Int("size", 4096, "wheel/table size (schemes 4-6)")
+	radices := flag.String("radices", "256,64,64,64", "per-level slot counts (scheme7)")
+	distName := flag.String("dist", "exp", "interval distribution: exp | uniform | constant | pareto")
+	mean := flag.Float64("mean", 1000, "mean timer interval in ticks")
+	rate := flag.Float64("rate", 1, "START_TIMER arrivals per tick (Poisson)")
+	cancel := flag.Float64("cancel", 0, "probability a timer is stopped before expiry")
+	warmup := flag.Int64("warmup", 10000, "warmup ticks before measurement")
+	ticks := flag.Int64("ticks", 100000, "measured ticks")
+	seed := flag.Uint64("seed", 1, "rng seed")
+	preset := flag.String("preset", "", "named scenario (overrides -dist/-mean/-rate/-cancel); empty for custom, 'list' to enumerate")
+	flag.Parse()
+
+	if *preset == "list" {
+		for _, s := range workload.Scenarios() {
+			fmt.Printf("%-18s %s\n", s.Name, s.Description)
+		}
+		return
+	}
+
+	var cost metrics.Cost
+	fac, err := buildScheme(*scheme, *size, *radices, &cost)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "twload:", err)
+		os.Exit(2)
+	}
+
+	var cfg workload.Config
+	var workloadDesc string
+	if *preset != "" {
+		sc, err := workload.ScenarioByName(*preset)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twload:", err)
+			os.Exit(2)
+		}
+		cfg = sc.Build(*seed)
+		workloadDesc = fmt.Sprintf("preset %q (%s)", sc.Name, sc.Description)
+	} else {
+		iv, err := buildInterval(*distName, *mean)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twload:", err)
+			os.Exit(2)
+		}
+		cfg = workload.Config{
+			Arrival:     &dist.Poisson{RatePerTick: *rate},
+			Interval:    iv,
+			CancelProb:  *cancel,
+			Seed:        *seed,
+			Warmup:      *warmup,
+			Measure:     *ticks,
+			SampleEvery: 64,
+		}
+		workloadDesc = fmt.Sprintf("poisson(%.3f/tick) x %s, cancel=%.2f", *rate, iv.Name(), *cancel)
+	}
+
+	res := workload.Run(fac, cfg, &cost)
+
+	fmt.Printf("scheme      : %s\n", fac.Name())
+	fmt.Printf("workload    : %s\n", workloadDesc)
+	fmt.Printf("window      : %d warmup + %d measured ticks\n", cfg.Warmup, cfg.Measure)
+	fmt.Printf("events      : started=%d fired=%d stopped=%d outstanding=%d\n",
+		res.Started, res.Fired, res.Stopped, res.FinalLen)
+	fmt.Printf("queue len   : %s\n", res.QueueLen.String())
+	fmt.Printf("start cost  : %s\n", res.StartCost.String())
+	if res.Stopped > 0 {
+		fmt.Printf("stop cost   : %s\n", res.StopCost.String())
+	}
+	fmt.Printf("tick cost   : %s\n", res.TickCost.String())
+	fmt.Printf("total units : reads=%d writes=%d compares=%d\n",
+		cost.Reads, cost.Writes, cost.Compares)
+}
+
+// buildScheme constructs the requested facility.
+func buildScheme(name string, size int, radixSpec string, cost *metrics.Cost) (core.Facility, error) {
+	switch name {
+	case "scheme1":
+		return baseline.NewScheme1(cost), nil
+	case "scheme2", "scheme2-front":
+		return baseline.NewScheme2(baseline.SearchFromFront, cost), nil
+	case "scheme2-rear":
+		return baseline.NewScheme2(baseline.SearchFromRear, cost), nil
+	case "scheme3-heap", "scheme3-leftist", "scheme3-skew", "scheme3-bst", "scheme3-avl":
+		return tree.NewScheme3(tree.Kind(strings.TrimPrefix(name, "scheme3-")), cost), nil
+	case "scheme4":
+		return wheel.NewScheme4(size, cost), nil
+	case "scheme5":
+		return hashwheel.NewScheme5(size, cost), nil
+	case "scheme6":
+		return hashwheel.NewScheme6(size, cost), nil
+	case "scheme7":
+		var radices []int
+		for _, part := range strings.Split(radixSpec, ",") {
+			var r int
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &r); err != nil {
+				return nil, fmt.Errorf("bad radix %q in -radices", part)
+			}
+			radices = append(radices, r)
+		}
+		return hier.NewScheme7(radices, hier.MigrateAlways, cost), nil
+	default:
+		return nil, fmt.Errorf("unknown scheme %q", name)
+	}
+}
+
+// buildInterval constructs the requested interval distribution.
+func buildInterval(name string, mean float64) (dist.Interval, error) {
+	switch name {
+	case "exp":
+		return dist.Exponential{MeanTicks: mean}, nil
+	case "uniform":
+		hi := int64(2*mean) - 1
+		if hi < 1 {
+			hi = 1
+		}
+		return dist.Uniform{Lo: 1, Hi: hi}, nil
+	case "constant":
+		return dist.Constant{Value: int64(mean)}, nil
+	case "pareto":
+		// alpha=2 gives mean = 2*xm, so xm = mean/2.
+		return dist.Pareto{Xm: mean / 2, Alpha: 2}, nil
+	default:
+		return nil, fmt.Errorf("unknown distribution %q", name)
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"testing"
+
+	"timingwheels/internal/core"
+	"timingwheels/internal/metrics"
+)
+
+func TestBuildSchemeAllNames(t *testing.T) {
+	names := []string{
+		"scheme1", "scheme2", "scheme2-front", "scheme2-rear",
+		"scheme3-heap", "scheme3-leftist", "scheme3-skew", "scheme3-bst",
+		"scheme4", "scheme5", "scheme6", "scheme7",
+	}
+	var cost metrics.Cost
+	for _, n := range names {
+		f, err := buildScheme(n, 64, "8,8,8", &cost)
+		if err != nil {
+			t.Fatalf("buildScheme(%q): %v", n, err)
+		}
+		if f == nil {
+			t.Fatalf("buildScheme(%q) returned nil", n)
+		}
+		// Smoke: one timer through its life.
+		fired := false
+		if _, err := f.StartTimer(3, func(core.ID) { fired = true }); err != nil {
+			t.Fatalf("%s: StartTimer: %v", n, err)
+		}
+		for i := 0; i < 3; i++ {
+			f.Tick()
+		}
+		if !fired {
+			t.Fatalf("%s: timer did not fire", n)
+		}
+	}
+}
+
+func TestBuildSchemeUnknown(t *testing.T) {
+	if _, err := buildScheme("scheme99", 64, "8,8", nil); err == nil {
+		t.Fatal("unknown scheme should fail")
+	}
+}
+
+func TestBuildSchemeBadRadices(t *testing.T) {
+	if _, err := buildScheme("scheme7", 64, "8,foo", nil); err == nil {
+		t.Fatal("bad radices should fail")
+	}
+}
+
+func TestBuildInterval(t *testing.T) {
+	for _, n := range []string{"exp", "uniform", "constant", "pareto"} {
+		iv, err := buildInterval(n, 100)
+		if err != nil {
+			t.Fatalf("buildInterval(%q): %v", n, err)
+		}
+		if iv.Name() == "" {
+			t.Fatalf("buildInterval(%q) unnamed", n)
+		}
+		if m := iv.Mean(); m < 50 || m > 200 {
+			t.Fatalf("buildInterval(%q) mean %v, want ~100", n, m)
+		}
+	}
+	if _, err := buildInterval("weibull", 100); err == nil {
+		t.Fatal("unknown distribution should fail")
+	}
+	// Degenerate mean must clamp, not construct an invalid range.
+	if _, err := buildInterval("uniform", 0.2); err != nil {
+		t.Fatalf("tiny mean: %v", err)
+	}
+}

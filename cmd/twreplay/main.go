@@ -1,0 +1,128 @@
+// Command twreplay replays a recorded timer-operation schedule against
+// one or more schemes and diffs their traces — the debugging tool for
+// "scheme X fires this schedule differently than scheme Y".
+//
+//	twreplay -gen 500 -seed 7 -max 100 > sched.txt   # export a random schedule
+//	twreplay -schemes scheme2,scheme6,scheme7 < sched.txt
+//	twreplay -f sched.txt -v                         # print every fire
+//
+// Schedule format (see internal/replay): `s <key> <interval>`,
+// `x <key>`, `t <n>`, comments with #.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"timingwheels/internal/baseline"
+	"timingwheels/internal/core"
+	"timingwheels/internal/hashwheel"
+	"timingwheels/internal/hier"
+	"timingwheels/internal/hybrid"
+	"timingwheels/internal/replay"
+	"timingwheels/internal/tree"
+	"timingwheels/internal/wheel"
+)
+
+func main() {
+	gen := flag.Int("gen", 0, "instead of replaying, emit a random schedule with this many ops")
+	seed := flag.Uint64("seed", 1, "seed for -gen")
+	maxIv := flag.Int64("max", 100, "max interval for -gen")
+	file := flag.String("f", "", "schedule file (default stdin)")
+	schemes := flag.String("schemes", "scheme1,scheme2,scheme6,scheme7,hybrid",
+		"comma-separated schemes to replay against")
+	size := flag.Int("size", 1024, "wheel/table size for bounded schemes")
+	verbose := flag.Bool("v", false, "print every fire of the first scheme")
+	flag.Parse()
+
+	if *gen > 0 {
+		if err := replay.Format(os.Stdout, replay.Random(*seed, *gen, *maxIv)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var in io.Reader = os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	ops, err := replay.Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("schedule: %d ops\n", len(ops))
+
+	var ref *replay.Trace
+	var refName string
+	for _, name := range strings.Split(*schemes, ",") {
+		name = strings.TrimSpace(name)
+		fac, err := build(name, *size)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := replay.Apply(fac, ops)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Printf("%-14s fires=%d stopErrors=%d end=%d pending=%d\n",
+			name, len(tr.Fires), tr.StopErrors, tr.End, tr.Pending)
+		if ref == nil {
+			ref, refName = tr, name
+			if *verbose {
+				for _, f := range tr.Fires {
+					fmt.Printf("  fire key=%d at=%d\n", f.Key, f.At)
+				}
+			}
+			continue
+		}
+		if d := replay.Diff(ref, tr); d != "" {
+			fmt.Printf("DIVERGENCE %s vs %s: %s\n", refName, name, d)
+			os.Exit(1)
+		}
+	}
+	if ref != nil {
+		fmt.Println("all traces agree")
+	}
+}
+
+// build constructs the named scheme.
+func build(name string, size int) (core.Facility, error) {
+	switch name {
+	case "scheme1":
+		return baseline.NewScheme1(nil), nil
+	case "scheme2", "scheme2-front":
+		return baseline.NewScheme2(baseline.SearchFromFront, nil), nil
+	case "scheme2-rear":
+		return baseline.NewScheme2(baseline.SearchFromRear, nil), nil
+	case "scheme3-heap", "scheme3-leftist", "scheme3-skew", "scheme3-bst",
+		"scheme3-avl", "scheme3-pairing":
+		return tree.NewScheme3(tree.Kind(strings.TrimPrefix(name, "scheme3-")), nil), nil
+	case "scheme4":
+		return wheel.NewScheme4(size, nil), nil
+	case "scheme5":
+		return hashwheel.NewScheme5(size, nil), nil
+	case "scheme6":
+		return hashwheel.NewScheme6(size, nil), nil
+	case "scheme6-abs":
+		return hashwheel.NewScheme6Absolute(size, nil), nil
+	case "scheme7":
+		return hier.NewScheme7([]int{256, 64, 64, 64}, hier.MigrateAlways, nil), nil
+	case "hybrid":
+		return hybrid.New(size, nil), nil
+	default:
+		return nil, fmt.Errorf("unknown scheme %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "twreplay:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"timingwheels/internal/replay"
+)
+
+func TestBuildSchemeNames(t *testing.T) {
+	names := strings.Split(
+		"scheme1,scheme2,scheme2-front,scheme2-rear,scheme3-heap,scheme3-leftist,"+
+			"scheme3-skew,scheme3-bst,scheme3-avl,scheme3-pairing,scheme4,scheme5,"+
+			"scheme6,scheme6-abs,scheme7,hybrid", ",")
+	ops := replay.Random(4, 100, 50)
+	var ref *replay.Trace
+	for _, n := range names {
+		fac, err := build(n, 256)
+		if err != nil {
+			t.Fatalf("build(%q): %v", n, err)
+		}
+		tr, err := replay.Apply(fac, ops)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if ref == nil {
+			ref = tr
+			continue
+		}
+		if d := replay.Diff(ref, tr); d != "" {
+			t.Fatalf("%s diverged: %s", n, d)
+		}
+	}
+	if _, err := build("bogus", 8); err == nil {
+		t.Fatal("unknown scheme should fail")
+	}
+}

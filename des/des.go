@@ -1,0 +1,124 @@
+// Package des is the public face of the discrete-event-simulation
+// substrate from section 4.2 of Varghese & Lauck (SOSP 1987): the paper
+// shows that timer algorithms and simulation time-flow mechanisms are
+// interchangeable ("time flow algorithms used for digital simulation can
+// be used to implement timer algorithms; conversely, timer algorithms
+// can be used to implement time flow mechanisms in simulations").
+//
+// An Engine executes scheduled events in time order over a pluggable
+// Mechanism:
+//
+//	NewEventList()            priority-queue time flow (GPSS/SIMULA):
+//	                          the clock jumps to the next event
+//	NewSimulationWheel(...)   timing-wheel time flow (TEGAS/DECSIM):
+//	                          array of lists + one overflow list, with
+//	                          per-cycle, half-cycle, or per-tick rotation
+//
+// A gate-level logic Circuit (the paper's motivating workload) is built
+// on top, along with prefabricated circuits for experimentation.
+//
+// Engines are single-threaded: all scheduling must happen from the
+// calling goroutine or from within event callbacks.
+package des
+
+import (
+	"timingwheels/internal/metrics"
+	"timingwheels/internal/sim"
+)
+
+// Time is simulation time in clock units.
+type Time = sim.Time
+
+// Event is a scheduled event notice, returned by At/After and accepted
+// by Cancel.
+type Event = sim.Event
+
+// Mechanism is a time-flow mechanism: the container of future events.
+type Mechanism = sim.Mechanism
+
+// Stats counts the work a simulation performed (events executed,
+// overflow-list traffic, empty slots stepped, peak storage).
+type Stats = sim.Stats
+
+// Engine executes events against a mechanism; see NewEngine.
+type Engine = sim.Engine
+
+// RotatePolicy selects when a simulation wheel rotates its window.
+type RotatePolicy = sim.RotatePolicy
+
+// Rotation policies for NewSimulationWheel.
+const (
+	// RotatePerCycle rotates a full array length at a time (TEGAS):
+	// events beyond the current cycle go to the overflow list.
+	RotatePerCycle = sim.RotatePerCycle
+	// RotateHalfCycle rotates half an array at a time (DECSIM), reducing
+	// but not eliminating overflow traffic.
+	RotateHalfCycle = sim.RotateHalfCycle
+	// RotatePerTick slides the window every tick — the paper's Scheme 4
+	// extension: nothing within the wheel's range ever overflows.
+	RotatePerTick = sim.RotatePerTick
+)
+
+// NewEngine returns an engine over the given time-flow mechanism.
+func NewEngine(m Mechanism) *Engine { return sim.NewEngine(m) }
+
+// NewEventList returns the priority-queue mechanism.
+func NewEventList() Mechanism { return sim.NewEventList(nil) }
+
+// NewSimulationWheel returns a timing-wheel mechanism with the given
+// array size and rotation policy, reporting wheel work counters into
+// stats (which may be nil).
+func NewSimulationWheel(size int, policy RotatePolicy, stats *Stats) Mechanism {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	return sim.NewWheel(size, policy, stats, (*metrics.Cost)(nil))
+}
+
+// Circuit is an event-driven gate-level logic simulator; see NewCircuit.
+type Circuit = sim.Circuit
+
+// Signal identifies one wire in a Circuit.
+type Signal = sim.Signal
+
+// GateKind enumerates the logic functions available to AddGate.
+type GateKind = sim.GateKind
+
+// Gate kinds.
+const (
+	GateAnd  = sim.GateAnd
+	GateOr   = sim.GateOr
+	GateNot  = sim.GateNot
+	GateXor  = sim.GateXor
+	GateNand = sim.GateNand
+	GateNor  = sim.GateNor
+	GateBuf  = sim.GateBuf
+)
+
+// NewCircuit returns an empty circuit simulated on the engine.
+func NewCircuit(e *Engine) *Circuit { return sim.NewCircuit(e) }
+
+// Prefabricated circuits.
+type (
+	// RingOscillator is an inverter feeding itself (period 2*delay).
+	RingOscillator = sim.RingOscillator
+	// RippleAdder is an n-bit ripple-carry adder.
+	RippleAdder = sim.RippleAdder
+	// ShiftChain is a clocked buffer chain generating steady traffic.
+	ShiftChain = sim.ShiftChain
+)
+
+// BuildRingOscillator adds a ring oscillator to c and starts it.
+func BuildRingOscillator(c *Circuit, delay Time) (*RingOscillator, error) {
+	return sim.BuildRingOscillator(c, delay)
+}
+
+// BuildRippleAdder wires an n-bit ripple-carry adder with unit delays.
+func BuildRippleAdder(c *Circuit, bits int) (*RippleAdder, error) {
+	return sim.BuildRippleAdder(c, bits)
+}
+
+// BuildShiftChain wires a clocked chain of the given length.
+func BuildShiftChain(c *Circuit, stages int, clockDelay Time) (*ShiftChain, error) {
+	return sim.BuildShiftChain(c, stages, clockDelay)
+}

@@ -1,0 +1,82 @@
+package des_test
+
+import (
+	"fmt"
+	"testing"
+
+	"timingwheels/des"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	for _, mk := range []func() des.Mechanism{
+		des.NewEventList,
+		func() des.Mechanism { return des.NewSimulationWheel(32, des.RotatePerTick, nil) },
+		func() des.Mechanism { return des.NewSimulationWheel(32, des.RotatePerCycle, &des.Stats{}) },
+		func() des.Mechanism { return des.NewSimulationWheel(32, des.RotateHalfCycle, nil) },
+	} {
+		e := des.NewEngine(mk())
+		var order []des.Time
+		for _, at := range []des.Time{40, 10, 25} {
+			if _, err := e.At(at, func() { order = append(order, e.Now()) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ev, err := e.After(5, func() { t.Error("canceled event ran") })
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Cancel(ev)
+		e.Run(1000)
+		if len(order) != 3 || order[0] != 10 || order[1] != 25 || order[2] != 40 {
+			t.Fatalf("%s: order=%v", e.Mechanism().Name(), order)
+		}
+	}
+}
+
+func TestPublicCircuit(t *testing.T) {
+	e := des.NewEngine(des.NewSimulationWheel(64, des.RotatePerTick, nil))
+	c := des.NewCircuit(e)
+	ra, err := des.BuildRippleAdder(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.SetInputs(9, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(100)
+	if got := ra.Result(); got != 14 {
+		t.Fatalf("9+5=%d", got)
+	}
+}
+
+// ExampleEngine demonstrates the event-list mechanism's time jumps.
+func ExampleEngine() {
+	e := des.NewEngine(des.NewEventList())
+	if _, err := e.At(1_000_000, func() {
+		fmt.Println("distant event at", e.Now())
+	}); err != nil {
+		panic(err)
+	}
+	executed := e.Run(2_000_000)
+	fmt.Println("executed:", executed)
+	// Output:
+	// distant event at 1000000
+	// executed: 1
+}
+
+// ExampleBuildRingOscillator runs the canonical logic-simulation smoke
+// test on a per-tick wheel.
+func ExampleBuildRingOscillator() {
+	e := des.NewEngine(des.NewSimulationWheel(16, des.RotatePerTick, nil))
+	c := des.NewCircuit(e)
+	ro, err := des.BuildRingOscillator(c, 4)
+	if err != nil {
+		panic(err)
+	}
+	count := 0
+	c.Watch(ro.Out, func(at des.Time, v bool) { count++ })
+	e.Run(40)
+	fmt.Println("transitions in 40 units:", count)
+	// Output:
+	// transitions in 40 units: 10
+}

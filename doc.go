@@ -1,0 +1,10 @@
+// Package timingwheels is a from-scratch Go reproduction of Varghese &
+// Lauck, "Hashed and Hierarchical Timing Wheels: Data Structures for the
+// Efficient Implementation of a Timer Facility" (SOSP 1987).
+//
+// The public API lives in the timer subpackage; the per-scheme
+// implementations and experiment substrates live under internal. The
+// benchmarks in this root package (bench_test.go) regenerate the wall-
+// clock counterparts of every figure and table in the paper; cmd/twbench
+// regenerates the abstract-cost versions.
+package timingwheels

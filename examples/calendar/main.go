@@ -1,0 +1,91 @@
+// Calendar exercises the hierarchical wheel (Scheme 7) on the paper's
+// own geometry — seconds, minutes, hours, days spanning 100 days in 244
+// slots — by scheduling a mixed agenda of near and far reminders and
+// fast-forwarding virtual time through all of them. It also contrasts
+// the precise migration policy with the Wick Nichols imprecise modes.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"timingwheels/timer"
+)
+
+// reminder is one agenda entry.
+type reminder struct {
+	label string
+	after timer.Tick // seconds from now
+}
+
+func hms(t timer.Tick) string {
+	return fmt.Sprintf("%dd %02d:%02d:%02d", t/86400, t%86400/3600, t%3600/60, t%60)
+}
+
+func main() {
+	agenda := []reminder{
+		{"stand-up call", 90},                     // seconds wheel
+		{"coffee break", 45 * 60},                 // minutes wheel
+		{"daily report", 26 * 60 * 60},            // hours wheel
+		{"weekly review", 7 * 24 * 60 * 60},       // days wheel
+		{"invoice due", 30*24*60*60 + 12*60*60},   // deep in the days wheel
+		{"cert renewal", 99 * 24 * 60 * 60},       // near the range limit
+		{"kettle whistle", 3*60 + 15},             // the paper's style of example
+		{"sprint demo", 13*24*60*60 + 37*60 + 12}, // mixed digits across levels
+	}
+
+	fmt.Println("scheme 7, radices [60 60 24 100]: 244 slots cover 100 days of seconds")
+	fmt.Println("(a flat Scheme 4 wheel would need 8,640,000 slots)")
+
+	cal := timer.NewHierarchicalWheel(timer.HierarchyDayRadices, timer.MigrateAlways)
+	type firing struct {
+		label    string
+		want, at timer.Tick
+	}
+	var fired []firing
+	for _, r := range agenda {
+		r := r
+		want := cal.Now() + r.after
+		if _, err := cal.StartTimer(r.after, func(timer.ID) {
+			fired = append(fired, firing{label: r.label, want: want, at: cal.Now()})
+		}); err != nil {
+			panic(err)
+		}
+	}
+
+	// Fast-forward 100 days of virtual seconds.
+	total := timer.Tick(100 * 24 * 60 * 60)
+	n := timer.AdvanceBy(cal, total)
+	fmt.Printf("\nadvanced %d virtual seconds; %d reminders fired:\n\n", total, n)
+	sort.Slice(fired, func(i, j int) bool { return fired[i].at < fired[j].at })
+	fmt.Println("when fired        reminder          precise?")
+	for _, f := range fired {
+		mark := "exact"
+		if f.at != f.want {
+			mark = fmt.Sprintf("off by %d s", f.at-f.want)
+		}
+		fmt.Printf("%-17s %-17s %s\n", hms(f.at), f.label, mark)
+	}
+
+	// Precision trade-off: the same agenda under MigrateNever fires at
+	// slot granularity (up to half a slot early/late) but never migrates.
+	fmt.Println("\nsame agenda with MigrateNever (round to insertion level, zero migrations):")
+	lossy := timer.NewHierarchicalWheel(timer.HierarchyDayRadices, timer.MigrateNever)
+	var worst timer.Tick
+	for _, r := range agenda {
+		want := lossy.Now() + r.after
+		if _, err := lossy.StartTimer(r.after, func(timer.ID) {
+			diff := lossy.Now() - want
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > worst {
+				worst = diff
+			}
+		}); err != nil {
+			panic(err)
+		}
+	}
+	timer.AdvanceBy(lossy, total)
+	fmt.Printf("worst expiry error: %d s (bounded by half the coarsest slot used)\n", worst)
+}

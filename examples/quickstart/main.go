@@ -1,0 +1,62 @@
+// Quickstart: the fastest route through the public API — a real-time
+// Runtime over the paper's recommended Scheme 6 hashed wheel, one-shot
+// timers, cancellation, and a periodic ticker.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"timingwheels/timer"
+)
+
+func main() {
+	// A runtime with 1ms ticks over the default hashed timing wheel.
+	rt := timer.NewRuntime(timer.WithGranularity(time.Millisecond))
+	defer rt.Close()
+
+	done := make(chan struct{})
+
+	// One-shot timer: fires once, ~25ms from now.
+	if _, err := rt.AfterFunc(25*time.Millisecond, func() {
+		fmt.Println("one-shot timer fired")
+		close(done)
+	}); err != nil {
+		panic(err)
+	}
+
+	// A timer we cancel before it fires: Stop reports true because the
+	// timer was still pending (O(1) cancellation via the stored handle —
+	// the doubly-linked-list trick from section 3.2 of the paper).
+	doomed, err := rt.AfterFunc(time.Hour, func() {
+		fmt.Println("this never prints")
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cancelled pending timer: %v\n", doomed.Stop())
+
+	// A periodic ticker: rate-control style timers that always expire.
+	ticks := 0
+	tk, err := rt.Every(5*time.Millisecond, func() {
+		ticks++
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	<-done
+	tk.Stop()
+	fmt.Printf("ticker ran %d times while waiting\n", tk.Runs())
+
+	// The same schemes are also available in deterministic virtual time:
+	// drive PER_TICK_BOOKKEEPING yourself, no goroutines involved.
+	wheel := timer.NewHashedWheel(256)
+	if _, err := wheel.StartTimer(10, func(id timer.ID) {
+		fmt.Printf("virtual timer %d fired at tick %d\n", id, wheel.Now())
+	}); err != nil {
+		panic(err)
+	}
+	fired := timer.AdvanceBy(wheel, 10)
+	fmt.Printf("advanced 10 virtual ticks, %d timer(s) fired\n", fired)
+}

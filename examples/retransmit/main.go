@@ -1,0 +1,160 @@
+// Retransmit simulates the workload that motivates the paper's
+// introduction: "consider a server with 200 connections and 3 timers per
+// connection". Each connection runs a retransmission timer (restarted on
+// every send, stopped on every ack — timers that rarely expire), a
+// keepalive timer, and a packet-lifetime timer, all multiplexed onto one
+// Scheme 6 hashed wheel in virtual time.
+//
+// The run is fully deterministic: a simple stop-and-wait protocol over a
+// lossy link is simulated tick by tick, and the demo prints how many
+// timer operations the wheel absorbed and what they cost in comparison
+// to an ordered-list (Scheme 2) timer module given the same schedule.
+package main
+
+import (
+	"fmt"
+
+	"timingwheels/timer"
+)
+
+const (
+	connections  = 200
+	rtoTicks     = 48  // retransmission timeout
+	keepalive    = 700 // keepalive probe period
+	pktLifetime  = 250 // packet lifetime bound
+	lossOneIn    = 11  // deterministic loss: every 11th packet drops
+	simulateFor  = 20000
+	ackLatency   = 9 // ticks from send to ack when not lost
+	sendSpacing  = 5 // ticks between successive sends per connection
+	reportEveryN = 0 // set >0 for periodic progress lines
+)
+
+// conn is one simulated connection's protocol state.
+type conn struct {
+	id          int
+	facility    timer.Scheme
+	rto         timer.Handle
+	inFlight    bool
+	seq         int
+	sent        int
+	retransmits int
+	keepalives  int
+	expired     int
+}
+
+// stats shared across the run.
+var (
+	starts, stops int
+)
+
+// startTimer wraps StartTimer with operation counting.
+func startTimer(f timer.Scheme, d timer.Tick, cb timer.Callback) timer.Handle {
+	h, err := f.StartTimer(d, cb)
+	if err != nil {
+		panic(err)
+	}
+	starts++
+	return h
+}
+
+// stopTimer wraps StopTimer; stopping an already-fired timer is a normal
+// race in protocol code, so ErrTimerNotPending is tolerated.
+func stopTimer(f timer.Scheme, h timer.Handle) {
+	if h == nil {
+		return
+	}
+	if err := f.StopTimer(h); err == nil {
+		stops++
+	}
+}
+
+func (c *conn) send(now timer.Tick, acks map[timer.Tick][]*conn) {
+	c.sent++
+	c.inFlight = true
+	// Arm the retransmission timer for this segment.
+	seq := c.seq
+	c.rto = startTimer(c.facility, rtoTicks, func(timer.ID) {
+		c.expired++
+		c.retransmits++
+		c.inFlight = false // give up on this copy; send() re-arms
+	})
+	// Packet-lifetime timer: always expires (it bounds the packet's time
+	// in the network and needs no cancellation).
+	startTimer(c.facility, pktLifetime, func(timer.ID) {})
+	// Deliver the ack unless this transmission is lost (deterministic
+	// hash over connection, sequence number, and transmission count, so
+	// a retransmission of a lost segment can succeed).
+	if (c.id+seq*7+c.sent*3)%lossOneIn != 0 {
+		at := now + ackLatency
+		acks[at] = append(acks[at], c)
+	}
+}
+
+func (c *conn) ack() {
+	if !c.inFlight {
+		return // a stale ack for a segment we already timed out
+	}
+	stopTimer(c.facility, c.rto) // the common case: stop before expiry
+	c.rto = nil
+	c.inFlight = false
+	c.seq++
+}
+
+func run(f timer.Scheme) (sent, retrans, keeps int) {
+	acks := make(map[timer.Tick][]*conn)
+	conns := make([]*conn, connections)
+	for i := range conns {
+		c := &conn{id: i, facility: f}
+		conns[i] = c
+		// Keepalive: re-arms itself forever; almost never useful traffic,
+		// exactly the "rarely expires relative to starts" failure-
+		// detection class — except here it always expires by design.
+		var arm func(timer.ID)
+		arm = func(timer.ID) {
+			c.keepalives++
+			startTimer(f, keepalive, arm)
+		}
+		startTimer(f, keepalive, arm)
+	}
+	for now := timer.Tick(1); now <= simulateFor; now++ {
+		// Deliver acks scheduled for this tick.
+		for _, c := range acks[now] {
+			c.ack()
+		}
+		delete(acks, now)
+		// Each connection sends when idle, spaced by sendSpacing.
+		for _, c := range conns {
+			if !c.inFlight && now%sendSpacing == timer.Tick(c.id%sendSpacing) {
+				c.send(now, acks)
+			}
+		}
+		f.Tick()
+	}
+	for _, c := range conns {
+		sent += c.sent
+		retrans += c.retransmits
+		keeps += c.keepalives
+	}
+	return sent, retrans, keeps
+}
+
+func main() {
+	fmt.Printf("server: %d connections x 3 timer classes (rto/keepalive/lifetime)\n", connections)
+	fmt.Printf("link  : 1-in-%d deterministic loss, %d-tick ack latency\n\n", lossOneIn, ackLatency)
+
+	for _, build := range []func() timer.Scheme{
+		func() timer.Scheme { return timer.NewHashedWheel(1 << 12) },
+		func() timer.Scheme { return timer.NewOrderedList(timer.SearchFromFront) },
+	} {
+		starts, stops = 0, 0
+		f := build()
+		sent, retrans, keeps := run(f)
+		fmt.Printf("%-14s sent=%d retransmits=%d keepalives=%d\n",
+			f.Name(), sent, retrans, keeps)
+		fmt.Printf("%-14s timer ops: %d starts, %d stops, %d still pending\n\n",
+			"", starts, stops, f.Len())
+	}
+	fmt.Println("both schemes drive the identical protocol schedule; the hashed")
+	fmt.Println("wheel does it with O(1) starts where the ordered list pays O(n).")
+	fmt.Println("(run `twbench -exp e1` for the measured cost tables.)")
+}

@@ -1,0 +1,143 @@
+// Scheduler builds the remaining timer class from the paper's
+// introduction — "algorithms in which the notion of time is integral ...
+// scheduling algorithms" — on the virtual-time public API: a preemptive
+// round-robin CPU scheduler whose time-slice quanta are wheel timers
+// that always expire (unless the process blocks first, which stops its
+// quantum timer — both lifecycle paths the paper's model optimizes).
+package main
+
+import (
+	"fmt"
+
+	"timingwheels/timer"
+)
+
+const (
+	quantum   = 10   // ticks per time slice
+	ioLatency = 35   // ticks an I/O operation takes
+	horizon   = 2000 // simulation length
+)
+
+// process is one schedulable entity alternating CPU bursts and I/O.
+type process struct {
+	name      string
+	burst     int // CPU ticks between I/O requests
+	burstLeft int
+	runTicks  int
+	waits     int
+	slices    int
+}
+
+// scheduler is a round-robin dispatcher driven entirely by timers.
+type scheduler struct {
+	fac      timer.Scheme
+	ready    []*process
+	running  *process
+	quantumH timer.Handle
+	idle     int
+}
+
+func (s *scheduler) enqueue(p *process) {
+	s.ready = append(s.ready, p)
+}
+
+// dispatch picks the next ready process and arms its quantum timer.
+func (s *scheduler) dispatch() {
+	if s.running != nil || len(s.ready) == 0 {
+		return
+	}
+	p := s.ready[0]
+	s.ready = s.ready[1:]
+	s.running = p
+	p.slices++
+	h, err := s.fac.StartTimer(quantum, func(timer.ID) {
+		// Quantum expired: preempt and round-robin. This is the
+		// "almost always expires" timer class.
+		s.quantumH = nil
+		s.preempt()
+	})
+	if err != nil {
+		panic(err)
+	}
+	s.quantumH = h
+}
+
+// preempt moves the running process to the back of the ready queue.
+func (s *scheduler) preempt() {
+	p := s.running
+	s.running = nil
+	s.enqueue(p)
+	s.dispatch()
+}
+
+// block simulates the running process issuing I/O: its quantum timer is
+// stopped early (the "rarely expires relative to starts" path) and an
+// I/O-completion timer re-queues it later.
+func (s *scheduler) block() {
+	p := s.running
+	s.running = nil
+	if s.quantumH != nil {
+		if err := s.fac.StopTimer(s.quantumH); err != nil {
+			panic(err)
+		}
+		s.quantumH = nil
+	}
+	p.waits++
+	if _, err := s.fac.StartTimer(ioLatency, func(timer.ID) {
+		s.enqueue(p)
+		s.dispatch()
+	}); err != nil {
+		panic(err)
+	}
+	s.dispatch()
+}
+
+// tick runs one unit of CPU time.
+func (s *scheduler) tick() {
+	if s.running != nil {
+		s.running.runTicks++
+		s.running.burstLeft--
+		if s.running.burstLeft <= 0 {
+			s.running.burstLeft = s.running.burst
+			s.block()
+		}
+	} else {
+		s.idle++
+	}
+	s.fac.Tick() // quantum and I/O timers fire here
+	s.dispatch()
+}
+
+func main() {
+	procs := []*process{
+		{name: "compute", burst: 200}, // CPU-bound: lives on quantum expiries
+		{name: "editor", burst: 6},    // interactive: blocks constantly
+		{name: "backup", burst: 45},   // mixed
+		{name: "logger", burst: 12},   // mostly I/O
+	}
+	for _, p := range procs {
+		p.burstLeft = p.burst
+	}
+
+	wheel, counters := timer.Instrument(timer.NewHashedWheel(256))
+	s := &scheduler{fac: wheel}
+	for _, p := range procs {
+		s.enqueue(p)
+	}
+	s.dispatch()
+	for t := 0; t < horizon; t++ {
+		s.tick()
+	}
+
+	fmt.Printf("round-robin, quantum=%d, io=%d ticks, horizon=%d\n\n", quantum, ioLatency, horizon)
+	fmt.Println("process    cpu%   slices  io-waits")
+	for _, p := range procs {
+		fmt.Printf("%-9s %5.1f%%  %6d  %8d\n",
+			p.name, 100*float64(p.runTicks)/float64(horizon), p.slices, p.waits)
+	}
+	fmt.Printf("idle      %5.1f%%\n\n", 100*float64(s.idle)/float64(horizon))
+	fmt.Println("timer module:", counters)
+	fmt.Println("quantum timers mostly expire (preemptions); I/O blocks stop them")
+	fmt.Println("early — the two lifecycle classes from the paper's introduction,")
+	fmt.Println("multiplexed on one O(1) wheel.")
+}

@@ -1,0 +1,3 @@
+module timingwheels
+
+go 1.22

@@ -1,0 +1,193 @@
+// Package analysis collects the closed-form results the paper quotes, so
+// experiments can print paper-vs-measured comparisons.
+//
+// Section 3.2 models the timer module as a queue with infinite servers
+// (Figure 3): every outstanding timer is "served" (decremented) every
+// tick, so the system is G/G/inf. Little's result gives the average
+// number outstanding, and the remaining time of timers seen by a new
+// request follows the residual-life density of the timer-interval
+// distribution. The paper then quotes (from Reeves [4]) average sorted-
+// list insertion costs of 2 + (2/3)n for negative-exponential intervals
+// and 2 + (1/2)n for uniform, and 2 + n/3 for exponential when searching
+// from the rear.
+//
+// This package provides both the paper's quoted constants and the
+// constants that follow directly from the M/G/inf residual-life argument,
+// because they disagree on which distribution gets which constant (see
+// ResidualBelowFraction); EXPERIMENTS.md reports the measurement against
+// both.
+package analysis
+
+import "math"
+
+// LittleN returns the steady-state average number of outstanding timers
+// by Little's law: N = lambda * E[T], for arrival rate lambda (timers per
+// tick) and mean interval meanT (ticks).
+func LittleN(lambda, meanT float64) float64 { return lambda * meanT }
+
+// PaperInsertCostExpFront is the section 3.2 quoted average insertion
+// cost for negative-exponential intervals, front search: 2 + (2/3) n.
+func PaperInsertCostExpFront(n float64) float64 { return 2 + 2*n/3 }
+
+// PaperInsertCostUniformFront is the section 3.2 quoted average insertion
+// cost for uniform intervals, front search: 2 + (1/2) n.
+func PaperInsertCostUniformFront(n float64) float64 { return 2 + n/2 }
+
+// PaperInsertCostExpRear is the section 3.2 quoted average insertion cost
+// for negative-exponential intervals searching from the rear: 2 + n/3.
+func PaperInsertCostExpRear(n float64) float64 { return 2 + n/3 }
+
+// ResidualBelowFraction returns P(Y < X) where X is a fresh timer
+// interval and Y is the residual life of an interval already in the
+// queue, for the named distribution family. This is the expected fraction
+// of the queue a front search must pass.
+//
+// For M/G/inf at stationarity the remaining times of timers in the queue
+// are i.i.d. with the equilibrium (residual-life) density
+// f_e(y) = (1-F(y))/E[X]:
+//
+//   - Exponential: the residual of an exponential is the same
+//     exponential (memorylessness), so P(Y < X) = 1/2 exactly.
+//   - Uniform[0,a]: F_e(x) = (2ax - x^2)/a^2, and E_X[F_e(X)] = 2/3.
+//   - Constant c: Y is uniform on [0,c], so P(Y < X) = P(Y < c) = 1.
+//     (Every queued timer has less remaining time than a fresh timer:
+//     fresh timers always insert at the rear.)
+//
+// Note the paper's bullet list attaches 2/3 to the exponential and 1/2 to
+// the uniform distribution — the reverse of this derivation. Experiment
+// E2 measures the truth; the measured slopes match the residual-life
+// derivation (exp ~ n/2, uniform ~ 2n/3), so the paper's two constants
+// appear to be swapped between the distributions, while its structural
+// claims (cost linear in n; rear search complements front search;
+// constant intervals make rear insertion O(1)) all hold.
+func ResidualBelowFraction(family string) float64 {
+	switch family {
+	case "exp", "exponential":
+		return 0.5
+	case "uniform":
+		return 2.0 / 3.0
+	case "constant":
+		return 1.0
+	default:
+		return math.NaN()
+	}
+}
+
+// FrontSearchCost returns the residual-life-derived average front-search
+// insertion cost 2 + P(Y<X)*n for the named distribution family.
+func FrontSearchCost(family string, n float64) float64 {
+	return 2 + ResidualBelowFraction(family)*n
+}
+
+// RearSearchCost returns the residual-life-derived average rear-search
+// insertion cost 2 + (1-P(Y<X))*n for the named distribution family.
+func RearSearchCost(family string, n float64) float64 {
+	return 2 + (1-ResidualBelowFraction(family))*n
+}
+
+// PaperPerTickScheme6 is the section 7 measured VAX result: the average
+// per-tick cost of Scheme 6 in cheap instructions, 4 + 15*n/TableSize.
+func PaperPerTickScheme6(n, tableSize float64) float64 {
+	if tableSize <= 0 {
+		return math.NaN()
+	}
+	return 4 + 15*n/tableSize
+}
+
+// Scheme6WorkPerTimer is the section 6.2 model of total bookkeeping work
+// over one timer's lifetime under Scheme 6: c6 * T / M, where T is the
+// mean timer interval and M the number of slots (the timer is decremented
+// T/M times).
+func Scheme6WorkPerTimer(c6, meanT, slots float64) float64 {
+	if slots <= 0 {
+		return math.NaN()
+	}
+	return c6 * meanT / slots
+}
+
+// Scheme7WorkPerTimer is the section 6.2 upper bound on per-timer
+// bookkeeping work under Scheme 7: c7 * m for m hierarchy levels.
+func Scheme7WorkPerTimer(c7, levels float64) float64 { return c7 * levels }
+
+// Scheme6PerUnitTime is the section 6.2 average bookkeeping cost per unit
+// time for n outstanding timers under Scheme 6: n * c6 / M.
+func Scheme6PerUnitTime(n, c6, slots float64) float64 {
+	if slots <= 0 {
+		return math.NaN()
+	}
+	return n * c6 / slots
+}
+
+// Scheme7PerUnitTime is the section 6.2 average bookkeeping cost per unit
+// time for n outstanding timers under Scheme 7: n * c7 * m / T, where T
+// is the mean interval (each timer does at most m migrations over a
+// lifetime of T ticks). The paper prints the denominator as W/M in two
+// places; the derivation in the text ("if a timer lives for T units ...")
+// fixes the per-lifetime bound at c7*m, giving n*c7*m/T per unit time.
+func Scheme7PerUnitTime(n, c7, levels, meanT float64) float64 {
+	if meanT <= 0 {
+		return math.NaN()
+	}
+	return n * c7 * levels / meanT
+}
+
+// CrossoverMeanT solves Scheme6PerUnitTime == Scheme7PerUnitTime for the
+// mean interval T: Scheme 7 does less per-tick bookkeeping than Scheme 6
+// once T exceeds c7*m*M/c6. Below it, the flat hashed wheel wins both
+// per-tick work and START_TIMER latency.
+func CrossoverMeanT(c6, c7, levels, slots float64) float64 {
+	if c6 <= 0 {
+		return math.Inf(1)
+	}
+	return c7 * levels * slots / c6
+}
+
+// ScanInterruptsScheme6 is the Appendix A host-interrupt count for a
+// Scheme 6 hardware scan chip: a timer living T ticks in an M-slot table
+// causes about T/M host interrupts (one per cursor pass over its slot).
+func ScanInterruptsScheme6(meanT, slots float64) float64 {
+	if slots <= 0 {
+		return math.NaN()
+	}
+	return meanT / slots
+}
+
+// ScanInterruptsScheme7 is the Appendix A bound for a Scheme 7 chip: at
+// most m interrupts per timer, one per hierarchy level migration plus the
+// final expiry.
+func ScanInterruptsScheme7(levels float64) float64 { return levels }
+
+// ResidualLifeCDFUniform returns F_e(x) for the residual life of a
+// Uniform[0,a] interval: (2ax - x^2)/a^2 clamped to [0,1]. E12 compares
+// the measured remaining-time distribution against this curve.
+func ResidualLifeCDFUniform(x, a float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= a {
+		return 1
+	}
+	return (2*a*x - x*x) / (a * a)
+}
+
+// ResidualLifeCDFExp returns F_e(x) for the residual life of an
+// exponential interval with the given mean: 1 - exp(-x/mean) (identical
+// to the interval distribution itself, by memorylessness).
+func ResidualLifeCDFExp(x, mean float64) float64 {
+	if x <= 0 || mean <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-x/mean)
+}
+
+// HierarchySlots returns the total slot count of a radix vector (the
+// paper's 100+24+60+60 = 244) and the flat-wheel slot count it replaces
+// (the product, 8.64 million).
+func HierarchySlots(radices []int) (hierarchical, flat int64) {
+	flat = 1
+	for _, r := range radices {
+		hierarchical += int64(r)
+		flat *= int64(r)
+	}
+	return hierarchical, flat
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestLittleN(t *testing.T) {
+	if got := LittleN(0.25, 200); got != 50 {
+		t.Fatalf("LittleN=%v", got)
+	}
+	if got := LittleN(0, 200); got != 0 {
+		t.Fatalf("LittleN zero rate=%v", got)
+	}
+}
+
+func TestPaperInsertCosts(t *testing.T) {
+	if got := PaperInsertCostExpFront(30); !approx(got, 22, 1e-9) {
+		t.Fatalf("exp front=%v", got)
+	}
+	if got := PaperInsertCostUniformFront(30); !approx(got, 17, 1e-9) {
+		t.Fatalf("uniform front=%v", got)
+	}
+	if got := PaperInsertCostExpRear(30); !approx(got, 12, 1e-9) {
+		t.Fatalf("exp rear=%v", got)
+	}
+}
+
+func TestResidualBelowFraction(t *testing.T) {
+	if got := ResidualBelowFraction("exp"); got != 0.5 {
+		t.Fatalf("exp=%v", got)
+	}
+	if got := ResidualBelowFraction("exponential"); got != 0.5 {
+		t.Fatalf("exponential=%v", got)
+	}
+	if got := ResidualBelowFraction("uniform"); !approx(got, 2.0/3.0, 1e-12) {
+		t.Fatalf("uniform=%v", got)
+	}
+	if got := ResidualBelowFraction("constant"); got != 1 {
+		t.Fatalf("constant=%v", got)
+	}
+	if got := ResidualBelowFraction("weibull"); !math.IsNaN(got) {
+		t.Fatalf("unknown family=%v", got)
+	}
+}
+
+func TestFrontRearComplement(t *testing.T) {
+	// Front + rear search costs sum to n + 4 for any family: the two
+	// searches split the queue.
+	for _, fam := range []string{"exp", "uniform", "constant"} {
+		n := 60.0
+		if got := FrontSearchCost(fam, n) + RearSearchCost(fam, n); !approx(got, n+4, 1e-9) {
+			t.Fatalf("%s: front+rear=%v", fam, got)
+		}
+	}
+	// Constant intervals: rear insertion is O(1) — the paper's example.
+	if got := RearSearchCost("constant", 1000); !approx(got, 2, 1e-9) {
+		t.Fatalf("constant rear=%v", got)
+	}
+}
+
+func TestPaperPerTickScheme6(t *testing.T) {
+	if got := PaperPerTickScheme6(0, 256); !approx(got, 4, 1e-9) {
+		t.Fatalf("empty table=%v", got)
+	}
+	if got := PaperPerTickScheme6(256, 256); !approx(got, 19, 1e-9) {
+		t.Fatalf("full table=%v", got)
+	}
+	if got := PaperPerTickScheme6(10, 0); !math.IsNaN(got) {
+		t.Fatalf("zero table=%v", got)
+	}
+}
+
+func TestScheme6VsScheme7Model(t *testing.T) {
+	// Section 6.2: small T, large M -> Scheme 6 cheaper; large T, small
+	// M -> Scheme 7 cheaper.
+	c6, c7, m := 3.0, 5.0, 4.0
+	shortT, longT := 100.0, 1_000_000.0
+	M := 256.0
+	if Scheme6WorkPerTimer(c6, shortT, M) >= Scheme7WorkPerTimer(c7, m) {
+		t.Fatal("short timers should favour Scheme 6")
+	}
+	if Scheme6WorkPerTimer(c6, longT, M) <= Scheme7WorkPerTimer(c7, m) {
+		t.Fatal("long timers should favour Scheme 7")
+	}
+	// The crossover is where the per-timer works are equal.
+	tc := CrossoverMeanT(c6, c7, m, M)
+	if !approx(Scheme6WorkPerTimer(c6, tc, M), Scheme7WorkPerTimer(c7, m), 1e-9) {
+		t.Fatalf("crossover %v does not equalize the two models", tc)
+	}
+	if got := CrossoverMeanT(0, c7, m, M); !math.IsInf(got, 1) {
+		t.Fatalf("zero c6 crossover=%v", got)
+	}
+}
+
+func TestPerUnitTimeModels(t *testing.T) {
+	if got := Scheme6PerUnitTime(100, 3, 256); !approx(got, 100*3.0/256, 1e-12) {
+		t.Fatalf("scheme6 per-unit=%v", got)
+	}
+	if got := Scheme7PerUnitTime(100, 5, 4, 1000); !approx(got, 100*5*4/1000.0, 1e-12) {
+		t.Fatalf("scheme7 per-unit=%v", got)
+	}
+	if got := Scheme7PerUnitTime(1, 1, 1, 0); !math.IsNaN(got) {
+		t.Fatalf("zero T=%v", got)
+	}
+}
+
+func TestScanInterrupts(t *testing.T) {
+	if got := ScanInterruptsScheme6(1024, 64); !approx(got, 16, 1e-12) {
+		t.Fatalf("scheme6 interrupts=%v", got)
+	}
+	if got := ScanInterruptsScheme7(4); got != 4 {
+		t.Fatalf("scheme7 interrupts=%v", got)
+	}
+}
+
+func TestResidualCDFs(t *testing.T) {
+	// Uniform residual CDF boundary values.
+	if got := ResidualLifeCDFUniform(0, 10); got != 0 {
+		t.Fatalf("F_e(0)=%v", got)
+	}
+	if got := ResidualLifeCDFUniform(10, 10); got != 1 {
+		t.Fatalf("F_e(a)=%v", got)
+	}
+	if got := ResidualLifeCDFUniform(5, 10); !approx(got, 0.75, 1e-12) {
+		t.Fatalf("F_e(a/2)=%v, want 0.75", got)
+	}
+	// Exponential residual CDF equals the exponential CDF.
+	if got := ResidualLifeCDFExp(100, 100); !approx(got, 1-math.Exp(-1), 1e-12) {
+		t.Fatalf("F_e(mean)=%v", got)
+	}
+	if got := ResidualLifeCDFExp(-1, 100); got != 0 {
+		t.Fatalf("F_e(-1)=%v", got)
+	}
+}
+
+func TestHierarchySlots(t *testing.T) {
+	h, f := HierarchySlots([]int{60, 60, 24, 100})
+	if h != 244 {
+		t.Fatalf("hierarchical=%d, want 244", h)
+	}
+	if f != 8_640_000 {
+		t.Fatalf("flat=%d, want 8.64M", f)
+	}
+}
+
+// TestQuickCDFMonotone: residual CDFs are monotone nondecreasing in x.
+func TestQuickCDFMonotone(t *testing.T) {
+	check := func(x1, x2 float64) bool {
+		x1 = math.Mod(math.Abs(x1), 20)
+		x2 = math.Mod(math.Abs(x2), 20)
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		return ResidualLifeCDFUniform(x1, 10) <= ResidualLifeCDFUniform(x2, 10)+1e-12 &&
+			ResidualLifeCDFExp(x1, 5) <= ResidualLifeCDFExp(x2, 5)+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

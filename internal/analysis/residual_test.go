@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFrontPassFractionMatchesClosedForms(t *testing.T) {
+	// Exponential: exactly 1/2 (memorylessness).
+	if got := FrontPassFraction(ExpDist(100), 4000); math.Abs(got-0.5) > 0.003 {
+		t.Fatalf("exp fraction %v, want 0.5", got)
+	}
+	// Uniform: exactly 2/3.
+	if got := FrontPassFraction(UniformDist(100), 4000); math.Abs(got-2.0/3) > 0.003 {
+		t.Fatalf("uniform fraction %v, want 2/3", got)
+	}
+	// Erlang-1 is exponential.
+	if got := FrontPassFraction(ErlangDist(1, 100), 4000); math.Abs(got-0.5) > 0.003 {
+		t.Fatalf("erlang-1 fraction %v, want 0.5", got)
+	}
+}
+
+func TestFrontPassFractionOrdering(t *testing.T) {
+	// Less variable intervals push the insertion point toward the rear
+	// (fraction up, toward constant's 1.0); more variable toward the
+	// front (fraction down).
+	exp := FrontPassFraction(ExpDist(100), 4000)
+	erl2 := FrontPassFraction(ErlangDist(2, 100), 4000)
+	erl8 := FrontPassFraction(ErlangDist(8, 100), 4000)
+	hyper := FrontPassFraction(HyperExpDist(0.9, 20, 820), 4000)
+	if !(hyper < exp && exp < erl2 && erl2 < erl8) {
+		t.Fatalf("ordering violated: hyper=%.3f exp=%.3f erl2=%.3f erl8=%.3f",
+			hyper, exp, erl2, erl8)
+	}
+	if erl8 > 1 || hyper < 0 {
+		t.Fatalf("fractions out of range: erl8=%v hyper=%v", erl8, hyper)
+	}
+}
+
+func TestDistFamiliesSane(t *testing.T) {
+	for name, d := range map[string]Dist{
+		"exp":      ExpDist(50),
+		"uniform":  UniformDist(50),
+		"erlang3":  ErlangDist(3, 50),
+		"hyperexp": HyperExpDist(0.7, 10, 143.33),
+	} {
+		if d.Survival(0) < 0.999 {
+			t.Errorf("%s: S(0)=%v", name, d.Survival(0))
+		}
+		if d.Survival(d.Upper) > 0.01 {
+			t.Errorf("%s: S(upper)=%v not negligible", name, d.Survival(d.Upper))
+		}
+		// Density integrates to ~1 over [0, Upper].
+		steps := 4000
+		h := d.Upper / float64(steps)
+		sum := 0.0
+		prev := d.Density(0)
+		for i := 1; i <= steps; i++ {
+			cur := d.Density(float64(i) * h)
+			sum += (prev + cur) / 2 * h
+			prev = cur
+		}
+		if math.Abs(sum-1) > 0.02 {
+			t.Errorf("%s: density mass %v", name, sum)
+		}
+		// Mean checks out numerically via integral of S.
+		sumS := 0.0
+		prevS := d.Survival(0)
+		for i := 1; i <= steps; i++ {
+			cur := d.Survival(float64(i) * h)
+			sumS += (prevS + cur) / 2 * h
+			prevS = cur
+		}
+		if math.Abs(sumS-d.Mean)/d.Mean > 0.02 {
+			t.Errorf("%s: integral of S = %v, mean %v", name, sumS, d.Mean)
+		}
+	}
+}
+
+func TestErlangSurvivalAgainstDirectSum(t *testing.T) {
+	d := ErlangDist(4, 200)
+	// At the mean, Erlang-4 survival = sum_{i<4} (4)^i e^-4 / i!.
+	want := math.Exp(-4) * (1 + 4 + 8 + 32.0/3)
+	if got := d.Survival(200); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("S(mean)=%v, want %v", got, want)
+	}
+}

@@ -1,0 +1,317 @@
+package baseline
+
+import (
+	"testing"
+
+	"timingwheels/internal/core"
+	"timingwheels/internal/dist"
+	"timingwheels/internal/metrics"
+)
+
+func noop(core.ID) {}
+
+// --- Scheme 1 ---
+
+func TestScheme1PerTickCostScalesWithN(t *testing.T) {
+	// Figure 4: PER_TICK_BOOKKEEPING is O(n) — every outstanding timer is
+	// decremented on every tick.
+	costOf := func(n int) uint64 {
+		var cost metrics.Cost
+		s := NewScheme1(&cost)
+		for i := 0; i < n; i++ {
+			if _, err := s.StartTimer(1000, noop); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cost.Reset()
+		s.Tick()
+		return cost.Units()
+	}
+	c10, c1000 := costOf(10), costOf(1000)
+	if c1000 < 50*c10 {
+		t.Fatalf("per-tick cost should scale ~linearly: n=10 -> %d units, n=1000 -> %d", c10, c1000)
+	}
+}
+
+func TestScheme1StartCostConstant(t *testing.T) {
+	var cost metrics.Cost
+	s := NewScheme1(&cost)
+	for i := 0; i < 1000; i++ {
+		if _, err := s.StartTimer(10000, noop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := cost.Snapshot()
+	if _, err := s.StartTimer(10000, noop); err != nil {
+		t.Fatal(err)
+	}
+	d := cost.Snapshot().Sub(before)
+	if d.Units() > 12 {
+		t.Fatalf("start with 1000 outstanding cost %d units, want O(1)", d.Units())
+	}
+}
+
+func TestScheme1Name(t *testing.T) {
+	if NewScheme1(nil).Name() != "scheme1" {
+		t.Fatal("name")
+	}
+}
+
+// --- Scheme 2 ---
+
+func TestScheme2SortedOrderMaintained(t *testing.T) {
+	for _, dir := range []SearchDirection{SearchFromFront, SearchFromRear} {
+		s := NewScheme2(dir, nil)
+		rng := dist.NewRNG(3)
+		for i := 0; i < 500; i++ {
+			if _, err := s.StartTimer(core.Tick(1+rng.Intn(100)), noop); err != nil {
+				t.Fatal(err)
+			}
+			if i%10 == 0 {
+				s.Tick()
+			}
+			if !s.CheckInvariants() {
+				t.Fatalf("%s: order invariant broken at op %d", s.Name(), i)
+			}
+		}
+	}
+}
+
+func TestScheme2RearInsertConstantIntervalsO1(t *testing.T) {
+	// Section 3.2: "if timers are always inserted at the rear of the
+	// list, this search strategy yields an O(1) START_TIMER latency. This
+	// happens, for instance, if all timer intervals have the same value."
+	s := NewScheme2(SearchFromRear, nil)
+	for i := 0; i < 2000; i++ {
+		if _, err := s.StartTimer(50, noop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := float64(s.SearchSteps) / float64(s.Starts); avg > 1.01 {
+		t.Fatalf("rear search with constant intervals averaged %.2f steps, want ~1", avg)
+	}
+}
+
+func TestScheme2FrontInsertConstantIntervalsON(t *testing.T) {
+	// The mirror image: front search must pass the whole queue.
+	s := NewScheme2(SearchFromFront, nil)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if _, err := s.StartTimer(50, noop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := float64(s.SearchSteps) / float64(s.Starts); avg < n/4 {
+		t.Fatalf("front search with constant intervals averaged %.2f steps, want ~n/2", avg)
+	}
+}
+
+func TestScheme2NextExpiry(t *testing.T) {
+	s := NewScheme2(SearchFromFront, nil)
+	if _, ok := s.NextExpiry(); ok {
+		t.Fatal("empty queue should have no next expiry")
+	}
+	if _, err := s.StartTimer(30, noop); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StartTimer(10, noop); err != nil {
+		t.Fatal(err)
+	}
+	if next, ok := s.NextExpiry(); !ok || next != 10 {
+		t.Fatalf("NextExpiry=%d,%v, want 10,true", next, ok)
+	}
+}
+
+func TestScheme2AdvanceSkipsIdleSpans(t *testing.T) {
+	var cost metrics.Cost
+	s := NewScheme2(SearchFromFront, &cost)
+	fired := 0
+	if _, err := s.StartTimer(1000, func(core.ID) { fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	cost.Reset()
+	if got := s.Advance(2000); got != 1 {
+		t.Fatalf("Advance fired %d, want 1", got)
+	}
+	if s.Now() != 2000 {
+		t.Fatalf("Now=%d, want 2000", s.Now())
+	}
+	// The jump must not have paid per-tick costs for the idle span.
+	if cost.Units() > 50 {
+		t.Fatalf("Advance(2000) cost %d units; the idle span should be skipped", cost.Units())
+	}
+}
+
+func TestScheme2PerTickMultipleExpiries(t *testing.T) {
+	s := NewScheme2(SearchFromFront, nil)
+	fired := 0
+	for i := 0; i < 5; i++ {
+		if _, err := s.StartTimer(3, func(core.ID) { fired++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Tick()
+	s.Tick()
+	if fired != 0 {
+		t.Fatal("nothing should fire before tick 3")
+	}
+	s.Tick()
+	if fired != 5 {
+		t.Fatalf("fired=%d, want 5 on tick 3", fired)
+	}
+}
+
+func TestScheme2FIFOWithinTick(t *testing.T) {
+	for _, dir := range []SearchDirection{SearchFromFront, SearchFromRear} {
+		s := NewScheme2(dir, nil)
+		var order []int
+		for i := 0; i < 4; i++ {
+			i := i
+			if _, err := s.StartTimer(2, func(core.ID) { order = append(order, i) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Tick()
+		s.Tick()
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("%s: same-tick order %v, want FIFO", s.Name(), order)
+			}
+		}
+	}
+}
+
+func TestSearchDirectionString(t *testing.T) {
+	if SearchFromFront.String() != "front" || SearchFromRear.String() != "rear" {
+		t.Fatal("direction names")
+	}
+}
+
+// TestScheme2InsertCostMatchesResidualTheory measures the mean insertion
+// search length under Poisson arrivals at steady state and compares it to
+// the residual-life prediction: ~n/2 for exponential intervals, ~2n/3
+// front / ~n/3 rear for uniform (see internal/analysis for why the
+// paper's quoted constants appear swapped).
+func TestScheme2InsertCostMatchesResidualTheory(t *testing.T) {
+	run := func(dir SearchDirection, iv dist.Interval, lambda float64) (steps, n float64) {
+		s := NewScheme2(dir, nil)
+		rng := dist.NewRNG(99)
+		arr := &dist.Poisson{RatePerTick: lambda}
+		gap := arr.NextGap(rng)
+		warm := int64(60000)
+		var lenSamples, lenSum float64
+		for tick := int64(0); tick < 120000; tick++ {
+			for gap == 0 {
+				gap = arr.NextGap(rng)
+				if _, err := s.StartTimer(core.Tick(iv.Draw(rng)), noop); err != nil {
+					t.Fatal(err)
+				}
+			}
+			gap--
+			s.Tick()
+			if tick == warm {
+				s.SearchSteps, s.Starts = 0, 0
+			}
+			if tick > warm {
+				lenSum += float64(s.Len())
+				lenSamples++
+			}
+		}
+		return float64(s.SearchSteps) / float64(s.Starts), lenSum / lenSamples
+	}
+
+	// Exponential, mean 200, lambda 0.25 -> n ~ 50.
+	steps, n := run(SearchFromFront, dist.Exponential{MeanTicks: 200}, 0.25)
+	if ratio := steps / n; ratio < 0.4 || ratio > 0.6 {
+		t.Errorf("exp front: steps=%.1f n=%.1f ratio=%.3f, want ~0.5", steps, n, ratio)
+	}
+	// Uniform [1,399], mean 200.
+	steps, n = run(SearchFromFront, dist.Uniform{Lo: 1, Hi: 399}, 0.25)
+	if ratio := steps / n; ratio < 0.58 || ratio > 0.75 {
+		t.Errorf("uniform front: steps=%.1f n=%.1f ratio=%.3f, want ~0.67", steps, n, ratio)
+	}
+	steps, n = run(SearchFromRear, dist.Uniform{Lo: 1, Hi: 399}, 0.25)
+	if ratio := steps / n; ratio < 0.25 || ratio > 0.42 {
+		t.Errorf("uniform rear: steps=%.1f n=%.1f ratio=%.3f, want ~0.33", steps, n, ratio)
+	}
+}
+
+// --- in-package lifecycle coverage (the cross-scheme conformance suite
+// also exercises these paths; these keep the package self-checking) ---
+
+func TestScheme1StopSemantics(t *testing.T) {
+	s := NewScheme1(nil)
+	fired := false
+	h, err := s.StartTimer(4, func(core.ID) { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TimerID() != 0 {
+		t.Fatalf("first id = %d", h.TimerID())
+	}
+	if s.Len() != 1 || s.Now() != 0 {
+		t.Fatalf("Len=%d Now=%d", s.Len(), s.Now())
+	}
+	if err := s.StopTimer(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StopTimer(h); err != core.ErrTimerNotPending {
+		t.Fatalf("double stop err=%v", err)
+	}
+	other := NewScheme1(nil)
+	if err := other.StopTimer(h); err != core.ErrForeignHandle {
+		t.Fatalf("foreign stop err=%v", err)
+	}
+	for i := 0; i < 8; i++ {
+		s.Tick()
+	}
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestScheme2StopSemantics(t *testing.T) {
+	s := NewScheme2(SearchFromRear, nil)
+	if s.Name() != "scheme2-rear" {
+		t.Fatalf("Name=%q", s.Name())
+	}
+	h, err := s.StartTimer(4, noop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TimerID() != 0 {
+		t.Fatalf("id=%d", h.TimerID())
+	}
+	if err := s.StopTimer(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StopTimer(h); err != core.ErrTimerNotPending {
+		t.Fatalf("double stop err=%v", err)
+	}
+	if err := NewScheme2(SearchFromFront, nil).StopTimer(h); err != core.ErrForeignHandle {
+		t.Fatalf("foreign stop err=%v", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len=%d", s.Len())
+	}
+}
+
+func TestScheme1CallbackStartsTimer(t *testing.T) {
+	// A timer started from an expiry callback must not be decremented on
+	// the tick that started it (the two-phase walk).
+	s := NewScheme1(nil)
+	var fires []core.Tick
+	if _, err := s.StartTimer(1, func(core.ID) {
+		fires = append(fires, s.Now())
+		if _, err := s.StartTimer(1, func(core.ID) { fires = append(fires, s.Now()) }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Tick()
+	s.Tick()
+	if len(fires) != 2 || fires[0] != 1 || fires[1] != 2 {
+		t.Fatalf("fires=%v", fires)
+	}
+}

@@ -1,0 +1,121 @@
+package bitmap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"timingwheels/internal/dist"
+)
+
+func TestBasics(t *testing.T) {
+	s := New(130) // crosses word boundaries with a partial last word
+	if s.Len() != 130 || s.Any() {
+		t.Fatal("new bitmap should be empty")
+	}
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		s.Set(i)
+		if !s.Get(i) {
+			t.Fatalf("Get(%d) after Set", i)
+		}
+	}
+	if !s.Any() {
+		t.Fatal("Any after sets")
+	}
+	s.Clear(64)
+	if s.Get(64) {
+		t.Fatal("Get(64) after Clear")
+	}
+}
+
+func TestNextCyclic(t *testing.T) {
+	s := New(100)
+	if _, ok := s.NextCyclic(0); ok {
+		t.Fatal("empty bitmap should report !ok")
+	}
+	s.Set(10)
+	s.Set(70)
+	cases := []struct {
+		start, want int
+	}{
+		{0, 10}, {10, 0}, {11, 59}, {70, 0}, {71, 39}, {99, 11},
+	}
+	for _, c := range cases {
+		d, ok := s.NextCyclic(c.start)
+		if !ok || d != c.want {
+			t.Fatalf("NextCyclic(%d)=%d,%v want %d", c.start, d, ok, c.want)
+		}
+	}
+}
+
+func TestNextCyclicSingleBitEverywhere(t *testing.T) {
+	const n = 131
+	for bit := 0; bit < n; bit++ {
+		s := New(n)
+		s.Set(bit)
+		for start := 0; start < n; start++ {
+			want := bit - start
+			if want < 0 {
+				want += n
+			}
+			d, ok := s.NextCyclic(start)
+			if !ok || d != want {
+				t.Fatalf("bit=%d start=%d: got %d,%v want %d", bit, start, d, ok, want)
+			}
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"size 0":      func() { New(0) },
+		"start oob":   func() { New(8).NextCyclic(8) },
+		"start negat": func() { New(8).NextCyclic(-1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// TestQuickAgainstNaive compares NextCyclic with a per-slot scan on
+// random bitmaps.
+func TestQuickAgainstNaive(t *testing.T) {
+	check := func(seed uint64, sizeSel uint8) bool {
+		n := int(sizeSel%200) + 1
+		s := New(n)
+		ref := make([]bool, n)
+		rng := dist.NewRNG(seed)
+		for i := 0; i < n/3+1; i++ {
+			j := rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				s.Set(j)
+				ref[j] = true
+			} else {
+				s.Clear(j)
+				ref[j] = false
+			}
+		}
+		for start := 0; start < n; start++ {
+			wantD, wantOK := -1, false
+			for d := 0; d < n; d++ {
+				if ref[(start+d)%n] {
+					wantD, wantOK = d, true
+					break
+				}
+			}
+			d, ok := s.NextCyclic(start)
+			if ok != wantOK || (ok && d != wantD) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

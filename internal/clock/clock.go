@@ -1,0 +1,88 @@
+// Package clock provides tick sources for driving timer facilities: a
+// manual virtual clock for simulation and tests, and a real-time adapter
+// that converts wall-clock time into tick counts for the production
+// runtime.
+//
+// In the paper's model (section 2) "the timer is often an external
+// hardware clock" that invokes PER_TICK_BOOKKEEPING every T units. The
+// virtual clock plays that role deterministically; the real-time adapter
+// plays it against time.Time, including catch-up after scheduling delays
+// (several hardware ticks may have elapsed between invocations).
+package clock
+
+import "time"
+
+// Virtual is a manually advanced tick counter. The zero value starts at
+// tick 0.
+type Virtual struct {
+	now int64
+}
+
+// Now reports the current tick.
+func (v *Virtual) Now() int64 { return v.now }
+
+// Advance moves the clock forward by n ticks (n >= 0) and returns the new
+// time.
+func (v *Virtual) Advance(n int64) int64 {
+	if n < 0 {
+		panic("clock: cannot advance backwards")
+	}
+	v.now += n
+	return v.now
+}
+
+// Tick advances by one tick and returns the new time.
+func (v *Virtual) Tick() int64 { return v.Advance(1) }
+
+// Wall converts wall-clock time into a monotonically increasing tick
+// count with a fixed granularity. It answers "how many whole ticks have
+// elapsed since the epoch?", which the runtime uses to decide how many
+// PER_TICK_BOOKKEEPING calls are due.
+type Wall struct {
+	epoch       time.Time
+	granularity time.Duration
+}
+
+// NewWall returns a wall clock whose tick 0 begins at epoch and whose
+// ticks are granularity long. Granularity must be positive.
+func NewWall(epoch time.Time, granularity time.Duration) *Wall {
+	if granularity <= 0 {
+		panic("clock: granularity must be positive")
+	}
+	return &Wall{epoch: epoch, granularity: granularity}
+}
+
+// Granularity reports the tick length.
+func (w *Wall) Granularity() time.Duration { return w.granularity }
+
+// Epoch reports the time of tick 0.
+func (w *Wall) Epoch() time.Time { return w.epoch }
+
+// TicksAt reports how many whole ticks have elapsed at time t (0 if t is
+// before the epoch).
+func (w *Wall) TicksAt(t time.Time) int64 {
+	d := t.Sub(w.epoch)
+	if d < 0 {
+		return 0
+	}
+	return int64(d / w.granularity)
+}
+
+// TimeOf reports the wall time at which the given tick begins.
+func (w *Wall) TimeOf(tick int64) time.Time {
+	return w.epoch.Add(time.Duration(tick) * w.granularity)
+}
+
+// TicksFor converts a duration to a tick count, rounding up so a timer
+// never fires early (a request of 1ns with 1ms granularity waits one full
+// tick). The result is at least 1.
+func (w *Wall) TicksFor(d time.Duration) int64 {
+	if d <= 0 {
+		return 1
+	}
+	n := int64((d + w.granularity - 1) / w.granularity)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,98 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestVirtual(t *testing.T) {
+	var v Virtual
+	if v.Now() != 0 {
+		t.Fatal("virtual clock should start at 0")
+	}
+	if v.Tick() != 1 || v.Now() != 1 {
+		t.Fatal("Tick should advance by one")
+	}
+	if v.Advance(10) != 11 {
+		t.Fatal("Advance(10) should reach 11")
+	}
+	if v.Advance(0) != 11 {
+		t.Fatal("Advance(0) should be a no-op")
+	}
+}
+
+func TestVirtualBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance should panic")
+		}
+	}()
+	var v Virtual
+	v.Advance(-1)
+}
+
+func TestWallTicksAt(t *testing.T) {
+	epoch := time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+	w := NewWall(epoch, 10*time.Millisecond)
+	cases := []struct {
+		offset time.Duration
+		want   int64
+	}{
+		{0, 0},
+		{9 * time.Millisecond, 0},
+		{10 * time.Millisecond, 1},
+		{25 * time.Millisecond, 2},
+		{1 * time.Second, 100},
+		{-1 * time.Second, 0}, // before the epoch clamps to 0
+	}
+	for _, c := range cases {
+		if got := w.TicksAt(epoch.Add(c.offset)); got != c.want {
+			t.Errorf("TicksAt(epoch+%v)=%d, want %d", c.offset, got, c.want)
+		}
+	}
+}
+
+func TestWallTimeOfRoundTrip(t *testing.T) {
+	epoch := time.Unix(1000, 0)
+	w := NewWall(epoch, time.Millisecond)
+	for _, tick := range []int64{0, 1, 999, 123456} {
+		if got := w.TicksAt(w.TimeOf(tick)); got != tick {
+			t.Errorf("round trip tick %d -> %d", tick, got)
+		}
+	}
+}
+
+func TestWallTicksFor(t *testing.T) {
+	w := NewWall(time.Unix(0, 0), 10*time.Millisecond)
+	cases := []struct {
+		d    time.Duration
+		want int64
+	}{
+		{0, 1},                     // never fewer than one tick
+		{-time.Second, 1},          // negative clamps
+		{time.Nanosecond, 1},       // rounds up
+		{10 * time.Millisecond, 1}, // exact
+		{11 * time.Millisecond, 2}, // rounds up
+		{100 * time.Millisecond, 10},
+	}
+	for _, c := range cases {
+		if got := w.TicksFor(c.d); got != c.want {
+			t.Errorf("TicksFor(%v)=%d, want %d", c.d, got, c.want)
+		}
+	}
+	if w.Granularity() != 10*time.Millisecond {
+		t.Fatal("Granularity mismatch")
+	}
+	if !w.Epoch().Equal(time.Unix(0, 0)) {
+		t.Fatal("Epoch mismatch")
+	}
+}
+
+func TestWallInvalidGranularityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero granularity should panic")
+		}
+	}()
+	NewWall(time.Now(), 0)
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCheckInterval(t *testing.T) {
+	noop := func(ID) {}
+	if err := CheckInterval(1, noop); err != nil {
+		t.Fatalf("valid args: %v", err)
+	}
+	if err := CheckInterval(0, noop); !errors.Is(err, ErrNonPositiveInterval) {
+		t.Fatalf("zero interval: %v", err)
+	}
+	if err := CheckInterval(-1, noop); !errors.Is(err, ErrNonPositiveInterval) {
+		t.Fatalf("negative interval: %v", err)
+	}
+	if err := CheckInterval(1, nil); !errors.Is(err, ErrNilCallback) {
+		t.Fatalf("nil callback: %v", err)
+	}
+	// Nil callback is reported before the interval error, matching the
+	// precedence every scheme inherits.
+	if err := CheckInterval(0, nil); !errors.Is(err, ErrNilCallback) {
+		t.Fatalf("nil callback precedence: %v", err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	cases := map[State]string{
+		StatePending: "pending",
+		StateFired:   "fired",
+		StateStopped: "stopped",
+		State(99):    "state(99)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String()=%q, want %q", s, got, want)
+		}
+	}
+}
+
+// fakeFacility counts Tick calls; used to exercise AdvanceBy's fallback.
+type fakeFacility struct {
+	ticks int
+	now   Tick
+}
+
+func (f *fakeFacility) Name() string                              { return "fake" }
+func (f *fakeFacility) StartTimer(Tick, Callback) (Handle, error) { return nil, nil }
+func (f *fakeFacility) StopTimer(Handle) error                    { return nil }
+func (f *fakeFacility) Tick() int                                 { f.ticks++; f.now++; return 0 }
+func (f *fakeFacility) Now() Tick                                 { return f.now }
+func (f *fakeFacility) Len() int                                  { return 0 }
+
+// fakeAdvancer also implements Advancer.
+type fakeAdvancer struct {
+	fakeFacility
+	advanced Tick
+}
+
+func (f *fakeAdvancer) Advance(n Tick) int { f.advanced += n; f.now += n; return 0 }
+
+func TestAdvanceByFallback(t *testing.T) {
+	f := &fakeFacility{}
+	AdvanceBy(f, 5)
+	if f.ticks != 5 || f.Now() != 5 {
+		t.Fatalf("ticks=%d now=%d", f.ticks, f.Now())
+	}
+}
+
+func TestAdvanceByFastPath(t *testing.T) {
+	f := &fakeAdvancer{}
+	AdvanceBy(f, 7)
+	if f.advanced != 7 || f.ticks != 0 {
+		t.Fatalf("advanced=%d ticks=%d", f.advanced, f.ticks)
+	}
+}

@@ -1,0 +1,115 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Arrival generates inter-arrival gaps (in ticks) between successive
+// START_TIMER calls — the "arrival process according to which calls to
+// START_TIMER are made" of section 3.2. A gap of 0 means another start on
+// the same tick.
+type Arrival interface {
+	// NextGap returns the number of ticks until the next arrival, >= 0.
+	NextGap(r *RNG) int64
+	// Rate reports the expected arrivals per tick.
+	Rate() float64
+	// Name reports a short identifier for harness output.
+	Name() string
+}
+
+// Poisson is a Poisson arrival process with the given rate (expected
+// arrivals per tick); inter-arrival gaps are exponential with mean
+// 1/rate. This is the arrival model under which the paper's Figure 3
+// queueing analysis and the Reeves [4] insertion-cost results hold.
+//
+// Continuous arrival times are quantized to ticks by carrying the
+// fractional remainder forward, so the long-run arrival rate is exactly
+// RatePerTick (plain flooring would bias the rate upward and break the
+// Little's-law check of E12).
+type Poisson struct {
+	RatePerTick float64
+
+	carry float64 // fractional ticks owed to the next gap
+}
+
+// NextGap returns the tick gap to the next arrival.
+func (p *Poisson) NextGap(r *RNG) int64 {
+	if p.RatePerTick <= 0 {
+		return math.MaxInt64 / 4
+	}
+	t := p.carry + r.ExpFloat64()/p.RatePerTick
+	if t >= math.MaxInt64/4 {
+		return math.MaxInt64 / 4
+	}
+	g := math.Floor(t)
+	p.carry = t - g
+	return int64(g)
+}
+
+// Rate returns the configured rate.
+func (p *Poisson) Rate() float64 { return p.RatePerTick }
+
+// Name returns "poisson(rate)".
+func (p *Poisson) Name() string { return fmt.Sprintf("poisson(%.3f)", p.RatePerTick) }
+
+// Periodic arrivals occur every Period ticks exactly — the rate-control
+// workload where "timers almost always expire" on a fixed schedule.
+type Periodic struct {
+	Period int64
+}
+
+// NextGap returns the fixed period.
+func (p Periodic) NextGap(*RNG) int64 {
+	if p.Period < 0 {
+		return 0
+	}
+	return p.Period
+}
+
+// Rate returns 1/period.
+func (p Periodic) Rate() float64 {
+	if p.Period <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / float64(p.Period)
+}
+
+// Name returns "periodic(period)".
+func (p Periodic) Name() string { return fmt.Sprintf("periodic(%d)", p.Period) }
+
+// Bursty arrivals alternate between a burst of Burst arrivals in
+// consecutive ticks and a quiet gap of Quiet ticks; it stresses per-tick
+// bookkeeping variance (the "burstiness" that hash distribution controls
+// in Scheme 6).
+type Bursty struct {
+	Burst int   // arrivals per burst, >= 1
+	Quiet int64 // ticks of silence between bursts
+
+	pos int // arrivals emitted in the current burst
+}
+
+// NextGap emits Burst arrivals one tick apart, then a Quiet gap.
+func (b *Bursty) NextGap(*RNG) int64 {
+	if b.Burst < 1 {
+		b.Burst = 1
+	}
+	b.pos++
+	if b.pos >= b.Burst {
+		b.pos = 0
+		return b.Quiet
+	}
+	return 0
+}
+
+// Rate returns burst/(burst+quiet) arrivals per tick.
+func (b *Bursty) Rate() float64 {
+	denom := float64(b.Burst) + float64(b.Quiet)
+	if denom <= 0 {
+		return 0
+	}
+	return float64(b.Burst) / denom
+}
+
+// Name returns "bursty(burst,quiet)".
+func (b *Bursty) Name() string { return fmt.Sprintf("bursty(%d,%d)", b.Burst, b.Quiet) }

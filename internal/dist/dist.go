@@ -1,0 +1,146 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval draws timer intervals (in ticks). Implementations must return
+// values >= 1: a timer interval of zero ticks is meaningless in the
+// four-routine model (it would expire before it could be started).
+type Interval interface {
+	// Draw returns the next interval in ticks, >= 1.
+	Draw(r *RNG) int64
+	// Mean reports the distribution's expected interval in ticks.
+	Mean() float64
+	// Name reports a short identifier for harness output.
+	Name() string
+}
+
+// clampTick rounds a continuous sample to an integral tick count >= 1.
+func clampTick(v float64) int64 {
+	if v < 1 {
+		return 1
+	}
+	if v > math.MaxInt64/2 {
+		return math.MaxInt64 / 2
+	}
+	return int64(math.Round(v))
+}
+
+// Constant is the degenerate distribution: every timer has the same
+// interval. The paper uses it twice: all-equal intervals make rear-
+// insertion into a sorted list O(1) (section 3.2) and degenerate an
+// unbalanced BST into a linear list (section 4.1.1).
+type Constant struct {
+	Value int64
+}
+
+// Draw returns the fixed interval.
+func (c Constant) Draw(*RNG) int64 { return c.Value }
+
+// Mean returns the fixed interval.
+func (c Constant) Mean() float64 { return float64(c.Value) }
+
+// Name returns "constant(v)".
+func (c Constant) Name() string { return fmt.Sprintf("constant(%d)", c.Value) }
+
+// Uniform draws intervals uniformly from [Lo, Hi] inclusive. The paper's
+// uniform-interval insert-cost result (2 + n/2) is for this family.
+type Uniform struct {
+	Lo, Hi int64
+}
+
+// Draw returns a uniform integer in [Lo, Hi].
+func (u Uniform) Draw(r *RNG) int64 {
+	if u.Hi <= u.Lo {
+		return max64(1, u.Lo)
+	}
+	return max64(1, u.Lo+int64(r.Uint64n(uint64(u.Hi-u.Lo+1))))
+}
+
+// Mean returns (Lo+Hi)/2.
+func (u Uniform) Mean() float64 { return float64(u.Lo+u.Hi) / 2 }
+
+// Name returns "uniform(lo,hi)".
+func (u Uniform) Name() string { return fmt.Sprintf("uniform(%d,%d)", u.Lo, u.Hi) }
+
+// Exponential draws negative-exponentially distributed intervals with the
+// given mean — the paper's canonical retransmission-timer model (its
+// insert-cost result is 2 + 2n/3 front-search, 2 + n/3 rear-search).
+type Exponential struct {
+	MeanTicks float64
+}
+
+// Draw returns an exponential sample rounded to ticks, >= 1.
+func (e Exponential) Draw(r *RNG) int64 {
+	return clampTick(r.ExpFloat64() * e.MeanTicks)
+}
+
+// Mean returns the configured mean.
+func (e Exponential) Mean() float64 { return e.MeanTicks }
+
+// Name returns "exp(mean)".
+func (e Exponential) Name() string { return fmt.Sprintf("exp(%.0f)", e.MeanTicks) }
+
+// Pareto draws heavy-tailed intervals with shape Alpha > 1 and minimum
+// Xm >= 1; it stresses hierarchical wheels with a wide dynamic range of
+// intervals (most timers short, a few very long).
+type Pareto struct {
+	Xm    float64
+	Alpha float64
+}
+
+// Draw returns a Pareto sample rounded to ticks.
+func (p Pareto) Draw(r *RNG) int64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return clampTick(p.Xm / math.Pow(u, 1/p.Alpha))
+}
+
+// Mean returns alpha*xm/(alpha-1) for alpha > 1, else +Inf.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+// Name returns "pareto(xm,alpha)".
+func (p Pareto) Name() string { return fmt.Sprintf("pareto(%.0f,%.1f)", p.Xm, p.Alpha) }
+
+// Bimodal mixes two interval distributions: with probability PShort it
+// draws from Short, otherwise from Long. It models the intro's workload
+// split between rarely-expiring failure-detection timers (long) and
+// always-expiring rate-control timers (short).
+type Bimodal struct {
+	Short, Long Interval
+	PShort      float64
+}
+
+// Draw samples one of the two component distributions.
+func (b Bimodal) Draw(r *RNG) int64 {
+	if r.Float64() < b.PShort {
+		return b.Short.Draw(r)
+	}
+	return b.Long.Draw(r)
+}
+
+// Mean returns the mixture mean.
+func (b Bimodal) Mean() float64 {
+	return b.PShort*b.Short.Mean() + (1-b.PShort)*b.Long.Mean()
+}
+
+// Name returns "bimodal(short,long,p)".
+func (b Bimodal) Name() string {
+	return fmt.Sprintf("bimodal(%s,%s,%.2f)", b.Short.Name(), b.Long.Name(), b.PShort)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,307 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 50; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 45 {
+		t.Fatalf("zero seed produced only %d distinct values in 50 draws", len(seen))
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(2)
+	for _, n := range []int{1, 2, 3, 7, 100} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d)=%d", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := NewRNG(3)
+	const n = 10
+	counts := make([]int, n)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := draws / n
+	for i, c := range counts {
+		if math.Abs(float64(c-want)) > float64(want)/10 {
+			t.Fatalf("bucket %d count %d deviates from %d", i, c, want)
+		}
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(4)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean %v, want ~1", mean)
+	}
+}
+
+func TestFork(t *testing.T) {
+	r := NewRNG(5)
+	f := r.Fork()
+	if r.Uint64() == f.Uint64() {
+		t.Fatal("forked stream should differ from parent")
+	}
+}
+
+func TestConstant(t *testing.T) {
+	c := Constant{Value: 17}
+	r := NewRNG(6)
+	for i := 0; i < 10; i++ {
+		if c.Draw(r) != 17 {
+			t.Fatal("constant should always draw its value")
+		}
+	}
+	if c.Mean() != 17 {
+		t.Fatalf("Mean=%v", c.Mean())
+	}
+}
+
+func TestUniformRangeAndMean(t *testing.T) {
+	u := Uniform{Lo: 10, Hi: 20}
+	r := NewRNG(7)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := u.Draw(r)
+		if v < 10 || v > 20 {
+			t.Fatalf("uniform draw %d out of range", v)
+		}
+		sum += float64(v)
+	}
+	if math.Abs(sum/n-15) > 0.1 {
+		t.Fatalf("uniform mean %v, want ~15", sum/n)
+	}
+	if u.Mean() != 15 {
+		t.Fatalf("Mean=%v", u.Mean())
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	u := Uniform{Lo: 5, Hi: 5}
+	if v := u.Draw(NewRNG(1)); v != 5 {
+		t.Fatalf("degenerate uniform drew %d", v)
+	}
+	// Lo < 1 clamps to 1.
+	u2 := Uniform{Lo: -3, Hi: -3}
+	if v := u2.Draw(NewRNG(1)); v != 1 {
+		t.Fatalf("negative degenerate uniform drew %d, want 1", v)
+	}
+}
+
+func TestExponentialMeanAndFloor(t *testing.T) {
+	e := Exponential{MeanTicks: 100}
+	r := NewRNG(8)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := e.Draw(r)
+		if v < 1 {
+			t.Fatalf("exponential drew %d < 1", v)
+		}
+		sum += float64(v)
+	}
+	mean := sum / n
+	if math.Abs(mean-100) > 2.5 {
+		t.Fatalf("exponential mean %v, want ~100", mean)
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	p := Pareto{Xm: 10, Alpha: 2}
+	r := NewRNG(9)
+	over100 := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := p.Draw(r)
+		if v < 10 {
+			t.Fatalf("pareto drew %d < xm", v)
+		}
+		if v > 100 {
+			over100++
+		}
+	}
+	// P(X > 100) = (10/100)^2 = 1%.
+	frac := float64(over100) / n
+	if frac < 0.005 || frac > 0.02 {
+		t.Fatalf("pareto tail fraction %v, want ~0.01", frac)
+	}
+	if math.Abs(p.Mean()-20) > 1e-9 {
+		t.Fatalf("pareto mean %v, want 20", p.Mean())
+	}
+	if !math.IsInf(Pareto{Xm: 1, Alpha: 1}.Mean(), 1) {
+		t.Fatal("alpha<=1 mean should be +Inf")
+	}
+}
+
+func TestBimodalMixing(t *testing.T) {
+	b := Bimodal{Short: Constant{Value: 1}, Long: Constant{Value: 1001}, PShort: 0.75}
+	r := NewRNG(10)
+	short := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if b.Draw(r) == 1 {
+			short++
+		}
+	}
+	frac := float64(short) / n
+	if math.Abs(frac-0.75) > 0.01 {
+		t.Fatalf("short fraction %v, want ~0.75", frac)
+	}
+	if math.Abs(b.Mean()-(0.75+0.25*1001)) > 1e-9 {
+		t.Fatalf("bimodal mean %v", b.Mean())
+	}
+}
+
+func TestPoissonRate(t *testing.T) {
+	p := &Poisson{RatePerTick: 0.25}
+	r := NewRNG(11)
+	totalGap := int64(0)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		g := p.NextGap(r)
+		if g < 0 {
+			t.Fatalf("negative gap %d", g)
+		}
+		totalGap += g
+	}
+	// The carry-forward quantization makes the long-run rate exact: the
+	// mean gap must be 1/rate = 4 ticks.
+	meanGap := float64(totalGap) / n
+	if meanGap < 3.9 || meanGap > 4.1 {
+		t.Fatalf("mean gap %v, want ~4.0 for rate 0.25", meanGap)
+	}
+}
+
+func TestPoissonZeroRate(t *testing.T) {
+	p := &Poisson{RatePerTick: 0}
+	if g := p.NextGap(NewRNG(1)); g < 1<<40 {
+		t.Fatalf("zero-rate gap should be effectively infinite, got %d", g)
+	}
+}
+
+func TestPeriodic(t *testing.T) {
+	p := Periodic{Period: 7}
+	for i := 0; i < 5; i++ {
+		if g := p.NextGap(nil); g != 7 {
+			t.Fatalf("periodic gap %d", g)
+		}
+	}
+	if r := p.Rate(); math.Abs(r-1.0/7) > 1e-12 {
+		t.Fatalf("rate %v", r)
+	}
+}
+
+func TestBursty(t *testing.T) {
+	b := &Bursty{Burst: 3, Quiet: 10}
+	var gaps []int64
+	for i := 0; i < 6; i++ {
+		gaps = append(gaps, b.NextGap(nil))
+	}
+	want := []int64{0, 0, 10, 0, 0, 10}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Fatalf("gaps=%v, want %v", gaps, want)
+		}
+	}
+}
+
+func TestNamesNonEmpty(t *testing.T) {
+	items := []interface{ Name() string }{
+		Constant{Value: 1}, Uniform{Lo: 1, Hi: 2}, Exponential{MeanTicks: 3},
+		Pareto{Xm: 1, Alpha: 2},
+		Bimodal{Short: Constant{Value: 1}, Long: Constant{Value: 2}, PShort: 0.5},
+		&Poisson{RatePerTick: 1}, Periodic{Period: 1}, &Bursty{Burst: 1, Quiet: 1},
+	}
+	for _, it := range items {
+		if it.Name() == "" {
+			t.Fatalf("%T has empty name", it)
+		}
+	}
+}
+
+// TestQuickDrawsPositive: every interval distribution returns >= 1 for
+// arbitrary seeds and parameters.
+func TestQuickDrawsPositive(t *testing.T) {
+	check := func(seed uint64, mean uint16) bool {
+		r := NewRNG(seed)
+		dists := []Interval{
+			Constant{Value: int64(mean%1000) + 1},
+			Uniform{Lo: 1, Hi: int64(mean%1000) + 1},
+			Exponential{MeanTicks: float64(mean%1000) + 0.5},
+			Pareto{Xm: float64(mean%100) + 1, Alpha: 1.5},
+		}
+		for _, d := range dists {
+			for i := 0; i < 50; i++ {
+				if d.Draw(r) < 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package dist
+
+import "fmt"
+
+// Erlang draws Erlang-K distributed intervals (the sum of K exponential
+// stages) with the given overall mean. Erlang intervals are less
+// variable than exponential ones (CV = 1/sqrt(K)); as K grows they
+// approach the constant distribution, pushing the sorted-list insertion
+// point toward the rear (section 3.2's "other timer interval
+// distributions" computed from Reeves [4]).
+type Erlang struct {
+	K         int
+	MeanTicks float64
+}
+
+// Draw sums K exponential stages.
+func (e Erlang) Draw(r *RNG) int64 {
+	k := e.K
+	if k < 1 {
+		k = 1
+	}
+	stage := e.MeanTicks / float64(k)
+	total := 0.0
+	for i := 0; i < k; i++ {
+		total += r.ExpFloat64() * stage
+	}
+	return clampTick(total)
+}
+
+// Mean returns the configured mean.
+func (e Erlang) Mean() float64 { return e.MeanTicks }
+
+// Name returns "erlang(k,mean)".
+func (e Erlang) Name() string { return fmt.Sprintf("erlang(%d,%.0f)", e.K, e.MeanTicks) }
+
+// HyperExp draws hyperexponentially distributed intervals: with
+// probability P1 an exponential of mean Mean1, otherwise of mean Mean2.
+// Hyperexponential intervals are more variable than exponential ones
+// (CV > 1): most timers are short but a heavy fraction of the queue's
+// residual mass belongs to long ones, pulling the sorted-list insertion
+// point toward the front.
+type HyperExp struct {
+	P1           float64
+	Mean1, Mean2 float64
+}
+
+// Draw picks a branch and draws its exponential.
+func (h HyperExp) Draw(r *RNG) int64 {
+	mean := h.Mean2
+	if r.Float64() < h.P1 {
+		mean = h.Mean1
+	}
+	return clampTick(r.ExpFloat64() * mean)
+}
+
+// Mean returns the mixture mean.
+func (h HyperExp) Mean() float64 { return h.P1*h.Mean1 + (1-h.P1)*h.Mean2 }
+
+// Name returns "hyperexp(p,m1,m2)".
+func (h HyperExp) Name() string {
+	return fmt.Sprintf("hyperexp(%.2f,%.0f,%.0f)", h.P1, h.Mean1, h.Mean2)
+}

@@ -1,0 +1,70 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestErlangMeanAndVariability(t *testing.T) {
+	r := NewRNG(21)
+	const n = 100000
+	meanOf := func(iv Interval) (mean, sd float64) {
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := float64(iv.Draw(r))
+			sum += v
+			sumSq += v * v
+		}
+		mean = sum / n
+		sd = math.Sqrt(sumSq/n - mean*mean)
+		return mean, sd
+	}
+	m1, sd1 := meanOf(Erlang{K: 1, MeanTicks: 200})
+	m4, sd4 := meanOf(Erlang{K: 4, MeanTicks: 200})
+	for _, m := range []float64{m1, m4} {
+		if math.Abs(m-200) > 5 {
+			t.Fatalf("erlang mean %v, want ~200", m)
+		}
+	}
+	// CV halves when K quadruples: sd4 ~ sd1/2.
+	if sd4 > 0.6*sd1 {
+		t.Fatalf("erlang-4 sd %v not much below erlang-1 sd %v", sd4, sd1)
+	}
+	if (Erlang{K: 4, MeanTicks: 200}).Mean() != 200 {
+		t.Fatal("Mean accessor")
+	}
+	if (Erlang{K: 0, MeanTicks: 50}).Draw(r) < 1 {
+		t.Fatal("K<1 should clamp to 1 stage and stay positive")
+	}
+}
+
+func TestHyperExpMeanAndVariability(t *testing.T) {
+	h := HyperExp{P1: 0.9, Mean1: 40, Mean2: 1640} // mean = 200
+	if math.Abs(h.Mean()-200) > 1e-9 {
+		t.Fatalf("Mean()=%v", h.Mean())
+	}
+	r := NewRNG(22)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := float64(h.Draw(r))
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	if math.Abs(mean-200)/200 > 0.05 {
+		t.Fatalf("measured mean %v, want ~200", mean)
+	}
+	// Hyperexponential CV > 1 (here ~2.6), far above exponential's 1.
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if sd/mean < 1.5 {
+		t.Fatalf("CV %v, want > 1.5", sd/mean)
+	}
+}
+
+func TestMoreDistNames(t *testing.T) {
+	if (Erlang{K: 3, MeanTicks: 10}).Name() == "" ||
+		(HyperExp{P1: 0.5, Mean1: 1, Mean2: 2}).Name() == "" {
+		t.Fatal("names must be non-empty")
+	}
+}

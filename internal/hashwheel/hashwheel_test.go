@@ -1,0 +1,381 @@
+package hashwheel
+
+import (
+	"testing"
+
+	"timingwheels/internal/core"
+	"timingwheels/internal/dist"
+	"timingwheels/internal/metrics"
+)
+
+func noop(core.ID) {}
+
+func TestTableIndexMaskVsMod(t *testing.T) {
+	// Power-of-two tables use the AND mask; sizes that are not must fall
+	// back to modulo. Both must agree with plain modulo arithmetic.
+	for _, size := range []int{1, 2, 8, 256, 3, 33, 100} {
+		tb := newTable(size, nil)
+		for _, when := range []core.Tick{0, 1, 7, 255, 256, 1 << 40, 12345678} {
+			want := int(when % core.Tick(size))
+			if got := tb.index(when); got != want {
+				t.Fatalf("size %d when %d: index=%d want %d", size, when, got, want)
+			}
+		}
+		if (size&(size-1) == 0) != (tb.mask >= 0) {
+			t.Fatalf("size %d: mask fast path misdetected", size)
+		}
+	}
+}
+
+func TestInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size 0 should panic")
+		}
+	}()
+	newTable(0, nil)
+}
+
+func TestScheme6RoundsBoundaries(t *testing.T) {
+	// rounds = (d-1)/size: exact multiples of the table size must wait
+	// the full revolutions (the d mod N == 0 edge case).
+	s := NewScheme6(8, nil)
+	cases := []struct {
+		d      core.Tick
+		rounds int64
+	}{
+		{1, 0}, {7, 0}, {8, 0}, {9, 1}, {16, 1}, {17, 2}, {24, 2}, {25, 3},
+	}
+	for _, c := range cases {
+		if got := s.roundsFor(c.d); got != c.rounds {
+			t.Errorf("roundsFor(%d)=%d, want %d", c.d, got, c.rounds)
+		}
+	}
+}
+
+func TestScheme6ArbitraryLargeIntervals(t *testing.T) {
+	s := NewScheme6(16, nil)
+	var firedAt core.Tick = -1
+	if _, err := s.StartTimer(1_000_003, func(core.ID) { firedAt = s.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	// Fast-forward via raw ticks (no Advance fast path by design).
+	for firedAt < 0 && s.Now() < 1_100_000 {
+		s.Tick()
+	}
+	if firedAt != 1_000_003 {
+		t.Fatalf("fired at %d", firedAt)
+	}
+}
+
+func TestScheme6StartStopO1RegardlessOfOccupancy(t *testing.T) {
+	var cost metrics.Cost
+	s := NewScheme6(64, &cost)
+	// Adversarial load: everything in one bucket (intervals all multiples
+	// of 64).
+	for i := 1; i <= 2000; i++ {
+		if _, err := s.StartTimer(64*core.Tick(i), noop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := cost.Snapshot()
+	h, err := s.StartTimer(64*3000, noop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := cost.Snapshot().Sub(before).Units(); d > 12 {
+		t.Fatalf("start into a 2000-deep bucket cost %d units, want O(1)", d)
+	}
+	before = cost.Snapshot()
+	if err := s.StopTimer(h); err != nil {
+		t.Fatal(err)
+	}
+	if d := cost.Snapshot().Sub(before).Units(); d > 12 {
+		t.Fatalf("stop cost %d units, want O(1)", d)
+	}
+}
+
+// TestScheme6PerTickAmortized reproduces the section 6.1.2 claim: "every
+// TableSize ticks we decrement once all timers that are still living.
+// Thus for n timers we do n/TableSize work on average per tick" —
+// regardless of hash distribution.
+func TestScheme6PerTickAmortized(t *testing.T) {
+	perTick := func(adversarial bool) float64 {
+		var cost metrics.Cost
+		s := NewScheme6(64, &cost)
+		rng := dist.NewRNG(17)
+		const n = 640 // n/TableSize = 10
+		for i := 0; i < n; i++ {
+			var iv core.Tick
+			if adversarial {
+				iv = 64 * core.Tick(1000+i) // all in one bucket
+			} else {
+				iv = core.Tick(100_000 + rng.Intn(100_000))
+			}
+			if _, err := s.StartTimer(iv, noop); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cost.Reset()
+		const ticks = 640 // ten revolutions
+		for i := 0; i < ticks; i++ {
+			s.Tick()
+		}
+		return float64(cost.Units()) / ticks
+	}
+	spread := perTick(false)
+	burst := perTick(true)
+	// Both distributions do the same average work per tick (~3 units per
+	// touched timer * 10 touched per tick + slot overhead).
+	if burst < spread/2 || burst > spread*2 {
+		t.Fatalf("per-tick average should not depend on hash spread: spread=%.1f adversarial=%.1f",
+			spread, burst)
+	}
+}
+
+// TestScheme6VarianceDependsOnHash: with the same n, per-tick work
+// variance is near zero for an even spread and large when everything
+// hashes to one bucket — "the hash distribution ... only controls the
+// burstiness (variance)".
+func TestScheme6VarianceDependsOnHash(t *testing.T) {
+	variance := func(adversarial bool) float64 {
+		var cost metrics.Cost
+		s := NewScheme6(64, &cost)
+		const n = 640
+		for i := 0; i < n; i++ {
+			var iv core.Tick
+			if adversarial {
+				iv = 64 * core.Tick(1000+i)
+			} else {
+				iv = core.Tick(100_000 + i) // perfectly even spread
+			}
+			if _, err := s.StartTimer(iv, noop); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var series metrics.Series
+		for i := 0; i < 640; i++ {
+			before := cost.Snapshot()
+			s.Tick()
+			series.Add(float64(cost.Snapshot().Sub(before).Units()))
+		}
+		return series.Variance()
+	}
+	even := variance(false)
+	burst := variance(true)
+	if burst < 10*even+10 {
+		t.Fatalf("adversarial variance %.1f should dwarf even-spread %.1f", burst, even)
+	}
+}
+
+func TestScheme6Occupancy(t *testing.T) {
+	s := NewScheme6(8, nil)
+	for i := 0; i < 16; i++ {
+		if _, err := s.StartTimer(core.Tick(i+1), noop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	occ := s.Occupancy()
+	total := 0
+	for _, c := range occ {
+		total += c
+	}
+	if total != 16 || len(occ) != 8 {
+		t.Fatalf("occupancy %v", occ)
+	}
+}
+
+// --- Scheme 5 ---
+
+func TestScheme5BucketsStaySorted(t *testing.T) {
+	s := NewScheme5(16, nil)
+	rng := dist.NewRNG(23)
+	for i := 0; i < 1000; i++ {
+		if _, err := s.StartTimer(core.Tick(1+rng.Intn(500)), noop); err != nil {
+			t.Fatal(err)
+		}
+		if i%7 == 0 {
+			s.Tick()
+		}
+		if !s.CheckInvariants() {
+			t.Fatalf("bucket order broken at op %d", i)
+		}
+	}
+}
+
+func TestScheme5AverageSearchO1WhenSpread(t *testing.T) {
+	// Section 6.1.1: average O(1) START_TIMER if n < TableSize and the
+	// hash distributes evenly.
+	s := NewScheme5(1024, nil)
+	rng := dist.NewRNG(29)
+	// Steady state ~256 outstanding << 1024 buckets.
+	for i := 0; i < 20000; i++ {
+		if _, err := s.StartTimer(core.Tick(1+rng.Intn(512)), noop); err != nil {
+			t.Fatal(err)
+		}
+		s.Tick()
+		s.Tick()
+	}
+	if avg := s.AverageSearch(); avg > 2.0 {
+		t.Fatalf("average search %.2f elements, want O(1)", avg)
+	}
+}
+
+func TestScheme5DegradesWhenHashConcentrates(t *testing.T) {
+	// The paper's verdict: Scheme 5 "depends too much on the hash
+	// distribution". All-same-bucket inserts cost O(bucket length).
+	s := NewScheme5(64, nil)
+	for i := 1; i <= 500; i++ {
+		if _, err := s.StartTimer(64*core.Tick(i), noop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := s.AverageSearch(); avg < 50 {
+		t.Fatalf("adversarial average search %.2f, expected O(n) degradation", avg)
+	}
+}
+
+func TestScheme5MultiRevolutionOrder(t *testing.T) {
+	// Two timers in the same bucket, different revolutions, must fire in
+	// expiry order even though the later one was started first.
+	s := NewScheme5(8, nil)
+	var fires []core.Tick
+	record := func(core.ID) { fires = append(fires, s.Now()) }
+	if _, err := s.StartTimer(19, record); err != nil { // bucket 3, rev 2
+		t.Fatal(err)
+	}
+	if _, err := s.StartTimer(3, record); err != nil { // bucket 3, rev 0
+		t.Fatal(err)
+	}
+	if _, err := s.StartTimer(11, record); err != nil { // bucket 3, rev 1
+		t.Fatal(err)
+	}
+	for i := 0; i < 24; i++ {
+		s.Tick()
+	}
+	if len(fires) != 3 || fires[0] != 3 || fires[1] != 11 || fires[2] != 19 {
+		t.Fatalf("fires=%v, want [3 11 19]", fires)
+	}
+}
+
+// --- ablation variant ---
+
+func TestScheme6AbsoluteMatchesScheme6(t *testing.T) {
+	a := NewScheme6(16, nil)
+	b := NewScheme6Absolute(16, nil)
+	rng := dist.NewRNG(31)
+	var aFires, bFires []core.Tick
+	for i := 0; i < 400; i++ {
+		iv := core.Tick(1 + rng.Intn(100))
+		if _, err := a.StartTimer(iv, func(core.ID) { aFires = append(aFires, a.Now()) }); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.StartTimer(iv, func(core.ID) { bFires = append(bFires, b.Now()) }); err != nil {
+			t.Fatal(err)
+		}
+		a.Tick()
+		b.Tick()
+	}
+	for i := 0; i < 200; i++ {
+		a.Tick()
+		b.Tick()
+	}
+	if len(aFires) != len(bFires) {
+		t.Fatalf("fire counts differ: %d vs %d", len(aFires), len(bFires))
+	}
+	for i := range aFires {
+		if aFires[i] != bFires[i] {
+			t.Fatalf("fire %d differs: %d vs %d", i, aFires[i], bFires[i])
+		}
+	}
+	if a.Name() == b.Name() {
+		t.Fatal("variants should have distinct names")
+	}
+}
+
+func TestScheme6AbsoluteDoesFewerWritesPerTick(t *testing.T) {
+	// The DECREMENT option writes every surviving timer each pass; the
+	// COMPARE option does not (section 3.1's trade-off).
+	load := func(f core.Facility) {
+		for i := 0; i < 320; i++ {
+			if _, err := f.StartTimer(100_000, noop); err != nil {
+				panic(err)
+			}
+		}
+	}
+	var c6, cAbs metrics.Cost
+	s6 := NewScheme6(32, &c6)
+	sAbs := NewScheme6Absolute(32, &cAbs)
+	load(s6)
+	load(sAbs)
+	c6.Reset()
+	cAbs.Reset()
+	for i := 0; i < 320; i++ {
+		s6.Tick()
+		sAbs.Tick()
+	}
+	if cAbs.Writes >= c6.Writes {
+		t.Fatalf("absolute variant writes %d >= decrement variant %d", cAbs.Writes, c6.Writes)
+	}
+}
+
+// TestScheme6AdvanceEquivalence: the bitmap-skipping Advance fires the
+// same timers at the same times as tick-by-tick stepping, including
+// multi-revolution rounds decrements.
+func TestScheme6AdvanceEquivalence(t *testing.T) {
+	rng := dist.NewRNG(97)
+	a := NewScheme6(32, nil)
+	b := NewScheme6(32, nil)
+	var aFires, bFires []core.Tick
+	for round := 0; round < 60; round++ {
+		k := rng.Intn(4)
+		for i := 0; i < k; i++ {
+			iv := core.Tick(1 + rng.Intn(400)) // spans many revolutions
+			if _, err := a.StartTimer(iv, func(core.ID) { aFires = append(aFires, a.Now()) }); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.StartTimer(iv, func(core.ID) { bFires = append(bFires, b.Now()) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		step := core.Tick(1 + rng.Intn(150))
+		na := a.Advance(step)
+		nb := 0
+		for i := core.Tick(0); i < step; i++ {
+			nb += b.Tick()
+		}
+		if na != nb || a.Now() != b.Now() || a.Len() != b.Len() {
+			t.Fatalf("round %d: advance fired %d (now %d len %d) vs ticks %d (now %d len %d)",
+				round, na, a.Now(), a.Len(), nb, b.Now(), b.Len())
+		}
+	}
+	for i := range aFires {
+		if aFires[i] != bFires[i] {
+			t.Fatalf("fire %d at %d vs %d", i, aFires[i], bFires[i])
+		}
+	}
+	if len(aFires) == 0 {
+		t.Fatal("nothing fired")
+	}
+}
+
+// TestScheme6AdvanceIdleIsCheap: skipping a fully idle table costs O(1)
+// per jump instead of O(span).
+func TestScheme6AdvanceIdleIsCheap(t *testing.T) {
+	var cost metrics.Cost
+	s := NewScheme6(4096, &cost)
+	fired := false
+	if _, err := s.StartTimer(1_000_000, func(core.ID) { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	cost.Reset()
+	s.Advance(1_000_000)
+	if !fired {
+		t.Fatal("timer did not fire")
+	}
+	// One occupied slot visited per revolution (~244 visits), each a few
+	// units — far below the 1M units of tick-by-tick stepping.
+	if u := cost.Snapshot().Units(); u > 5000 {
+		t.Fatalf("Advance cost %d units; expected ~244 slot visits", u)
+	}
+}

@@ -1,0 +1,349 @@
+// Package hwsim simulates the hardware assist of Appendix A of the
+// paper: a timer chip — "actually just a counter" — that steps through
+// the timer arrays on every clock tick and interrupts the host only when
+// the array location it passes is marked busy. The host keeps the actual
+// timer queues in its memory; the chip keeps only the busy bits. The only
+// communication is the interrupt (plus the host marking locations busy or
+// idle as queues become non-empty or empty).
+//
+// The quantity of record (Appendix A.1): with a Scheme 6 table of M
+// slots, the host is interrupted an average of T/M times per timer of
+// lifetime T (one touch per cursor pass over its slot); with a Scheme 7
+// hierarchy of m levels, at most m times per timer (one per migration
+// plus the final expiry). Experiment E8 measures both.
+package hwsim
+
+import (
+	"fmt"
+
+	"timingwheels/internal/ilist"
+)
+
+// record is one host-memory timer record.
+type record struct {
+	id     uint64
+	when   int64 // absolute expiry tick
+	rounds int64 // Scheme 6 chip: revolutions remaining
+	// touches counts how many times the host had to examine this record
+	// in interrupt context.
+	touches int
+	node    ilist.Node[*record]
+}
+
+// Report summarizes a chip run.
+type Report struct {
+	// Ticks is the number of chip scan steps performed.
+	Ticks int64
+	// Interrupts is the number of ticks on which the chip interrupted
+	// the host (a busy location passed under the scan counter).
+	Interrupts uint64
+	// Touches is the total number of timer-record examinations the host
+	// performed in interrupt context.
+	Touches uint64
+	// Fired is the number of timers that expired.
+	Fired uint64
+	// TouchesPerTimer is the mean number of interrupt-context
+	// examinations over the lifetime of each fired timer — the paper's
+	// T/M (Scheme 6) vs <= m (Scheme 7) comparison.
+	TouchesPerTimer float64
+	// InterruptsPerTick is the fraction of scan steps that interrupted
+	// the host.
+	InterruptsPerTick float64
+}
+
+func (r *Report) finish() {
+	if r.Fired > 0 {
+		r.TouchesPerTimer = float64(r.Touches) / float64(r.Fired)
+	}
+	if r.Ticks > 0 {
+		r.InterruptsPerTick = float64(r.Interrupts) / float64(r.Ticks)
+	}
+}
+
+// String formats the headline numbers.
+func (r Report) String() string {
+	return fmt.Sprintf("ticks=%d interrupts=%d touches/timer=%.2f interrupts/tick=%.3f",
+		r.Ticks, r.Interrupts, r.TouchesPerTimer, r.InterruptsPerTick)
+}
+
+// Chip6 models a Scheme 6 scan chip: M busy bits in chip memory, M
+// unsorted timer queues in host memory.
+type Chip6 struct {
+	busy   []bool // chip memory
+	queues []ilist.List[*record]
+	cursor int
+	now    int64
+	nextID uint64
+	n      int
+	rep    Report
+	batch  []*record
+}
+
+// NewChip6 returns a scan chip over a table of the given size.
+func NewChip6(size int) *Chip6 {
+	if size < 1 {
+		panic("hwsim: table size must be >= 1")
+	}
+	c := &Chip6{busy: make([]bool, size), queues: make([]ilist.List[*record], size)}
+	for i := range c.queues {
+		c.queues[i].Init(nil)
+	}
+	return c
+}
+
+// Len reports outstanding timers.
+func (c *Chip6) Len() int { return c.n }
+
+// Start inserts a timer due in interval ticks. The host computes the
+// slot and revolution count and, if the queue was empty, tells the chip
+// the location is now busy.
+func (c *Chip6) Start(interval int64) uint64 {
+	if interval < 1 {
+		panic("hwsim: interval must be >= 1")
+	}
+	size := int64(len(c.busy))
+	r := &record{id: c.nextID, when: c.now + interval, rounds: (interval - 1) / size}
+	c.nextID++
+	r.node.Value = r
+	slot := int(r.when % size)
+	if c.queues[slot].Empty() {
+		c.busy[slot] = true // host -> chip: mark busy
+	}
+	c.queues[slot].PushFront(&r.node)
+	c.n++
+	return r.id
+}
+
+// Tick performs one chip scan step, interrupting the host if the passed
+// location is busy. It returns the ids of timers that fired.
+func (c *Chip6) Tick() []uint64 {
+	c.now++
+	c.rep.Ticks++
+	c.cursor++
+	if c.cursor == len(c.busy) {
+		c.cursor = 0
+	}
+	if !c.busy[c.cursor] {
+		return nil // chip scans on; host never knows
+	}
+	// Interrupt: the chip hands the host the address of the queue.
+	c.rep.Interrupts++
+	q := &c.queues[c.cursor]
+	c.batch = c.batch[:0]
+	for n := q.Front(); n != nil; {
+		next := n.Next()
+		r := n.Value
+		r.touches++
+		c.rep.Touches++
+		if r.rounds == 0 {
+			q.Remove(n)
+			c.batch = append(c.batch, r)
+		} else {
+			r.rounds--
+		}
+		n = next
+	}
+	if q.Empty() {
+		c.busy[c.cursor] = false // host -> chip: location idle again
+	}
+	var fired []uint64
+	for _, r := range c.batch {
+		c.rep.Fired++
+		c.n--
+		fired = append(fired, r.id)
+	}
+	return fired
+}
+
+// Report returns the accumulated counters.
+func (c *Chip6) Report() Report {
+	rep := c.rep
+	rep.finish()
+	return rep
+}
+
+// FullChip models the other Appendix A design point: "a timer chip which
+// maintains all the data structures (say in Scheme 6) and interrupts
+// host software only when a timer expires". The host does zero per-tick
+// work — every interrupt delivers an expiry — at the price of the chip
+// owning the timer memory (so array sizes become chip-initialization
+// parameters, as the appendix notes).
+type FullChip struct {
+	inner *Chip6
+	rep   Report
+}
+
+// NewFullChip returns a full-offload chip over a Scheme 6 table of the
+// given size.
+func NewFullChip(size int) *FullChip {
+	return &FullChip{inner: NewChip6(size)}
+}
+
+// Len reports outstanding timers (held in chip memory).
+func (c *FullChip) Len() int { return c.inner.Len() }
+
+// Start hands the timer to the chip; no host-side data structures.
+func (c *FullChip) Start(interval int64) uint64 { return c.inner.Start(interval) }
+
+// Tick steps the chip. The host is interrupted only when timers expire;
+// all scanning and revolution bookkeeping happens inside the chip.
+func (c *FullChip) Tick() []uint64 {
+	c.rep.Ticks++
+	fired := c.inner.Tick()
+	if len(fired) > 0 {
+		// One interrupt delivers the batch; the host touches each
+		// expired record exactly once.
+		c.rep.Interrupts++
+		c.rep.Touches += uint64(len(fired))
+		c.rep.Fired += uint64(len(fired))
+	}
+	return fired
+}
+
+// Report returns the host-visible counters (chip-internal scans are, by
+// design, invisible to the host).
+func (c *FullChip) Report() Report {
+	rep := c.rep
+	rep.finish()
+	return rep
+}
+
+// Chip7 models a Scheme 7 scan chip over a hierarchy of wheels: one busy
+// bit per slot per level. Migrations and expiries each cost the host one
+// interrupt-context examination, so touches per timer <= levels.
+type Chip7 struct {
+	levels []chipLevel
+	now    int64
+	nextID uint64
+	n      int
+	rep    Report
+	batch  []*record
+}
+
+type chipLevel struct {
+	busy   []bool
+	queues []ilist.List[*record]
+	gran   int64
+	span   int64
+}
+
+// NewChip7 returns a scan chip over a hierarchy with the given per-level
+// slot counts (finest first).
+func NewChip7(radices []int) *Chip7 {
+	if len(radices) == 0 {
+		panic("hwsim: at least one level required")
+	}
+	c := &Chip7{levels: make([]chipLevel, len(radices))}
+	gran := int64(1)
+	for i, r := range radices {
+		if r < 2 {
+			panic("hwsim: radix must be >= 2")
+		}
+		lv := &c.levels[i]
+		lv.gran = gran
+		lv.busy = make([]bool, r)
+		lv.queues = make([]ilist.List[*record], r)
+		for j := range lv.queues {
+			lv.queues[j].Init(nil)
+		}
+		gran *= int64(r)
+		lv.span = gran
+	}
+	return c
+}
+
+// MaxInterval reports the largest startable interval.
+func (c *Chip7) MaxInterval() int64 { return c.levels[len(c.levels)-1].span - 1 }
+
+// Len reports outstanding timers.
+func (c *Chip7) Len() int { return c.n }
+
+// Start inserts a timer due in interval ticks at the appropriate level.
+func (c *Chip7) Start(interval int64) uint64 {
+	if interval < 1 || interval > c.MaxInterval() {
+		panic("hwsim: interval out of range")
+	}
+	r := &record{id: c.nextID, when: c.now + interval}
+	c.nextID++
+	r.node.Value = r
+	c.place(r)
+	c.n++
+	return r.id
+}
+
+func (c *Chip7) place(r *record) {
+	diff := r.when - c.now
+	for k := range c.levels {
+		lv := &c.levels[k]
+		if diff < lv.span {
+			slot := int((r.when / lv.gran) % int64(len(lv.busy)))
+			if lv.queues[slot].Empty() {
+				lv.busy[slot] = true
+			}
+			lv.queues[slot].PushFront(&r.node)
+			return
+		}
+	}
+	panic("hwsim: unreachable: interval validated in Start")
+}
+
+// Tick performs one scan step across the hierarchy: cascading levels
+// whose slot boundary was crossed interrupt the host to migrate their
+// timers; the finest level's slot interrupts to fire. It returns fired
+// timer ids.
+func (c *Chip7) Tick() []uint64 {
+	c.now++
+	c.rep.Ticks++
+	c.batch = c.batch[:0]
+
+	for k := 1; k < len(c.levels); k++ {
+		lv := &c.levels[k]
+		if c.now%lv.gran != 0 {
+			break
+		}
+		slot := int((c.now / lv.gran) % int64(len(lv.busy)))
+		if !lv.busy[slot] {
+			continue
+		}
+		c.rep.Interrupts++
+		for n := lv.queues[slot].PopFront(); n != nil; n = lv.queues[slot].PopFront() {
+			r := n.Value
+			r.touches++
+			c.rep.Touches++
+			if r.when <= c.now {
+				c.batch = append(c.batch, r)
+				continue
+			}
+			c.place(r)
+		}
+		lv.busy[slot] = false
+	}
+
+	lv0 := &c.levels[0]
+	slot := int(c.now % int64(len(lv0.busy)))
+	if lv0.busy[slot] {
+		c.rep.Interrupts++
+		for n := lv0.queues[slot].PopFront(); n != nil; n = lv0.queues[slot].PopFront() {
+			r := n.Value
+			r.touches++
+			c.rep.Touches++
+			c.batch = append(c.batch, r)
+		}
+		lv0.busy[slot] = false
+	}
+
+	var fired []uint64
+	for _, r := range c.batch {
+		c.rep.Fired++
+		c.n--
+		fired = append(fired, r.id)
+	}
+	return fired
+}
+
+// Report returns the accumulated counters.
+func (c *Chip7) Report() Report {
+	rep := c.rep
+	rep.finish()
+	return rep
+}

@@ -1,0 +1,233 @@
+package hwsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"timingwheels/internal/dist"
+)
+
+func TestChip6FiresExactly(t *testing.T) {
+	c := NewChip6(16)
+	id := c.Start(100)
+	var firedAt int64 = -1
+	for tick := int64(1); tick <= 120; tick++ {
+		for _, f := range c.Tick() {
+			if f == id {
+				firedAt = tick
+			}
+		}
+	}
+	if firedAt != 100 {
+		t.Fatalf("fired at %d, want 100", firedAt)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len=%d", c.Len())
+	}
+}
+
+func TestChip6NoInterruptsWhenIdle(t *testing.T) {
+	c := NewChip6(32)
+	for i := 0; i < 1000; i++ {
+		c.Tick()
+	}
+	rep := c.Report()
+	if rep.Interrupts != 0 {
+		t.Fatalf("idle chip interrupted host %d times", rep.Interrupts)
+	}
+	if rep.Ticks != 1000 {
+		t.Fatalf("Ticks=%d", rep.Ticks)
+	}
+}
+
+// TestChip6TouchesPerTimerIsTOverM reproduces Appendix A: with mean
+// lifetime T and table size M, the host examines each timer about T/M
+// times (one per cursor pass, plus the final expiry pass).
+func TestChip6TouchesPerTimerIsTOverM(t *testing.T) {
+	const M = 64
+	const T = 1024 // constant lifetime for a sharp prediction
+	c := NewChip6(M)
+	rng := dist.NewRNG(71)
+	for tick := int64(0); tick < 40000; tick++ {
+		if rng.Intn(4) == 0 {
+			c.Start(T)
+		}
+		c.Tick()
+	}
+	rep := c.Report()
+	want := float64(T) / float64(M) // 16 passes; the last one fires it
+	if math.Abs(rep.TouchesPerTimer-want) > 1 {
+		t.Fatalf("touches/timer=%.2f, want ~%.1f (T/M)", rep.TouchesPerTimer, want)
+	}
+}
+
+func TestChip6BusyBitsClear(t *testing.T) {
+	c := NewChip6(8)
+	c.Start(3)
+	for i := 0; i < 8; i++ {
+		c.Tick()
+	}
+	rep := c.Report()
+	// One interrupt to fire the timer; afterwards the slot is idle again,
+	// so the remaining passes are silent.
+	if rep.Interrupts != 1 {
+		t.Fatalf("Interrupts=%d, want 1", rep.Interrupts)
+	}
+}
+
+func TestChip7FiresExactly(t *testing.T) {
+	c := NewChip7([]int{8, 8, 8})
+	if c.MaxInterval() != 511 {
+		t.Fatalf("MaxInterval=%d", c.MaxInterval())
+	}
+	for _, interval := range []int64{1, 7, 8, 9, 63, 64, 100, 511} {
+		c := NewChip7([]int{8, 8, 8})
+		id := c.Start(interval)
+		var firedAt int64 = -1
+		for tick := int64(1); tick <= interval+4; tick++ {
+			for _, f := range c.Tick() {
+				if f == id {
+					firedAt = tick
+				}
+			}
+		}
+		if firedAt != interval {
+			t.Fatalf("interval %d fired at %d", interval, firedAt)
+		}
+	}
+}
+
+// TestChip7TouchesBoundedByLevels reproduces the Appendix A contrast:
+// the Scheme 7 chip interrupts the host at most m times per timer, even
+// for lifetimes where the Scheme 6 chip would interrupt T/M times.
+func TestChip7TouchesBoundedByLevels(t *testing.T) {
+	radices := []int{16, 16, 16}
+	c := NewChip7(radices)
+	rng := dist.NewRNG(73)
+	for tick := int64(0); tick < 60000; tick++ {
+		if rng.Intn(8) == 0 {
+			c.Start(int64(1 + rng.Intn(4000)))
+		}
+		c.Tick()
+	}
+	rep := c.Report()
+	if rep.Fired == 0 {
+		t.Fatal("nothing fired")
+	}
+	if rep.TouchesPerTimer > float64(len(radices)) {
+		t.Fatalf("touches/timer=%.2f exceeds m=%d", rep.TouchesPerTimer, len(radices))
+	}
+}
+
+// TestChipComparison is E8 in miniature: long-lived timers on a small
+// table interrupt the Scheme 6 chip far more often than the hierarchy.
+func TestChipComparison(t *testing.T) {
+	const T = 4000
+	run6 := func() Report {
+		c := NewChip6(16)
+		rng := dist.NewRNG(79)
+		for tick := int64(0); tick < 30000; tick++ {
+			if rng.Intn(16) == 0 {
+				c.Start(T)
+			}
+			c.Tick()
+		}
+		return c.Report()
+	}
+	run7 := func() Report {
+		c := NewChip7([]int{16, 16, 16})
+		rng := dist.NewRNG(79)
+		for tick := int64(0); tick < 30000; tick++ {
+			if rng.Intn(16) == 0 {
+				c.Start(T)
+			}
+			c.Tick()
+		}
+		return c.Report()
+	}
+	r6, r7 := run6(), run7()
+	// Scheme 6: ~T/M = 250 touches per timer. Scheme 7: <= 3.
+	if r6.TouchesPerTimer < 50*r7.TouchesPerTimer {
+		t.Fatalf("scheme6 chip %.1f touches/timer vs scheme7 %.1f: contrast too small",
+			r6.TouchesPerTimer, r7.TouchesPerTimer)
+	}
+}
+
+func TestFullChipInterruptsOnlyOnExpiry(t *testing.T) {
+	c := NewFullChip(16)
+	rng := dist.NewRNG(83)
+	started := 0
+	for tick := int64(0); tick < 20000; tick++ {
+		if rng.Intn(4) == 0 {
+			c.Start(int64(1 + rng.Intn(900)))
+			started++
+		}
+		c.Tick()
+	}
+	// Drain.
+	for c.Len() > 0 {
+		c.Tick()
+	}
+	rep := c.Report()
+	if rep.Fired != uint64(started) {
+		t.Fatalf("fired %d of %d", rep.Fired, started)
+	}
+	// Exactly one host touch per timer, and interrupts <= expiries.
+	if rep.TouchesPerTimer != 1 {
+		t.Fatalf("touches/timer=%v, want exactly 1", rep.TouchesPerTimer)
+	}
+	if rep.Interrupts > rep.Fired {
+		t.Fatalf("interrupts %d exceed expiries %d", rep.Interrupts, rep.Fired)
+	}
+	if rep.Interrupts == 0 {
+		t.Fatal("no interrupts despite expiries")
+	}
+}
+
+func TestFullChipFiresExactly(t *testing.T) {
+	c := NewFullChip(8)
+	id := c.Start(37)
+	var firedAt int64 = -1
+	for tick := int64(1); tick <= 40; tick++ {
+		for _, f := range c.Tick() {
+			if f == id {
+				firedAt = tick
+			}
+		}
+	}
+	if firedAt != 37 {
+		t.Fatalf("fired at %d, want 37", firedAt)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	c := NewChip6(8)
+	c.Start(3)
+	for i := 0; i < 4; i++ {
+		c.Tick()
+	}
+	if s := c.Report().String(); !strings.Contains(s, "interrupts=") {
+		t.Fatalf("Report.String()=%q", s)
+	}
+}
+
+func TestChipPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"chip6 size 0":       func() { NewChip6(0) },
+		"chip6 interval 0":   func() { NewChip6(8).Start(0) },
+		"chip7 no levels":    func() { NewChip7(nil) },
+		"chip7 radix 1":      func() { NewChip7([]int{1}) },
+		"chip7 out of range": func() { NewChip7([]int{4, 4}).Start(100) },
+		"chip7 interval 0":   func() { NewChip7([]int{4, 4}).Start(0) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}

@@ -1,0 +1,318 @@
+// Package hybrid implements the combination sketched at the end of
+// section 5 of the paper: "One solution is to implement timers within
+// some range using this scheme [the Scheme 4 wheel] and the allowed
+// memory. Timers greater than this value are implemented using, say,
+// Scheme 2."
+//
+// Timers due within the wheel's range go straight into a Scheme 4
+// bucket; longer timers wait in a min-heap keyed by absolute expiry (a
+// Scheme 3 stand-in for the paper's Scheme 2 — same role, better
+// asymptotics) and migrate into the wheel once they come within range.
+// PER_TICK_BOOKKEEPING pays the wheel's O(1) plus a single heap-min
+// comparison; each long timer migrates exactly once.
+//
+//	START_TIMER            O(1) short, O(log k) long (k = long timers)
+//	STOP_TIMER             O(1) short, O(log k) long
+//	PER_TICK_BOOKKEEPING   O(1) + expiries + one-time migrations
+package hybrid
+
+import (
+	"fmt"
+
+	"timingwheels/internal/bitmap"
+	"timingwheels/internal/core"
+	"timingwheels/internal/ilist"
+	"timingwheels/internal/metrics"
+	"timingwheels/internal/pq"
+)
+
+// location tracks which structure currently holds a timer.
+type location uint8
+
+const (
+	inWheel location = iota
+	inOverflow
+)
+
+// entry is one outstanding hybrid timer.
+type entry struct {
+	id    core.ID
+	when  core.Tick
+	cb    core.Callback
+	state core.State
+	owner *Scheme
+	loc   location
+	node  ilist.Node[*entry] // wheel linkage
+	hd    pq.Handle          // overflow linkage
+}
+
+// TimerID implements core.Handle.
+func (e *entry) TimerID() core.ID { return e.id }
+
+// Scheme is the hybrid wheel + overflow-heap facility.
+type Scheme struct {
+	slots    []ilist.List[*entry]
+	occ      *bitmap.Set
+	overflow *pq.Heap[*entry]
+	cursor   int
+	now      core.Tick
+	nextID   core.ID
+	n        int
+	cost     *metrics.Cost
+	batch    []*entry
+
+	// Migrations counts long timers moved from the overflow heap into
+	// the wheel (each long timer migrates exactly once).
+	Migrations uint64
+}
+
+// New returns a hybrid facility whose wheel covers intervals up to
+// size ticks; anything longer is parked in the overflow heap. Size must
+// be at least 1.
+func New(size int, cost *metrics.Cost) *Scheme {
+	if size < 1 {
+		panic(fmt.Sprintf("hybrid: size must be >= 1, got %d", size))
+	}
+	s := &Scheme{
+		slots:    make([]ilist.List[*entry], size),
+		occ:      bitmap.New(size),
+		overflow: pq.NewHeap[*entry](cost),
+		cost:     cost,
+	}
+	for i := range s.slots {
+		s.slots[i].Init(cost)
+	}
+	return s
+}
+
+// Name returns "hybrid".
+func (s *Scheme) Name() string { return "hybrid" }
+
+// WheelRange reports the largest interval served directly by the wheel.
+func (s *Scheme) WheelRange() core.Tick { return core.Tick(len(s.slots)) }
+
+// Now reports the current virtual time.
+func (s *Scheme) Now() core.Tick { return s.now }
+
+// Len reports the number of outstanding timers (wheel + overflow).
+func (s *Scheme) Len() int { return s.n }
+
+// OverflowLen reports the number of timers parked beyond wheel range.
+func (s *Scheme) OverflowLen() int { return s.overflow.Len() }
+
+// slotFor returns the wheel slot for an absolute expiry within range.
+func (s *Scheme) slotFor(when core.Tick) int {
+	return int(when % core.Tick(len(s.slots)))
+}
+
+// StartTimer places the timer in the wheel if it is due within
+// WheelRange ticks, else in the overflow heap.
+func (s *Scheme) StartTimer(interval core.Tick, cb core.Callback) (core.Handle, error) {
+	if err := core.CheckInterval(interval, cb); err != nil {
+		return nil, err
+	}
+	e := &entry{id: s.nextID, when: s.now + interval, cb: cb, owner: s}
+	s.nextID++
+	e.node.Value = e
+	s.cost.Compare(1) // range test
+	if interval <= core.Tick(len(s.slots)) {
+		e.loc = inWheel
+		s.cost.Read(1)
+		slot := s.slotFor(e.when)
+		s.slots[slot].PushFront(&e.node)
+		s.occ.Set(slot)
+	} else {
+		e.loc = inOverflow
+		e.hd = s.overflow.Insert(int64(e.when), e)
+	}
+	s.n++
+	return e, nil
+}
+
+// StopTimer cancels the timer wherever it currently lives.
+func (s *Scheme) StopTimer(h core.Handle) error {
+	e, ok := h.(*entry)
+	if !ok || e.owner != s {
+		return core.ErrForeignHandle
+	}
+	if e.state != core.StatePending {
+		return core.ErrTimerNotPending
+	}
+	e.state = core.StateStopped
+	switch e.loc {
+	case inWheel:
+		if e.node.Attached() {
+			slot := s.slotFor(e.when)
+			s.slots[slot].Remove(&e.node)
+			if s.slots[slot].Empty() {
+				s.occ.Clear(slot)
+			}
+			s.n--
+		}
+	case inOverflow:
+		if s.overflow.Remove(e.hd) {
+			s.n--
+		}
+	}
+	return nil
+}
+
+// Tick advances the wheel cursor, fires the current slot, and then
+// pulls any overflow timers that have come within wheel range into
+// their slots. Firing happens first: a timer crossing the horizon at
+// distance exactly WheelRange maps onto the cursor slot and must wait a
+// full revolution, not fire a revolution early.
+func (s *Scheme) Tick() int {
+	s.now++
+	s.cursor++
+	if s.cursor == len(s.slots) {
+		s.cursor = 0
+	}
+
+	// Fire the current slot (two-phase, as in Scheme 4).
+	fired := 0
+	slot := &s.slots[s.cursor]
+	s.cost.Read(1)
+	s.cost.Compare(1)
+	if !slot.Empty() {
+		s.batch = s.batch[:0]
+		for n := slot.PopFront(); n != nil; n = slot.PopFront() {
+			s.batch = append(s.batch, n.Value)
+			s.n--
+		}
+		s.occ.Clear(s.cursor)
+		for _, e := range s.batch {
+			if e.state != core.StatePending {
+				continue
+			}
+			e.state = core.StateFired
+			fired++
+			e.cb(e.id)
+		}
+	}
+
+	// Migrate: every long timer whose expiry now falls within one wheel
+	// revolution gets its slot. One heap-min compare on quiet ticks;
+	// each long timer migrates exactly once, at distance WheelRange.
+	horizon := s.now + core.Tick(len(s.slots))
+	for {
+		key, e, ok := s.overflow.Min()
+		s.cost.Compare(1)
+		if !ok || core.Tick(key) > horizon {
+			break
+		}
+		s.overflow.PopMin()
+		s.Migrations++
+		e.loc = inWheel
+		s.cost.Write(1)
+		slot := s.slotFor(e.when)
+		s.slots[slot].PushFront(&e.node)
+		s.occ.Set(slot)
+	}
+	return fired
+}
+
+// NextExpiry reports the earliest outstanding expiry: the next occupied
+// wheel slot if any (always sooner than anything still parked in the
+// overflow heap, whose entries are beyond wheel range), else the heap
+// minimum. This makes the hybrid eligible for tickless hosting despite
+// its unbounded interval range.
+func (s *Scheme) NextExpiry() (core.Tick, bool) {
+	if next, ok := s.nextWheelVisit(); ok {
+		return next, true
+	}
+	if key, _, ok := s.overflow.Min(); ok {
+		return core.Tick(key), true
+	}
+	return 0, false
+}
+
+// nextWheelVisit reports when the cursor next lands on an occupied slot.
+func (s *Scheme) nextWheelVisit() (core.Tick, bool) {
+	if !s.occ.Any() {
+		return 0, false
+	}
+	start := s.cursor + 1
+	if start == len(s.slots) {
+		start = 0
+	}
+	d, ok := s.occ.NextCyclic(start)
+	if !ok {
+		return 0, false
+	}
+	return s.now + core.Tick(d) + 1, true
+}
+
+// Advance implements core.Advancer: idle spans are skipped, but the
+// clock never jumps past a migration point (heap minimum minus the
+// wheel range), so long timers still enter the wheel one revolution
+// before they fire.
+func (s *Scheme) Advance(n core.Tick) int {
+	fired := 0
+	target := s.now + n
+	for s.now < target {
+		next, nextOK := s.nextWheelVisit()
+		if key, _, ok := s.overflow.Min(); ok {
+			// The heap minimum must be migrated at (when - WheelRange).
+			migrate := core.Tick(key) - core.Tick(len(s.slots))
+			if !nextOK || migrate < next {
+				next, nextOK = migrate, true
+			}
+		}
+		if !nextOK || next > target {
+			s.jumpTo(target)
+			return fired
+		}
+		s.jumpTo(next - 1)
+		fired += s.Tick()
+	}
+	return fired
+}
+
+// jumpTo moves the clock and cursor directly to time t across a span
+// with no occupied slots and no migrations due.
+func (s *Scheme) jumpTo(t core.Tick) {
+	delta := t - s.now
+	if delta <= 0 {
+		return
+	}
+	s.now = t
+	s.cursor = int((core.Tick(s.cursor) + delta) % core.Tick(len(s.slots)))
+	s.cost.Read(1)
+}
+
+// CheckInvariants verifies structural soundness: heap order, wheel slot
+// placement, and that every overflow timer is beyond wheel range... or
+// exactly at the migration horizon awaiting the next tick.
+func (s *Scheme) CheckInvariants() bool {
+	if !s.overflow.CheckInvariants() {
+		return false
+	}
+	count := s.overflow.Len()
+	for i := range s.slots {
+		if !s.slots[i].CheckInvariants() {
+			return false
+		}
+		ok := true
+		s.slots[i].Do(func(n *ilist.Node[*entry]) {
+			count++
+			e := n.Value
+			if e.when <= s.now || e.when > s.now+core.Tick(len(s.slots)) {
+				ok = false
+			}
+			if s.slotFor(e.when) != i {
+				ok = false
+			}
+		})
+		if !ok {
+			return false
+		}
+	}
+	return count == s.n
+}
+
+var (
+	_ core.Facility    = (*Scheme)(nil)
+	_ core.Advancer    = (*Scheme)(nil)
+	_ core.NextExpirer = (*Scheme)(nil)
+)

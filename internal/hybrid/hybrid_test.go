@@ -1,0 +1,235 @@
+package hybrid
+
+import (
+	"testing"
+
+	"timingwheels/internal/core"
+	"timingwheels/internal/dist"
+	"timingwheels/internal/metrics"
+)
+
+func noop(core.ID) {}
+
+func TestShortTimersStayInWheel(t *testing.T) {
+	s := New(16, nil)
+	if _, err := s.StartTimer(16, noop); err != nil {
+		t.Fatal(err)
+	}
+	if s.OverflowLen() != 0 {
+		t.Fatal("interval == WheelRange should use the wheel")
+	}
+	if _, err := s.StartTimer(17, noop); err != nil {
+		t.Fatal(err)
+	}
+	if s.OverflowLen() != 1 {
+		t.Fatal("interval > WheelRange should use the overflow heap")
+	}
+	if s.WheelRange() != 16 {
+		t.Fatalf("WheelRange=%d", s.WheelRange())
+	}
+}
+
+func TestLongTimerMigratesOnceAndFiresExactly(t *testing.T) {
+	for _, interval := range []core.Tick{17, 32, 33, 100, 1000} {
+		s := New(16, nil)
+		var firedAt core.Tick = -1
+		if _, err := s.StartTimer(interval, func(core.ID) { firedAt = s.Now() }); err != nil {
+			t.Fatal(err)
+		}
+		for i := core.Tick(0); i <= interval+2; i++ {
+			s.Tick()
+		}
+		if firedAt != interval {
+			t.Fatalf("interval %d fired at %d", interval, firedAt)
+		}
+		if s.Migrations != 1 {
+			t.Fatalf("interval %d: migrations=%d, want 1", interval, s.Migrations)
+		}
+	}
+}
+
+func TestStopInEitherLocation(t *testing.T) {
+	s := New(8, nil)
+	short, err := s.StartTimer(4, noop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := s.StartTimer(400, noop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StopTimer(short); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StopTimer(long); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 || s.OverflowLen() != 0 {
+		t.Fatalf("Len=%d OverflowLen=%d", s.Len(), s.OverflowLen())
+	}
+	// Stop a long timer after it has migrated into the wheel.
+	long2, err := s.StartTimer(20, noop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 14; i++ {
+		s.Tick()
+	}
+	if s.OverflowLen() != 0 {
+		t.Fatal("long2 should have migrated by now")
+	}
+	if err := s.StopTimer(long2); err != nil {
+		t.Fatalf("stop after migration: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		if s.Tick() != 0 {
+			t.Fatal("stopped timer fired")
+		}
+	}
+}
+
+func TestPerTickCostFlat(t *testing.T) {
+	var cost metrics.Cost
+	s := New(64, &cost)
+	// Park many long timers; quiet ticks must stay O(1) (one heap-min
+	// compare plus the slot check).
+	for i := 0; i < 5000; i++ {
+		if _, err := s.StartTimer(core.Tick(1_000_000+i), noop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cost.Reset()
+	for i := 0; i < 64; i++ {
+		s.Tick()
+	}
+	if avg := float64(cost.Snapshot().Units()) / 64; avg > 8 {
+		t.Fatalf("quiet tick with 5000 parked timers averaged %.1f units, want O(1)", avg)
+	}
+}
+
+func TestInvariantsUnderChurn(t *testing.T) {
+	s := New(32, nil)
+	rng := dist.NewRNG(3)
+	var handles []core.Handle
+	for i := 0; i < 3000; i++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			h, err := s.StartTimer(core.Tick(1+rng.Intn(300)), noop)
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles = append(handles, h)
+		case 2:
+			s.Tick()
+		case 3:
+			if len(handles) > 0 {
+				j := rng.Intn(len(handles))
+				_ = s.StopTimer(handles[j])
+				handles = append(handles[:j], handles[j+1:]...)
+			}
+		}
+		if !s.CheckInvariants() {
+			t.Fatalf("invariants broken at op %d (now=%d)", i, s.Now())
+		}
+	}
+}
+
+func TestBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size 0 should panic")
+		}
+	}()
+	New(0, nil)
+}
+
+// TestAdvanceEquivalence: bitmap-skipping Advance fires the same timers
+// at the same times as tick-by-tick stepping, across wheel expiries and
+// heap migrations.
+func TestAdvanceEquivalence(t *testing.T) {
+	rng := dist.NewRNG(101)
+	a := New(16, nil)
+	b := New(16, nil)
+	var aFires, bFires []core.Tick
+	for round := 0; round < 80; round++ {
+		k := rng.Intn(3)
+		for i := 0; i < k; i++ {
+			iv := core.Tick(1 + rng.Intn(200)) // mix of wheel and overflow
+			if _, err := a.StartTimer(iv, func(core.ID) { aFires = append(aFires, a.Now()) }); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.StartTimer(iv, func(core.ID) { bFires = append(bFires, b.Now()) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		step := core.Tick(1 + rng.Intn(90))
+		na := a.Advance(step)
+		nb := 0
+		for i := core.Tick(0); i < step; i++ {
+			nb += b.Tick()
+		}
+		if na != nb || a.Now() != b.Now() || a.Len() != b.Len() || a.OverflowLen() != b.OverflowLen() {
+			t.Fatalf("round %d: advance fired=%d now=%d len=%d ovf=%d; ticks fired=%d now=%d len=%d ovf=%d",
+				round, na, a.Now(), a.Len(), a.OverflowLen(),
+				nb, b.Now(), b.Len(), b.OverflowLen())
+		}
+		if !a.CheckInvariants() {
+			t.Fatalf("round %d: invariants broken after Advance", round)
+		}
+	}
+	if len(aFires) == 0 {
+		t.Fatal("nothing fired")
+	}
+	for i := range aFires {
+		if aFires[i] != bFires[i] {
+			t.Fatalf("fire %d at %d vs %d", i, aFires[i], bFires[i])
+		}
+	}
+}
+
+// TestNextExpiryBothLocations: the next expiry comes from the wheel when
+// it holds anything, else from the overflow heap.
+func TestNextExpiryBothLocations(t *testing.T) {
+	s := New(8, nil)
+	if _, ok := s.NextExpiry(); ok {
+		t.Fatal("empty facility should report !ok")
+	}
+	hLong, err := s.StartTimer(100, noop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next, ok := s.NextExpiry(); !ok || next != 100 {
+		t.Fatalf("overflow-only NextExpiry=%d,%v want 100", next, ok)
+	}
+	if _, err := s.StartTimer(3, noop); err != nil {
+		t.Fatal(err)
+	}
+	if next, ok := s.NextExpiry(); !ok || next != 3 {
+		t.Fatalf("wheel NextExpiry=%d,%v want 3", next, ok)
+	}
+	if err := s.StopTimer(hLong); err != nil {
+		t.Fatal(err)
+	}
+	if next, ok := s.NextExpiry(); !ok || next != 3 {
+		t.Fatalf("after stop NextExpiry=%d,%v want 3", next, ok)
+	}
+}
+
+// TestAdvanceLongIdleFiresExactly: a single long timer fires at exactly
+// its deadline through a single big Advance.
+func TestAdvanceLongIdleFiresExactly(t *testing.T) {
+	s := New(64, nil)
+	var firedAt core.Tick = -1
+	if _, err := s.StartTimer(1_000_000, func(core.ID) { firedAt = s.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Advance(1_500_000); n != 1 {
+		t.Fatalf("fired %d", n)
+	}
+	if firedAt != 1_000_000 {
+		t.Fatalf("fired at %d", firedAt)
+	}
+	if s.Now() != 1_500_000 {
+		t.Fatalf("Now=%d", s.Now())
+	}
+}

@@ -1,0 +1,269 @@
+package ilist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"timingwheels/internal/dist"
+	"timingwheels/internal/metrics"
+)
+
+func collect(l *List[int]) []int {
+	var out []int
+	l.Do(func(n *Node[int]) { out = append(out, n.Value) })
+	return out
+}
+
+func equal(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyList(t *testing.T) {
+	l := New[int](nil)
+	if l.Len() != 0 || !l.Empty() {
+		t.Fatal("new list should be empty")
+	}
+	if l.Front() != nil || l.Back() != nil {
+		t.Fatal("Front/Back of empty list should be nil")
+	}
+	if l.PopFront() != nil {
+		t.Fatal("PopFront of empty list should be nil")
+	}
+	if !l.CheckInvariants() {
+		t.Fatal("empty list invariants")
+	}
+}
+
+func TestZeroValueLazyInit(t *testing.T) {
+	var l List[int]
+	n := &Node[int]{Value: 7}
+	l.PushBack(n)
+	if l.Len() != 1 || l.Front() != n {
+		t.Fatal("zero-value list should lazily initialize")
+	}
+}
+
+func TestPushFrontBackOrder(t *testing.T) {
+	l := New[int](nil)
+	n1, n2, n3 := &Node[int]{Value: 1}, &Node[int]{Value: 2}, &Node[int]{Value: 3}
+	l.PushBack(n2)
+	l.PushFront(n1)
+	l.PushBack(n3)
+	if got := collect(l); !equal(got, []int{1, 2, 3}) {
+		t.Fatalf("got %v, want [1 2 3]", got)
+	}
+	if l.Front() != n1 || l.Back() != n3 {
+		t.Fatal("Front/Back wrong")
+	}
+}
+
+func TestInsertBeforeAfter(t *testing.T) {
+	l := New[int](nil)
+	a, b := &Node[int]{Value: 1}, &Node[int]{Value: 4}
+	l.PushBack(a)
+	l.PushBack(b)
+	l.InsertAfter(&Node[int]{Value: 2}, a)
+	l.InsertBefore(&Node[int]{Value: 3}, b)
+	if got := collect(l); !equal(got, []int{1, 2, 3, 4}) {
+		t.Fatalf("got %v", got)
+	}
+	if !l.CheckInvariants() {
+		t.Fatal("invariants")
+	}
+}
+
+func TestRemoveMiddleAndEnds(t *testing.T) {
+	l := New[int](nil)
+	nodes := make([]*Node[int], 5)
+	for i := range nodes {
+		nodes[i] = &Node[int]{Value: i}
+		l.PushBack(nodes[i])
+	}
+	l.Remove(nodes[2])
+	l.Remove(nodes[0])
+	l.Remove(nodes[4])
+	if got := collect(l); !equal(got, []int{1, 3}) {
+		t.Fatalf("got %v, want [1 3]", got)
+	}
+	if nodes[2].Attached() {
+		t.Fatal("removed node still attached")
+	}
+	if nodes[2].Next() != nil || nodes[2].Prev() != nil {
+		t.Fatal("removed node retains links")
+	}
+}
+
+func TestDetach(t *testing.T) {
+	l := New[int](nil)
+	n := &Node[int]{Value: 1}
+	l.PushBack(n)
+	if !n.Detach() {
+		t.Fatal("Detach should report true for an attached node")
+	}
+	if n.Detach() {
+		t.Fatal("Detach should report false for a detached node")
+	}
+	if l.Len() != 0 {
+		t.Fatal("list should be empty")
+	}
+}
+
+func TestNextPrevWalk(t *testing.T) {
+	l := New[int](nil)
+	for i := 0; i < 4; i++ {
+		l.PushBack(&Node[int]{Value: i})
+	}
+	var fwd []int
+	for n := l.Front(); n != nil; n = n.Next() {
+		fwd = append(fwd, n.Value)
+	}
+	var rev []int
+	for n := l.Back(); n != nil; n = n.Prev() {
+		rev = append(rev, n.Value)
+	}
+	if !equal(fwd, []int{0, 1, 2, 3}) || !equal(rev, []int{3, 2, 1, 0}) {
+		t.Fatalf("fwd=%v rev=%v", fwd, rev)
+	}
+}
+
+func TestTakeAll(t *testing.T) {
+	l := New[int](nil)
+	for i := 0; i < 3; i++ {
+		l.PushBack(&Node[int]{Value: i})
+	}
+	nodes := l.TakeAll()
+	if len(nodes) != 3 || l.Len() != 0 {
+		t.Fatalf("TakeAll returned %d nodes, list len %d", len(nodes), l.Len())
+	}
+	for i, n := range nodes {
+		if n.Value != i || n.Attached() {
+			t.Fatalf("node %d: value %d attached %v", i, n.Value, n.Attached())
+		}
+	}
+	if l.TakeAll() != nil {
+		t.Fatal("TakeAll on empty list should be nil")
+	}
+}
+
+func TestDoubleAttachPanics(t *testing.T) {
+	l := New[int](nil)
+	n := &Node[int]{Value: 1}
+	l.PushBack(n)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("attaching an attached node should panic")
+		}
+	}()
+	l.PushBack(n)
+}
+
+func TestRemoveForeignPanics(t *testing.T) {
+	l1, l2 := New[int](nil), New[int](nil)
+	n := &Node[int]{Value: 1}
+	l1.PushBack(n)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("removing from the wrong list should panic")
+		}
+	}()
+	l2.Remove(n)
+}
+
+func TestCostAccounting(t *testing.T) {
+	var cost metrics.Cost
+	l := New[int](&cost)
+	n := &Node[int]{Value: 1}
+	l.PushBack(n)
+	afterInsert := cost.Snapshot()
+	if afterInsert.Writes == 0 || afterInsert.Reads == 0 {
+		t.Fatalf("insert should record reads and writes: %+v", afterInsert)
+	}
+	l.Remove(n)
+	d := cost.Snapshot().Sub(afterInsert)
+	if d.Writes == 0 || d.Reads == 0 {
+		t.Fatalf("remove should record reads and writes: %+v", d)
+	}
+}
+
+// TestQuickRandomOps drives the list against a reference slice through
+// random push/insert/remove sequences.
+func TestQuickRandomOps(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := dist.NewRNG(seed)
+		l := New[int](nil)
+		var ref []int
+		var nodes []*Node[int]
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(5) {
+			case 0: // push front
+				n := &Node[int]{Value: op}
+				l.PushFront(n)
+				nodes = append(nodes, n)
+				ref = append([]int{op}, ref...)
+			case 1: // push back
+				n := &Node[int]{Value: op}
+				l.PushBack(n)
+				nodes = append(nodes, n)
+				ref = append(ref, op)
+			case 2: // insert after a random node
+				if len(nodes) == 0 {
+					continue
+				}
+				mark := nodes[rng.Intn(len(nodes))]
+				n := &Node[int]{Value: op}
+				l.InsertAfter(n, mark)
+				nodes = append(nodes, n)
+				for i, v := range ref {
+					if v == mark.Value {
+						ref = append(ref[:i+1], append([]int{op}, ref[i+1:]...)...)
+						break
+					}
+				}
+			case 3: // insert before a random node
+				if len(nodes) == 0 {
+					continue
+				}
+				mark := nodes[rng.Intn(len(nodes))]
+				n := &Node[int]{Value: op}
+				l.InsertBefore(n, mark)
+				nodes = append(nodes, n)
+				for i, v := range ref {
+					if v == mark.Value {
+						ref = append(ref[:i], append([]int{op}, ref[i:]...)...)
+						break
+					}
+				}
+			case 4: // remove a random node
+				if len(nodes) == 0 {
+					continue
+				}
+				i := rng.Intn(len(nodes))
+				n := nodes[i]
+				l.Remove(n)
+				nodes[i] = nodes[len(nodes)-1]
+				nodes = nodes[:len(nodes)-1]
+				for j, v := range ref {
+					if v == n.Value {
+						ref = append(ref[:j], ref[j+1:]...)
+						break
+					}
+				}
+			}
+			if !l.CheckInvariants() {
+				return false
+			}
+		}
+		return equal(collect(l), ref) && l.Len() == len(ref)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

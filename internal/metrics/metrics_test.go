@@ -1,0 +1,203 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCostBasics(t *testing.T) {
+	var c Cost
+	c.Read(2)
+	c.Write(3)
+	c.Compare(4)
+	if c.Reads != 2 || c.Writes != 3 || c.Compares != 4 {
+		t.Fatalf("counters %+v", c)
+	}
+	if c.Units() != 9 {
+		t.Fatalf("Units=%d, want 9", c.Units())
+	}
+	snap := c.Snapshot()
+	c.Read(1)
+	d := c.Snapshot().Sub(snap)
+	if d.Reads != 1 || d.Writes != 0 || d.Compares != 0 {
+		t.Fatalf("delta %+v", d)
+	}
+	c.Reset()
+	if c.Units() != 0 {
+		t.Fatal("Reset should zero counters")
+	}
+}
+
+func TestCostNilSafe(t *testing.T) {
+	var c *Cost
+	c.Read(1)
+	c.Write(1)
+	c.Compare(1)
+	c.Reset()
+	if c.Snapshot() != (Cost{}) {
+		t.Fatal("nil snapshot should be zero")
+	}
+	if c.Snapshot().Units() != 0 {
+		t.Fatal("nil cost should report zero units")
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	var s Series
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 || s.Sum() != 15 {
+		t.Fatalf("N=%d Sum=%v", s.N(), s.Sum())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean=%v", s.Mean())
+	}
+	if math.Abs(s.Variance()-2) > 1e-9 {
+		t.Fatalf("Variance=%v, want 2", s.Variance())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("Min=%v Max=%v", s.Min(), s.Max())
+	}
+	if p := s.Percentile(50); p != 3 {
+		t.Fatalf("p50=%v", p)
+	}
+	if p := s.Percentile(0); p != 1 {
+		t.Fatalf("p0=%v", p)
+	}
+	if p := s.Percentile(100); p != 5 {
+		t.Fatalf("p100=%v", p)
+	}
+	if !strings.Contains(s.String(), "mean=3.000") {
+		t.Fatalf("String=%q", s.String())
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Variance() != 0 || s.Min() != 0 || s.Max() != 0 ||
+		s.Percentile(50) != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+}
+
+func TestSeriesAddAfterSort(t *testing.T) {
+	var s Series
+	s.Add(5)
+	s.Add(1)
+	_ = s.Min() // forces a sort
+	s.Add(0)    // must invalidate the sorted flag
+	if s.Min() != 0 {
+		t.Fatalf("Min=%v after post-sort Add", s.Min())
+	}
+}
+
+func TestSeriesAddNAndReset(t *testing.T) {
+	var s Series
+	s.AddN(2, 4)
+	if s.N() != 4 || s.Sum() != 8 {
+		t.Fatalf("N=%d Sum=%v", s.N(), s.Sum())
+	}
+	s.Reset()
+	if s.N() != 0 || s.Sum() != 0 {
+		t.Fatal("Reset should empty the series")
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	var s Series
+	s.Add(0)
+	s.Add(10)
+	if p := s.Percentile(50); math.Abs(p-5) > 1e-9 {
+		t.Fatalf("p50=%v, want 5", p)
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{4, 19, 34, 49, 64} // y = 4 + 15x, the paper's shape
+	f := FitLine(x, y)
+	if math.Abs(f.Intercept-4) > 1e-9 || math.Abs(f.Slope-15) > 1e-9 {
+		t.Fatalf("fit %+v", f)
+	}
+	if f.R2 < 0.9999 {
+		t.Fatalf("R2=%v", f.R2)
+	}
+	if !strings.Contains(f.String(), "15.000") {
+		t.Fatalf("String=%q", f.String())
+	}
+}
+
+func TestFitLineDegenerate(t *testing.T) {
+	if f := FitLine([]float64{1}, []float64{1}); f != (LinearFit{}) {
+		t.Fatalf("single point fit %+v", f)
+	}
+	if f := FitLine([]float64{1, 2}, []float64{1}); f != (LinearFit{}) {
+		t.Fatalf("mismatched lengths fit %+v", f)
+	}
+	if f := FitLine([]float64{2, 2, 2}, []float64{1, 2, 3}); f != (LinearFit{}) {
+		t.Fatalf("vertical line fit %+v", f)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 5)
+	for _, v := range []float64{0, 5, 9.99, 10, 49, 50, 1000, -3} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("Count=%d", h.Count())
+	}
+	if h.Bucket(0) != 4 { // 0, 5, 9.99, -3
+		t.Fatalf("bucket0=%d", h.Bucket(0))
+	}
+	if h.Bucket(1) != 1 || h.Bucket(4) != 1 {
+		t.Fatalf("bucket1=%d bucket4=%d", h.Bucket(1), h.Bucket(4))
+	}
+	if h.Overflow() != 2 {
+		t.Fatalf("overflow=%d", h.Overflow())
+	}
+	if h.Buckets() != 5 {
+		t.Fatalf("Buckets=%d", h.Buckets())
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 5) },
+		func() { NewHistogram(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestQuickSeriesMeanBounds: mean always lies within [min, max].
+func TestQuickSeriesMeanBounds(t *testing.T) {
+	check := func(vals []float64) bool {
+		var s Series
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true // skip pathological floats
+			}
+			// Map into a bounded range so the running sum cannot overflow.
+			s.Add(math.Mod(v, 1e6))
+		}
+		if s.N() == 0 {
+			return true
+		}
+		const eps = 1e-9
+		return s.Mean() >= s.Min()-eps && s.Mean() <= s.Max()+eps
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

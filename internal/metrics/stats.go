@@ -1,0 +1,226 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Series accumulates scalar observations (per-operation unit costs,
+// per-tick work, queue lengths, ...) and reports summary statistics. The
+// zero value is an empty series ready for use.
+type Series struct {
+	values []float64
+	sum    float64
+	sumSq  float64
+	sorted bool
+}
+
+// Add appends one observation.
+func (s *Series) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sum += v
+	s.sumSq += v * v
+	s.sorted = false
+}
+
+// AddN appends the same observation n times without storing n copies'
+// worth of per-call overhead in hot loops.
+func (s *Series) AddN(v float64, n int) {
+	for i := 0; i < n; i++ {
+		s.Add(v)
+	}
+}
+
+// N reports the number of observations.
+func (s *Series) N() int { return len(s.values) }
+
+// Sum reports the sum of observations.
+func (s *Series) Sum() float64 { return s.sum }
+
+// Mean reports the arithmetic mean, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.values))
+}
+
+// Variance reports the population variance, or 0 for fewer than two
+// observations.
+func (s *Series) Variance() float64 {
+	n := float64(len(s.values))
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumSq/n - m*m
+	if v < 0 { // floating-point guard
+		return 0
+	}
+	return v
+}
+
+// StdDev reports the population standard deviation.
+func (s *Series) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min reports the smallest observation, or 0 for an empty series.
+func (s *Series) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.values[0]
+}
+
+// Max reports the largest observation, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.values[len(s.values)-1]
+}
+
+// Percentile reports the p-th percentile (0 <= p <= 100) using
+// nearest-rank interpolation, or 0 for an empty series.
+func (s *Series) Percentile(p float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.values[0]
+	}
+	if p >= 100 {
+		return s.values[len(s.values)-1]
+	}
+	rank := p / 100 * float64(len(s.values)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := rank - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac
+}
+
+// Reset discards all observations.
+func (s *Series) Reset() {
+	s.values = s.values[:0]
+	s.sum, s.sumSq = 0, 0
+	s.sorted = false
+}
+
+func (s *Series) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// String summarizes the series as "n=.. mean=.. sd=.. p50=.. p99=.. max=..".
+func (s *Series) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f p50=%.3f p99=%.3f max=%.3f",
+		s.N(), s.Mean(), s.StdDev(), s.Percentile(50), s.Percentile(99), s.Max())
+}
+
+// LinearFit is a least-squares line y = Intercept + Slope*x with goodness
+// of fit R2. Experiment E6 fits per-tick unit cost against n/TableSize to
+// reproduce the paper's "4 + 15*n/TableSize" result shape.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// FitLine computes the least-squares fit of y against x. The slices must
+// be the same length with at least two points; otherwise a zero fit is
+// returned.
+func FitLine(x, y []float64) LinearFit {
+	n := len(x)
+	if n != len(y) || n < 2 {
+		return LinearFit{}
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return LinearFit{}
+	}
+	slope := (fn*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / fn
+	// R2 = 1 - SSres/SStot.
+	meanY := sy / fn
+	var ssRes, ssTot float64
+	for i := 0; i < n; i++ {
+		pred := intercept + slope*x[i]
+		ssRes += (y[i] - pred) * (y[i] - pred)
+		ssTot += (y[i] - meanY) * (y[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2}
+}
+
+// String formats the fit as "y = a + b*x (R2=..)".
+func (f LinearFit) String() string {
+	return fmt.Sprintf("y = %.3f + %.3f*x (R2=%.4f)", f.Intercept, f.Slope, f.R2)
+}
+
+// Histogram counts observations in fixed-width buckets starting at zero,
+// used for per-tick burstiness measurements (E5's variance claim).
+type Histogram struct {
+	Width    float64
+	counts   []uint64
+	overflow uint64
+	n        uint64
+}
+
+// NewHistogram returns a histogram with nbuckets buckets of the given
+// width; observations >= width*nbuckets land in an overflow bucket.
+func NewHistogram(width float64, nbuckets int) *Histogram {
+	if width <= 0 {
+		panic("metrics: histogram width must be positive")
+	}
+	if nbuckets < 1 {
+		panic("metrics: histogram needs at least one bucket")
+	}
+	return &Histogram{Width: width, counts: make([]uint64, nbuckets)}
+}
+
+// Observe records one observation; negative values count in bucket 0.
+func (h *Histogram) Observe(v float64) {
+	h.n++
+	if v < 0 {
+		h.counts[0]++
+		return
+	}
+	i := int(v / h.Width)
+	if i >= len(h.counts) {
+		h.overflow++
+		return
+	}
+	h.counts[i]++
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Bucket reports the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
+
+// Buckets reports the number of regular (non-overflow) buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Overflow reports the count of observations beyond the last bucket.
+func (h *Histogram) Overflow() uint64 { return h.overflow }

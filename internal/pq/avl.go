@@ -1,0 +1,300 @@
+package pq
+
+import "timingwheels/internal/metrics"
+
+// avlNode is one node of the AVL tree, ordered by (key, seq).
+type avlNode[T any] struct {
+	key                 int64
+	seq                 seq
+	value               T
+	left, right, parent *avlNode[T]
+	height              int // height of the subtree rooted here (leaf = 1)
+	owner               *AVL[T]
+	removed             bool
+}
+
+func (*avlNode[T]) pqHandle() {}
+
+// AVL is a height-balanced binary search tree — the "balanced binary
+// tree" point in the paper's Scheme 3 family. Section 4.1.1 reports
+// (citing Myhrhaug [7]) that unbalanced trees are cheaper than balanced
+// ones on typical inputs, and Figure 6's note records the price of
+// balance: STOP_TIMER becomes O(log n) "because of the need to rebalance
+// the tree after a deletion". In exchange, the AVL tree cannot
+// degenerate: equal timer intervals that collapse the plain BST into a
+// list leave it at height ~1.44 log n.
+type AVL[T any] struct {
+	root *avlNode[T]
+	n    int
+	cost *metrics.Cost
+	nseq seq
+}
+
+// NewAVL returns an empty AVL tree charging comparisons to cost.
+func NewAVL[T any](cost *metrics.Cost) *AVL[T] {
+	return &AVL[T]{cost: cost}
+}
+
+// Name returns "avl".
+func (t *AVL[T]) Name() string { return "avl" }
+
+// Len reports the number of items.
+func (t *AVL[T]) Len() int { return t.n }
+
+func height[T any](n *avlNode[T]) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func (t *AVL[T]) updateHeight(n *avlNode[T]) {
+	h := height(n.left)
+	if r := height(n.right); r > h {
+		h = r
+	}
+	n.height = h + 1
+	t.cost.Write(1)
+}
+
+func balance[T any](n *avlNode[T]) int {
+	return height(n.left) - height(n.right)
+}
+
+// replaceChild points parent's link at old to repl (repl may be nil).
+func (t *AVL[T]) replaceChild(old, repl *avlNode[T]) {
+	t.cost.Write(1)
+	switch {
+	case old.parent == nil:
+		t.root = repl
+	case old.parent.left == old:
+		old.parent.left = repl
+	default:
+		old.parent.right = repl
+	}
+	if repl != nil {
+		repl.parent = old.parent
+	}
+}
+
+// rotateLeft rotates n with its right child, returning the new subtree
+// root.
+func (t *AVL[T]) rotateLeft(n *avlNode[T]) *avlNode[T] {
+	r := n.right
+	t.cost.Write(3)
+	t.replaceChild(n, r)
+	n.right = r.left
+	if n.right != nil {
+		n.right.parent = n
+	}
+	r.left = n
+	n.parent = r
+	t.updateHeight(n)
+	t.updateHeight(r)
+	return r
+}
+
+// rotateRight rotates n with its left child, returning the new subtree
+// root.
+func (t *AVL[T]) rotateRight(n *avlNode[T]) *avlNode[T] {
+	l := n.left
+	t.cost.Write(3)
+	t.replaceChild(n, l)
+	n.left = l.right
+	if n.left != nil {
+		n.left.parent = n
+	}
+	l.right = n
+	n.parent = l
+	t.updateHeight(n)
+	t.updateHeight(l)
+	return l
+}
+
+// rebalance restores AVL balance factors from n up to the root — the
+// per-deletion rebalancing Figure 6's note prices at O(log n).
+func (t *AVL[T]) rebalance(n *avlNode[T]) {
+	for n != nil {
+		oldHeight := n.height
+		t.updateHeight(n)
+		switch b := balance(n); {
+		case b > 1:
+			if balance(n.left) < 0 {
+				t.rotateLeft(n.left)
+			}
+			n = t.rotateRight(n)
+		case b < -1:
+			if balance(n.right) > 0 {
+				t.rotateRight(n.right)
+			}
+			n = t.rotateLeft(n)
+		}
+		if n.height == oldHeight && balance(n) >= -1 && balance(n) <= 1 {
+			// Height unchanged and balanced: ancestors are unaffected.
+			// (Insertions stop here; deletions may still shorten above,
+			// so only stop when the height really did not change.)
+			return
+		}
+		n = n.parent
+	}
+}
+
+// Insert adds v with the given key in O(log n).
+func (t *AVL[T]) Insert(key int64, v T) Handle {
+	nd := &avlNode[T]{key: key, seq: t.nseq, value: v, height: 1, owner: t}
+	t.nseq++
+	t.cost.Write(1)
+	if t.root == nil {
+		t.root = nd
+		t.n++
+		return nd
+	}
+	cur := t.root
+	for {
+		t.cost.Read(1)
+		if less(t.cost, nd.key, nd.seq, cur.key, cur.seq) {
+			if cur.left == nil {
+				cur.left = nd
+				break
+			}
+			cur = cur.left
+		} else {
+			if cur.right == nil {
+				cur.right = nd
+				break
+			}
+			cur = cur.right
+		}
+	}
+	nd.parent = cur
+	t.cost.Write(2)
+	t.n++
+	t.rebalance(cur)
+	return nd
+}
+
+// Min returns the leftmost item in O(log n).
+func (t *AVL[T]) Min() (int64, T, bool) {
+	if t.root == nil {
+		var zero T
+		return 0, zero, false
+	}
+	nd := t.leftmost(t.root)
+	return nd.key, nd.value, true
+}
+
+// PopMin removes and returns the leftmost item in O(log n).
+func (t *AVL[T]) PopMin() (int64, T, bool) {
+	if t.root == nil {
+		var zero T
+		return 0, zero, false
+	}
+	nd := t.leftmost(t.root)
+	t.unlink(nd)
+	return nd.key, nd.value, true
+}
+
+// Remove deletes the item behind hd in O(log n), including rebalancing.
+func (t *AVL[T]) Remove(hd Handle) bool {
+	nd, ok := hd.(*avlNode[T])
+	if !ok || nd.owner != t || nd.removed {
+		return false
+	}
+	t.unlink(nd)
+	return true
+}
+
+func (t *AVL[T]) leftmost(nd *avlNode[T]) *avlNode[T] {
+	for nd.left != nil {
+		t.cost.Read(1)
+		nd = nd.left
+	}
+	return nd
+}
+
+// unlink removes nd and rebalances from the structurally lowest changed
+// node upward.
+func (t *AVL[T]) unlink(nd *avlNode[T]) {
+	var fixFrom *avlNode[T]
+	switch {
+	case nd.left == nil:
+		fixFrom = nd.parent
+		t.replaceChild(nd, nd.right)
+	case nd.right == nil:
+		fixFrom = nd.parent
+		t.replaceChild(nd, nd.left)
+	default:
+		succ := t.leftmost(nd.right)
+		if succ.parent != nd {
+			fixFrom = succ.parent
+			t.replaceChild(succ, succ.right)
+			succ.right = nd.right
+			succ.right.parent = succ
+			t.cost.Write(2)
+		} else {
+			fixFrom = succ
+		}
+		t.replaceChild(nd, succ)
+		succ.left = nd.left
+		succ.left.parent = succ
+		succ.height = nd.height
+		t.cost.Write(3)
+	}
+	nd.left, nd.right, nd.parent = nil, nil, nil
+	nd.removed = true
+	t.n--
+	if fixFrom != nil {
+		t.rebalance(fixFrom)
+	}
+}
+
+// Height reports the tree height (0 for empty).
+func (t *AVL[T]) Height() int { return height(t.root) }
+
+// CheckInvariants verifies search order, parent pointers, stored
+// heights, AVL balance, and the node count.
+func (t *AVL[T]) CheckInvariants() bool {
+	count := 0
+	var walk func(n, parent *avlNode[T]) (int, bool)
+	walk = func(n, parent *avlNode[T]) (int, bool) {
+		if n == nil {
+			return 0, true
+		}
+		count++
+		if n.parent != parent || n.owner != t || n.removed {
+			return 0, false
+		}
+		if n.left != nil {
+			if !less(nil, n.left.key, n.left.seq, n.key, n.seq) {
+				return 0, false
+			}
+		}
+		if n.right != nil {
+			if less(nil, n.right.key, n.right.seq, n.key, n.seq) {
+				return 0, false
+			}
+		}
+		lh, ok := walk(n.left, n)
+		if !ok {
+			return 0, false
+		}
+		rh, ok := walk(n.right, n)
+		if !ok {
+			return 0, false
+		}
+		h := lh
+		if rh > h {
+			h = rh
+		}
+		h++
+		if n.height != h {
+			return 0, false
+		}
+		if lh-rh > 1 || rh-lh > 1 {
+			return 0, false
+		}
+		return h, true
+	}
+	_, ok := walk(t.root, nil)
+	return ok && count == t.n
+}

@@ -1,0 +1,199 @@
+package pq
+
+import "timingwheels/internal/metrics"
+
+// bstNode is one node of the unbalanced binary search tree, ordered by
+// (key, seq).
+type bstNode[T any] struct {
+	key                 int64
+	seq                 seq
+	value               T
+	left, right, parent *bstNode[T]
+	owner               *BST[T]
+	removed             bool
+}
+
+func (*bstNode[T]) pqHandle() {}
+
+// BST is an unbalanced binary search tree. Section 4.1.1 reports (citing
+// Myhrhaug [7]) that unbalanced binary trees are cheaper than balanced
+// ones for typical inputs, but "easily degenerate into a linear list ...
+// if a set of equal timer intervals are inserted". This implementation
+// keeps that property on purpose: equal intervals produce monotonically
+// increasing absolute expiry keys, which build a right spine and make
+// Insert O(n). Experiment E3 demonstrates exactly this collapse.
+type BST[T any] struct {
+	root *bstNode[T]
+	n    int
+	cost *metrics.Cost
+	nseq seq
+}
+
+// NewBST returns an empty unbalanced binary search tree charging
+// comparisons to cost.
+func NewBST[T any](cost *metrics.Cost) *BST[T] {
+	return &BST[T]{cost: cost}
+}
+
+// Name returns "bst".
+func (t *BST[T]) Name() string { return "bst" }
+
+// Len reports the number of items.
+func (t *BST[T]) Len() int { return t.n }
+
+// Insert adds v with the given key in O(height).
+func (t *BST[T]) Insert(key int64, v T) Handle {
+	nd := &bstNode[T]{key: key, seq: t.nseq, value: v, owner: t}
+	t.nseq++
+	t.cost.Write(1)
+	if t.root == nil {
+		t.root = nd
+		t.n++
+		return nd
+	}
+	cur := t.root
+	for {
+		t.cost.Read(1)
+		if less(t.cost, nd.key, nd.seq, cur.key, cur.seq) {
+			if cur.left == nil {
+				cur.left = nd
+				break
+			}
+			cur = cur.left
+		} else {
+			if cur.right == nil {
+				cur.right = nd
+				break
+			}
+			cur = cur.right
+		}
+	}
+	nd.parent = cur
+	t.cost.Write(2)
+	t.n++
+	return nd
+}
+
+// Min returns the leftmost item in O(height).
+func (t *BST[T]) Min() (int64, T, bool) {
+	if t.root == nil {
+		var zero T
+		return 0, zero, false
+	}
+	nd := t.leftmost(t.root)
+	return nd.key, nd.value, true
+}
+
+// PopMin removes and returns the leftmost item in O(height).
+func (t *BST[T]) PopMin() (int64, T, bool) {
+	if t.root == nil {
+		var zero T
+		return 0, zero, false
+	}
+	nd := t.leftmost(t.root)
+	t.unlink(nd)
+	return nd.key, nd.value, true
+}
+
+// Remove deletes the item behind hd in O(height).
+func (t *BST[T]) Remove(hd Handle) bool {
+	nd, ok := hd.(*bstNode[T])
+	if !ok || nd.owner != t || nd.removed {
+		return false
+	}
+	t.unlink(nd)
+	return true
+}
+
+func (t *BST[T]) leftmost(nd *bstNode[T]) *bstNode[T] {
+	for nd.left != nil {
+		t.cost.Read(1)
+		nd = nd.left
+	}
+	return nd
+}
+
+// replaceChild points parent's link at nd to repl (repl may be nil).
+func (t *BST[T]) replaceChild(nd, repl *bstNode[T]) {
+	t.cost.Write(1)
+	switch {
+	case nd.parent == nil:
+		t.root = repl
+	case nd.parent.left == nd:
+		nd.parent.left = repl
+	default:
+		nd.parent.right = repl
+	}
+	if repl != nil {
+		repl.parent = nd.parent
+	}
+}
+
+// unlink removes nd with the standard BST deletion: zero/one-child nodes
+// splice out directly; two-child nodes are replaced by their in-order
+// successor.
+func (t *BST[T]) unlink(nd *bstNode[T]) {
+	switch {
+	case nd.left == nil:
+		t.replaceChild(nd, nd.right)
+	case nd.right == nil:
+		t.replaceChild(nd, nd.left)
+	default:
+		succ := t.leftmost(nd.right)
+		if succ.parent != nd {
+			t.replaceChild(succ, succ.right)
+			succ.right = nd.right
+			succ.right.parent = succ
+			t.cost.Write(2)
+		}
+		t.replaceChild(nd, succ)
+		succ.left = nd.left
+		succ.left.parent = succ
+		t.cost.Write(2)
+	}
+	nd.left, nd.right, nd.parent = nil, nil, nil
+	nd.removed = true
+	t.n--
+}
+
+// Height reports the tree height (0 for empty); E3 uses it to show the
+// right-spine degeneration under constant intervals.
+func (t *BST[T]) Height() int {
+	var h func(*bstNode[T]) int
+	h = func(n *bstNode[T]) int {
+		if n == nil {
+			return 0
+		}
+		l, r := h(n.left), h(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return h(t.root)
+}
+
+// CheckInvariants verifies the search-tree order, parent pointers, and
+// node count.
+func (t *BST[T]) CheckInvariants() bool {
+	count := 0
+	var walk func(n, parent *bstNode[T], hasLo bool, loK int64, loS seq, hasHi bool, hiK int64, hiS seq) bool
+	walk = func(n, parent *bstNode[T], hasLo bool, loK int64, loS seq, hasHi bool, hiK int64, hiS seq) bool {
+		if n == nil {
+			return true
+		}
+		count++
+		if n.parent != parent || n.owner != t || n.removed {
+			return false
+		}
+		if hasLo && (n.key < loK || (n.key == loK && n.seq < loS)) {
+			return false
+		}
+		if hasHi && (n.key > hiK || (n.key == hiK && n.seq > hiS)) {
+			return false
+		}
+		return walk(n.left, n, hasLo, loK, loS, true, n.key, n.seq) &&
+			walk(n.right, n, true, n.key, n.seq, hasHi, hiK, hiS)
+	}
+	return walk(t.root, nil, false, 0, 0, false, 0, 0) && count == t.n
+}

@@ -1,0 +1,158 @@
+package pq
+
+import "timingwheels/internal/metrics"
+
+// heapItem is one binary-heap slot. The index back-pointer makes
+// arbitrary removal O(log n) without a search.
+type heapItem[T any] struct {
+	key   int64
+	seq   seq
+	value T
+	index int // position in the heap slice, -1 once removed
+	owner *Heap[T]
+}
+
+func (*heapItem[T]) pqHandle() {}
+
+// Heap is a binary min-heap. Insert and PopMin are O(log n); Min is O(1);
+// Remove by handle is O(log n).
+type Heap[T any] struct {
+	items []*heapItem[T]
+	cost  *metrics.Cost
+	nseq  seq
+}
+
+// NewHeap returns an empty binary heap charging comparisons to cost
+// (which may be nil).
+func NewHeap[T any](cost *metrics.Cost) *Heap[T] {
+	return &Heap[T]{cost: cost}
+}
+
+// Name returns "heap".
+func (h *Heap[T]) Name() string { return "heap" }
+
+// Len reports the number of items.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Insert adds v with the given key in O(log n).
+func (h *Heap[T]) Insert(key int64, v T) Handle {
+	it := &heapItem[T]{key: key, seq: h.nseq, value: v, index: len(h.items), owner: h}
+	h.nseq++
+	h.items = append(h.items, it)
+	h.cost.Write(1)
+	h.siftUp(it.index)
+	return it
+}
+
+// Min returns the root without removing it.
+func (h *Heap[T]) Min() (int64, T, bool) {
+	if len(h.items) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	h.cost.Read(1)
+	it := h.items[0]
+	return it.key, it.value, true
+}
+
+// PopMin removes and returns the root.
+func (h *Heap[T]) PopMin() (int64, T, bool) {
+	if len(h.items) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	it := h.items[0]
+	h.removeAt(0)
+	return it.key, it.value, true
+}
+
+// Remove deletes the item behind hd in O(log n). It returns false for
+// foreign or already-removed handles.
+func (h *Heap[T]) Remove(hd Handle) bool {
+	it, ok := hd.(*heapItem[T])
+	if !ok || it.owner != h || it.index < 0 {
+		return false
+	}
+	h.removeAt(it.index)
+	return true
+}
+
+func (h *Heap[T]) removeAt(i int) {
+	n := len(h.items) - 1
+	it := h.items[i]
+	if i != n {
+		h.swap(i, n)
+	}
+	h.items = h.items[:n]
+	h.cost.Write(1)
+	it.index = -1
+	if i < n {
+		// The displaced element may need to move either direction.
+		if !h.siftDown(i) {
+			h.siftUp(i)
+		}
+	}
+}
+
+func (h *Heap[T]) lessIdx(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	return less(h.cost, a.key, a.seq, b.key, b.seq)
+}
+
+func (h *Heap[T]) swap(i, j int) {
+	h.cost.Write(2)
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].index = i
+	h.items[j].index = j
+}
+
+func (h *Heap[T]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.lessIdx(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// siftDown returns true if the element moved.
+func (h *Heap[T]) siftDown(i int) bool {
+	moved := false
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && h.lessIdx(right, left) {
+			least = right
+		}
+		if !h.lessIdx(least, i) {
+			break
+		}
+		h.swap(i, least)
+		i = least
+		moved = true
+	}
+	return moved
+}
+
+// CheckInvariants verifies the heap property and index back-pointers.
+func (h *Heap[T]) CheckInvariants() bool {
+	for i, it := range h.items {
+		if it.index != i || it.owner != h {
+			return false
+		}
+		parent := (i - 1) / 2
+		if i > 0 {
+			p := h.items[parent]
+			if it.key < p.key || (it.key == p.key && it.seq < p.seq) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,183 @@
+package pq
+
+import "timingwheels/internal/metrics"
+
+// leftistNode is one node of a leftist tree. Parent pointers support
+// arbitrary deletion; npl is the null-path length (leftist invariant:
+// npl(left) >= npl(right) at every node).
+type leftistNode[T any] struct {
+	key                 int64
+	seq                 seq
+	value               T
+	left, right, parent *leftistNode[T]
+	npl                 int
+	owner               *Leftist[T]
+	removed             bool
+}
+
+func (*leftistNode[T]) pqHandle() {}
+
+// Leftist is a leftist tree ("leftist-trees" are cited by section 4.1.1
+// via Reeves [4] and Vaucher & Duval [6]). Insert, PopMin, and Remove are
+// O(log n); Min is O(1). Its defining virtue is an O(log n) meld, which
+// the removal path uses to splice out interior nodes.
+type Leftist[T any] struct {
+	root *leftistNode[T]
+	n    int
+	cost *metrics.Cost
+	nseq seq
+}
+
+// NewLeftist returns an empty leftist tree charging comparisons to cost.
+func NewLeftist[T any](cost *metrics.Cost) *Leftist[T] {
+	return &Leftist[T]{cost: cost}
+}
+
+// Name returns "leftist".
+func (l *Leftist[T]) Name() string { return "leftist" }
+
+// Len reports the number of items.
+func (l *Leftist[T]) Len() int { return l.n }
+
+// Insert adds v with the given key by melding a singleton.
+func (l *Leftist[T]) Insert(key int64, v T) Handle {
+	nd := &leftistNode[T]{key: key, seq: l.nseq, value: v, npl: 1, owner: l}
+	l.nseq++
+	l.cost.Write(1)
+	l.root = l.meld(l.root, nd)
+	l.root.parent = nil
+	l.n++
+	return nd
+}
+
+// Min returns the root item.
+func (l *Leftist[T]) Min() (int64, T, bool) {
+	if l.root == nil {
+		var zero T
+		return 0, zero, false
+	}
+	l.cost.Read(1)
+	return l.root.key, l.root.value, true
+}
+
+// PopMin removes the root by melding its children.
+func (l *Leftist[T]) PopMin() (int64, T, bool) {
+	if l.root == nil {
+		var zero T
+		return 0, zero, false
+	}
+	nd := l.root
+	l.detach(nd)
+	return nd.key, nd.value, true
+}
+
+// Remove deletes the item behind hd in O(log n).
+func (l *Leftist[T]) Remove(hd Handle) bool {
+	nd, ok := hd.(*leftistNode[T])
+	if !ok || nd.owner != l || nd.removed {
+		return false
+	}
+	l.detach(nd)
+	return true
+}
+
+// detach removes nd from the tree: meld its subtrees, splice the result
+// into nd's parent slot, then restore npl/leftist shape up the ancestor
+// chain.
+func (l *Leftist[T]) detach(nd *leftistNode[T]) {
+	sub := l.meld(nd.left, nd.right)
+	parent := nd.parent
+	if sub != nil {
+		sub.parent = parent
+	}
+	if parent == nil {
+		l.root = sub
+	} else {
+		l.cost.Write(1)
+		if parent.left == nd {
+			parent.left = sub
+		} else {
+			parent.right = sub
+		}
+		l.fixUp(parent)
+	}
+	nd.left, nd.right, nd.parent = nil, nil, nil
+	nd.removed = true
+	l.n--
+}
+
+// fixUp restores the leftist invariant and npl values from p to the root,
+// stopping early once nothing changes.
+func (l *Leftist[T]) fixUp(p *leftistNode[T]) {
+	for p != nil {
+		if npl(p.left) < npl(p.right) {
+			l.cost.Write(2)
+			p.left, p.right = p.right, p.left
+		}
+		newNpl := npl(p.right) + 1
+		if p.npl == newNpl {
+			return
+		}
+		l.cost.Write(1)
+		p.npl = newNpl
+		p = p.parent
+	}
+}
+
+func npl[T any](n *leftistNode[T]) int {
+	if n == nil {
+		return 0
+	}
+	return n.npl
+}
+
+// meld merges two leftist trees, returning the new root (parent pointer
+// of the result is left for the caller to set).
+func (l *Leftist[T]) meld(a, b *leftistNode[T]) *leftistNode[T] {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if less(l.cost, b.key, b.seq, a.key, a.seq) {
+		a, b = b, a
+	}
+	// a is the smaller root; meld b into a's right spine.
+	r := l.meld(a.right, b)
+	a.right = r
+	r.parent = a
+	l.cost.Write(2)
+	if npl(a.left) < npl(a.right) {
+		a.left, a.right = a.right, a.left
+		l.cost.Write(2)
+	}
+	a.npl = npl(a.right) + 1
+	return a
+}
+
+// CheckInvariants verifies heap order, leftist shape, parent pointers,
+// and the node count.
+func (l *Leftist[T]) CheckInvariants() bool {
+	count := 0
+	var walk func(n, parent *leftistNode[T]) bool
+	walk = func(n, parent *leftistNode[T]) bool {
+		if n == nil {
+			return true
+		}
+		count++
+		if n.parent != parent || n.owner != l || n.removed {
+			return false
+		}
+		if parent != nil {
+			if n.key < parent.key || (n.key == parent.key && n.seq < parent.seq) {
+				return false
+			}
+		}
+		if npl(n.left) < npl(n.right) || n.npl != npl(n.right)+1 {
+			return false
+		}
+		return walk(n.left, n) && walk(n.right, n)
+	}
+	return walk(l.root, nil) && count == l.n
+}

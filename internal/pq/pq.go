@@ -1,0 +1,68 @@
+// Package pq implements the priority queues behind Scheme 3 of the paper
+// ("tree-based algorithms", section 4.1.1): a binary heap, a leftist tree,
+// a skew heap, and an unbalanced binary search tree. The paper cites
+// heaps, leftist trees, and unbalanced binary trees as the structures
+// that reduce START_TIMER from O(n) to O(log n) — and notes that
+// unbalanced trees "easily degenerate into a linear list" when equal
+// timer intervals are inserted, which the BST here faithfully does.
+//
+// All queues support O(1)-handle arbitrary removal (the doubly-linked-
+// list trick of section 3.2 translated to trees: START_TIMER keeps a node
+// pointer so STOP_TIMER never searches) and report key comparisons
+// through a metrics.Cost sink.
+//
+// Ties are broken by insertion order so that timers scheduled for the
+// same tick fire FIFO, which also gives the queues a strict weak order
+// (the paper notes simulators require FIFO ties; timer modules don't, but
+// determinism makes the cross-scheme conformance suite exact).
+package pq
+
+import "timingwheels/internal/metrics"
+
+// Queue is a min-priority queue keyed by int64 (absolute expiry tick)
+// carrying payloads of type T. Implementations are not safe for
+// concurrent use.
+type Queue[T any] interface {
+	// Name reports the implementation's short name ("heap", "bst", ...).
+	Name() string
+
+	// Len reports the number of items in the queue.
+	Len() int
+
+	// Insert adds a payload with the given key and returns a handle for
+	// later removal. Handles are owned by the queue that issued them.
+	Insert(key int64, v T) Handle
+
+	// Min returns the smallest-keyed item without removing it. ok is
+	// false if the queue is empty.
+	Min() (key int64, v T, ok bool)
+
+	// PopMin removes and returns the smallest-keyed item. ok is false if
+	// the queue is empty. Equal keys pop in insertion order.
+	PopMin() (key int64, v T, ok bool)
+
+	// Remove deletes the item behind h. It returns false if the handle
+	// was already removed or belongs to another queue.
+	Remove(h Handle) bool
+
+	// CheckInvariants verifies the structure's internal ordering/shape
+	// invariants, for property tests.
+	CheckInvariants() bool
+}
+
+// Handle is an opaque reference to one inserted item.
+type Handle interface{ pqHandle() }
+
+// seq disambiguates equal keys: lower seq = inserted earlier = pops first.
+type seq uint64
+
+// less orders (key, seq) pairs lexicographically, charging one comparison
+// to the cost sink. The seq tiebreak is deliberate: it is what makes
+// equal-key behaviour deterministic across all four implementations.
+func less(cost *metrics.Cost, k1 int64, s1 seq, k2 int64, s2 seq) bool {
+	cost.Compare(1)
+	if k1 != k2 {
+		return k1 < k2
+	}
+	return s1 < s2
+}

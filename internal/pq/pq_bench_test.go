@@ -1,0 +1,96 @@
+package pq
+
+import (
+	"fmt"
+	"testing"
+
+	"timingwheels/internal/dist"
+)
+
+// benchQueue builds a fresh queue of the named kind.
+func benchQueue(name string) Queue[int] {
+	switch name {
+	case "leftist":
+		return NewLeftist[int](nil)
+	case "skew":
+		return NewSkew[int](nil)
+	case "bst":
+		return NewBST[int](nil)
+	case "avl":
+		return NewAVL[int](nil)
+	case "pairing":
+		return NewPairing[int](nil)
+	default:
+		return NewHeap[int](nil)
+	}
+}
+
+var kindNames = []string{"heap", "leftist", "skew", "bst", "avl", "pairing"}
+
+// BenchmarkPQInsertRemove measures a random-key insert+remove pair at a
+// resident population of n.
+func BenchmarkPQInsertRemove(b *testing.B) {
+	for _, name := range kindNames {
+		for _, n := range []int{256, 16384} {
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				q := benchQueue(name)
+				rng := dist.NewRNG(1)
+				for i := 0; i < n; i++ {
+					q.Insert(rng.Int63(), i)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					h := q.Insert(rng.Int63(), i)
+					if !q.Remove(h) {
+						b.Fatal("remove failed")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPQPopMin measures drain throughput: insert a key then pop the
+// minimum, holding the population steady.
+func BenchmarkPQPopMin(b *testing.B) {
+	for _, name := range kindNames {
+		b.Run(name, func(b *testing.B) {
+			q := benchQueue(name)
+			rng := dist.NewRNG(2)
+			for i := 0; i < 4096; i++ {
+				q.Insert(rng.Int63(), i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Insert(rng.Int63(), i)
+				if _, _, ok := q.PopMin(); !ok {
+					b.Fatal("pop failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPQMonotoneInsert measures the degenerate-input case: strictly
+// increasing keys (equal timer intervals). The plain BST goes quadratic;
+// the AVL tree and heaps do not.
+func BenchmarkPQMonotoneInsert(b *testing.B) {
+	for _, name := range kindNames {
+		b.Run(name, func(b *testing.B) {
+			q := benchQueue(name)
+			key := int64(0)
+			// Bound resident size so the BST's O(n) spine cost is
+			// measured at a fixed, comparable n.
+			for i := 0; i < 2048; i++ {
+				q.Insert(key, i)
+				key++
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h := q.Insert(key, i)
+				key++
+				q.Remove(h)
+			}
+		})
+	}
+}

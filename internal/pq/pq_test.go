@@ -1,0 +1,350 @@
+package pq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"timingwheels/internal/dist"
+	"timingwheels/internal/metrics"
+)
+
+// queues constructs one of each implementation.
+func queues(cost *metrics.Cost) map[string]Queue[int] {
+	return map[string]Queue[int]{
+		"heap":    NewHeap[int](cost),
+		"leftist": NewLeftist[int](cost),
+		"skew":    NewSkew[int](cost),
+		"bst":     NewBST[int](cost),
+		"avl":     NewAVL[int](cost),
+		"pairing": NewPairing[int](cost),
+	}
+}
+
+func TestEmptyQueue(t *testing.T) {
+	for name, q := range queues(nil) {
+		t.Run(name, func(t *testing.T) {
+			if q.Len() != 0 {
+				t.Fatal("new queue should be empty")
+			}
+			if _, _, ok := q.Min(); ok {
+				t.Fatal("Min on empty queue should report !ok")
+			}
+			if _, _, ok := q.PopMin(); ok {
+				t.Fatal("PopMin on empty queue should report !ok")
+			}
+			if !q.CheckInvariants() {
+				t.Fatal("empty invariants")
+			}
+		})
+	}
+}
+
+func TestInsertPopSorted(t *testing.T) {
+	keys := []int64{5, 3, 8, 1, 9, 2, 7, 4, 6, 0, 5, 3}
+	for name, q := range queues(nil) {
+		t.Run(name, func(t *testing.T) {
+			for i, k := range keys {
+				q.Insert(k, i)
+			}
+			if q.Len() != len(keys) {
+				t.Fatalf("Len=%d want %d", q.Len(), len(keys))
+			}
+			want := append([]int64(nil), keys...)
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			for i, wk := range want {
+				k, _, ok := q.PopMin()
+				if !ok || k != wk {
+					t.Fatalf("pop %d: key=%d ok=%v want %d", i, k, ok, wk)
+				}
+				if !q.CheckInvariants() {
+					t.Fatalf("invariants broken after pop %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestFIFOTies checks that equal keys pop in insertion order in every
+// implementation.
+func TestFIFOTies(t *testing.T) {
+	for name, q := range queues(nil) {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 10; i++ {
+				q.Insert(42, i)
+			}
+			q.Insert(1, 99)
+			if _, v, _ := q.PopMin(); v != 99 {
+				t.Fatalf("smaller key should pop first, got %d", v)
+			}
+			for i := 0; i < 10; i++ {
+				_, v, ok := q.PopMin()
+				if !ok || v != i {
+					t.Fatalf("tie pop %d: got %d ok=%v", i, v, ok)
+				}
+			}
+		})
+	}
+}
+
+func TestMinDoesNotRemove(t *testing.T) {
+	for name, q := range queues(nil) {
+		t.Run(name, func(t *testing.T) {
+			q.Insert(3, 30)
+			q.Insert(1, 10)
+			for i := 0; i < 3; i++ {
+				k, v, ok := q.Min()
+				if !ok || k != 1 || v != 10 {
+					t.Fatalf("Min=%d,%d,%v", k, v, ok)
+				}
+			}
+			if q.Len() != 2 {
+				t.Fatal("Min must not remove")
+			}
+		})
+	}
+}
+
+func TestRemoveByHandle(t *testing.T) {
+	for name, q := range queues(nil) {
+		t.Run(name, func(t *testing.T) {
+			h1 := q.Insert(1, 1)
+			h2 := q.Insert(2, 2)
+			h3 := q.Insert(3, 3)
+			if !q.Remove(h2) {
+				t.Fatal("Remove(h2) should succeed")
+			}
+			if q.Remove(h2) {
+				t.Fatal("double Remove should fail")
+			}
+			if !q.CheckInvariants() {
+				t.Fatal("invariants after remove")
+			}
+			if k, _, _ := q.PopMin(); k != 1 {
+				t.Fatalf("first pop key=%d", k)
+			}
+			if k, _, _ := q.PopMin(); k != 3 {
+				t.Fatalf("second pop key=%d", k)
+			}
+			_ = h1
+			_ = h3
+		})
+	}
+}
+
+func TestRemoveRoot(t *testing.T) {
+	for name, q := range queues(nil) {
+		t.Run(name, func(t *testing.T) {
+			h1 := q.Insert(1, 1)
+			q.Insert(2, 2)
+			if !q.Remove(h1) {
+				t.Fatal("Remove(root) should succeed")
+			}
+			if k, _, ok := q.Min(); !ok || k != 2 {
+				t.Fatalf("Min after root removal: %d %v", k, ok)
+			}
+		})
+	}
+}
+
+func TestForeignHandleRejected(t *testing.T) {
+	for name := range queues(nil) {
+		t.Run(name, func(t *testing.T) {
+			qs1 := queues(nil)
+			qs2 := queues(nil)
+			h := qs1[name].Insert(1, 1)
+			if qs2[name].Remove(h) {
+				t.Fatal("foreign handle should be rejected")
+			}
+			// Cross-implementation handles must also be rejected.
+			for other, q2 := range qs2 {
+				if other == name {
+					continue
+				}
+				if q2.Remove(h) {
+					t.Fatalf("%s accepted a %s handle", other, name)
+				}
+			}
+		})
+	}
+}
+
+// TestBSTDegeneration reproduces the paper's warning: monotonically
+// increasing keys (equal timer intervals against an advancing clock)
+// build a right spine, making the unbalanced BST linear.
+func TestBSTDegeneration(t *testing.T) {
+	bst := NewBST[int](nil)
+	n := 512
+	for i := 0; i < n; i++ {
+		bst.Insert(int64(i), i)
+	}
+	if h := bst.Height(); h != n {
+		t.Fatalf("monotone insert height=%d, want %d (degenerate spine)", h, n)
+	}
+	// Random keys stay shallow by comparison.
+	bst2 := NewBST[int](nil)
+	rng := dist.NewRNG(7)
+	for i := 0; i < n; i++ {
+		bst2.Insert(rng.Int63(), i)
+	}
+	if h := bst2.Height(); h >= n/4 {
+		t.Fatalf("random insert height=%d, unexpectedly deep", h)
+	}
+}
+
+// TestAVLStaysBalanced is the counterpoint to TestBSTDegeneration: the
+// same monotone key sequence leaves the AVL tree at logarithmic height.
+func TestAVLStaysBalanced(t *testing.T) {
+	avl := NewAVL[int](nil)
+	const n = 4096
+	for i := 0; i < n; i++ {
+		avl.Insert(int64(i), i)
+		if i%512 == 0 && !avl.CheckInvariants() {
+			t.Fatalf("invariants broken at insert %d", i)
+		}
+	}
+	// AVL height bound: 1.44*log2(n+2) ~ 18 for n=4096.
+	if h := avl.Height(); h > 18 {
+		t.Fatalf("monotone insert height=%d, want <= 18", h)
+	}
+	if !avl.CheckInvariants() {
+		t.Fatal("invariants after monotone inserts")
+	}
+}
+
+// TestBalancedDeletionCostsMoreThanUnbalanced reproduces the Figure 6
+// note: removing from the balanced tree pays for rebalancing, so its
+// deletion writes exceed the unbalanced BST's splice on comparable
+// shapes.
+func TestBalancedDeletionCostsMoreThanUnbalanced(t *testing.T) {
+	var costAVL, costBST metrics.Cost
+	avl := NewAVL[int](&costAVL)
+	bst := NewBST[int](&costBST)
+	rng := dist.NewRNG(13)
+	var ha, hb []Handle
+	for i := 0; i < 4096; i++ {
+		k := rng.Int63()
+		ha = append(ha, avl.Insert(k, i))
+		hb = append(hb, bst.Insert(k, i))
+	}
+	costAVL.Reset()
+	costBST.Reset()
+	for i := 0; i < 1024; i++ {
+		j := rng.Intn(len(ha))
+		avl.Remove(ha[j])
+		bst.Remove(hb[j])
+		ha[j] = ha[len(ha)-1]
+		hb[j] = hb[len(hb)-1]
+		ha = ha[:len(ha)-1]
+		hb = hb[:len(hb)-1]
+	}
+	if costAVL.Writes <= costBST.Writes {
+		t.Fatalf("AVL deletion writes %d should exceed BST %d (rebalancing)",
+			costAVL.Writes, costBST.Writes)
+	}
+	if !avl.CheckInvariants() || !bst.CheckInvariants() {
+		t.Fatal("invariants after deletions")
+	}
+}
+
+// TestCostComparisonsGrow sanity-checks the cost instrumentation: a
+// larger heap charges more comparisons per insert on average.
+func TestCostComparisonsGrow(t *testing.T) {
+	var costSmall, costBig metrics.Cost
+	small := NewHeap[int](&costSmall)
+	big := NewHeap[int](&costBig)
+	rng := dist.NewRNG(11)
+	for i := 0; i < 15; i++ {
+		small.Insert(rng.Int63(), i)
+	}
+	for i := 0; i < 4095; i++ {
+		big.Insert(rng.Int63(), i)
+	}
+	costSmall.Reset()
+	costBig.Reset()
+	for i := 0; i < 200; i++ {
+		small.Insert(rng.Int63(), i)
+		big.Insert(rng.Int63(), i)
+	}
+	if costBig.Compares <= costSmall.Compares {
+		t.Fatalf("big heap compares %d <= small heap %d", costBig.Compares, costSmall.Compares)
+	}
+}
+
+// TestQuickAgainstReference drives each implementation against a sorted
+// reference multiset through random insert/pop/remove sequences.
+func TestQuickAgainstReference(t *testing.T) {
+	for name := range queues(nil) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			check := func(seed uint64) bool {
+				q := queues(nil)[name]
+				rng := dist.NewRNG(seed)
+				type item struct {
+					key int64
+					h   Handle
+					id  int
+				}
+				var live []item
+				nextID := 0
+				var popped []int64
+				var wantPopped []int64
+				for op := 0; op < 400; op++ {
+					switch rng.Intn(4) {
+					case 0, 1: // insert
+						k := int64(rng.Intn(50))
+						h := q.Insert(k, nextID)
+						live = append(live, item{key: k, h: h, id: nextID})
+						nextID++
+					case 2: // pop min
+						k, _, ok := q.PopMin()
+						if !ok {
+							if len(live) != 0 {
+								return false
+							}
+							continue
+						}
+						popped = append(popped, k)
+						// reference: remove the minimum (key, earliest id)
+						best := -1
+						for i, it := range live {
+							if best < 0 || it.key < live[best].key ||
+								(it.key == live[best].key && it.id < live[best].id) {
+								best = i
+							}
+						}
+						wantPopped = append(wantPopped, live[best].key)
+						live = append(live[:best], live[best+1:]...)
+					case 3: // remove random handle
+						if len(live) == 0 {
+							continue
+						}
+						i := rng.Intn(len(live))
+						if !q.Remove(live[i].h) {
+							return false
+						}
+						live = append(live[:i], live[i+1:]...)
+					}
+					if q.Len() != len(live) {
+						return false
+					}
+					if !q.CheckInvariants() {
+						return false
+					}
+				}
+				if len(popped) != len(wantPopped) {
+					return false
+				}
+				for i := range popped {
+					if popped[i] != wantPopped[i] {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

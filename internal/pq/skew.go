@@ -1,0 +1,158 @@
+package pq
+
+import "timingwheels/internal/metrics"
+
+// skewNode is one node of a skew heap.
+type skewNode[T any] struct {
+	key                 int64
+	seq                 seq
+	value               T
+	left, right, parent *skewNode[T]
+	owner               *Skew[T]
+	removed             bool
+}
+
+func (*skewNode[T]) pqHandle() {}
+
+// Skew is a skew heap: a self-adjusting meldable heap with O(log n)
+// amortized operations and no balance bookkeeping at all (no npl field).
+// It rounds out the Scheme 3 family as the "simplest possible meldable
+// heap" point in the design space; E3 compares its constants against the
+// binary heap and leftist tree.
+type Skew[T any] struct {
+	root *skewNode[T]
+	n    int
+	cost *metrics.Cost
+	nseq seq
+}
+
+// NewSkew returns an empty skew heap charging comparisons to cost.
+func NewSkew[T any](cost *metrics.Cost) *Skew[T] {
+	return &Skew[T]{cost: cost}
+}
+
+// Name returns "skew".
+func (s *Skew[T]) Name() string { return "skew" }
+
+// Len reports the number of items.
+func (s *Skew[T]) Len() int { return s.n }
+
+// Insert adds v with the given key by melding a singleton.
+func (s *Skew[T]) Insert(key int64, v T) Handle {
+	nd := &skewNode[T]{key: key, seq: s.nseq, value: v, owner: s}
+	s.nseq++
+	s.cost.Write(1)
+	s.root = s.meld(s.root, nd)
+	s.root.parent = nil
+	s.n++
+	return nd
+}
+
+// Min returns the root item.
+func (s *Skew[T]) Min() (int64, T, bool) {
+	if s.root == nil {
+		var zero T
+		return 0, zero, false
+	}
+	s.cost.Read(1)
+	return s.root.key, s.root.value, true
+}
+
+// PopMin removes the root by melding its children.
+func (s *Skew[T]) PopMin() (int64, T, bool) {
+	if s.root == nil {
+		var zero T
+		return 0, zero, false
+	}
+	nd := s.root
+	s.detach(nd)
+	return nd.key, nd.value, true
+}
+
+// Remove deletes the item behind hd (amortized O(log n)).
+func (s *Skew[T]) Remove(hd Handle) bool {
+	nd, ok := hd.(*skewNode[T])
+	if !ok || nd.owner != s || nd.removed {
+		return false
+	}
+	s.detach(nd)
+	return true
+}
+
+func (s *Skew[T]) detach(nd *skewNode[T]) {
+	sub := s.meld(nd.left, nd.right)
+	if sub != nil {
+		sub.parent = nd.parent
+	}
+	s.cost.Write(1)
+	switch {
+	case nd.parent == nil:
+		s.root = sub
+	case nd.parent.left == nd:
+		nd.parent.left = sub
+	default:
+		nd.parent.right = sub
+	}
+	nd.left, nd.right, nd.parent = nil, nil, nil
+	nd.removed = true
+	s.n--
+}
+
+// meld merges two skew heaps iteratively along the right spines, swapping
+// children unconditionally (the "skew" self-adjustment).
+func (s *Skew[T]) meld(a, b *skewNode[T]) *skewNode[T] {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if less(s.cost, b.key, b.seq, a.key, a.seq) {
+		a, b = b, a
+	}
+	root := a
+	for {
+		// Swap a's children, then continue melding b into the (new) right
+		// subtree — the standard top-down skew meld.
+		s.cost.Write(2)
+		a.left, a.right = a.right, a.left
+		if a.left == nil {
+			a.left = b
+			b.parent = a
+			s.cost.Write(2)
+			break
+		}
+		next := a.left
+		if less(s.cost, b.key, b.seq, next.key, next.seq) {
+			a.left = b
+			b.parent = a
+			s.cost.Write(2)
+			a, b = b, next
+		} else {
+			a = next
+		}
+	}
+	return root
+}
+
+// CheckInvariants verifies heap order, parent pointers, and node count.
+func (s *Skew[T]) CheckInvariants() bool {
+	count := 0
+	var walk func(n, parent *skewNode[T]) bool
+	walk = func(n, parent *skewNode[T]) bool {
+		if n == nil {
+			return true
+		}
+		count++
+		if n.parent != parent || n.owner != s || n.removed {
+			return false
+		}
+		if parent != nil {
+			if n.key < parent.key || (n.key == parent.key && n.seq < parent.seq) {
+				return false
+			}
+		}
+		return walk(n.left, n) && walk(n.right, n)
+	}
+	return walk(s.root, nil) && count == s.n
+}

@@ -1,0 +1,349 @@
+// Package proto is a deterministic sliding-window reliable-transport
+// simulator — the paper's motivating application ("consider a server
+// with 200 connections and 3 timers per connection") — parameterized by
+// the timer facility it runs on.
+//
+// The paper closes with a claim this package exists to test: "designers
+// and implementors have assumed that protocols that use a large number
+// of timers are expensive and perform poorly. This is an artifact of
+// existing implementations ... Given that a large number of timers can
+// be implemented efficiently ... we hope this will no longer be an issue
+// in the design of protocols." Experiment E14 runs the same transfer
+// over Scheme 2 and Scheme 6 and compares the timer module's share of
+// the work as the connection count scales.
+//
+// The protocol is intentionally textbook: go-back-N-free selective
+// retransmission with per-packet RTO timers (started on every send,
+// stopped on almost every ack — the rarely-expires class), cumulative
+// acks, and a per-connection keepalive (the always-expires class). The
+// network applies a fixed one-way delay and deterministic pseudo-random
+// loss. Everything is virtual-time and bit-reproducible, so two runs on
+// different (exact) timer schemes must produce identical protocol
+// traces — an application-level conformance check.
+package proto
+
+import (
+	"fmt"
+	"sort"
+
+	"timingwheels/internal/core"
+)
+
+// Config describes one transfer workload.
+type Config struct {
+	// Connections is the number of concurrent connections.
+	Connections int
+	// PacketsPerConn is how many packets each connection must deliver.
+	PacketsPerConn int
+	// Window is the per-connection sending window (packets in flight).
+	Window int
+	// OneWayDelay is the network's one-way latency in ticks.
+	OneWayDelay core.Tick
+	// RTO is the retransmission timeout in ticks (should exceed 2x
+	// OneWayDelay).
+	RTO core.Tick
+	// Keepalive is the per-connection keepalive period in ticks
+	// (0 disables keepalives).
+	Keepalive core.Tick
+	// LossOneIn drops one transmission in this many on average
+	// (0 or 1 disables loss... 0 disables; 1 would drop everything and
+	// is rejected).
+	LossOneIn int
+	// Seed fixes the loss pattern.
+	Seed uint64
+	// MaxTicks aborts a run that fails to complete (default 10M).
+	MaxTicks core.Tick
+}
+
+func (c *Config) validate() error {
+	if c.Connections < 1 || c.PacketsPerConn < 1 {
+		return fmt.Errorf("proto: need at least one connection and packet")
+	}
+	if c.Window < 1 {
+		return fmt.Errorf("proto: window must be >= 1")
+	}
+	if c.OneWayDelay < 1 {
+		return fmt.Errorf("proto: one-way delay must be >= 1 tick")
+	}
+	if c.RTO < 2*c.OneWayDelay+1 {
+		return fmt.Errorf("proto: RTO %d must exceed the round trip %d", c.RTO, 2*c.OneWayDelay)
+	}
+	if c.LossOneIn == 1 {
+		return fmt.Errorf("proto: LossOneIn=1 drops every packet")
+	}
+	if c.MaxTicks == 0 {
+		c.MaxTicks = 10_000_000
+	}
+	return nil
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Ticks is the virtual time at which the last connection completed.
+	Ticks core.Tick
+	// Sent counts data transmissions (including retransmissions).
+	Sent int
+	// Retransmits counts RTO-triggered retransmissions.
+	Retransmits int
+	// Delivered counts distinct packets delivered (Connections *
+	// PacketsPerConn on success).
+	Delivered int
+	// Keepalives counts keepalive probes fired.
+	Keepalives int
+	// TimerStarts and TimerStops count timer-module operations.
+	TimerStarts, TimerStops uint64
+	// Expired counts RTO timers that actually fired.
+	Expired uint64
+}
+
+// event is a packet crossing the network.
+type event struct {
+	conn int
+	seq  int
+	ack  bool
+}
+
+// conn is one connection's sender+receiver state.
+type conn struct {
+	id        int
+	base      int // lowest unacked seq
+	next      int // next seq to send
+	total     int
+	acked     []bool
+	rto       map[int]core.Handle // seq -> pending RTO timer
+	sendCount []int               // transmissions per seq (loss hashing)
+	ackCount  map[int]int         // ack transmissions per cumulative seq
+	keepalive core.Handle
+	done      bool
+}
+
+// runner holds one run's full state.
+type runner struct {
+	cfg     Config
+	fac     core.Facility
+	conns   []*conn
+	wire    map[core.Tick][]event
+	res     Result
+	pending int // packets not yet delivered across all connections
+}
+
+// Run executes the transfer over the given facility and reports the
+// protocol trace. The facility must be fresh (time 0, no timers).
+func Run(fac core.Facility, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := &runner{
+		cfg:   cfg,
+		fac:   fac,
+		wire:  make(map[core.Tick][]event),
+		conns: make([]*conn, cfg.Connections),
+	}
+	r.pending = cfg.Connections * cfg.PacketsPerConn
+	for i := range r.conns {
+		r.conns[i] = &conn{
+			id:        i,
+			total:     cfg.PacketsPerConn,
+			acked:     make([]bool, cfg.PacketsPerConn),
+			rto:       make(map[int]core.Handle),
+			sendCount: make([]int, cfg.PacketsPerConn),
+			ackCount:  make(map[int]int),
+		}
+	}
+
+	// Open: every connection fills its window; the first send arms its
+	// keepalive as a side effect (PacketsPerConn >= 1 guarantees one).
+	for _, c := range r.conns {
+		r.fill(c)
+	}
+
+	for r.pending > 0 {
+		if r.fac.Now() >= cfg.MaxTicks {
+			return nil, fmt.Errorf("proto: transfer incomplete after %d ticks", cfg.MaxTicks)
+		}
+		// Deliver packets due this tick in a canonical order (the order
+		// of same-tick timer callbacks is legitimately scheme-dependent,
+		// so anything they enqueued is sorted before processing), then
+		// let timers fire.
+		now := r.fac.Now() + 1 // deliveries land on the tick being entered
+		evs := r.wire[now]
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].conn != evs[j].conn {
+				return evs[i].conn < evs[j].conn
+			}
+			if evs[i].ack != evs[j].ack {
+				return !evs[i].ack // data before acks
+			}
+			return evs[i].seq < evs[j].seq
+		})
+		for _, ev := range evs {
+			r.deliver(ev)
+		}
+		delete(r.wire, now)
+		r.fac.Tick()
+	}
+	// Tear down: stop keepalives and any RTOs still armed for acks that
+	// were in flight when the last packet landed, so the facility drains
+	// clean.
+	for _, c := range r.conns {
+		r.stopTimer(&c.keepalive)
+		for seq, h := range c.rto {
+			delete(c.rto, seq)
+			r.stopHandle(h)
+		}
+	}
+	r.res.Ticks = r.fac.Now()
+	return &r.res, nil
+}
+
+// fill sends until the window is full.
+func (r *runner) fill(c *conn) {
+	for c.next < c.total && c.next < c.base+r.cfg.Window {
+		r.send(c, c.next, false)
+		c.next++
+	}
+}
+
+// send transmits seq (retransmit marks accounting) and arms its RTO.
+func (r *runner) send(c *conn, seq int, retransmit bool) {
+	r.res.Sent++
+	if retransmit {
+		r.res.Retransmits++
+	}
+	// Any traffic postpones the keepalive.
+	r.resetKeepalive(c)
+	// Arm (or re-arm) the per-packet retransmission timer.
+	if h, ok := c.rto[seq]; ok {
+		r.stopHandle(h)
+	}
+	c.rto[seq] = r.startTimer(r.cfg.RTO, func(core.ID) {
+		delete(c.rto, seq)
+		r.res.Expired++
+		// Retransmit anything not yet cumulatively acknowledged at the
+		// sender — the receiver may have the packet, but with its ack
+		// lost the sender cannot know, and a duplicate is the price of
+		// recovery.
+		if seq >= c.base {
+			r.send(c, seq, true)
+		}
+	})
+	// Put the data packet on the wire unless the network drops it. The
+	// loss decision hashes (conn, seq, transmission#) so it is invariant
+	// to the order in which same-tick timers fire.
+	c.sendCount[seq]++
+	if !r.lost(uint64(c.id), uint64(seq), uint64(c.sendCount[seq])) {
+		at := r.fac.Now() + r.cfg.OneWayDelay
+		r.wire[at] = append(r.wire[at], event{conn: c.id, seq: seq})
+	}
+}
+
+// deliver processes a packet arriving at its destination.
+func (r *runner) deliver(ev event) {
+	c := r.conns[ev.conn]
+	if ev.ack {
+		r.onAck(c, ev.seq)
+		return
+	}
+	// Receiver: record delivery once, always ack cumulatively. The
+	// sender's RTO for this packet keeps running until the ack makes it
+	// back (stopping it here would assume a lossless reverse path and
+	// deadlock the transfer when an ack drops).
+	if !c.acked[ev.seq] {
+		c.acked[ev.seq] = true
+		r.res.Delivered++
+		r.pending--
+	}
+	// Cumulative ack: highest in-order seq delivered.
+	hi := c.base
+	for hi < c.total && c.acked[hi] {
+		hi++
+	}
+	c.ackCount[hi]++
+	if !r.lost(uint64(c.id)+1<<32, uint64(hi), uint64(c.ackCount[hi])) {
+		at := r.fac.Now() + r.cfg.OneWayDelay
+		r.wire[at] = append(r.wire[at], event{conn: c.id, seq: hi - 1, ack: true})
+	}
+}
+
+// onAck advances the window on a cumulative ack for seqs <= seq.
+func (r *runner) onAck(c *conn, seq int) {
+	for c.base <= seq && c.base < c.total {
+		if h, ok := c.rto[c.base]; ok {
+			delete(c.rto, c.base)
+			r.stopHandle(h)
+		}
+		c.base++
+	}
+	if c.base >= c.total {
+		c.done = true
+		return
+	}
+	r.fill(c)
+}
+
+// armKeepalive starts the per-connection keepalive cycle.
+func (r *runner) armKeepalive(c *conn) {
+	if r.cfg.Keepalive <= 0 {
+		return
+	}
+	c.keepalive = r.startTimer(r.cfg.Keepalive, func(core.ID) {
+		r.res.Keepalives++
+		c.keepalive = nil
+		if !c.done {
+			r.armKeepalive(c) // probe and re-arm
+		}
+	})
+}
+
+// resetKeepalive restarts the keepalive on traffic.
+func (r *runner) resetKeepalive(c *conn) {
+	if r.cfg.Keepalive <= 0 {
+		return
+	}
+	r.stopTimer(&c.keepalive)
+	r.armKeepalive(c)
+}
+
+// lost applies the deterministic loss model: a splitmix-style hash of
+// (seed, stream, seq, attempt) decides each transmission independently
+// of the order events happen to be processed in.
+func (r *runner) lost(stream, seq, attempt uint64) bool {
+	if r.cfg.LossOneIn <= 1 {
+		return false
+	}
+	x := r.cfg.Seed ^ stream*0x9e3779b97f4a7c15 ^ seq*0xbf58476d1ce4e5b9 ^ attempt*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x%uint64(r.cfg.LossOneIn) == 0
+}
+
+// startTimer wraps StartTimer with op accounting.
+func (r *runner) startTimer(d core.Tick, cb core.Callback) core.Handle {
+	h, err := r.fac.StartTimer(d, cb)
+	if err != nil {
+		panic(fmt.Sprintf("proto: StartTimer(%d): %v", d, err))
+	}
+	r.res.TimerStarts++
+	return h
+}
+
+// stopHandle stops a timer, tolerating already-fired races.
+func (r *runner) stopHandle(h core.Handle) {
+	if h == nil {
+		return
+	}
+	if err := r.fac.StopTimer(h); err == nil {
+		r.res.TimerStops++
+	}
+}
+
+// stopTimer stops and clears a handle slot.
+func (r *runner) stopTimer(h *core.Handle) {
+	if *h != nil {
+		r.stopHandle(*h)
+		*h = nil
+	}
+}

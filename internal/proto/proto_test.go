@@ -1,0 +1,181 @@
+package proto
+
+import (
+	"testing"
+
+	"timingwheels/internal/baseline"
+	"timingwheels/internal/core"
+	"timingwheels/internal/hashwheel"
+	"timingwheels/internal/hier"
+	"timingwheels/internal/hybrid"
+	"timingwheels/internal/tree"
+)
+
+func baseConfig() Config {
+	return Config{
+		Connections:    20,
+		PacketsPerConn: 50,
+		Window:         8,
+		OneWayDelay:    10,
+		RTO:            48,
+		Keepalive:      15, // shorter than the ~20-tick ack round trip, so probes fire
+
+		LossOneIn: 11,
+		Seed:      1987,
+	}
+}
+
+func TestLosslessTransferHasNoRetransmits(t *testing.T) {
+	cfg := baseConfig()
+	cfg.LossOneIn = 0
+	res, err := Run(hashwheel.NewScheme6(1024, nil), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != cfg.Connections*cfg.PacketsPerConn {
+		t.Fatalf("delivered %d", res.Delivered)
+	}
+	if res.Retransmits != 0 || res.Expired != 0 {
+		t.Fatalf("lossless run had %d retransmits (%d expiries)", res.Retransmits, res.Expired)
+	}
+	if res.TimerStops == 0 {
+		t.Fatal("acks should stop RTO timers")
+	}
+	// Every data packet's RTO was stopped, never fired: the dominant
+	// stopped-before-expiry pattern of the paper's introduction.
+	if res.TimerStops < uint64(res.Sent) {
+		t.Fatalf("stops %d < sends %d", res.TimerStops, res.Sent)
+	}
+}
+
+func TestLossyTransferCompletes(t *testing.T) {
+	res, err := Run(hashwheel.NewScheme6(1024, nil), baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseConfig().Connections * baseConfig().PacketsPerConn
+	if res.Delivered != want {
+		t.Fatalf("delivered %d, want %d", res.Delivered, want)
+	}
+	if res.Retransmits == 0 {
+		t.Fatal("lossy run should retransmit")
+	}
+	if res.Sent <= want {
+		t.Fatalf("sent %d <= delivered %d despite loss", res.Sent, want)
+	}
+	if res.Keepalives == 0 {
+		t.Fatal("long run should fire keepalives")
+	}
+}
+
+// TestTraceIdenticalAcrossSchemes is the application-level conformance
+// check: the protocol's behaviour depends only on timer semantics, so
+// every exact scheme must produce the identical trace.
+func TestTraceIdenticalAcrossSchemes(t *testing.T) {
+	cfg := baseConfig()
+	facs := map[string]core.Facility{
+		"scheme1":  baseline.NewScheme1(nil),
+		"scheme2":  baseline.NewScheme2(baseline.SearchFromFront, nil),
+		"scheme3":  tree.NewScheme3(tree.KindHeap, nil),
+		"scheme3a": tree.NewScheme3(tree.KindAVL, nil),
+		"scheme5":  hashwheel.NewScheme5(64, nil),
+		"scheme6":  hashwheel.NewScheme6(64, nil),
+		"scheme7":  hier.NewScheme7([]int{32, 32, 32}, hier.MigrateAlways, nil),
+		"hybrid":   hybrid.New(64, nil),
+	}
+	// Core protocol trace: must be bit-identical across schemes. The
+	// keepalive count is excluded — when a keepalive expiry and an
+	// RTO-triggered send land on the same tick, whether the reset beats
+	// the expiry depends on same-tick callback order, which the paper
+	// explicitly leaves unspecified ("timer modules need not meet this
+	// [FIFO] restriction").
+	type coreTrace struct {
+		Ticks                        core.Tick
+		Sent, Retransmits, Delivered int
+		Expired                      uint64
+	}
+	extract := func(r *Result) coreTrace {
+		return coreTrace{r.Ticks, r.Sent, r.Retransmits, r.Delivered, r.Expired}
+	}
+	var want *Result
+	for name, fac := range facs {
+		res, err := Run(fac, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if want == nil {
+			want = res
+			continue
+		}
+		if extract(res) != extract(want) {
+			t.Fatalf("%s trace diverged:\n got %+v\nwant %+v", name, *res, *want)
+		}
+		// Keepalive counts may differ by the number of same-tick races
+		// (keepalive expiry vs RTO-triggered reset), but not wildly.
+		lo, hi := want.Keepalives*2/3, want.Keepalives*3/2
+		if res.Keepalives < lo || res.Keepalives > hi {
+			t.Fatalf("%s keepalives %d outside [%d,%d]", name, res.Keepalives, lo, hi)
+		}
+	}
+	if want.Delivered != cfg.Connections*cfg.PacketsPerConn {
+		t.Fatalf("delivered %d", want.Delivered)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := map[string]func(*Config){
+		"no conns":    func(c *Config) { c.Connections = 0 },
+		"no packets":  func(c *Config) { c.PacketsPerConn = 0 },
+		"zero window": func(c *Config) { c.Window = 0 },
+		"zero delay":  func(c *Config) { c.OneWayDelay = 0 },
+		"tight rto":   func(c *Config) { c.RTO = 15 },
+		"all lost":    func(c *Config) { c.LossOneIn = 1 },
+	}
+	for name, mut := range cases {
+		t.Run(name, func(t *testing.T) {
+			cfg := baseConfig()
+			mut(&cfg)
+			if _, err := Run(hashwheel.NewScheme6(64, nil), cfg); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
+func TestMaxTicksAborts(t *testing.T) {
+	cfg := baseConfig()
+	cfg.LossOneIn = 2 // brutal loss
+	cfg.MaxTicks = 200
+	if _, err := Run(hashwheel.NewScheme6(64, nil), cfg); err == nil {
+		t.Fatal("expected incomplete-transfer error")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(hashwheel.NewScheme6(256, nil), baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(hashwheel.NewScheme6(256, nil), baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("same seed diverged: %+v vs %+v", *a, *b)
+	}
+}
+
+func TestFacilityDrainsClean(t *testing.T) {
+	fac := hashwheel.NewScheme6(256, nil)
+	if _, err := Run(fac, baseConfig()); err != nil {
+		t.Fatal(err)
+	}
+	// After completion and keepalive teardown, only already-detached
+	// state may remain; the facility must be drainable to empty.
+	for i := 0; i < 2000 && fac.Len() > 0; i++ {
+		fac.Tick()
+	}
+	if fac.Len() != 0 {
+		t.Fatalf("facility holds %d timers after transfer", fac.Len())
+	}
+}

@@ -1,0 +1,243 @@
+// Package replay records and replays timer-operation schedules in a
+// line-oriented text format, so a failing randomized conformance run can
+// be exported, minimized by hand, and replayed against any scheme — and
+// so two schemes can be diffed on exactly the same schedule.
+//
+// Format, one op per line (# starts a comment):
+//
+//	s <key> <interval>   START_TIMER; key names the timer in the trace
+//	x <key>              STOP_TIMER
+//	t <n>                advance n ticks
+//
+// Keys are caller-chosen non-negative integers, unique per start (a key
+// may be reused only after its timer fired or was stopped).
+package replay
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"timingwheels/internal/core"
+	"timingwheels/internal/dist"
+)
+
+// OpKind discriminates schedule operations.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpStart OpKind = iota
+	OpStop
+	OpTick
+)
+
+// Op is one schedule operation.
+type Op struct {
+	Kind     OpKind
+	Key      int       // OpStart, OpStop
+	Interval core.Tick // OpStart
+	N        core.Tick // OpTick
+}
+
+// String renders the op in the file format.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpStart:
+		return fmt.Sprintf("s %d %d", o.Key, o.Interval)
+	case OpStop:
+		return fmt.Sprintf("x %d", o.Key)
+	default:
+		return fmt.Sprintf("t %d", o.N)
+	}
+}
+
+// Parse reads a schedule from r, failing with a line-numbered error on
+// malformed input.
+func Parse(r io.Reader) ([]Op, error) {
+	var ops []Op
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		bad := func(why string) error {
+			return fmt.Errorf("replay: line %d: %s: %q", lineNo, why, line)
+		}
+		switch fields[0] {
+		case "s":
+			if len(fields) != 3 {
+				return nil, bad("want 's <key> <interval>'")
+			}
+			var key int
+			var iv int64
+			if _, err := fmt.Sscanf(fields[1]+" "+fields[2], "%d %d", &key, &iv); err != nil {
+				return nil, bad("bad numbers")
+			}
+			if key < 0 || iv < 1 {
+				return nil, bad("key must be >= 0 and interval >= 1")
+			}
+			ops = append(ops, Op{Kind: OpStart, Key: key, Interval: core.Tick(iv)})
+		case "x":
+			if len(fields) != 2 {
+				return nil, bad("want 'x <key>'")
+			}
+			var key int
+			if _, err := fmt.Sscanf(fields[1], "%d", &key); err != nil || key < 0 {
+				return nil, bad("bad key")
+			}
+			ops = append(ops, Op{Kind: OpStop, Key: key})
+		case "t":
+			if len(fields) != 2 {
+				return nil, bad("want 't <n>'")
+			}
+			var n int64
+			if _, err := fmt.Sscanf(fields[1], "%d", &n); err != nil || n < 1 {
+				return nil, bad("bad tick count")
+			}
+			ops = append(ops, Op{Kind: OpTick, N: core.Tick(n)})
+		default:
+			return nil, bad("unknown op")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	return ops, nil
+}
+
+// Format writes a schedule in the file format.
+func Format(w io.Writer, ops []Op) error {
+	for _, op := range ops {
+		if _, err := fmt.Fprintln(w, op.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fire records one expiry in a trace.
+type Fire struct {
+	Key int
+	At  core.Tick
+}
+
+// Trace is the observable outcome of applying a schedule.
+type Trace struct {
+	// Fires lists expiries in firing order.
+	Fires []Fire
+	// StopErrors counts StopTimer calls that failed (timer already fired
+	// or stopped — legal in a schedule, but recorded).
+	StopErrors int
+	// End is the virtual time after the last op.
+	End core.Tick
+	// Pending is the number of timers still outstanding at the end.
+	Pending int
+}
+
+// Apply runs a schedule against a fresh facility and returns its trace.
+// Unknown keys in stops and duplicate live keys in starts are schedule
+// errors.
+func Apply(fac core.Facility, ops []Op) (*Trace, error) {
+	tr := &Trace{}
+	handles := make(map[int]core.Handle)
+	for i, op := range ops {
+		switch op.Kind {
+		case OpStart:
+			if _, live := handles[op.Key]; live {
+				return nil, fmt.Errorf("replay: op %d: key %d already live", i, op.Key)
+			}
+			key := op.Key
+			h, err := fac.StartTimer(op.Interval, func(core.ID) {
+				tr.Fires = append(tr.Fires, Fire{Key: key, At: fac.Now()})
+				delete(handles, key)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("replay: op %d: start %d/%d: %w", i, op.Key, op.Interval, err)
+			}
+			handles[op.Key] = h
+		case OpStop:
+			h, live := handles[op.Key]
+			if !live {
+				tr.StopErrors++
+				continue
+			}
+			if err := fac.StopTimer(h); err != nil {
+				tr.StopErrors++
+			}
+			delete(handles, op.Key)
+		case OpTick:
+			core.AdvanceBy(fac, op.N)
+		}
+	}
+	tr.End = fac.Now()
+	tr.Pending = fac.Len()
+	return tr, nil
+}
+
+// Diff compares two traces, returning a human-readable description of
+// the first divergence, or "" if they match. Same-tick firing order is
+// scheme-defined, so fires are compared as per-tick sets.
+func Diff(a, b *Trace) string {
+	if a.End != b.End {
+		return fmt.Sprintf("end time %d vs %d", a.End, b.End)
+	}
+	if a.Pending != b.Pending {
+		return fmt.Sprintf("pending %d vs %d", a.Pending, b.Pending)
+	}
+	if a.StopErrors != b.StopErrors {
+		return fmt.Sprintf("stop errors %d vs %d", a.StopErrors, b.StopErrors)
+	}
+	at := fireMap(a)
+	bt := fireMap(b)
+	if len(a.Fires) != len(b.Fires) {
+		return fmt.Sprintf("fire count %d vs %d", len(a.Fires), len(b.Fires))
+	}
+	for key, tick := range at {
+		if bt[key] != tick {
+			return fmt.Sprintf("timer %d fired at %d vs %d", key, tick, bt[key])
+		}
+	}
+	return ""
+}
+
+func fireMap(t *Trace) map[int]core.Tick {
+	m := make(map[int]core.Tick, len(t.Fires))
+	for _, f := range t.Fires {
+		m[f.Key] = f.At
+	}
+	return m
+}
+
+// Random generates a reproducible random schedule of the given length,
+// with intervals in [1, maxInterval] — the same shape the conformance
+// suite uses, exportable for minimization.
+func Random(seed uint64, ops int, maxInterval int64) []Op {
+	rng := dist.NewRNG(seed)
+	var out []Op
+	var live []int
+	next := 0
+	for i := 0; i < ops; i++ {
+		switch r := rng.Intn(10); {
+		case r < 4:
+			out = append(out, Op{Kind: OpStart, Key: next,
+				Interval: core.Tick(1 + rng.Intn(int(maxInterval)))})
+			live = append(live, next)
+			next++
+		case r < 6 && len(live) > 0:
+			j := rng.Intn(len(live))
+			out = append(out, Op{Kind: OpStop, Key: live[j]})
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		default:
+			out = append(out, Op{Kind: OpTick, N: core.Tick(1 + rng.Intn(int(maxInterval)))})
+		}
+	}
+	out = append(out, Op{Kind: OpTick, N: core.Tick(2 * maxInterval)})
+	return out
+}

@@ -1,0 +1,142 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+
+	"timingwheels/internal/baseline"
+	"timingwheels/internal/core"
+	"timingwheels/internal/hashwheel"
+	"timingwheels/internal/hier"
+	"timingwheels/internal/hybrid"
+	"timingwheels/internal/tree"
+)
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	in := `# a comment
+s 0 10
+
+s 1 3
+t 2
+x 0
+t 20
+`
+	ops, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{
+		{Kind: OpStart, Key: 0, Interval: 10},
+		{Kind: OpStart, Key: 1, Interval: 3},
+		{Kind: OpTick, N: 2},
+		{Kind: OpStop, Key: 0},
+		{Kind: OpTick, N: 20},
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("parsed %d ops, want %d", len(ops), len(want))
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("op %d: %+v, want %+v", i, ops[i], want[i])
+		}
+	}
+	var sb strings.Builder
+	if err := Format(&sb, ops); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if again[i] != want[i] {
+			t.Fatalf("round trip op %d: %+v", i, again[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"unknown op":    "q 1",
+		"short start":   "s 1",
+		"bad interval":  "s 1 0",
+		"negative key":  "x -1",
+		"bad tick":      "t 0",
+		"garbage start": "s a b",
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(in)); err == nil {
+				t.Fatalf("Parse(%q) should fail", in)
+			}
+		})
+	}
+}
+
+func TestApplyTrace(t *testing.T) {
+	ops, err := Parse(strings.NewReader("s 0 5\ns 1 2\nx 0\nt 10\nx 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Apply(hashwheel.NewScheme6(16, nil), ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Fires) != 1 || tr.Fires[0] != (Fire{Key: 1, At: 2}) {
+		t.Fatalf("fires=%+v", tr.Fires)
+	}
+	if tr.StopErrors != 1 { // x 1 after it fired
+		t.Fatalf("stopErrors=%d", tr.StopErrors)
+	}
+	if tr.End != 10 || tr.Pending != 0 {
+		t.Fatalf("end=%d pending=%d", tr.End, tr.Pending)
+	}
+}
+
+func TestApplyRejectsDuplicateLiveKey(t *testing.T) {
+	ops := []Op{{Kind: OpStart, Key: 3, Interval: 5}, {Kind: OpStart, Key: 3, Interval: 5}}
+	if _, err := Apply(hashwheel.NewScheme6(16, nil), ops); err == nil {
+		t.Fatal("duplicate live key should fail")
+	}
+}
+
+// TestRandomScheduleAgreesAcrossSchemes is the tool's purpose: the same
+// schedule produces diff-clean traces on every exact scheme.
+func TestRandomScheduleAgreesAcrossSchemes(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		ops := Random(seed, 500, 100)
+		ref, err := Apply(baseline.NewScheme1(nil), ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, fac := range map[string]core.Facility{
+			"scheme2": baseline.NewScheme2(baseline.SearchFromFront, nil),
+			"scheme3": tree.NewScheme3(tree.KindPairing, nil),
+			"scheme6": hashwheel.NewScheme6(32, nil),
+			"scheme7": hier.NewScheme7([]int{16, 16, 16}, hier.MigrateAlways, nil),
+			"hybrid":  hybrid.New(32, nil),
+		} {
+			tr, err := Apply(fac, ops)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if d := Diff(ref, tr); d != "" {
+				t.Fatalf("seed %d, %s diverged: %s", seed, name, d)
+			}
+		}
+	}
+}
+
+func TestDiffDetectsDivergence(t *testing.T) {
+	a := &Trace{Fires: []Fire{{Key: 1, At: 5}}, End: 10}
+	b := &Trace{Fires: []Fire{{Key: 1, At: 6}}, End: 10}
+	if d := Diff(a, b); !strings.Contains(d, "timer 1 fired") {
+		t.Fatalf("diff=%q", d)
+	}
+	c := &Trace{Fires: []Fire{{Key: 1, At: 5}}, End: 11}
+	if d := Diff(a, c); !strings.Contains(d, "end time") {
+		t.Fatalf("diff=%q", d)
+	}
+	if d := Diff(a, a); d != "" {
+		t.Fatalf("self diff=%q", d)
+	}
+}

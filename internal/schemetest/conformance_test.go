@@ -1,0 +1,143 @@
+package schemetest
+
+import (
+	"testing"
+
+	"timingwheels/internal/baseline"
+	"timingwheels/internal/core"
+	"timingwheels/internal/hashwheel"
+	"timingwheels/internal/hier"
+	"timingwheels/internal/hybrid"
+	"timingwheels/internal/tree"
+	"timingwheels/internal/wheel"
+)
+
+// maxInterval for the randomized runs; every factory below must accept
+// intervals up to this value.
+const maxInterval = 200
+
+// factories lists every exact (non-rounding) scheme in the repository.
+func factories() map[string]Factory {
+	return map[string]Factory{
+		"scheme1": func() core.Facility { return baseline.NewScheme1(nil) },
+		"scheme2-front": func() core.Facility {
+			return baseline.NewScheme2(baseline.SearchFromFront, nil)
+		},
+		"scheme2-rear": func() core.Facility {
+			return baseline.NewScheme2(baseline.SearchFromRear, nil)
+		},
+		"scheme3-heap":    func() core.Facility { return tree.NewScheme3(tree.KindHeap, nil) },
+		"scheme3-leftist": func() core.Facility { return tree.NewScheme3(tree.KindLeftist, nil) },
+		"scheme3-skew":    func() core.Facility { return tree.NewScheme3(tree.KindSkew, nil) },
+		"scheme3-bst":     func() core.Facility { return tree.NewScheme3(tree.KindBST, nil) },
+		"scheme3-avl":     func() core.Facility { return tree.NewScheme3(tree.KindAVL, nil) },
+		"scheme3-pairing": func() core.Facility { return tree.NewScheme3(tree.KindPairing, nil) },
+		"scheme4":         func() core.Facility { return wheel.NewScheme4(maxInterval, nil) },
+		"scheme5":         func() core.Facility { return hashwheel.NewScheme5(32, nil) },
+		"scheme5-size1":   func() core.Facility { return hashwheel.NewScheme5(1, nil) },
+		"scheme6":         func() core.Facility { return hashwheel.NewScheme6(32, nil) },
+		"scheme6-size1":   func() core.Facility { return hashwheel.NewScheme6(1, nil) },
+		"scheme6-nonpow2": func() core.Facility { return hashwheel.NewScheme6(33, nil) },
+		"scheme6-abs":     func() core.Facility { return hashwheel.NewScheme6Absolute(32, nil) },
+		"scheme7": func() core.Facility {
+			return hier.NewScheme7([]int{8, 8, 8}, hier.MigrateAlways, nil)
+		},
+		"scheme7-dayradix": func() core.Facility {
+			return hier.NewScheme7(hier.DayRadices, hier.MigrateAlways, nil)
+		},
+		"hybrid":       func() core.Facility { return hybrid.New(32, nil) },
+		"hybrid-size1": func() core.Facility { return hybrid.New(1, nil) },
+	}
+}
+
+// hybridFactory builds a hybrid facility with the given wheel size (used
+// by the fuzz target, which picks the wheel/overflow boundary).
+func hybridFactory(size int) Factory {
+	return func() core.Facility { return hybrid.New(size, nil) }
+}
+
+// hierFactory builds a two-level Scheme 7 with the given radices (used
+// by the fuzz target, which picks the shape).
+func hierFactory(r0, r1 int) Factory {
+	return func() core.Facility {
+		return hier.NewScheme7([]int{r0, r1}, hier.MigrateAlways, nil)
+	}
+}
+
+// TestConformanceRandomized drives every scheme through identical random
+// schedules against the oracle, across several seeds and op mixes.
+func TestConformanceRandomized(t *testing.T) {
+	configs := []Config{
+		{Seed: 1, Ops: 3000, MaxInterval: maxInterval},
+		{Seed: 2, Ops: 3000, MaxInterval: maxInterval, StartWeight: 8, StopWeight: 1, TickWeight: 2},
+		{Seed: 3, Ops: 3000, MaxInterval: maxInterval, StartWeight: 2, StopWeight: 6, TickWeight: 4},
+		{Seed: 4, Ops: 5000, MaxInterval: 7}, // short intervals: dense expiry
+		{Seed: 5, Ops: 1500, MaxInterval: 1}, // everything due next tick
+	}
+	for name, factory := range factories() {
+		t.Run(name, func(t *testing.T) {
+			for _, cfg := range configs {
+				RunConformance(t, factory, cfg)
+			}
+		})
+	}
+}
+
+// TestReentrancy checks callback re-entrancy on every scheme.
+func TestReentrancy(t *testing.T) {
+	for name, factory := range factories() {
+		t.Run(name, func(t *testing.T) { RunReentrancy(t, factory) })
+	}
+}
+
+// TestErrorCases checks argument and lifecycle errors on every scheme.
+func TestErrorCases(t *testing.T) {
+	for name, factory := range factories() {
+		t.Run(name, func(t *testing.T) { RunErrorCases(t, factory) })
+	}
+}
+
+// TestExactness sweeps boundary intervals on every scheme, including the
+// wheel-size edge cases (size-1, size, size+1, multiples of size).
+func TestExactness(t *testing.T) {
+	intervals := []core.Tick{1, 2, 3, 7, 8, 9, 31, 32, 33, 63, 64, 65, 96, 128, 199, 200}
+	for name, factory := range factories() {
+		t.Run(name, func(t *testing.T) { RunExactness(t, factory, intervals) })
+	}
+}
+
+// TestOracleSelfCheck sanity-checks the reference model itself.
+func TestOracleSelfCheck(t *testing.T) {
+	o := NewOracle()
+	o.Start(0, 2)
+	o.Start(1, 1)
+	if got := o.Tick(); !got[1] || len(got) != 1 {
+		t.Fatalf("tick1 fired %v, want {1}", got)
+	}
+	if !o.Stop(0) {
+		t.Fatal("Stop(0) should succeed")
+	}
+	if o.Stop(0) {
+		t.Fatal("double Stop(0) should fail")
+	}
+	if got := o.Tick(); len(got) != 0 {
+		t.Fatalf("tick2 fired %v, want empty", got)
+	}
+	if o.Len() != 0 {
+		t.Fatalf("Len=%d, want 0", o.Len())
+	}
+}
+
+// TestAdvanceConformance validates every scheme's multi-tick Advance
+// path (bitmap idle-skipping, expiry jumping) against the oracle.
+func TestAdvanceConformance(t *testing.T) {
+	for name, factory := range factories() {
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range []uint64{11, 12, 13} {
+				RunAdvanceConformance(t, factory, Config{
+					Seed: seed, Ops: 800, MaxInterval: maxInterval,
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package schemetest
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickConformanceSeeds property-tests every scheme: for arbitrary
+// seeds (hence arbitrary operation schedules), the facility agrees with
+// the oracle. This complements the fixed-seed table in
+// TestConformanceRandomized with generator-driven coverage.
+func TestQuickConformanceSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-check conformance skipped in -short mode")
+	}
+	for name, factory := range factories() {
+		name, factory := name, factory
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			check := func(seed uint64, startW, stopW, tickW uint8) bool {
+				cfg := Config{
+					Seed:        seed,
+					Ops:         600,
+					MaxInterval: 97, // prime: exercises non-aligned wraps
+					StartWeight: int(startW%8) + 1,
+					StopWeight:  int(stopW % 8),
+					TickWeight:  int(tickW%8) + 1,
+				}
+				// RunConformance fails the test directly on divergence;
+				// reaching the end means this schedule passed.
+				RunConformance(t, factory, cfg)
+				return !t.Failed()
+			}
+			if err := quick.Check(check, &quick.Config{MaxCount: 12}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// FuzzScheme6Conformance fuzzes the recommended scheme against the
+// oracle with fuzzer-chosen seeds and op mixes (run with
+// `go test -fuzz=FuzzScheme6 ./internal/schemetest`).
+func FuzzScheme6Conformance(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(2), uint8(4), uint8(32))
+	f.Add(uint64(99), uint8(8), uint8(0), uint8(1), uint8(1))
+	f.Add(uint64(7), uint8(1), uint8(7), uint8(7), uint8(200))
+	f.Fuzz(func(t *testing.T, seed uint64, startW, stopW, tickW, maxIv uint8) {
+		factory := factories()["scheme6"]
+		cfg := Config{
+			Seed:        seed,
+			Ops:         400,
+			MaxInterval: int64(maxIv%200) + 1,
+			StartWeight: int(startW%8) + 1,
+			StopWeight:  int(stopW % 8),
+			TickWeight:  int(tickW%8) + 1,
+		}
+		RunConformance(t, factory, cfg)
+	})
+}
+
+// FuzzScheme7Conformance fuzzes the hierarchical wheel, including the
+// fuzzer picking the radix shape.
+func FuzzScheme7Conformance(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(4), uint8(8))
+	f.Add(uint64(2), uint8(2), uint8(16), uint8(3))
+	f.Fuzz(func(t *testing.T, seed uint64, r0, r1 uint8, maxIv uint8) {
+		radix0 := int(r0%14) + 2
+		radix1 := int(r1%14) + 2
+		span := radix0 * radix1
+		maxInterval := int64(maxIv)%int64(span-1) + 1
+		factory := hierFactory(radix0, radix1)
+		cfg := Config{
+			Seed:        seed,
+			Ops:         400,
+			MaxInterval: maxInterval,
+		}
+		RunConformance(t, factory, cfg)
+	})
+}
+
+// FuzzHybridConformance fuzzes the section 5 wheel+overflow combination,
+// with the fuzzer picking the wheel size so the wheel/heap boundary
+// moves around relative to the interval range.
+func FuzzHybridConformance(f *testing.F) {
+	f.Add(uint64(1), uint8(32), uint8(100))
+	f.Add(uint64(5), uint8(1), uint8(250))
+	f.Add(uint64(9), uint8(200), uint8(50))
+	f.Fuzz(func(t *testing.T, seed uint64, size, maxIv uint8) {
+		wheelSize := int(size%200) + 1
+		factory := hybridFactory(wheelSize)
+		cfg := Config{
+			Seed:        seed,
+			Ops:         400,
+			MaxInterval: int64(maxIv) + 1,
+		}
+		RunConformance(t, factory, cfg)
+	})
+}

@@ -1,0 +1,430 @@
+// Package schemetest provides the cross-scheme conformance suite: every
+// timer scheme in the repository is run through identical randomized
+// schedules and checked, tick by tick, against a trivially correct
+// reference model. The paper's seven schemes differ enormously in cost
+// but must agree exactly on WHAT fires WHEN (except the deliberately
+// imprecise Scheme 7 rounding policies, which get bounded-error checks
+// instead).
+//
+// This package is imported only by tests.
+package schemetest
+
+import (
+	"testing"
+
+	"timingwheels/internal/core"
+	"timingwheels/internal/dist"
+)
+
+// Factory builds a fresh facility able to accept intervals up to the
+// suite's configured maximum.
+type Factory func() core.Facility
+
+// Config tunes a randomized conformance run.
+type Config struct {
+	// Seed fixes the operation sequence.
+	Seed uint64
+	// Ops is the number of random operations to perform.
+	Ops int
+	// MaxInterval bounds generated intervals (>= 1).
+	MaxInterval int64
+	// StartWeight, StopWeight, and TickWeight set the relative frequency
+	// of the three operations (defaults 4, 2, 4).
+	StartWeight, StopWeight, TickWeight int
+	// DrainTicks runs this many extra ticks at the end so every pending
+	// timer fires (default 2*MaxInterval).
+	DrainTicks int64
+}
+
+func (c *Config) defaults() {
+	if c.Ops == 0 {
+		c.Ops = 2000
+	}
+	if c.MaxInterval < 1 {
+		c.MaxInterval = 64
+	}
+	if c.StartWeight == 0 {
+		c.StartWeight = 4
+	}
+	if c.StopWeight == 0 {
+		c.StopWeight = 2
+	}
+	if c.TickWeight == 0 {
+		c.TickWeight = 4
+	}
+	if c.DrainTicks == 0 {
+		c.DrainTicks = 2 * c.MaxInterval
+	}
+}
+
+// Oracle is the reference timer facility: an unindexed map, linear scans,
+// obviously correct and obviously slow.
+type Oracle struct {
+	now     core.Tick
+	nextKey int
+	pending map[int]core.Tick // key -> absolute expiry
+}
+
+// NewOracle returns an empty reference model.
+func NewOracle() *Oracle { return &Oracle{pending: make(map[int]core.Tick)} }
+
+// Start registers timer k due in interval ticks.
+func (o *Oracle) Start(k int, interval core.Tick) { o.pending[k] = o.now + interval }
+
+// Stop cancels timer k, reporting whether it was pending.
+func (o *Oracle) Stop(k int) bool {
+	if _, ok := o.pending[k]; !ok {
+		return false
+	}
+	delete(o.pending, k)
+	return true
+}
+
+// Tick advances time and returns the set of timer keys that fire.
+func (o *Oracle) Tick() map[int]bool {
+	o.now++
+	fired := make(map[int]bool)
+	for k, when := range o.pending {
+		if when <= o.now {
+			fired[k] = true
+			delete(o.pending, k)
+		}
+	}
+	return fired
+}
+
+// Len reports pending timers.
+func (o *Oracle) Len() int { return len(o.pending) }
+
+// RunConformance drives the facility and the oracle through the same
+// randomized schedule and fails the test on the first divergence in
+// fired-timer sets, pending counts, or stop results.
+func RunConformance(t *testing.T, factory Factory, cfg Config) {
+	t.Helper()
+	cfg.defaults()
+	rng := dist.NewRNG(cfg.Seed)
+	fac := factory()
+	oracle := NewOracle()
+
+	// key bookkeeping: the suite numbers timers 0,1,2,... and remembers
+	// each live timer's handle.
+	handles := make(map[int]core.Handle)
+	var liveKeys []int
+	fired := make(map[int]bool)
+	nextKey := 0
+
+	onExpiry := func(k int) core.Callback {
+		return func(core.ID) { fired[k] = true }
+	}
+
+	totalWeight := cfg.StartWeight + cfg.StopWeight + cfg.TickWeight
+	tick := func() {
+		want := oracle.Tick()
+		fired = make(map[int]bool)
+		n := fac.Tick()
+		if n != len(want) {
+			t.Fatalf("%s: tick %d fired %d timers, oracle fired %d",
+				fac.Name(), oracle.now, n, len(want))
+		}
+		if len(fired) != len(want) {
+			t.Fatalf("%s: tick %d callback count %d != oracle %d",
+				fac.Name(), oracle.now, len(fired), len(want))
+		}
+		for k := range want {
+			if !fired[k] {
+				t.Fatalf("%s: tick %d should fire timer %d but did not",
+					fac.Name(), oracle.now, k)
+			}
+			delete(handles, k)
+			removeKey(&liveKeys, k)
+		}
+		if fac.Len() != oracle.Len() {
+			t.Fatalf("%s: tick %d Len=%d, oracle=%d",
+				fac.Name(), oracle.now, fac.Len(), oracle.Len())
+		}
+		if fac.Now() != oracle.now {
+			t.Fatalf("%s: Now=%d, oracle=%d", fac.Name(), fac.Now(), oracle.now)
+		}
+	}
+
+	for op := 0; op < cfg.Ops; op++ {
+		r := rng.Intn(totalWeight)
+		switch {
+		case r < cfg.StartWeight:
+			interval := core.Tick(1 + rng.Intn(int(cfg.MaxInterval)))
+			k := nextKey
+			nextKey++
+			h, err := fac.StartTimer(interval, onExpiry(k))
+			if err != nil {
+				t.Fatalf("%s: StartTimer(%d): %v", fac.Name(), interval, err)
+			}
+			handles[k] = h
+			liveKeys = append(liveKeys, k)
+			oracle.Start(k, interval)
+		case r < cfg.StartWeight+cfg.StopWeight && len(liveKeys) > 0:
+			i := rng.Intn(len(liveKeys))
+			k := liveKeys[i]
+			err := fac.StopTimer(handles[k])
+			ok := oracle.Stop(k)
+			if (err == nil) != ok {
+				t.Fatalf("%s: StopTimer(%d) err=%v, oracle pending=%v",
+					fac.Name(), k, err, ok)
+			}
+			delete(handles, k)
+			removeKey(&liveKeys, k)
+		default:
+			tick()
+		}
+	}
+	// Drain: everything left must fire within MaxInterval more ticks.
+	for i := int64(0); i < cfg.DrainTicks; i++ {
+		tick()
+	}
+	if fac.Len() != 0 {
+		t.Fatalf("%s: %d timers still pending after drain", fac.Name(), fac.Len())
+	}
+}
+
+func removeKey(keys *[]int, k int) {
+	s := *keys
+	for i, v := range s {
+		if v == k {
+			s[i] = s[len(s)-1]
+			*keys = s[:len(s)-1]
+			return
+		}
+	}
+}
+
+// RunReentrancy checks that expiry callbacks can start and stop timers on
+// the facility they fire from: a chain of timers each scheduling the
+// next, a callback that cancels a sibling due on the same tick, and a
+// callback that starts a timer for the next tick.
+func RunReentrancy(t *testing.T, factory Factory) {
+	t.Helper()
+
+	t.Run("chain", func(t *testing.T) {
+		fac := factory()
+		count := 0
+		var schedule func(core.ID)
+		schedule = func(core.ID) {
+			count++
+			if count < 5 {
+				if _, err := fac.StartTimer(2, schedule); err != nil {
+					t.Fatalf("chained StartTimer: %v", err)
+				}
+			}
+		}
+		if _, err := fac.StartTimer(2, schedule); err != nil {
+			t.Fatalf("StartTimer: %v", err)
+		}
+		for i := 0; i < 10; i++ {
+			fac.Tick()
+		}
+		if count != 5 {
+			t.Fatalf("chain fired %d times, want 5", count)
+		}
+		if fac.Len() != 0 {
+			t.Fatalf("Len=%d after chain, want 0", fac.Len())
+		}
+	})
+
+	t.Run("cancel-sibling", func(t *testing.T) {
+		fac := factory()
+		var hb core.Handle
+		aFired, bFired := false, false
+		_, err := fac.StartTimer(3, func(core.ID) {
+			aFired = true
+			// b is due this same tick; stopping it must prevent its
+			// callback (or fail cleanly if it already ran).
+			_ = fac.StopTimer(hb)
+		})
+		if err != nil {
+			t.Fatalf("StartTimer a: %v", err)
+		}
+		hb, err = fac.StartTimer(3, func(core.ID) { bFired = true })
+		if err != nil {
+			t.Fatalf("StartTimer b: %v", err)
+		}
+		for i := 0; i < 5; i++ {
+			fac.Tick()
+		}
+		if !aFired {
+			t.Fatal("timer a never fired")
+		}
+		// Exactly one of: b fired before a stopped it (schemes may order
+		// same-tick batches differently), or the stop prevented it. In
+		// either case nothing is pending.
+		if fac.Len() != 0 {
+			t.Fatalf("Len=%d, want 0 (bFired=%v)", fac.Len(), bFired)
+		}
+	})
+
+	t.Run("start-next-tick", func(t *testing.T) {
+		fac := factory()
+		fires := []core.Tick{}
+		_, err := fac.StartTimer(1, func(core.ID) {
+			fires = append(fires, fac.Now())
+			if _, err := fac.StartTimer(1, func(core.ID) {
+				fires = append(fires, fac.Now())
+			}); err != nil {
+				t.Fatalf("nested StartTimer: %v", err)
+			}
+		})
+		if err != nil {
+			t.Fatalf("StartTimer: %v", err)
+		}
+		fac.Tick()
+		fac.Tick()
+		if len(fires) != 2 || fires[0] != 1 || fires[1] != 2 {
+			t.Fatalf("fires=%v, want [1 2]", fires)
+		}
+	})
+}
+
+// RunErrorCases checks the argument-validation and lifecycle errors every
+// scheme must report identically.
+func RunErrorCases(t *testing.T, factory Factory) {
+	t.Helper()
+	fac := factory()
+	noop := func(core.ID) {}
+
+	if _, err := fac.StartTimer(0, noop); err != core.ErrNonPositiveInterval {
+		t.Errorf("StartTimer(0): err=%v, want ErrNonPositiveInterval", err)
+	}
+	if _, err := fac.StartTimer(-5, noop); err != core.ErrNonPositiveInterval {
+		t.Errorf("StartTimer(-5): err=%v, want ErrNonPositiveInterval", err)
+	}
+	if _, err := fac.StartTimer(1, nil); err != core.ErrNilCallback {
+		t.Errorf("StartTimer(nil cb): err=%v, want ErrNilCallback", err)
+	}
+
+	h, err := fac.StartTimer(3, noop)
+	if err != nil {
+		t.Fatalf("StartTimer: %v", err)
+	}
+	if err := fac.StopTimer(h); err != nil {
+		t.Errorf("StopTimer: %v", err)
+	}
+	if err := fac.StopTimer(h); err != core.ErrTimerNotPending {
+		t.Errorf("double StopTimer: err=%v, want ErrTimerNotPending", err)
+	}
+
+	// A handle from a different facility instance must be rejected.
+	other := factory()
+	h2, err := other.StartTimer(3, noop)
+	if err != nil {
+		t.Fatalf("StartTimer(other): %v", err)
+	}
+	if err := fac.StopTimer(h2); err != core.ErrForeignHandle {
+		t.Errorf("foreign StopTimer: err=%v, want ErrForeignHandle", err)
+	}
+
+	// Stopping after expiry must fail.
+	h3, err := fac.StartTimer(1, noop)
+	if err != nil {
+		t.Fatalf("StartTimer: %v", err)
+	}
+	fac.Tick()
+	if err := fac.StopTimer(h3); err != core.ErrTimerNotPending {
+		t.Errorf("StopTimer after fire: err=%v, want ErrTimerNotPending", err)
+	}
+}
+
+// RunExactness verifies precise expiry across a sweep of intervals,
+// including wheel-size boundary cases (interval equal to the table size,
+// one more, one less, exact multiples).
+func RunExactness(t *testing.T, factory Factory, intervals []core.Tick) {
+	t.Helper()
+	for _, interval := range intervals {
+		fac := factory()
+		var firedAt core.Tick = -1
+		if _, err := fac.StartTimer(interval, func(core.ID) { firedAt = fac.Now() }); err != nil {
+			t.Fatalf("StartTimer(%d): %v", interval, err)
+		}
+		for i := core.Tick(0); i < interval+4 && firedAt < 0; i++ {
+			fac.Tick()
+		}
+		if firedAt != interval {
+			t.Errorf("interval %d fired at %d", interval, firedAt)
+		}
+	}
+}
+
+// RunAdvanceConformance mirrors RunConformance but moves time with
+// core.AdvanceBy in random multi-tick steps, validating every scheme's
+// Advance fast path (bitmap skipping, expiry jumping) against the
+// tick-at-a-time oracle.
+func RunAdvanceConformance(t *testing.T, factory Factory, cfg Config) {
+	t.Helper()
+	cfg.defaults()
+	rng := dist.NewRNG(cfg.Seed)
+	fac := factory()
+	oracle := NewOracle()
+
+	handles := make(map[int]core.Handle)
+	var liveKeys []int
+	fired := make(map[int]bool)
+	nextKey := 0
+	onExpiry := func(k int) core.Callback {
+		return func(core.ID) { fired[k] = true }
+	}
+
+	advance := func(step int64) {
+		want := make(map[int]bool)
+		for i := int64(0); i < step; i++ {
+			for k := range oracle.Tick() {
+				want[k] = true
+			}
+		}
+		fired = make(map[int]bool)
+		n := core.AdvanceBy(fac, core.Tick(step))
+		if n != len(want) {
+			t.Fatalf("%s: Advance(%d) to %d fired %d, oracle %d",
+				fac.Name(), step, oracle.now, n, len(want))
+		}
+		for k := range want {
+			if !fired[k] {
+				t.Fatalf("%s: Advance to %d missed timer %d", fac.Name(), oracle.now, k)
+			}
+			delete(handles, k)
+			removeKey(&liveKeys, k)
+		}
+		if fac.Len() != oracle.Len() || fac.Now() != oracle.now {
+			t.Fatalf("%s: Len=%d/%d Now=%d/%d",
+				fac.Name(), fac.Len(), oracle.Len(), fac.Now(), oracle.now)
+		}
+	}
+
+	for op := 0; op < cfg.Ops; op++ {
+		switch r := rng.Intn(10); {
+		case r < 4:
+			interval := core.Tick(1 + rng.Intn(int(cfg.MaxInterval)))
+			k := nextKey
+			nextKey++
+			h, err := fac.StartTimer(interval, onExpiry(k))
+			if err != nil {
+				t.Fatalf("%s: StartTimer(%d): %v", fac.Name(), interval, err)
+			}
+			handles[k] = h
+			liveKeys = append(liveKeys, k)
+			oracle.Start(k, interval)
+		case r < 6 && len(liveKeys) > 0:
+			i := rng.Intn(len(liveKeys))
+			k := liveKeys[i]
+			err := fac.StopTimer(handles[k])
+			ok := oracle.Stop(k)
+			if (err == nil) != ok {
+				t.Fatalf("%s: StopTimer(%d) err=%v oracle=%v", fac.Name(), k, err, ok)
+			}
+			delete(handles, k)
+			removeKey(&liveKeys, k)
+		default:
+			advance(int64(1 + rng.Intn(int(3*cfg.MaxInterval))))
+		}
+	}
+	advance(2 * cfg.MaxInterval)
+	if fac.Len() != 0 {
+		t.Fatalf("%s: %d timers pending after drain", fac.Name(), fac.Len())
+	}
+}

@@ -1,0 +1,86 @@
+package schemetest
+
+import (
+	"testing"
+
+	"timingwheels/internal/core"
+	"timingwheels/internal/dist"
+)
+
+// TestSoakLongHorizon runs each O(1)-family scheme through several
+// million ticks with a churning population, checking liveness-style
+// invariants that short runs cannot: wheel cursors wrapping many
+// revolutions, hierarchy cascades at every level boundary, rounds
+// counters crossing zero repeatedly, and Len bookkeeping staying exact
+// over the whole horizon. Skipped with -short.
+func TestSoakLongHorizon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	soak := map[string]Factory{
+		"scheme4":  factories()["scheme4"],
+		"scheme6":  factories()["scheme6"],
+		"scheme7":  factories()["scheme7"],
+		"hybrid":   factories()["hybrid"],
+		"scheme3h": factories()["scheme3-heap"],
+	}
+	for name, factory := range soak {
+		name, factory := name, factory
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			fac := factory()
+			rng := dist.NewRNG(0xD06F00D)
+			outstanding := 0
+			fired := 0
+			var handles []core.Handle
+			const horizon = 2_000_000
+			for tick := 0; tick < horizon; tick++ {
+				// Keep ~500 timers in flight with steady churn.
+				for outstanding-fired < 500 && rng.Intn(2) == 0 {
+					iv := core.Tick(1 + rng.Intn(180))
+					h, err := fac.StartTimer(iv, func(core.ID) { fired++ })
+					if err != nil {
+						t.Fatalf("tick %d: StartTimer: %v", tick, err)
+					}
+					handles = append(handles, h)
+					outstanding++
+				}
+				if len(handles) > 0 && rng.Intn(64) == 0 {
+					i := rng.Intn(len(handles))
+					if err := fac.StopTimer(handles[i]); err == nil {
+						fired++ // count as completed for churn purposes
+					}
+					handles[i] = handles[len(handles)-1]
+					handles = handles[:len(handles)-1]
+				}
+				fac.Tick()
+				if len(handles) > 4096 {
+					// Compact: drop references to long-dead handles.
+					live := handles[:0]
+					for _, h := range handles {
+						if err := fac.StopTimer(h); err == nil {
+							fired++
+						}
+					}
+					handles = live
+				}
+			}
+			if fac.Now() != horizon {
+				t.Fatalf("Now=%d, want %d", fac.Now(), horizon)
+			}
+			if fac.Len() < 0 || fac.Len() > 600 {
+				t.Fatalf("Len=%d out of plausible range", fac.Len())
+			}
+			// Drain completely; Len must reach exactly zero.
+			for i := 0; i < 200 && fac.Len() > 0; i++ {
+				fac.Tick()
+			}
+			if fac.Len() != 0 {
+				t.Fatalf("Len=%d after drain; bookkeeping leaked", fac.Len())
+			}
+			if fired == 0 {
+				t.Fatal("nothing completed during soak")
+			}
+		})
+	}
+}

@@ -1,0 +1,149 @@
+package sim
+
+import "fmt"
+
+// This file provides prebuilt circuits for exercising the time-flow
+// mechanisms: the standard logic-simulation smoke tests (ring
+// oscillator, ripple-carry adder, clocked shift register). cmd/twsim
+// drives them across all four mechanisms and checks waveform equality.
+
+// RingOscillator wires a single inverter feeding itself: the canonical
+// self-sustaining workload, oscillating with period 2*delay.
+type RingOscillator struct {
+	// Out is the oscillating signal.
+	Out Signal
+}
+
+// BuildRingOscillator adds a ring oscillator to c and kicks it off at
+// time 1.
+func BuildRingOscillator(c *Circuit, delay Time) (*RingOscillator, error) {
+	s := c.AddSignal("ring")
+	if err := c.AddGate(GateNot, delay, s, s); err != nil {
+		return nil, err
+	}
+	if err := c.Drive(s, true, 1); err != nil {
+		return nil, err
+	}
+	return &RingOscillator{Out: s}, nil
+}
+
+// RippleAdder is an n-bit ripple-carry adder.
+type RippleAdder struct {
+	A, B, Sum []Signal
+	CarryIn   Signal
+	CarryOut  Signal
+	circuit   *Circuit
+}
+
+// BuildRippleAdder wires an n-bit ripple-carry adder with unit gate
+// delays (2 XOR + 2 AND + 1 OR per bit).
+func BuildRippleAdder(c *Circuit, bits int) (*RippleAdder, error) {
+	if bits < 1 {
+		return nil, fmt.Errorf("sim: adder needs at least one bit")
+	}
+	ra := &RippleAdder{circuit: c}
+	carry := c.AddSignal("c0")
+	ra.CarryIn = carry
+	for i := 0; i < bits; i++ {
+		a := c.AddSignal(fmt.Sprintf("a%d", i))
+		b := c.AddSignal(fmt.Sprintf("b%d", i))
+		sum := c.AddSignal(fmt.Sprintf("s%d", i))
+		axb := c.AddSignal(fmt.Sprintf("axb%d", i))
+		ab := c.AddSignal(fmt.Sprintf("ab%d", i))
+		axbc := c.AddSignal(fmt.Sprintf("axbc%d", i))
+		cout := c.AddSignal(fmt.Sprintf("c%d", i+1))
+		wires := []struct {
+			kind GateKind
+			out  Signal
+			in   []Signal
+		}{
+			{GateXor, axb, []Signal{a, b}},
+			{GateXor, sum, []Signal{axb, carry}},
+			{GateAnd, ab, []Signal{a, b}},
+			{GateAnd, axbc, []Signal{axb, carry}},
+			{GateOr, cout, []Signal{ab, axbc}},
+		}
+		for _, w := range wires {
+			if err := c.AddGate(w.kind, 1, w.out, w.in...); err != nil {
+				return nil, err
+			}
+		}
+		ra.A = append(ra.A, a)
+		ra.B = append(ra.B, b)
+		ra.Sum = append(ra.Sum, sum)
+		carry = cout
+	}
+	ra.CarryOut = carry
+	return ra, nil
+}
+
+// SetInputs drives the operand bits of the adder at time t.
+func (ra *RippleAdder) SetInputs(a, b uint64, t Time) error {
+	for i := range ra.A {
+		av := a&(1<<uint(i)) != 0
+		bv := b&(1<<uint(i)) != 0
+		if ra.circuit.Value(ra.A[i]) != av {
+			if err := ra.circuit.Drive(ra.A[i], av, t); err != nil {
+				return err
+			}
+		}
+		if ra.circuit.Value(ra.B[i]) != bv {
+			if err := ra.circuit.Drive(ra.B[i], bv, t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Result reads the settled sum (including carry-out as the top bit).
+func (ra *RippleAdder) Result() uint64 {
+	var v uint64
+	for i, s := range ra.Sum {
+		if ra.circuit.Value(s) {
+			v |= 1 << uint(i)
+		}
+	}
+	if ra.circuit.Value(ra.CarryOut) {
+		v |= 1 << uint(len(ra.Sum))
+	}
+	return v
+}
+
+// ShiftChain is a clocked buffer chain: a token injected at the head
+// marches one stage per clock period, generating steady event traffic
+// for throughput comparisons.
+type ShiftChain struct {
+	Clock  Signal
+	Stages []Signal
+}
+
+// BuildShiftChain wires a ring-oscillator clock driving a chain of
+// clock-gated stages.
+func BuildShiftChain(c *Circuit, stages int, clockDelay Time) (*ShiftChain, error) {
+	if stages < 1 {
+		return nil, fmt.Errorf("sim: chain needs at least one stage")
+	}
+	sc := &ShiftChain{}
+	sc.Clock = c.AddSignal("clk")
+	if err := c.AddGate(GateNot, clockDelay, sc.Clock, sc.Clock); err != nil {
+		return nil, err
+	}
+	prev := sc.Clock
+	for i := 0; i < stages; i++ {
+		st := c.AddSignal(fmt.Sprintf("st%d", i))
+		gated := c.AddSignal(fmt.Sprintf("g%d", i))
+		if err := c.AddGate(GateAnd, 1, gated, prev, sc.Clock); err != nil {
+			return nil, err
+		}
+		if err := c.AddGate(GateOr, 2, st, gated, gated); err != nil {
+			return nil, err
+		}
+		sc.Stages = append(sc.Stages, st)
+		prev = st
+	}
+	if err := c.Drive(sc.Clock, true, 1); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}

@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"timingwheels/internal/metrics"
+	"timingwheels/internal/pq"
+)
+
+// EventList is the priority-queue time-flow mechanism: the earliest event
+// notice is retrieved and the clock jumps directly to its time, as in
+// GPSS and SIMULA (section 4.2, method 1).
+type EventList struct {
+	q   *pq.Heap[*Event]
+	now Time
+}
+
+// NewEventList returns an empty event-list mechanism charging comparison
+// costs to cost (may be nil).
+func NewEventList(cost *metrics.Cost) *EventList {
+	return &EventList{q: pq.NewHeap[*Event](cost)}
+}
+
+// Name returns "eventlist".
+func (l *EventList) Name() string { return "eventlist" }
+
+// Now reports the current simulation time.
+func (l *EventList) Now() Time { return l.now }
+
+// Schedule inserts the event notice into the priority queue.
+func (l *EventList) Schedule(ev *Event) {
+	ev.handle = l.q.Insert(ev.At, ev)
+}
+
+// Next pops the earliest event and jumps the clock to its time.
+func (l *EventList) Next() (*Event, bool) {
+	_, ev, ok := l.q.PopMin()
+	if !ok {
+		return nil, false
+	}
+	if ev.At > l.now {
+		l.now = ev.At
+	}
+	return ev, true
+}
+
+// Pending reports the number of stored notices.
+func (l *EventList) Pending() int { return l.q.Len() }
+
+var _ Mechanism = (*EventList)(nil)

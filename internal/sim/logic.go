@@ -1,0 +1,190 @@
+package sim
+
+import "fmt"
+
+// GateKind enumerates the logic functions of the gate-level simulator.
+type GateKind int
+
+// Gate kinds.
+const (
+	GateAnd GateKind = iota
+	GateOr
+	GateNot
+	GateXor
+	GateNand
+	GateNor
+	GateBuf
+)
+
+// String names the gate kind.
+func (k GateKind) String() string {
+	switch k {
+	case GateAnd:
+		return "and"
+	case GateOr:
+		return "or"
+	case GateNot:
+		return "not"
+	case GateXor:
+		return "xor"
+	case GateNand:
+		return "nand"
+	case GateNor:
+		return "nor"
+	case GateBuf:
+		return "buf"
+	default:
+		return fmt.Sprintf("gate(%d)", int(k))
+	}
+}
+
+// eval computes the gate function over the input values.
+func (k GateKind) eval(in []bool) bool {
+	switch k {
+	case GateAnd, GateNand:
+		v := true
+		for _, b := range in {
+			v = v && b
+		}
+		if k == GateNand {
+			return !v
+		}
+		return v
+	case GateOr, GateNor:
+		v := false
+		for _, b := range in {
+			v = v || b
+		}
+		if k == GateNor {
+			return !v
+		}
+		return v
+	case GateXor:
+		v := false
+		for _, b := range in {
+			v = v != b
+		}
+		return v
+	case GateNot:
+		return !in[0]
+	default: // GateBuf
+		return in[0]
+	}
+}
+
+// Signal identifies one wire in a circuit.
+type Signal int
+
+type gate struct {
+	kind   GateKind
+	delay  Time
+	out    Signal
+	inputs []Signal
+}
+
+// Circuit is an event-driven gate-level logic simulator built on the
+// engine — the TEGAS/DECSIM use case of section 4.2 ("time-sequenced
+// logical simulation based on circuit delay", Ulrich [13]). Gate output
+// transitions are scheduled as events after the gate's propagation
+// delay; selective tracing evaluates only the fanout of signals that
+// actually changed.
+type Circuit struct {
+	engine *Engine
+	values []bool
+	names  []string
+	gates  []gate
+	fanout map[Signal][]int // signal -> gate indices it feeds
+	// Transitions counts committed signal changes; Glitches counts
+	// scheduled transitions that were no-ops by execution time.
+	Transitions uint64
+	Glitches    uint64
+	watchers    map[Signal][]func(Time, bool)
+}
+
+// NewCircuit returns an empty circuit simulated on the given engine.
+func NewCircuit(e *Engine) *Circuit {
+	return &Circuit{
+		engine:   e,
+		fanout:   make(map[Signal][]int),
+		watchers: make(map[Signal][]func(Time, bool)),
+	}
+}
+
+// AddSignal creates a named wire initialized to false.
+func (c *Circuit) AddSignal(name string) Signal {
+	c.values = append(c.values, false)
+	c.names = append(c.names, name)
+	return Signal(len(c.values) - 1)
+}
+
+// AddGate wires a gate of the given kind and propagation delay from the
+// inputs to out. Delay must be positive (zero-delay loops would not
+// advance time).
+func (c *Circuit) AddGate(kind GateKind, delay Time, out Signal, inputs ...Signal) error {
+	if delay < 1 {
+		return fmt.Errorf("sim: gate delay must be >= 1, got %d", delay)
+	}
+	if kind == GateNot || kind == GateBuf {
+		if len(inputs) != 1 {
+			return fmt.Errorf("sim: %s takes exactly one input", kind)
+		}
+	} else if len(inputs) < 2 {
+		return fmt.Errorf("sim: %s takes at least two inputs", kind)
+	}
+	g := gate{kind: kind, delay: delay, out: out, inputs: inputs}
+	idx := len(c.gates)
+	c.gates = append(c.gates, g)
+	for _, in := range inputs {
+		c.fanout[in] = append(c.fanout[in], idx)
+	}
+	return nil
+}
+
+// Value reports the current value of a signal.
+func (c *Circuit) Value(s Signal) bool { return c.values[s] }
+
+// Name reports the signal's name.
+func (c *Circuit) Name(s Signal) string { return c.names[s] }
+
+// Watch registers fn to run whenever s commits a transition.
+func (c *Circuit) Watch(s Signal, fn func(at Time, v bool)) {
+	c.watchers[s] = append(c.watchers[s], fn)
+}
+
+// Drive schedules an external stimulus: signal s takes value v at time t.
+func (c *Circuit) Drive(s Signal, v bool, t Time) error {
+	_, err := c.engine.At(t, func() { c.commit(s, v) })
+	return err
+}
+
+// commit applies a signal change and propagates through fanout gates.
+func (c *Circuit) commit(s Signal, v bool) {
+	if c.values[s] == v {
+		c.Glitches++
+		return
+	}
+	c.values[s] = v
+	c.Transitions++
+	for _, fn := range c.watchers[s] {
+		fn(c.engine.Now(), v)
+	}
+	// Selective tracing: re-evaluate only gates fed by s.
+	for _, gi := range c.fanout[s] {
+		g := &c.gates[gi]
+		in := make([]bool, len(g.inputs))
+		for i, is := range g.inputs {
+			in[i] = c.values[is]
+		}
+		newOut := g.kind.eval(in)
+		out := g.out
+		// Transport-delay model: schedule the computed value; if the
+		// output already holds it by then, commit records a glitch.
+		if _, err := c.engine.After(g.delay, func() { c.commit(out, newOut) }); err != nil {
+			panic(err) // delays are validated positive; unreachable
+		}
+	}
+}
+
+// Settle runs the simulation until limit and reports the number of
+// events executed.
+func (c *Circuit) Settle(limit Time) int { return c.engine.Run(limit) }

@@ -1,0 +1,157 @@
+package sim
+
+import "testing"
+
+func newCircuit(t *testing.T) (*Engine, *Circuit) {
+	t.Helper()
+	e := NewEngine(NewWheel(128, RotatePerTick, nil, nil))
+	return e, NewCircuit(e)
+}
+
+func TestGateEval(t *testing.T) {
+	cases := []struct {
+		kind GateKind
+		in   []bool
+		want bool
+	}{
+		{GateAnd, []bool{true, true}, true},
+		{GateAnd, []bool{true, false}, false},
+		{GateOr, []bool{false, false}, false},
+		{GateOr, []bool{true, false}, true},
+		{GateXor, []bool{true, true}, false},
+		{GateXor, []bool{true, false}, true},
+		{GateNand, []bool{true, true}, false},
+		{GateNor, []bool{false, false}, true},
+		{GateNot, []bool{true}, false},
+		{GateBuf, []bool{true}, true},
+	}
+	for _, c := range cases {
+		if got := c.kind.eval(c.in); got != c.want {
+			t.Errorf("%s%v=%v, want %v", c.kind, c.in, got, c.want)
+		}
+	}
+}
+
+func TestGateValidation(t *testing.T) {
+	_, c := newCircuit(t)
+	a, b, out := c.AddSignal("a"), c.AddSignal("b"), c.AddSignal("out")
+	if err := c.AddGate(GateAnd, 0, out, a, b); err == nil {
+		t.Fatal("zero delay should be rejected")
+	}
+	if err := c.AddGate(GateNot, 1, out, a, b); err == nil {
+		t.Fatal("NOT with two inputs should be rejected")
+	}
+	if err := c.AddGate(GateAnd, 1, out, a); err == nil {
+		t.Fatal("AND with one input should be rejected")
+	}
+	if err := c.AddGate(GateAnd, 1, out, a, b); err != nil {
+		t.Fatalf("valid gate rejected: %v", err)
+	}
+}
+
+func TestCombinationalAnd(t *testing.T) {
+	e, c := newCircuit(t)
+	a, b, out := c.AddSignal("a"), c.AddSignal("b"), c.AddSignal("out")
+	if err := c.AddGate(GateAnd, 2, out, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drive(a, true, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drive(b, true, 5); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(100)
+	if !c.Value(out) {
+		t.Fatal("AND output should be high")
+	}
+	_ = e
+}
+
+// TestRingOscillator: a NOT gate feeding itself oscillates with period
+// 2*delay — the classic logic-simulation smoke test.
+func TestRingOscillator(t *testing.T) {
+	e, c := newCircuit(t)
+	s := c.AddSignal("ring")
+	if err := c.AddGate(GateNot, 5, s, s); err != nil {
+		t.Fatal(err)
+	}
+	var transitions []Time
+	c.Watch(s, func(at Time, v bool) { transitions = append(transitions, at) })
+	if err := c.Drive(s, true, 1); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(100)
+	if len(transitions) < 10 {
+		t.Fatalf("only %d transitions", len(transitions))
+	}
+	for i := 1; i < len(transitions); i++ {
+		if d := transitions[i] - transitions[i-1]; d != 5 {
+			t.Fatalf("transition gap %d at step %d, want 5 (period 10)", d, i)
+		}
+	}
+}
+
+// TestFullAdder checks the complete truth table of a gate-level full
+// adder, settling the circuit between input changes.
+func TestFullAdder(t *testing.T) {
+	e, c := newCircuit(t)
+	a, b, cin := c.AddSignal("a"), c.AddSignal("b"), c.AddSignal("cin")
+	axb := c.AddSignal("axb")
+	sum := c.AddSignal("sum")
+	ab := c.AddSignal("ab")
+	axbc := c.AddSignal("axbc")
+	cout := c.AddSignal("cout")
+	for _, g := range []struct {
+		kind GateKind
+		out  Signal
+		in   []Signal
+	}{
+		{GateXor, axb, []Signal{a, b}},
+		{GateXor, sum, []Signal{axb, cin}},
+		{GateAnd, ab, []Signal{a, b}},
+		{GateAnd, axbc, []Signal{axb, cin}},
+		{GateOr, cout, []Signal{ab, axbc}},
+	} {
+		if err := c.AddGate(g.kind, 1, g.out, g.in...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	set := func(s Signal, v bool) {
+		if c.Value(s) != v {
+			if err := c.Drive(s, v, e.Now()+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for bits := 0; bits < 8; bits++ {
+		av, bv, cv := bits&1 != 0, bits&2 != 0, bits&4 != 0
+		set(a, av)
+		set(b, bv)
+		set(cin, cv)
+		c.Settle(e.Now() + 50)
+		n := 0
+		for _, v := range []bool{av, bv, cv} {
+			if v {
+				n++
+			}
+		}
+		if c.Value(sum) != (n%2 == 1) {
+			t.Fatalf("bits=%03b sum=%v, want %v", bits, c.Value(sum), n%2 == 1)
+		}
+		if c.Value(cout) != (n >= 2) {
+			t.Fatalf("bits=%03b cout=%v, want %v", bits, c.Value(cout), n >= 2)
+		}
+	}
+	if c.Transitions == 0 {
+		t.Fatal("no transitions recorded")
+	}
+}
+
+func TestSignalNames(t *testing.T) {
+	_, c := newCircuit(t)
+	s := c.AddSignal("clk")
+	if c.Name(s) != "clk" {
+		t.Fatalf("Name=%q", c.Name(s))
+	}
+}

@@ -1,0 +1,162 @@
+// Package sim is the discrete-event-simulation substrate of section 4.2
+// of the paper. It provides the two classical time-flow mechanisms the
+// paper relates to timer algorithms:
+//
+//   - EventList: the earliest event is retrieved from a priority queue
+//     and the clock jumps to its time (GPSS / SIMULA style).
+//   - Wheel: event scheduling at clock-interval multiples, using the
+//     timing-wheel of logic simulators (TEGAS / DECSIM style): an array
+//     of lists plus a single overflow list for events beyond the current
+//     cycle, rotated once per cycle — or half-way through the array, the
+//     DECSIM refinement that reduces (but does not avoid) overflow
+//     insertions.
+//
+// Experiment E9 uses this package to reproduce the paper's motivation
+// for Scheme 4: "as time increases within a cycle ... it becomes more
+// likely that event records will be inserted in the overflow list",
+// which per-tick rotation eliminates entirely.
+//
+// The engine also implements the mark-and-discard cancellation the paper
+// attributes to simulation languages ("it is sufficient to mark the
+// notice as Canceled and wait"), whose unbounded memory growth under
+// timer-module cancellation rates the harness measures.
+package sim
+
+import (
+	"fmt"
+
+	"timingwheels/internal/ilist"
+	"timingwheels/internal/pq"
+)
+
+// Time is simulation time in clock units.
+type Time = int64
+
+// Event is one scheduled event notice.
+type Event struct {
+	// At is the scheduled execution time.
+	At       Time
+	fn       func()
+	canceled bool
+	node     ilist.Node[*Event] // wheel linkage
+	handle   pq.Handle          // event-list linkage
+}
+
+// Canceled reports whether the event was canceled before execution.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Mechanism is a time-flow mechanism: a container of future events that
+// yields them in time order.
+type Mechanism interface {
+	// Name reports the mechanism's short name.
+	Name() string
+	// Now reports the current simulation time.
+	Now() Time
+	// Schedule inserts an event notice; ev.At must be >= Now.
+	Schedule(ev *Event)
+	// Next removes and returns the earliest event, advancing the clock.
+	// ok is false when no events remain.
+	Next() (ev *Event, ok bool)
+	// Pending reports the number of event notices held (including
+	// canceled ones that have not yet been discarded).
+	Pending() int
+}
+
+// Stats counts the work a simulation run performed.
+type Stats struct {
+	Scheduled       uint64 // events inserted
+	Executed        uint64 // event actions run
+	Canceled        uint64 // events canceled before execution
+	Discarded       uint64 // canceled notices dropped at pop time
+	OverflowInserts uint64 // wheel: events placed on the overflow list
+	OverflowScanned uint64 // wheel: overflow entries examined at rotation
+	EmptySteps      uint64 // wheel: empty slots stepped through
+	PeakPending     int    // high-water mark of stored notices
+}
+
+// Engine runs events against a pluggable mechanism.
+type Engine struct {
+	mech Mechanism
+	// Stats accumulates work counters for the lifetime of the engine.
+	Stats Stats
+}
+
+// NewEngine returns an engine over the given time-flow mechanism.
+func NewEngine(m Mechanism) *Engine { return &Engine{mech: m} }
+
+// Mechanism returns the engine's time-flow mechanism.
+func (e *Engine) Mechanism() Mechanism { return e.mech }
+
+// Now reports the current simulation time.
+func (e *Engine) Now() Time { return e.mech.Now() }
+
+// Pending reports the number of stored event notices.
+func (e *Engine) Pending() int { return e.mech.Pending() }
+
+// At schedules fn to run at absolute time t (>= Now) and returns the
+// event notice, which may later be canceled.
+func (e *Engine) At(t Time, fn func()) (*Event, error) {
+	if t < e.mech.Now() {
+		return nil, fmt.Errorf("sim: cannot schedule at %d, now is %d", t, e.mech.Now())
+	}
+	ev := &Event{At: t, fn: fn}
+	ev.node.Value = ev
+	e.mech.Schedule(ev)
+	e.Stats.Scheduled++
+	if p := e.mech.Pending(); p > e.Stats.PeakPending {
+		e.Stats.PeakPending = p
+	}
+	return ev, nil
+}
+
+// After schedules fn to run d units from now.
+func (e *Engine) After(d Time, fn func()) (*Event, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("sim: negative delay %d", d)
+	}
+	return e.At(e.mech.Now()+d, fn)
+}
+
+// Cancel marks the event canceled; the notice remains stored until its
+// scheduled time, when the scheduler discards it (the simulation-language
+// convention the paper contrasts with timer STOP_TIMER).
+func (e *Engine) Cancel(ev *Event) {
+	if ev != nil && !ev.canceled {
+		ev.canceled = true
+		e.Stats.Canceled++
+	}
+}
+
+// Step executes the next event. It returns false when no events remain
+// or the next event lies beyond limit.
+func (e *Engine) Step(limit Time) bool {
+	for {
+		ev, ok := e.mech.Next()
+		if !ok {
+			return false
+		}
+		if ev.At > limit {
+			// Put it back: mechanisms tolerate rescheduling at Now or
+			// later; At > limit >= Now keeps the contract.
+			e.mech.Schedule(ev)
+			return false
+		}
+		if ev.canceled {
+			e.Stats.Discarded++
+			continue
+		}
+		e.Stats.Executed++
+		ev.fn()
+		return true
+	}
+}
+
+// Run executes events until the event set is empty or the next event
+// lies beyond limit. It returns the number of events executed.
+func (e *Engine) Run(limit Time) int {
+	n := 0
+	for e.Step(limit) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"testing"
+
+	"timingwheels/internal/dist"
+)
+
+func mechanisms(stats *Stats) map[string]Mechanism {
+	return map[string]Mechanism{
+		"eventlist":        NewEventList(nil),
+		"wheel-per-cycle":  NewWheel(64, RotatePerCycle, stats, nil),
+		"wheel-half-cycle": NewWheel(64, RotateHalfCycle, stats, nil),
+		"wheel-per-tick":   NewWheel(64, RotatePerTick, stats, nil),
+	}
+}
+
+func TestExecutionOrderMatchesAcrossMechanisms(t *testing.T) {
+	// All four mechanisms must execute the same schedule in the same
+	// (time, FIFO) order.
+	type rec struct {
+		at Time
+		id int
+	}
+	runOne := func(m Mechanism) []rec {
+		e := NewEngine(m)
+		var got []rec
+		rng := dist.NewRNG(61)
+		id := 0
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			at := e.Now() + Time(rng.Intn(200))
+			myID := id
+			id++
+			if _, err := e.At(at, func() {
+				got = append(got, rec{at: e.Now(), id: myID})
+				if depth < 3 {
+					schedule(depth + 1)
+					schedule(depth + 1)
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 8; i++ {
+			schedule(0)
+		}
+		e.Run(1 << 30)
+		return got
+	}
+	var want []rec
+	for name, m := range mechanisms(&Stats{}) {
+		got := runOne(m)
+		if want == nil {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s executed %d events, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s diverged at event %d: %+v vs %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("no events executed")
+	}
+}
+
+func TestEventListTimeJumps(t *testing.T) {
+	e := NewEngine(NewEventList(nil))
+	fired := false
+	if _, err := e.At(1_000_000, func() { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(2_000_000)
+	if !fired || e.Now() != 1_000_000 {
+		t.Fatalf("fired=%v now=%d", fired, e.Now())
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	e := NewEngine(NewEventList(nil))
+	if _, err := e.At(5, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(100)
+	if _, err := e.At(2, func() {}); err == nil {
+		t.Fatal("scheduling in the past should fail")
+	}
+	if _, err := e.After(-1, func() {}); err == nil {
+		t.Fatal("negative delay should fail")
+	}
+}
+
+func TestCancelMarkAndDiscard(t *testing.T) {
+	// Simulation-style cancellation: the notice stays in the structure
+	// (Pending does not drop) and is discarded at its scheduled time.
+	for name, m := range mechanisms(&Stats{}) {
+		e := NewEngine(m)
+		ran := false
+		ev, err := e.After(10, func() { ran = true })
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Cancel(ev)
+		if e.Pending() != 1 {
+			t.Fatalf("%s: canceled notice should remain pending (memory growth claim)", name)
+		}
+		e.Cancel(ev) // idempotent
+		e.Run(100)
+		if ran {
+			t.Fatalf("%s: canceled event ran", name)
+		}
+		if e.Stats.Canceled != 1 || e.Stats.Discarded != 1 {
+			t.Fatalf("%s: canceled=%d discarded=%d", name, e.Stats.Canceled, e.Stats.Discarded)
+		}
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	for name, m := range mechanisms(&Stats{}) {
+		e := NewEngine(m)
+		order := []Time{}
+		for _, at := range []Time{5, 15, 25} {
+			if _, err := e.At(at, func() { order = append(order, e.Now()) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if n := e.Run(20); n != 2 {
+			t.Fatalf("%s: Run(20) executed %d, want 2", name, n)
+		}
+		if n := e.Run(1000); n != 1 {
+			t.Fatalf("%s: second Run executed %d, want 1", name, n)
+		}
+		if len(order) != 3 || order[2] != 25 {
+			t.Fatalf("%s: order=%v", name, order)
+		}
+	}
+}
+
+// TestOverflowBehaviourByPolicy reproduces E9's core contrast: with
+// events scheduled a fixed horizon ahead, the per-cycle wheel pushes a
+// large share of insertions onto the overflow list, the half-cycle wheel
+// fewer, and the per-tick wheel none at all (horizon < wheel size).
+func TestOverflowBehaviourByPolicy(t *testing.T) {
+	overflowFraction := func(policy RotatePolicy) float64 {
+		stats := &Stats{}
+		w := NewWheel(64, policy, stats, nil)
+		e := NewEngine(w)
+		rng := dist.NewRNG(67)
+		// Self-perpetuating event population with horizon < 64.
+		var reschedule func()
+		reschedule = func() {
+			if e.Now() < 20000 {
+				if _, err := e.After(Time(1+rng.Intn(60)), reschedule); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for i := 0; i < 16; i++ {
+			reschedule()
+		}
+		e.Run(25000)
+		return float64(stats.OverflowInserts) / float64(e.Stats.Scheduled)
+	}
+	perCycle := overflowFraction(RotatePerCycle)
+	halfCycle := overflowFraction(RotateHalfCycle)
+	perTick := overflowFraction(RotatePerTick)
+	if perTick != 0 {
+		t.Fatalf("per-tick rotation should never overflow in range, got %.3f", perTick)
+	}
+	if halfCycle >= perCycle {
+		t.Fatalf("half-cycle overflow %.3f should be below per-cycle %.3f", halfCycle, perCycle)
+	}
+	if perCycle < 0.2 {
+		t.Fatalf("per-cycle overflow fraction %.3f unexpectedly small", perCycle)
+	}
+}
+
+func TestWheelBeyondRangeStillCorrect(t *testing.T) {
+	// Events beyond the wheel range land on the overflow list but must
+	// still execute at the right time, for every policy.
+	for _, policy := range []RotatePolicy{RotatePerCycle, RotateHalfCycle, RotatePerTick} {
+		stats := &Stats{}
+		w := NewWheel(16, policy, stats, nil)
+		e := NewEngine(w)
+		var at Time = -1
+		if _, err := e.At(1000, func() { at = e.Now() }); err != nil {
+			t.Fatal(err)
+		}
+		e.Run(2000)
+		if at != 1000 {
+			t.Fatalf("%s: executed at %d", policy, at)
+		}
+		if stats.OverflowInserts != 1 {
+			t.Fatalf("%s: overflow inserts %d, want 1", policy, stats.OverflowInserts)
+		}
+	}
+}
+
+func TestWheelInvalidSizePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero":      func() { NewWheel(0, RotatePerCycle, nil, nil) },
+		"half-of-1": func() { NewWheel(1, RotateHalfCycle, nil, nil) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if RotatePerCycle.String() != "per-cycle" ||
+		RotateHalfCycle.String() != "half-cycle" ||
+		RotatePerTick.String() != "per-tick" {
+		t.Fatal("policy names")
+	}
+	if NewWheel(8, RotatePerTick, nil, nil).Name() != "wheel-per-tick" {
+		t.Fatal("wheel name")
+	}
+	if NewEventList(nil).Name() != "eventlist" {
+		t.Fatal("eventlist name")
+	}
+}
+
+func TestPeakPendingTracksCanceledNotices(t *testing.T) {
+	// The memory-growth claim: heavy cancellation under mark-and-discard
+	// keeps notices alive, inflating peak storage.
+	e := NewEngine(NewEventList(nil))
+	for i := 0; i < 1000; i++ {
+		ev, err := e.After(Time(500+i), func() {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Cancel(ev)
+	}
+	if e.Pending() != 1000 {
+		t.Fatalf("Pending=%d, want 1000 canceled-but-stored notices", e.Pending())
+	}
+	if e.Stats.PeakPending != 1000 {
+		t.Fatalf("PeakPending=%d", e.Stats.PeakPending)
+	}
+	e.Run(1 << 20)
+	if e.Pending() != 0 {
+		t.Fatalf("Pending=%d after drain", e.Pending())
+	}
+}

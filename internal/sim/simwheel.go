@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"fmt"
+
+	"timingwheels/internal/ilist"
+	"timingwheels/internal/metrics"
+)
+
+// RotatePolicy selects when the logic-simulation wheel rotates its window
+// over the overflow list (section 4.2, method 2).
+type RotatePolicy int
+
+// Rotation policies for the simulation wheel.
+const (
+	// RotatePerCycle rotates the window a full array length at a time,
+	// as in TEGAS-2: events are inserted into the overflow list whenever
+	// they fall beyond the current cycle.
+	RotatePerCycle RotatePolicy = iota
+	// RotateHalfCycle rotates the window half an array length at a time,
+	// as in DECSIM, which "reduces (but does not completely avoid)" the
+	// overflow effect.
+	RotateHalfCycle
+	// RotatePerTick slides the window every tick — the Scheme 4
+	// extension: a timer/event within the array's range of the current
+	// time always has a slot, so the overflow list is used only for
+	// events beyond the full array range.
+	RotatePerTick
+)
+
+// String names the policy.
+func (p RotatePolicy) String() string {
+	switch p {
+	case RotateHalfCycle:
+		return "half-cycle"
+	case RotatePerTick:
+		return "per-tick"
+	default:
+		return "per-cycle"
+	}
+}
+
+// Wheel is the timing-wheel time-flow mechanism of logic simulators: an
+// array of event lists indexed by time modulo the array size, with a
+// single overflow list for events beyond the current window.
+type Wheel struct {
+	slots    []ilist.List[*Event]
+	overflow ilist.List[*Event]
+	policy   RotatePolicy
+	now      Time
+	// windowEnd is the first time that does NOT have a slot; events at or
+	// beyond it go to the overflow list. Slot validity invariant: every
+	// event in slots has now <= At < windowEnd.
+	windowEnd Time
+	pending   int
+	stats     *Stats
+	cost      *metrics.Cost
+}
+
+// NewWheel returns a simulation wheel with the given array size and
+// rotation policy, reporting work counters into stats (which may be the
+// engine's Stats) and costs into cost. Size must be at least 2 for
+// half-cycle rotation, else at least 1.
+func NewWheel(size int, policy RotatePolicy, stats *Stats, cost *metrics.Cost) *Wheel {
+	if size < 1 || (policy == RotateHalfCycle && size < 2) {
+		panic(fmt.Sprintf("sim: invalid wheel size %d for policy %s", size, policy))
+	}
+	w := &Wheel{
+		slots:     make([]ilist.List[*Event], size),
+		policy:    policy,
+		windowEnd: Time(size),
+		stats:     stats,
+		cost:      cost,
+	}
+	if stats == nil {
+		w.stats = &Stats{}
+	}
+	for i := range w.slots {
+		w.slots[i].Init(cost)
+	}
+	w.overflow.Init(cost)
+	return w
+}
+
+// Name returns "wheel-<policy>".
+func (w *Wheel) Name() string { return "wheel-" + w.policy.String() }
+
+// Now reports the current simulation time.
+func (w *Wheel) Now() Time { return w.now }
+
+// Pending reports the number of stored notices (slots + overflow).
+func (w *Wheel) Pending() int { return w.pending }
+
+// OverflowLen reports the current overflow-list length.
+func (w *Wheel) OverflowLen() int { return w.overflow.Len() }
+
+// Schedule inserts the event into its slot if its time falls within the
+// current window, otherwise onto the overflow list.
+func (w *Wheel) Schedule(ev *Event) {
+	w.pending++
+	if w.policy == RotatePerTick {
+		// Scheme 4 behaviour: the window always covers [now, now+size).
+		if ev.At < w.now+Time(len(w.slots)) {
+			w.slots[w.slotIndex(ev.At)].PushBack(&ev.node)
+			return
+		}
+		w.stats.OverflowInserts++
+		w.overflow.PushBack(&ev.node)
+		return
+	}
+	if ev.At < w.windowEnd {
+		w.slots[w.slotIndex(ev.At)].PushBack(&ev.node)
+		return
+	}
+	w.stats.OverflowInserts++
+	w.overflow.PushBack(&ev.node)
+}
+
+func (w *Wheel) slotIndex(t Time) int {
+	i := int(t % Time(len(w.slots)))
+	if i < 0 {
+		i += len(w.slots)
+	}
+	return i
+}
+
+// Next steps the clock through slots until it finds an event, rotating
+// the window (and rescanning the overflow list) at cycle boundaries.
+// Events in the same slot pop in FIFO order, the simulation-language
+// convention the paper notes.
+func (w *Wheel) Next() (*Event, bool) {
+	if w.pending == 0 {
+		return nil, false
+	}
+	for {
+		// Current slot first: multiple events can share a time.
+		slot := &w.slots[w.slotIndex(w.now)]
+		if n := slot.Front(); n != nil && n.Value.At == w.now {
+			slot.Remove(n)
+			w.pending--
+			return n.Value, true
+		}
+		w.advanceOneTick()
+	}
+}
+
+// advanceOneTick increments the clock and performs any rotation due.
+func (w *Wheel) advanceOneTick() {
+	w.cost.Read(1)
+	w.stats.EmptySteps++
+	w.now++
+	switch w.policy {
+	case RotatePerTick:
+		// The window slides every tick: exactly one new time becomes
+		// representable; claim its events from the overflow list.
+		w.claimFromOverflow(w.now + Time(len(w.slots)))
+	case RotateHalfCycle:
+		half := Time(len(w.slots) / 2)
+		if w.now >= w.windowEnd-Time(len(w.slots))+half {
+			w.rotateTo(w.windowEnd + half)
+		}
+	default: // RotatePerCycle
+		if w.now >= w.windowEnd {
+			w.rotateTo(w.windowEnd + Time(len(w.slots)))
+		}
+	}
+}
+
+// rotateTo extends the window to end at newEnd and moves newly
+// representable events from the overflow list into slots — "the overflow
+// list is checked; any elements due to occur in the current cycle are
+// removed ... and inserted into the array of lists".
+func (w *Wheel) rotateTo(newEnd Time) {
+	w.windowEnd = newEnd
+	for n := w.overflow.Front(); n != nil; {
+		next := n.Next()
+		w.stats.OverflowScanned++
+		w.cost.Read(1)
+		w.cost.Compare(1)
+		if n.Value.At < w.windowEnd {
+			w.overflow.Remove(n)
+			w.slots[w.slotIndex(n.Value.At)].PushBack(n)
+		}
+		n = next
+	}
+}
+
+// claimFromOverflow moves overflow events due before limit into slots
+// (per-tick policy). With per-tick rotation most events never touch the
+// overflow list, so this scan is short.
+func (w *Wheel) claimFromOverflow(limit Time) {
+	for n := w.overflow.Front(); n != nil; {
+		next := n.Next()
+		w.stats.OverflowScanned++
+		w.cost.Read(1)
+		w.cost.Compare(1)
+		if n.Value.At < limit {
+			w.overflow.Remove(n)
+			w.slots[w.slotIndex(n.Value.At)].PushBack(n)
+		}
+		n = next
+	}
+}
+
+var _ Mechanism = (*Wheel)(nil)

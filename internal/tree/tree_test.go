@@ -1,0 +1,146 @@
+package tree
+
+import (
+	"testing"
+
+	"timingwheels/internal/core"
+	"timingwheels/internal/dist"
+	"timingwheels/internal/metrics"
+)
+
+func noop(core.ID) {}
+
+func kinds() []Kind {
+	return []Kind{KindHeap, KindLeftist, KindSkew, KindBST, KindAVL, KindPairing}
+}
+
+func TestNames(t *testing.T) {
+	want := map[Kind]string{
+		KindHeap:    "scheme3-heap",
+		KindLeftist: "scheme3-leftist",
+		KindSkew:    "scheme3-skew",
+		KindBST:     "scheme3-bst",
+		KindAVL:     "scheme3-avl",
+		KindPairing: "scheme3-pairing",
+	}
+	for k, w := range want {
+		if got := NewScheme3(k, nil).Name(); got != w {
+			t.Errorf("Name(%s)=%q, want %q", k, got, w)
+		}
+	}
+	// Unknown kinds fall back to the heap.
+	if got := NewScheme3(Kind("bogus"), nil).Name(); got != "scheme3-heap" {
+		t.Errorf("fallback Name=%q", got)
+	}
+}
+
+func TestInvariantsUnderChurn(t *testing.T) {
+	for _, k := range kinds() {
+		s := NewScheme3(k, nil)
+		rng := dist.NewRNG(5)
+		var handles []core.Handle
+		for i := 0; i < 500; i++ {
+			switch rng.Intn(3) {
+			case 0, 1:
+				h, err := s.StartTimer(core.Tick(1+rng.Intn(60)), noop)
+				if err != nil {
+					t.Fatal(err)
+				}
+				handles = append(handles, h)
+			case 2:
+				s.Tick()
+			}
+			if len(handles) > 0 && rng.Intn(4) == 0 {
+				i := rng.Intn(len(handles))
+				_ = s.StopTimer(handles[i]) // may already have fired
+				handles = append(handles[:i], handles[i+1:]...)
+			}
+			if !s.CheckInvariants() {
+				t.Fatalf("%s: invariants broken at op %d", s.Name(), i)
+			}
+		}
+	}
+}
+
+func TestNextExpiryAndAdvance(t *testing.T) {
+	for _, k := range kinds() {
+		s := NewScheme3(k, nil)
+		if _, ok := s.NextExpiry(); ok {
+			t.Fatalf("%s: empty NextExpiry should be !ok", s.Name())
+		}
+		fired := 0
+		if _, err := s.StartTimer(500, func(core.ID) { fired++ }); err != nil {
+			t.Fatal(err)
+		}
+		if next, ok := s.NextExpiry(); !ok || next != 500 {
+			t.Fatalf("%s: NextExpiry=%d,%v", s.Name(), next, ok)
+		}
+		if got := s.Advance(1000); got != 1 || fired != 1 {
+			t.Fatalf("%s: Advance fired %d (cb %d)", s.Name(), got, fired)
+		}
+		if s.Now() != 1000 || s.Len() != 0 {
+			t.Fatalf("%s: Now=%d Len=%d", s.Name(), s.Now(), s.Len())
+		}
+	}
+}
+
+// TestStartCostLogarithmic verifies the Figure 6 shape: heap insertion
+// comparisons grow like log n, far slower than linearly.
+func TestStartCostLogarithmic(t *testing.T) {
+	costAt := func(n int) float64 {
+		var cost metrics.Cost
+		s := NewScheme3(KindHeap, &cost)
+		rng := dist.NewRNG(8)
+		for i := 0; i < n; i++ {
+			if _, err := s.StartTimer(core.Tick(1+rng.Intn(1_000_000)), noop); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cost.Reset()
+		const probes = 200
+		for i := 0; i < probes; i++ {
+			if _, err := s.StartTimer(core.Tick(1+rng.Intn(1_000_000)), noop); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(cost.Units()) / probes
+	}
+	c256, c65536 := costAt(256), costAt(65536)
+	// 65536/256 = 256x more timers; log ratio is 16/8 = 2x. Allow slack
+	// but reject anything close to linear growth.
+	if c65536 > 6*c256 {
+		t.Fatalf("heap start cost grew %0.1f -> %0.1f; not logarithmic", c256, c65536)
+	}
+}
+
+// TestBSTDegeneratesOnEqualIntervals reproduces section 4.1.1: constant
+// intervals produce monotone keys, so BST insertion cost grows linearly
+// while the heap stays logarithmic.
+func TestBSTDegeneratesOnEqualIntervals(t *testing.T) {
+	insertCost := func(k Kind, n int) float64 {
+		var cost metrics.Cost
+		s := NewScheme3(k, &cost)
+		for i := 0; i < n; i++ {
+			if _, err := s.StartTimer(1_000_000, noop); err != nil {
+				t.Fatal(err)
+			}
+			s.Tick() // advance the clock so keys strictly increase
+		}
+		cost.Reset()
+		const probes = 50
+		for i := 0; i < probes; i++ {
+			if _, err := s.StartTimer(1_000_000, noop); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(cost.Units()) / probes
+	}
+	bst := insertCost(KindBST, 2000)
+	heap := insertCost(KindHeap, 2000)
+	if bst < 20*heap {
+		t.Fatalf("BST cost %.1f vs heap %.1f: expected linear degeneration", bst, heap)
+	}
+	if bst < 2000 {
+		t.Fatalf("BST insert cost %.1f; a degenerate spine should cost >= n units", bst)
+	}
+}

@@ -1,0 +1,241 @@
+package wheel
+
+import (
+	"testing"
+
+	"timingwheels/internal/core"
+	"timingwheels/internal/dist"
+	"timingwheels/internal/metrics"
+)
+
+func noop(core.ID) {}
+
+func TestIntervalBounds(t *testing.T) {
+	s := NewScheme4(16, nil)
+	if s.MaxInterval() != 16 {
+		t.Fatalf("MaxInterval=%d", s.MaxInterval())
+	}
+	if _, err := s.StartTimer(16, noop); err != nil {
+		t.Fatalf("interval == MaxInterval should be accepted: %v", err)
+	}
+	if _, err := s.StartTimer(17, noop); err != core.ErrIntervalOutOfRange {
+		t.Fatalf("interval beyond MaxInterval: err=%v", err)
+	}
+}
+
+func TestExactExpiryAtWheelSize(t *testing.T) {
+	// A timer of exactly the wheel size lands on the cursor slot and must
+	// fire after one full revolution, not immediately.
+	s := NewScheme4(8, nil)
+	var firedAt core.Tick = -1
+	if _, err := s.StartTimer(8, func(core.ID) { firedAt = s.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Tick()
+	}
+	if firedAt != 8 {
+		t.Fatalf("fired at %d, want 8", firedAt)
+	}
+}
+
+func TestO1CostsIndependentOfN(t *testing.T) {
+	// Section 5: O(1) START_TIMER, STOP_TIMER, and per-tick latency.
+	measure := func(n int) (start, stop, tick float64) {
+		var cost metrics.Cost
+		s := NewScheme4(1024, &cost)
+		handles := make([]core.Handle, 0, n)
+		for i := 0; i < n; i++ {
+			h, err := s.StartTimer(core.Tick(1+(i%1023)), noop)
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles = append(handles, h)
+		}
+		before := cost.Snapshot()
+		h, _ := s.StartTimer(512, noop)
+		start = float64(cost.Snapshot().Sub(before).Units())
+		before = cost.Snapshot()
+		if err := s.StopTimer(h); err != nil {
+			t.Fatal(err)
+		}
+		stop = float64(cost.Snapshot().Sub(before).Units())
+		_ = handles
+		return start, stop, 0
+	}
+	s16, p16, _ := measure(16)
+	s4096, p4096, _ := measure(4096)
+	if s4096 > s16+2 || p4096 > p16+2 {
+		t.Fatalf("costs grew with n: start %v->%v stop %v->%v", s16, s4096, p16, p4096)
+	}
+}
+
+func TestEmptyTickIsCheap(t *testing.T) {
+	var cost metrics.Cost
+	s := NewScheme4(64, &cost)
+	cost.Reset()
+	s.Tick()
+	if cost.Units() > 4 {
+		t.Fatalf("empty tick cost %d units, want a small constant", cost.Units())
+	}
+}
+
+func TestStopPreventsFiring(t *testing.T) {
+	s := NewScheme4(32, nil)
+	fired := false
+	h, err := s.StartTimer(5, func(core.ID) { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StopTimer(h); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		s.Tick()
+	}
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len=%d", s.Len())
+	}
+}
+
+func TestCallbackStartsFullRevolutionTimer(t *testing.T) {
+	// A callback starting a timer of exactly MaxInterval lands in the
+	// slot being processed; it must fire a revolution later, not within
+	// the same batch.
+	s := NewScheme4(4, nil)
+	var fires []core.Tick
+	if _, err := s.StartTimer(4, func(core.ID) {
+		fires = append(fires, s.Now())
+		if len(fires) == 1 {
+			if _, err := s.StartTimer(4, func(core.ID) {
+				fires = append(fires, s.Now())
+			}); err != nil {
+				t.Errorf("nested start: %v", err)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		s.Tick()
+	}
+	if len(fires) != 2 || fires[0] != 4 || fires[1] != 8 {
+		t.Fatalf("fires=%v, want [4 8]", fires)
+	}
+}
+
+func TestSizeOnePanicsOnlyBelowOne(t *testing.T) {
+	// Size 1 is legal (every timer has interval 1).
+	s := NewScheme4(1, nil)
+	fired := 0
+	if _, err := s.StartTimer(1, func(core.ID) { fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	s.Tick()
+	if fired != 1 {
+		t.Fatal("size-1 wheel should fire interval-1 timers")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size 0 should panic")
+		}
+	}()
+	NewScheme4(0, nil)
+}
+
+func TestManyTimersSameSlot(t *testing.T) {
+	s := NewScheme4(16, nil)
+	fired := 0
+	for i := 0; i < 100; i++ {
+		if _, err := s.StartTimer(7, func(core.ID) { fired++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 7; i++ {
+		s.Tick()
+	}
+	if fired != 100 {
+		t.Fatalf("fired=%d, want 100", fired)
+	}
+}
+
+// TestNextExpiryAndAdvance covers the bitmap fast paths: NextExpiry
+// reports the exact next firing time, and Advance produces the same
+// firing sequence as tick-by-tick stepping on random schedules.
+func TestNextExpiryAndAdvance(t *testing.T) {
+	s := NewScheme4(32, nil)
+	if _, ok := s.NextExpiry(); ok {
+		t.Fatal("empty wheel should have no next expiry")
+	}
+	if _, err := s.StartTimer(7, noop); err != nil {
+		t.Fatal(err)
+	}
+	if next, ok := s.NextExpiry(); !ok || next != 7 {
+		t.Fatalf("NextExpiry=%d,%v want 7", next, ok)
+	}
+	// A timer of exactly the wheel size sits on the cursor slot.
+	s2 := NewScheme4(8, nil)
+	if _, err := s2.StartTimer(8, noop); err != nil {
+		t.Fatal(err)
+	}
+	if next, ok := s2.NextExpiry(); !ok || next != 8 {
+		t.Fatalf("full-revolution NextExpiry=%d,%v want 8", next, ok)
+	}
+
+	// Equivalence: Advance vs tick-by-tick on identical schedules.
+	rng := dist.NewRNG(91)
+	a := NewScheme4(64, nil)
+	b := NewScheme4(64, nil)
+	var aFires, bFires []core.Tick
+	for round := 0; round < 50; round++ {
+		k := rng.Intn(5)
+		for i := 0; i < k; i++ {
+			iv := core.Tick(1 + rng.Intn(64))
+			if _, err := a.StartTimer(iv, func(core.ID) { aFires = append(aFires, a.Now()) }); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.StartTimer(iv, func(core.ID) { bFires = append(bFires, b.Now()) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		step := core.Tick(1 + rng.Intn(100))
+		na := a.Advance(step)
+		nb := 0
+		for i := core.Tick(0); i < step; i++ {
+			nb += b.Tick()
+		}
+		if na != nb || a.Now() != b.Now() || a.Len() != b.Len() {
+			t.Fatalf("round %d: advance fired %d (now %d len %d), ticks fired %d (now %d len %d)",
+				round, na, a.Now(), a.Len(), nb, b.Now(), b.Len())
+		}
+	}
+	if len(aFires) != len(bFires) {
+		t.Fatalf("fire counts differ: %d vs %d", len(aFires), len(bFires))
+	}
+	for i := range aFires {
+		if aFires[i] != bFires[i] {
+			t.Fatalf("fire %d at %d vs %d", i, aFires[i], bFires[i])
+		}
+	}
+}
+
+// TestAdvanceSkipCost: advancing across a long idle span costs far less
+// than ticking through it.
+func TestAdvanceSkipCost(t *testing.T) {
+	var cost metrics.Cost
+	s := NewScheme4(1<<16, &cost)
+	fired := false
+	if _, err := s.StartTimer(60000, func(core.ID) { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	cost.Reset()
+	if n := s.Advance(65000); n != 1 || !fired {
+		t.Fatalf("Advance fired %d", n)
+	}
+	if u := cost.Snapshot().Units(); u > 50 {
+		t.Fatalf("Advance over 65000 idle ticks cost %d units; bitmap skip should be cheap", u)
+	}
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"timingwheels/internal/dist"
+)
+
+// Scenario is a named workload preset modeling one of the timer
+// populations the paper's introduction motivates.
+type Scenario struct {
+	Name        string
+	Description string
+	// Build returns a fresh Config (arrival processes are stateful, so
+	// each run needs its own instance).
+	Build func(seed uint64) Config
+}
+
+// Scenarios returns the built-in presets, sorted by name.
+func Scenarios() []Scenario {
+	s := []Scenario{
+		{
+			Name: "server-200x3",
+			Description: "the introduction's server: 200 connections x 3 timers " +
+				"each; retransmission-style timers that are usually stopped " +
+				"before expiry",
+			Build: func(seed uint64) Config {
+				// Steady state ~600 outstanding: lambda = 600/mean.
+				mean := 2000.0
+				return Config{
+					Arrival:     &dist.Poisson{RatePerTick: 600 / mean},
+					Interval:    dist.Exponential{MeanTicks: mean},
+					CancelProb:  0.9, // acks stop most retransmit timers
+					CancelAt:    0.2, // well before the timeout
+					Seed:        seed,
+					Warmup:      int64(4 * mean),
+					Measure:     int64(20 * mean),
+					SampleEvery: 64,
+				}
+			},
+		},
+		{
+			Name: "rate-control",
+			Description: "rate-based flow control: short periodic timers that " +
+				"almost always expire",
+			Build: func(seed uint64) Config {
+				return Config{
+					Arrival:     dist.Periodic{Period: 2},
+					Interval:    dist.Constant{Value: 50},
+					Seed:        seed,
+					Warmup:      1000,
+					Measure:     20000,
+					SampleEvery: 64,
+				}
+			},
+		},
+		{
+			Name: "failure-detection",
+			Description: "long watchdog timers that rarely expire (reset " +
+				"shortly before their deadline)",
+			Build: func(seed uint64) Config {
+				mean := 50000.0
+				return Config{
+					Arrival:     &dist.Poisson{RatePerTick: 0.02},
+					Interval:    dist.Uniform{Lo: int64(mean / 2), Hi: int64(3 * mean / 2)},
+					CancelProb:  0.98,
+					CancelAt:    0.9,
+					Seed:        seed,
+					Warmup:      int64(2 * mean),
+					Measure:     int64(4 * mean),
+					SampleEvery: 256,
+				}
+			},
+		},
+		{
+			Name: "mixed",
+			Description: "bimodal population: mostly short rate-control timers " +
+				"plus a heavy tail of long failure-detection timers",
+			Build: func(seed uint64) Config {
+				return Config{
+					Arrival: &dist.Poisson{RatePerTick: 0.5},
+					Interval: dist.Bimodal{
+						Short:  dist.Exponential{MeanTicks: 100},
+						Long:   dist.Pareto{Xm: 5000, Alpha: 1.8},
+						PShort: 0.9,
+					},
+					CancelProb:  0.3,
+					Seed:        seed,
+					Warmup:      20000,
+					Measure:     60000,
+					SampleEvery: 128,
+				}
+			},
+		},
+		{
+			Name: "bursty",
+			Description: "bursty arrivals (per-tick batches separated by quiet " +
+				"gaps) stressing per-tick latency variance",
+			Build: func(seed uint64) Config {
+				return Config{
+					Arrival:     &dist.Bursty{Burst: 64, Quiet: 200},
+					Interval:    dist.Uniform{Lo: 100, Hi: 5000},
+					CancelProb:  0.2,
+					Seed:        seed,
+					Warmup:      10000,
+					Measure:     50000,
+					SampleEvery: 64,
+				}
+			},
+		},
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })
+	return s
+}
+
+// ScenarioByName finds a preset by name.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("workload: unknown scenario %q", name)
+}

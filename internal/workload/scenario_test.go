@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"testing"
+
+	"timingwheels/internal/hashwheel"
+	"timingwheels/internal/hier"
+	"timingwheels/internal/metrics"
+)
+
+func TestScenariosAreWellFormed(t *testing.T) {
+	ss := Scenarios()
+	if len(ss) < 4 {
+		t.Fatalf("only %d scenarios", len(ss))
+	}
+	seen := map[string]bool{}
+	for _, s := range ss {
+		if s.Name == "" || s.Description == "" || s.Build == nil {
+			t.Fatalf("malformed scenario %+v", s)
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate scenario %q", s.Name)
+		}
+		seen[s.Name] = true
+		cfg := s.Build(1)
+		if cfg.Arrival == nil || cfg.Interval == nil || cfg.Measure <= 0 {
+			t.Fatalf("scenario %q builds an incomplete config", s.Name)
+		}
+	}
+}
+
+func TestScenarioByName(t *testing.T) {
+	if _, err := ScenarioByName("server-200x3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScenarioByName("nope"); err == nil {
+		t.Fatal("unknown scenario should fail")
+	}
+}
+
+// TestScenariosRunOnRepresentativeSchemes executes every preset (scaled
+// down) against a hashed wheel and a hierarchy, checking basic liveness.
+func TestScenariosRunOnRepresentativeSchemes(t *testing.T) {
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			cfg := s.Build(7)
+			// Scale the windows down for test time.
+			if cfg.Measure > 20000 {
+				cfg.Measure = 20000
+			}
+			if cfg.Warmup > 10000 {
+				cfg.Warmup = 10000
+			}
+			var cost metrics.Cost
+			res := Run(hashwheel.NewScheme6(512, &cost), cfg, &cost)
+			if res.Started == 0 {
+				t.Fatal("no timers started on scheme6")
+			}
+			if res.Fired == 0 && res.Stopped == 0 {
+				t.Fatal("no timer completed on scheme6")
+			}
+			cfg2 := s.Build(7)
+			if cfg2.Measure > 20000 {
+				cfg2.Measure = 20000
+			}
+			if cfg2.Warmup > 10000 {
+				cfg2.Warmup = 10000
+			}
+			res2 := Run(hier.NewScheme7([]int{256, 64, 64, 64}, hier.MigrateAlways, nil), cfg2, nil)
+			if res2.Started == 0 {
+				t.Fatal("no timers started on scheme7")
+			}
+			// Identical seeds and configs drive identical schedules.
+			if res.Started != res2.Started {
+				t.Fatalf("schedule diverged across schemes: %d vs %d starts",
+					res.Started, res2.Started)
+			}
+		})
+	}
+}

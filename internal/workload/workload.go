@@ -1,0 +1,178 @@
+// Package workload drives a timer facility with the G/G/inf load model
+// of Figure 3: START_TIMER calls arrive by some arrival process, each
+// timer's interval is drawn from some distribution, and a configurable
+// fraction of timers is stopped before expiry (the paper's observation
+// that failure-recovery timers "rarely expire" while rate-control timers
+// "almost always expire").
+//
+// The runner measures, in the facility's abstract cost units, the
+// latency of every START_TIMER, STOP_TIMER, and PER_TICK_BOOKKEEPING
+// call, plus queue-length and remaining-time samples for the Little's-law
+// and residual-life checks of experiment E12.
+package workload
+
+import (
+	"timingwheels/internal/core"
+	"timingwheels/internal/dist"
+	"timingwheels/internal/metrics"
+)
+
+// Config describes one workload run.
+type Config struct {
+	// Arrival generates gaps between START_TIMER calls.
+	Arrival dist.Arrival
+	// Interval draws each timer's duration in ticks.
+	Interval dist.Interval
+	// CancelProb is the probability that a started timer is stopped
+	// before it expires (0 = every timer runs to expiry).
+	CancelProb float64
+	// CancelAt is the point in the timer's life, as a fraction of its
+	// interval, at which a cancelled timer is stopped (default 0.5).
+	CancelAt float64
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Warmup is the number of ticks to run before measuring, letting the
+	// G/G/inf queue reach steady state.
+	Warmup int64
+	// Measure is the number of ticks measured after warmup.
+	Measure int64
+	// SampleEvery samples the outstanding-timer count every k measured
+	// ticks (0 disables sampling).
+	SampleEvery int64
+	// SampleRemaining additionally samples the remaining time of every
+	// outstanding timer at each queue-length sample (costly; used by the
+	// residual-life experiment only).
+	SampleRemaining bool
+	// MaxOutstanding, if positive, suppresses new starts while the
+	// facility holds this many timers, bounding memory for bounded-range
+	// schemes.
+	MaxOutstanding int
+}
+
+// Result holds everything measured during a run.
+type Result struct {
+	// StartCost, StopCost, and TickCost are per-call costs in abstract
+	// units (reads+writes+compares).
+	StartCost metrics.Series
+	StopCost  metrics.Series
+	TickCost  metrics.Series
+	// QueueLen samples the number of outstanding timers.
+	QueueLen metrics.Series
+	// Remaining samples the remaining time of outstanding timers (only
+	// when Config.SampleRemaining is set).
+	Remaining metrics.Series
+	// Started, Stopped, and Fired count timer lifecycle events during the
+	// measured window.
+	Started, Stopped, Fired uint64
+	// FinalLen is the facility's Len at the end of the run.
+	FinalLen int
+	// Ticks is the number of measured ticks.
+	Ticks int64
+}
+
+// Run drives f under cfg. The cost sink must be the one f was constructed
+// with; pass nil if f was built without cost accounting (per-call cost
+// series will then be zero while event counts remain valid).
+func Run(f core.Facility, cfg Config, cost *metrics.Cost) *Result {
+	r := &Result{}
+	rng := dist.NewRNG(cfg.Seed)
+	cancelRNG := rng.Fork()
+	if cfg.CancelAt <= 0 || cfg.CancelAt >= 1 {
+		cfg.CancelAt = 0.5
+	}
+
+	// Ledgers. outstanding maps timer id -> absolute expiry; cancels maps
+	// an absolute tick -> handles to stop at that tick.
+	outstanding := make(map[core.ID]core.Tick)
+	cancels := make(map[core.Tick][]core.Handle)
+
+	measuring := false
+	var fired uint64
+	onExpiry := func(id core.ID) {
+		delete(outstanding, id)
+		if measuring {
+			fired++
+		}
+	}
+
+	nextArrival := cfg.Arrival.NextGap(rng)
+	total := cfg.Warmup + cfg.Measure
+	for t := int64(0); t < total; t++ {
+		if t == cfg.Warmup {
+			measuring = true
+		}
+		now := f.Now()
+
+		// Start timers due to arrive on this tick.
+		for nextArrival == 0 {
+			nextArrival = cfg.Arrival.NextGap(rng)
+			if cfg.MaxOutstanding > 0 && f.Len() >= cfg.MaxOutstanding {
+				continue
+			}
+			interval := core.Tick(cfg.Interval.Draw(rng))
+			before := cost.Snapshot()
+			h, err := f.StartTimer(interval, onExpiry)
+			if err != nil {
+				continue // out of range for a bounded scheme: skip
+			}
+			if measuring {
+				d := cost.Snapshot().Sub(before)
+				r.StartCost.Add(float64(d.Units()))
+				r.Started++
+			}
+			outstanding[h.TimerID()] = now + interval
+			if interval > 1 && cancelRNG.Float64() < cfg.CancelProb {
+				at := now + core.Tick(float64(interval)*cfg.CancelAt)
+				if at <= now {
+					at = now + 1
+				}
+				if at >= now+interval {
+					at = now + interval - 1
+				}
+				cancels[at] = append(cancels[at], h)
+			}
+		}
+		nextArrival--
+
+		// Stop timers scheduled for cancellation at this tick. The stop
+		// happens before the tick advances, so a timer cancelled "at" its
+		// expiry tick minus one never fires.
+		if hs, ok := cancels[now]; ok {
+			delete(cancels, now)
+			for _, h := range hs {
+				before := cost.Snapshot()
+				if err := f.StopTimer(h); err == nil {
+					if measuring {
+						d := cost.Snapshot().Sub(before)
+						r.StopCost.Add(float64(d.Units()))
+						r.Stopped++
+					}
+					delete(outstanding, h.TimerID())
+				}
+			}
+		}
+
+		// PER_TICK_BOOKKEEPING.
+		before := cost.Snapshot()
+		f.Tick()
+		if measuring {
+			d := cost.Snapshot().Sub(before)
+			r.TickCost.Add(float64(d.Units()))
+		}
+
+		if measuring && cfg.SampleEvery > 0 && (t-cfg.Warmup)%cfg.SampleEvery == 0 {
+			r.QueueLen.Add(float64(f.Len()))
+			if cfg.SampleRemaining {
+				for _, when := range outstanding {
+					if rem := when - f.Now(); rem > 0 {
+						r.Remaining.Add(float64(rem))
+					}
+				}
+			}
+		}
+	}
+	r.Fired = fired
+	r.FinalLen = f.Len()
+	r.Ticks = cfg.Measure
+	return r
+}

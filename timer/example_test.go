@@ -1,0 +1,155 @@
+package timer_test
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"timingwheels/timer"
+)
+
+// ExampleNewHashedWheel drives the paper's recommended Scheme 6 in
+// virtual time: deterministic, single-threaded, caller-owned clock.
+func ExampleNewHashedWheel() {
+	w := timer.NewHashedWheel(256)
+	for _, d := range []timer.Tick{3, 1, 300} {
+		d := d
+		if _, err := w.StartTimer(d, func(timer.ID) {
+			fmt.Printf("fired after %d at tick %d\n", d, w.Now())
+		}); err != nil {
+			panic(err)
+		}
+	}
+	timer.AdvanceBy(w, 300)
+	// Output:
+	// fired after 1 at tick 1
+	// fired after 3 at tick 3
+	// fired after 300 at tick 300
+}
+
+// ExampleScheme_StopTimer shows O(1) cancellation via the handle
+// returned by StartTimer — the paper's doubly-linked-list trick.
+func ExampleScheme_StopTimer() {
+	w := timer.NewHashedWheel(64)
+	h, err := w.StartTimer(10, func(timer.ID) { fmt.Println("never prints") })
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("stop:", w.StopTimer(h))
+	fmt.Println("stop again:", w.StopTimer(h) == timer.ErrTimerNotPending)
+	fmt.Println("fired:", timer.AdvanceBy(w, 20))
+	// Output:
+	// stop: <nil>
+	// stop again: true
+	// fired: 0
+}
+
+// ExampleNewHierarchicalWheel schedules across the paper's
+// seconds/minutes/hours/days hierarchy (244 slots for 100 days).
+func ExampleNewHierarchicalWheel() {
+	cal := timer.NewHierarchicalWheel(timer.HierarchyDayRadices, timer.MigrateAlways)
+	var fires []timer.Tick
+	for _, after := range []timer.Tick{90, 3600 + 120, 86400 * 2} {
+		if _, err := cal.StartTimer(after, func(timer.ID) {
+			fires = append(fires, cal.Now())
+		}); err != nil {
+			panic(err)
+		}
+	}
+	timer.AdvanceBy(cal, 86400*3)
+	sort.Slice(fires, func(i, j int) bool { return fires[i] < fires[j] })
+	fmt.Println(fires)
+	// Output:
+	// [90 3720 172800]
+}
+
+// ExampleNewHybridWheel: a small wheel serves short timers at O(1) while
+// arbitrarily long timers park in the overflow queue.
+func ExampleNewHybridWheel() {
+	h := timer.NewHybridWheel(16)
+	for _, d := range []timer.Tick{5, 1000} {
+		d := d
+		if _, err := h.StartTimer(d, func(timer.ID) {
+			fmt.Printf("t=%d\n", h.Now())
+		}); err != nil {
+			panic(err)
+		}
+	}
+	timer.AdvanceBy(h, 1000)
+	// Output:
+	// t=5
+	// t=1000
+}
+
+// ExampleRuntime_AfterFunc runs a real-time timer on the wheel runtime.
+func ExampleRuntime_AfterFunc() {
+	rt := timer.NewRuntime(timer.WithGranularity(time.Millisecond))
+	defer rt.Close()
+	done := make(chan struct{})
+	if _, err := rt.AfterFunc(5*time.Millisecond, func() {
+		fmt.Println("expired")
+		close(done)
+	}); err != nil {
+		panic(err)
+	}
+	<-done
+	// Output:
+	// expired
+}
+
+// ExampleInstrument wraps a scheme with operation counters.
+func ExampleInstrument() {
+	s, counters := timer.Instrument(timer.NewHashedWheel(64))
+	h, _ := s.StartTimer(2, func(timer.ID) {})
+	_ = s.StopTimer(h)
+	if _, err := s.StartTimer(3, func(timer.ID) {}); err != nil {
+		panic(err)
+	}
+	timer.AdvanceBy(s, 4)
+	fmt.Println(counters)
+	// Output:
+	// starts=2 stops=1 fired=1 ticks=4 (75% empty) max=1
+}
+
+// ExampleRuntime_Every runs a periodic action on the wheel.
+func ExampleRuntime_Every() {
+	rt := timer.NewRuntime(timer.WithGranularity(time.Millisecond))
+	defer rt.Close()
+	done := make(chan struct{})
+	count := 0
+	var tk *timer.Ticker
+	var err error
+	tk, err = rt.Every(2*time.Millisecond, func() {
+		count++
+		if count == 3 {
+			close(done)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	<-done
+	tk.Stop()
+	fmt.Println(count >= 3)
+	// Output:
+	// true
+}
+
+// ExampleWithTickless hosts timers the way a single-hardware-timer
+// machine would: the driver sleeps until the next deadline.
+func ExampleWithTickless() {
+	rt := timer.NewRuntime(
+		timer.WithGranularity(time.Millisecond),
+		timer.WithScheme(timer.NewTree(timer.TreeHeap)),
+		timer.WithTickless(),
+	)
+	defer rt.Close()
+	done := make(chan struct{})
+	if _, err := rt.AfterFunc(3*time.Millisecond, func() { close(done) }); err != nil {
+		panic(err)
+	}
+	<-done
+	fmt.Println("fired")
+	// Output:
+	// fired
+}

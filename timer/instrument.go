@@ -1,0 +1,112 @@
+package timer
+
+import "fmt"
+
+// Counters is a snapshot of the operation counts an instrumented scheme
+// has performed — the observable half of the paper's performance model
+// (how often each of the four routines runs, and with what outcome).
+type Counters struct {
+	// Starts counts successful StartTimer calls; StartErrors counts
+	// rejected ones (bad interval, out of range).
+	Starts, StartErrors uint64
+	// Stops counts successful StopTimer calls; StopErrors counts
+	// rejected ones (already fired, foreign handle).
+	Stops, StopErrors uint64
+	// Ticks counts PER_TICK_BOOKKEEPING invocations; EmptyTicks counts
+	// the ones that fired nothing (the wheel's cheap common case).
+	Ticks, EmptyTicks uint64
+	// Fired counts expiry actions run.
+	Fired uint64
+	// MaxOutstanding is the high-water mark of pending timers.
+	MaxOutstanding int
+}
+
+// String summarizes the counters.
+func (c Counters) String() string {
+	return fmt.Sprintf("starts=%d stops=%d fired=%d ticks=%d (%.0f%% empty) max=%d",
+		c.Starts, c.Stops, c.Fired, c.Ticks,
+		100*float64(c.EmptyTicks)/float64(max64(c.Ticks, 1)), c.MaxOutstanding)
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// instrumented wraps a Scheme with operation counting.
+type instrumented struct {
+	inner Scheme
+	c     Counters
+}
+
+// Instrument wraps a Scheme so every operation is counted; read the
+// counts through the returned *Counters (valid for the wrapper's
+// lifetime; not safe for concurrent readers while the scheme is driven).
+// The wrapper preserves the inner scheme's semantics exactly — including
+// O(1) NextExpiry support for tickless runtimes, when the inner scheme
+// has it — and adds two integer updates per operation.
+func Instrument(s Scheme) (Scheme, *Counters) {
+	w := &instrumented{inner: s}
+	if _, ok := s.(nextExpirer); ok {
+		ne := &instrumentedNE{instrumented: w}
+		return ne, &w.c
+	}
+	return w, &w.c
+}
+
+// instrumentedNE adds the NextExpiry method only when the inner scheme
+// supports it, so tickless validation stays accurate.
+type instrumentedNE struct {
+	*instrumented
+}
+
+// NextExpiry forwards to the inner scheme.
+func (w *instrumentedNE) NextExpiry() (Tick, bool) {
+	return w.inner.(nextExpirer).NextExpiry()
+}
+
+// Name reports "<inner>+counters".
+func (w *instrumented) Name() string { return w.inner.Name() + "+counters" }
+
+// StartTimer counts and forwards.
+func (w *instrumented) StartTimer(interval Tick, cb Callback) (Handle, error) {
+	h, err := w.inner.StartTimer(interval, cb)
+	if err != nil {
+		w.c.StartErrors++
+		return nil, err
+	}
+	w.c.Starts++
+	if n := w.inner.Len(); n > w.c.MaxOutstanding {
+		w.c.MaxOutstanding = n
+	}
+	return h, nil
+}
+
+// StopTimer counts and forwards.
+func (w *instrumented) StopTimer(h Handle) error {
+	if err := w.inner.StopTimer(h); err != nil {
+		w.c.StopErrors++
+		return err
+	}
+	w.c.Stops++
+	return nil
+}
+
+// Tick counts and forwards.
+func (w *instrumented) Tick() int {
+	fired := w.inner.Tick()
+	w.c.Ticks++
+	if fired == 0 {
+		w.c.EmptyTicks++
+	}
+	w.c.Fired += uint64(fired)
+	return fired
+}
+
+// Now forwards.
+func (w *instrumented) Now() Tick { return w.inner.Now() }
+
+// Len forwards.
+func (w *instrumented) Len() int { return w.inner.Len() }

@@ -1,0 +1,115 @@
+package timer
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestInstrumentCounts(t *testing.T) {
+	s, c := Instrument(NewHashedWheel(32))
+	h1, err := s.StartTimer(3, func(ID) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StartTimer(5, func(ID) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StartTimer(0, func(ID) {}); err == nil {
+		t.Fatal("bad interval should fail")
+	}
+	if err := s.StopTimer(h1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StopTimer(h1); err == nil {
+		t.Fatal("double stop should fail")
+	}
+	AdvanceBy(s, 6)
+	if c.Starts != 2 || c.StartErrors != 1 {
+		t.Fatalf("starts=%d errors=%d", c.Starts, c.StartErrors)
+	}
+	if c.Stops != 1 || c.StopErrors != 1 {
+		t.Fatalf("stops=%d errors=%d", c.Stops, c.StopErrors)
+	}
+	if c.Ticks != 6 || c.Fired != 1 || c.EmptyTicks != 5 {
+		t.Fatalf("ticks=%d fired=%d empty=%d", c.Ticks, c.Fired, c.EmptyTicks)
+	}
+	if c.MaxOutstanding != 2 {
+		t.Fatalf("max=%d", c.MaxOutstanding)
+	}
+	if !strings.Contains(s.Name(), "+counters") {
+		t.Fatalf("Name=%q", s.Name())
+	}
+	if !strings.Contains(c.String(), "starts=2") {
+		t.Fatalf("String=%q", c.String())
+	}
+}
+
+func TestInstrumentPreservesNextExpiry(t *testing.T) {
+	// Tree schemes keep their tickless eligibility through the wrapper.
+	s, _ := Instrument(NewTree(TreeHeap))
+	ne, ok := s.(interface{ NextExpiry() (Tick, bool) })
+	if !ok {
+		t.Fatal("instrumented tree lost NextExpiry")
+	}
+	if _, err := s.StartTimer(9, func(ID) {}); err != nil {
+		t.Fatal(err)
+	}
+	if when, ok := ne.NextExpiry(); !ok || when != 9 {
+		t.Fatalf("NextExpiry=%d,%v", when, ok)
+	}
+	// Wheels must NOT grow a fake NextExpiry (tickless would misbehave).
+	w, _ := Instrument(NewHashedWheel(16))
+	if _, ok := w.(interface{ NextExpiry() (Tick, bool) }); ok {
+		t.Fatal("instrumented wheel should not claim NextExpiry")
+	}
+}
+
+func TestInstrumentedUnderRuntime(t *testing.T) {
+	s, c := Instrument(NewTree(TreeHeap))
+	rt := NewRuntime(
+		WithGranularity(time.Millisecond),
+		WithScheme(s),
+		WithTickless(), // works because the wrapper forwards NextExpiry
+	)
+	defer rt.Close()
+	done := make(chan struct{})
+	if _, err := rt.AfterFunc(5*time.Millisecond, func() { close(done) }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("instrumented tickless runtime never fired")
+	}
+	rt.Close()
+	if c.Starts == 0 || c.Fired == 0 {
+		t.Fatalf("counters not updated: %+v", *c)
+	}
+}
+
+func TestInstrumentConformance(t *testing.T) {
+	// The wrapper must not change behaviour: same schedule, same fires.
+	plain := NewHashedWheel(64)
+	wrapped, _ := Instrument(NewHashedWheel(64))
+	var a, b []Tick
+	for i := Tick(1); i <= 40; i++ {
+		i := i
+		if _, err := plain.StartTimer(i, func(ID) { a = append(a, plain.Now()) }); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := wrapped.StartTimer(i, func(ID) { b = append(b, wrapped.Now()) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	AdvanceBy(plain, 50)
+	AdvanceBy(wrapped, 50)
+	if len(a) != len(b) {
+		t.Fatalf("fire counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fire %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package timer
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"timingwheels/internal/clock"
+	"timingwheels/internal/core"
+)
+
+// ErrRuntimeClosed reports an operation on a Runtime after Close.
+var ErrRuntimeClosed = errors.New("timer: runtime is closed")
+
+// DefaultGranularity is the tick length a Runtime uses unless configured
+// otherwise.
+const DefaultGranularity = 10 * time.Millisecond
+
+// RuntimeOption configures NewRuntime.
+type RuntimeOption func(*runtimeConfig)
+
+type runtimeConfig struct {
+	granularity time.Duration
+	scheme      Scheme
+	nowFunc     func() time.Time
+	manual      bool
+	tickless    bool
+}
+
+// WithGranularity sets the tick length (default 10ms). Finer granularity
+// means more precise timers and more wakeups; the paper's schemes keep
+// per-tick work O(1), so fine granularity stays affordable.
+func WithGranularity(d time.Duration) RuntimeOption {
+	return func(c *runtimeConfig) { c.granularity = d }
+}
+
+// WithScheme supplies the virtual-time facility the runtime drives
+// (default: a 4096-slot Scheme 6 hashed wheel). The runtime takes
+// ownership: the scheme must not be used directly afterwards.
+func WithScheme(s Scheme) RuntimeOption {
+	return func(c *runtimeConfig) { c.scheme = s }
+}
+
+// WithNowFunc replaces the wall-clock source, for tests.
+func WithNowFunc(fn func() time.Time) RuntimeOption {
+	return func(c *runtimeConfig) { c.nowFunc = fn }
+}
+
+// WithManualDriver disables the background ticking goroutine; the caller
+// must invoke Poll to advance the runtime. For tests and single-threaded
+// event loops that own their own wakeup source.
+func WithManualDriver() RuntimeOption {
+	return func(c *runtimeConfig) { c.manual = true }
+}
+
+// Runtime drives a Scheme from the wall clock and makes it safe for
+// concurrent use. Timers are scheduled in time.Duration terms; durations
+// round up to whole ticks so a timer never fires before its deadline.
+//
+// Expiry functions run on the runtime's ticking goroutine, outside the
+// internal lock, so they may schedule and stop other timers; they should
+// not block for long, or they delay other expiries (the same discipline
+// production hashed-wheel timers impose).
+type Runtime struct {
+	mu     sync.Mutex
+	fac    Scheme
+	wall   *clock.Wall
+	now    func() time.Time
+	closed bool
+
+	fired   []*Timer // collected during tick, run after unlock
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+	wake    chan struct{} // tickless driver poke; nil in ticking mode
+	started uint64
+	expired uint64
+	stopped uint64
+}
+
+// Timer is one scheduled expiry action, returned by AfterFunc and
+// Schedule.
+type Timer struct {
+	rt *Runtime
+	h  Handle
+	fn func()
+	// deadline is the tick at which the timer fires.
+	deadline Tick
+}
+
+// NewRuntime starts a runtime. Close it when done to release the ticking
+// goroutine.
+func NewRuntime(opts ...RuntimeOption) *Runtime {
+	cfg := runtimeConfig{granularity: DefaultGranularity, nowFunc: time.Now}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.scheme == nil {
+		cfg.scheme = NewHashedWheel(4096)
+	}
+	rt := &Runtime{
+		fac:    cfg.scheme,
+		now:    cfg.nowFunc,
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+	rt.wall = clock.NewWall(rt.now(), cfg.granularity)
+	switch {
+	case cfg.manual:
+		close(rt.doneCh)
+	case cfg.tickless:
+		validateTickless(rt.fac)
+		rt.wake = make(chan struct{}, 1)
+		go rt.ticklessLoop()
+	default:
+		go rt.loop(cfg.granularity)
+	}
+	return rt
+}
+
+// Granularity reports the runtime's tick length.
+func (rt *Runtime) Granularity() time.Duration { return rt.wall.Granularity() }
+
+// loop is the PER_TICK_BOOKKEEPING driver: it wakes every granularity
+// and catches the facility up to wall time, so a delayed wakeup runs
+// several ticks back to back rather than skewing all future timers.
+func (rt *Runtime) loop(granularity time.Duration) {
+	defer close(rt.doneCh)
+	ticker := time.NewTicker(granularity)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stopCh:
+			return
+		case <-ticker.C:
+			rt.Poll()
+		}
+	}
+}
+
+// Poll advances the facility to the current wall tick and runs due
+// expiry actions. It is called automatically by the background driver;
+// call it directly only with WithManualDriver.
+func (rt *Runtime) Poll() int {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return 0
+	}
+	target := rt.wall.TicksAt(rt.now())
+	if delta := Tick(target) - rt.fac.Now(); delta > 0 {
+		// AdvanceBy lets ordered/tree schemes skip idle spans in O(1);
+		// wheels fall back to per-tick stepping.
+		core.AdvanceBy(rt.fac, delta)
+	}
+	fired := rt.fired
+	rt.fired = nil
+	rt.expired += uint64(len(fired))
+	rt.mu.Unlock()
+
+	// Run expiry actions outside the lock so they can freely call
+	// AfterFunc / Stop without self-deadlock.
+	for _, t := range fired {
+		t.fn()
+	}
+	return len(fired)
+}
+
+// AfterFunc schedules fn to run once, d from now (rounded up to a whole
+// tick, minimum one tick). The returned Timer can be stopped.
+func (rt *Runtime) AfterFunc(d time.Duration, fn func()) (*Timer, error) {
+	if fn == nil {
+		return nil, ErrNilCallback
+	}
+	return rt.schedule(rt.wall.TicksFor(d), fn)
+}
+
+// Schedule schedules fn to run once after the given number of whole
+// ticks (minimum one).
+func (rt *Runtime) Schedule(ticks Tick, fn func()) (*Timer, error) {
+	if fn == nil {
+		return nil, ErrNilCallback
+	}
+	if ticks < 1 {
+		ticks = 1
+	}
+	return rt.schedule(int64(ticks), fn)
+}
+
+func (rt *Runtime) schedule(ticks int64, fn func()) (*Timer, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return nil, ErrRuntimeClosed
+	}
+	t := &Timer{rt: rt, fn: fn}
+	h, err := rt.fac.StartTimer(Tick(ticks), func(core.ID) {
+		// Invoked inside fac.Tick under rt.mu: defer execution.
+		rt.fired = append(rt.fired, t)
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.h = h
+	t.deadline = rt.fac.Now() + Tick(ticks)
+	rt.started++
+	rt.poke() // tickless driver may need an earlier wakeup
+	return t, nil
+}
+
+// After returns a channel that delivers the fire time once, d from now —
+// the time.After analogue.
+func (rt *Runtime) After(d time.Duration) (<-chan time.Time, error) {
+	ch := make(chan time.Time, 1)
+	_, err := rt.AfterFunc(d, func() { ch <- rt.now() })
+	if err != nil {
+		return nil, err
+	}
+	return ch, nil
+}
+
+// Stop cancels the timer, reporting whether it was cancelled before its
+// expiry action ran (false means it already fired or was already
+// stopped). Safe to call concurrently and repeatedly.
+func (t *Timer) Stop() bool {
+	rt := t.rt
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return false
+	}
+	if err := rt.fac.StopTimer(t.h); err != nil {
+		return false
+	}
+	rt.stopped++
+	// If the timer expired in an earlier Poll pass but its action has
+	// not run yet it is in rt.fired; StopTimer already refused in that
+	// case (state fired), so reaching here means it truly was pending.
+	return true
+}
+
+// Deadline reports the tick at which the timer fires (or would have).
+func (t *Timer) Deadline() Tick { return t.deadline }
+
+// Reset re-arms the timer to fire d from now, reporting whether it was
+// still pending when rescheduled (false means the expiry action already
+// ran or was queued to run, and will still run; the timer is re-armed
+// regardless, so the action runs again at the new deadline). This is the
+// retransmission-timer idiom: every send Resets the timeout.
+func (t *Timer) Reset(d time.Duration) (wasPending bool, err error) {
+	rt := t.rt
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return false, ErrRuntimeClosed
+	}
+	wasPending = rt.fac.StopTimer(t.h) == nil
+	if wasPending {
+		rt.stopped++
+	}
+	ticks := rt.wall.TicksFor(d)
+	h, err := rt.fac.StartTimer(Tick(ticks), func(core.ID) {
+		rt.fired = append(rt.fired, t)
+	})
+	if err != nil {
+		return wasPending, err
+	}
+	rt.started++
+	t.h = h
+	t.deadline = rt.fac.Now() + Tick(ticks)
+	rt.poke()
+	return wasPending, nil
+}
+
+// Outstanding reports the number of pending timers.
+func (rt *Runtime) Outstanding() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.fac.Len()
+}
+
+// Stats reports lifetime counters: timers started, expired (actions
+// run or queued to run), and stopped.
+func (rt *Runtime) Stats() (started, expired, stopped uint64) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.started, rt.expired, rt.stopped
+}
+
+// Close shuts the runtime down. Pending timers never fire; subsequent
+// scheduling calls fail with ErrRuntimeClosed. Close blocks until the
+// ticking goroutine exits and is idempotent.
+func (rt *Runtime) Close() error {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		<-rt.doneCh
+		return nil
+	}
+	rt.closed = true
+	close(rt.stopCh)
+	rt.mu.Unlock()
+	<-rt.doneCh
+	return nil
+}

@@ -1,0 +1,92 @@
+package timer
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Sharded spreads timers across several independent Runtimes, one per
+// shard, reflecting the symmetric-multiprocessing observation of
+// Appendix A.2: Scheme 2's single ordered list serializes all processors
+// behind one semaphore, while "Schemes 5, 6, and 7 seem suited for
+// implementation in symmetric multiprocessors" — each shard owns its own
+// wheel and lock, so concurrent StartTimer calls rarely contend.
+type Sharded struct {
+	shards []*Runtime
+	next   atomic.Uint64
+}
+
+// NewSharded starts n independent runtimes (n >= 1), each configured by
+// the same options. New timers are assigned round-robin.
+func NewSharded(n int, opts ...RuntimeOption) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	s := &Sharded{shards: make([]*Runtime, n)}
+	for i := range s.shards {
+		s.shards[i] = NewRuntime(opts...)
+	}
+	return s
+}
+
+// Shards reports the number of shards.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// pick selects a shard round-robin.
+func (s *Sharded) pick() *Runtime {
+	i := s.next.Add(1) - 1
+	return s.shards[i%uint64(len(s.shards))]
+}
+
+// AfterFunc schedules fn on some shard, d from now.
+func (s *Sharded) AfterFunc(d time.Duration, fn func()) (*Timer, error) {
+	return s.pick().AfterFunc(d, fn)
+}
+
+// AfterFuncKey schedules fn on the shard owned by key, so all timers of
+// one entity (e.g. one connection) share a lock and fire in order
+// relative to each other — the per-connection affinity a multiprocessor
+// timer service wants (Appendix A.2's per-structure locking, applied at
+// shard granularity).
+func (s *Sharded) AfterFuncKey(key uint64, d time.Duration, fn func()) (*Timer, error) {
+	return s.shardFor(key).AfterFunc(d, fn)
+}
+
+// EveryKey schedules a periodic fn on the shard owned by key.
+func (s *Sharded) EveryKey(key uint64, period time.Duration, fn func()) (*Ticker, error) {
+	return s.shardFor(key).Every(period, fn)
+}
+
+// shardFor maps a key to its owning shard with a splitmix-style mix so
+// adjacent keys spread.
+func (s *Sharded) shardFor(key uint64) *Runtime {
+	x := key
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return s.shards[x%uint64(len(s.shards))]
+}
+
+// Every schedules fn periodically on some shard.
+func (s *Sharded) Every(period time.Duration, fn func()) (*Ticker, error) {
+	return s.pick().Every(period, fn)
+}
+
+// Outstanding reports pending timers across all shards.
+func (s *Sharded) Outstanding() int {
+	total := 0
+	for _, rt := range s.shards {
+		total += rt.Outstanding()
+	}
+	return total
+}
+
+// Close shuts every shard down.
+func (s *Sharded) Close() error {
+	for _, rt := range s.shards {
+		rt.Close() // Close never fails; it blocks until the shard stops.
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package timer
+
+import (
+	"sync"
+	"time"
+)
+
+// Ticker runs a function periodically on a Runtime — the rate-control
+// workload of the paper's introduction, where "timers almost always
+// expire". Each firing reschedules the next, so a slow action delays its
+// own next run rather than piling up.
+type Ticker struct {
+	rt     *Runtime
+	fn     func()
+	period time.Duration
+
+	mu      sync.Mutex
+	pending *Timer
+	stopped bool
+	runs    uint64
+}
+
+// Every schedules fn to run every period (rounded up to whole ticks).
+// Stop the returned Ticker to cease.
+func (rt *Runtime) Every(period time.Duration, fn func()) (*Ticker, error) {
+	if fn == nil {
+		return nil, ErrNilCallback
+	}
+	tk := &Ticker{rt: rt, fn: fn, period: period}
+	if err := tk.arm(); err != nil {
+		return nil, err
+	}
+	return tk, nil
+}
+
+// arm schedules the next firing.
+func (tk *Ticker) arm() error {
+	t, err := tk.rt.AfterFunc(tk.period, tk.fire)
+	if err != nil {
+		return err
+	}
+	tk.mu.Lock()
+	if tk.stopped {
+		tk.mu.Unlock()
+		t.Stop()
+		return nil
+	}
+	tk.pending = t
+	tk.mu.Unlock()
+	return nil
+}
+
+// fire runs the action and rearms unless stopped.
+func (tk *Ticker) fire() {
+	tk.mu.Lock()
+	if tk.stopped {
+		tk.mu.Unlock()
+		return
+	}
+	tk.runs++
+	tk.mu.Unlock()
+	tk.fn()
+	// Rearm after the action so long actions self-throttle. A closed
+	// runtime makes this a no-op.
+	_ = tk.arm()
+}
+
+// Stop cancels future firings. An action already running completes.
+func (tk *Ticker) Stop() {
+	tk.mu.Lock()
+	tk.stopped = true
+	p := tk.pending
+	tk.pending = nil
+	tk.mu.Unlock()
+	if p != nil {
+		p.Stop()
+	}
+}
+
+// Runs reports the number of completed firings.
+func (tk *Ticker) Runs() uint64 {
+	tk.mu.Lock()
+	defer tk.mu.Unlock()
+	return tk.runs
+}

@@ -1,0 +1,166 @@
+package timer
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTicklessFiresTimers(t *testing.T) {
+	rt := NewRuntime(
+		WithGranularity(time.Millisecond),
+		WithScheme(NewTree(TreeHeap)),
+		WithTickless(),
+	)
+	defer rt.Close()
+	var fired atomic.Int32
+	var wg sync.WaitGroup
+	for _, d := range []time.Duration{5, 15, 10, 30} {
+		wg.Add(1)
+		if _, err := rt.AfterFunc(d*time.Millisecond, func() {
+			fired.Add(1)
+			wg.Done()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("tickless runtime fired only %d/4 timers", fired.Load())
+	}
+}
+
+func TestTicklessEarlierTimerWakesDriver(t *testing.T) {
+	rt := NewRuntime(
+		WithGranularity(time.Millisecond),
+		WithScheme(NewOrderedList(SearchFromFront)),
+		WithTickless(),
+	)
+	defer rt.Close()
+	// Park a far-future timer so the driver sleeps long, then schedule a
+	// near one: the poke must cut the sleep short.
+	if _, err := rt.AfterFunc(time.Hour, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) // let the driver settle into its sleep
+	ch := make(chan struct{})
+	start := time.Now()
+	if _, err := rt.AfterFunc(5*time.Millisecond, func() { close(ch) }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+		if e := time.Since(start); e > 2*time.Second {
+			t.Fatalf("near timer took %v despite poke", e)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("near timer never fired; driver still asleep on the far deadline")
+	}
+}
+
+func TestTicklessStopQuiesces(t *testing.T) {
+	rt := NewRuntime(
+		WithGranularity(time.Millisecond),
+		WithScheme(NewTree(TreeLeftist)),
+		WithTickless(),
+	)
+	defer rt.Close()
+	tm, err := rt.AfterFunc(10*time.Millisecond, func() { t.Error("stopped timer fired") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop failed")
+	}
+	time.Sleep(30 * time.Millisecond)
+	if rt.Outstanding() != 0 {
+		t.Fatalf("Outstanding=%d", rt.Outstanding())
+	}
+}
+
+func TestTicklessRejectsHashedWheels(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tickless over a hashed wheel should panic")
+		}
+	}()
+	NewRuntime(WithScheme(NewHashedWheel(64)), WithTickless())
+}
+
+// TestTicklessOverWheelAndHybrid: the occupancy bitmaps make the bounded
+// wheel and the hybrid eligible for tickless hosting.
+func TestTicklessOverWheelAndHybrid(t *testing.T) {
+	for name, scheme := range map[string]Scheme{
+		"wheel":  NewWheel(1 << 12),
+		"hybrid": NewHybridWheel(256),
+	} {
+		t.Run(name, func(t *testing.T) {
+			rt := NewRuntime(
+				WithGranularity(time.Millisecond),
+				WithScheme(scheme),
+				WithTickless(),
+			)
+			defer rt.Close()
+			var fired atomic.Int32
+			var wg sync.WaitGroup
+			for _, d := range []time.Duration{4, 12, 8} {
+				wg.Add(1)
+				if _, err := rt.AfterFunc(d*time.Millisecond, func() {
+					fired.Add(1)
+					wg.Done()
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				t.Fatalf("only %d/3 timers fired", fired.Load())
+			}
+		})
+	}
+}
+
+func TestTicklessConcurrent(t *testing.T) {
+	rt := NewRuntime(
+		WithGranularity(time.Millisecond),
+		WithScheme(NewTree(TreeHeap)),
+		WithTickless(),
+	)
+	defer rt.Close()
+	var fired, stopped atomic.Int64
+	var wg sync.WaitGroup
+	const total = 400
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < total/4; i++ {
+				tm, err := rt.AfterFunc(time.Duration(1+i%10)*time.Millisecond, func() {
+					fired.Add(1)
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if i%2 == 0 && tm.Stop() {
+					stopped.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && fired.Load()+stopped.Load() < total {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := fired.Load() + stopped.Load(); got != total {
+		t.Fatalf("fired+stopped=%d, want %d", got, total)
+	}
+}

@@ -1,0 +1,109 @@
+package timer
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestConstructorsProduceWorkingSchemes smoke-tests every public
+// constructor through a start/fire/stop cycle.
+func TestConstructorsProduceWorkingSchemes(t *testing.T) {
+	schemes := map[string]Scheme{
+		"straightforward":  NewStraightforward(),
+		"ordered-front":    NewOrderedList(SearchFromFront),
+		"ordered-rear":     NewOrderedList(SearchFromRear),
+		"tree-heap":        NewTree(TreeHeap),
+		"tree-leftist":     NewTree(TreeLeftist),
+		"tree-skew":        NewTree(TreeSkew),
+		"tree-bst":         NewTree(TreeBST),
+		"tree-avl":         NewTree(TreeAVL),
+		"tree-pairing":     NewTree(TreePairing),
+		"wheel":            NewWheel(64),
+		"hashed-sorted":    NewHashedWheelSorted(16),
+		"hashed":           NewHashedWheel(16),
+		"hier-always":      NewHierarchicalWheel([]int{8, 8, 8}, MigrateAlways),
+		"hier-day-radices": NewHierarchicalWheel(HierarchyDayRadices, MigrateAlways),
+		"hybrid":           NewHybridWheel(4),
+	}
+	for name, s := range schemes {
+		t.Run(name, func(t *testing.T) {
+			fired := 0
+			h, err := s.StartTimer(5, func(ID) { fired++ })
+			if err != nil {
+				t.Fatalf("StartTimer: %v", err)
+			}
+			h2, err := s.StartTimer(7, func(ID) { fired++ })
+			if err != nil {
+				t.Fatalf("StartTimer: %v", err)
+			}
+			if err := s.StopTimer(h2); err != nil {
+				t.Fatalf("StopTimer: %v", err)
+			}
+			if n := AdvanceBy(s, 10); n != 1 {
+				t.Fatalf("AdvanceBy fired %d, want 1", n)
+			}
+			if fired != 1 {
+				t.Fatalf("fired=%d", fired)
+			}
+			if err := s.StopTimer(h); !errors.Is(err, ErrTimerNotPending) {
+				t.Fatalf("stop after fire: %v", err)
+			}
+			if s.Len() != 0 || s.Now() != 10 {
+				t.Fatalf("Len=%d Now=%d", s.Len(), s.Now())
+			}
+			if s.Name() == "" {
+				t.Fatal("empty scheme name")
+			}
+		})
+	}
+}
+
+func TestErrorsExported(t *testing.T) {
+	s := NewHashedWheel(8)
+	if _, err := s.StartTimer(0, func(ID) {}); !errors.Is(err, ErrNonPositiveInterval) {
+		t.Fatalf("err=%v", err)
+	}
+	if _, err := s.StartTimer(1, nil); !errors.Is(err, ErrNilCallback) {
+		t.Fatalf("err=%v", err)
+	}
+	w := NewWheel(4)
+	if _, err := w.StartTimer(100, func(ID) {}); !errors.Is(err, ErrIntervalOutOfRange) {
+		t.Fatalf("err=%v", err)
+	}
+	other := NewHashedWheel(8)
+	h, err := other.StartTimer(1, func(ID) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StopTimer(h); !errors.Is(err, ErrForeignHandle) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestHierarchyDayRadicesCopy(t *testing.T) {
+	// The exported slice must be a copy callers can mutate safely.
+	saved := HierarchyDayRadices[0]
+	HierarchyDayRadices[0] = 999
+	s := NewHierarchicalWheel([]int{8, 8}, MigrateAlways)
+	if s == nil {
+		t.Fatal("constructor failed")
+	}
+	HierarchyDayRadices[0] = saved
+	if len(HierarchyDayRadices) != 4 {
+		t.Fatalf("day radices %v", HierarchyDayRadices)
+	}
+}
+
+func TestAdvanceByUsesFastPath(t *testing.T) {
+	s := NewOrderedList(SearchFromFront)
+	fired := false
+	if _, err := s.StartTimer(1_000_000, func(ID) { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	if n := AdvanceBy(s, 2_000_000); n != 1 || !fired {
+		t.Fatalf("AdvanceBy fired %d", n)
+	}
+	if s.Now() != 2_000_000 {
+		t.Fatalf("Now=%d", s.Now())
+	}
+}
