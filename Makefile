@@ -2,15 +2,23 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench experiments fuzz fmt vet clean
+.PHONY: all build test check race short bench experiments fuzz fmt vet clean
 
 all: build vet test
 
 build:
 	$(GO) build ./...
 
+# Default test target: full suite, then a short-mode pass under the race
+# detector so concurrency regressions surface in everyday runs.
 test:
 	$(GO) test ./...
+	$(GO) test -short -race ./...
+
+# The pre-merge gate: static analysis plus the full suite under -race.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 short:
 	$(GO) test -short ./...

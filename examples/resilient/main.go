@@ -1,0 +1,114 @@
+// Command resilient demonstrates the hardened Runtime: panic isolation,
+// the slow-callback watchdog, overload shedding through bounded async
+// dispatch, and a retry-with-backoff loop built on AfterFunc — the
+// failure modes a production timer facility absorbs without stalling
+// its tick path.
+//
+//	go run ./examples/resilient
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"timingwheels/timer"
+)
+
+func main() {
+	rt := timer.NewRuntime(
+		timer.WithGranularity(time.Millisecond),
+		// Contain panicking expiry actions and log them.
+		timer.WithPanicHandler(func(r any) {
+			fmt.Printf("panic contained: %v\n", r)
+		}),
+		// Flag expiry actions that overstay their budget.
+		timer.WithCallbackBudget(5*time.Millisecond),
+		timer.WithSlowCallbackHandler(func(elapsed time.Duration) {
+			fmt.Printf("slow callback flagged (ran %v, budget 5ms)\n",
+				elapsed.Round(time.Millisecond))
+		}),
+		// Two workers behind a 4-deep queue: a burst beyond worker+queue
+		// capacity is shed, never buffered without bound.
+		timer.WithAsyncDispatch(2, 4),
+	)
+	defer rt.Close()
+
+	// 1. Panic isolation: a poisoned job does not take down the driver,
+	// and the jobs scheduled after it still run.
+	fmt.Println("-- panic isolation --")
+	ok := make(chan struct{})
+	must(rt.AfterFunc(2*time.Millisecond, func() { panic("poisoned job") }))
+	must(rt.AfterFunc(10*time.Millisecond, func() { close(ok) }))
+	<-ok
+	fmt.Println("job after the panic still ran")
+
+	// 2. Slow-callback watchdog: a job that blocks past its budget is
+	// recorded (and, on the async pool, does not delay the tick path).
+	fmt.Println("-- slow-callback watchdog --")
+	slow := make(chan struct{})
+	must(rt.AfterFunc(2*time.Millisecond, func() {
+		time.Sleep(20 * time.Millisecond)
+		close(slow)
+	}))
+	<-slow
+	waitFor(func() bool { return rt.Health().SlowCallbacks > 0 })
+
+	// 3. Overload shedding: 32 jobs expire in the same instant against 2
+	// workers that each hold their job for a while; the queue (4) soaks
+	// a few and the rest are shed — visible in Health, invisible to the
+	// driver's latency.
+	fmt.Println("-- overload shedding --")
+	var ran atomic.Int64
+	for i := 0; i < 32; i++ {
+		must(rt.AfterFunc(5*time.Millisecond, func() {
+			time.Sleep(30 * time.Millisecond)
+			ran.Add(1)
+		}))
+	}
+	waitFor(func() bool {
+		h := rt.Health()
+		return h.ShedExpiries > 0 && ran.Load() >= 6 // 2 workers + 4 queued
+	})
+	h := rt.Health()
+	fmt.Printf("burst of 32: %d ran, %d shed (capacity: 2 workers + 4 queued)\n",
+		ran.Load(), h.ShedExpiries)
+
+	// 4. Retry with backoff: each failed attempt reschedules itself with
+	// a doubled delay — the retransmission-timer idiom composed with the
+	// hardening above (a panicking attempt would be contained too).
+	fmt.Println("-- retry with backoff --")
+	succeeded := make(chan struct{})
+	attempts := 0
+	var attempt func()
+	attempt = func() {
+		attempts++
+		if attempts < 4 { // the flaky operation fails three times
+			backoff := time.Duration(1<<attempts) * 2 * time.Millisecond
+			fmt.Printf("attempt %d failed; retrying in %v\n", attempts, backoff)
+			must(rt.AfterFunc(backoff, attempt))
+			return
+		}
+		fmt.Printf("attempt %d succeeded\n", attempts)
+		close(succeeded)
+	}
+	must(rt.AfterFunc(2*time.Millisecond, attempt))
+	<-succeeded
+
+	fmt.Printf("final health: %s\n", rt.Health())
+}
+
+// must discards the timer handle and aborts on scheduling errors.
+func must(_ *timer.Timer, err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// waitFor polls a condition with a coarse deadline.
+func waitFor(cond func() bool) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && !cond() {
+		time.Sleep(2 * time.Millisecond)
+	}
+}

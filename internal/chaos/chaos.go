@@ -1,0 +1,165 @@
+// Package chaos provides a fault-injection clock for hardening tests.
+//
+// Production timer facilities must survive clock anomalies — suspend/
+// resume leaps, NTP steps backwards, stalled time sources, and jittery
+// tick delivery. The paper's model assumes a well-behaved hardware clock
+// that "invokes PER_TICK_BOOKKEEPING every T units"; Clock deliberately
+// breaks that assumption on command so the runtime's recovery paths can
+// be exercised deterministically, without real sleeps.
+//
+// A Clock wraps a base time source (the real clock, or a manually
+// advanced one) and applies an adjustable offset plus optional stalls
+// and deterministic jitter. All methods are safe for concurrent use, so
+// a test can inject an anomaly while a runtime driver goroutine is
+// reading the clock.
+package chaos
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a time source with injectable faults. Obtain one with New or
+// NewManual and hand its Now method to the component under test.
+type Clock struct {
+	mu      sync.Mutex
+	base    func() time.Time // nil means the clock is manual
+	manual  time.Time        // current time when base == nil
+	offset  time.Duration    // accumulated Jump/Regress adjustment
+	stalled bool
+	stallAt time.Time
+	jitter  time.Duration // half-width of the jitter window; 0 disables
+	rng     uint64        // xorshift state for deterministic jitter
+	obs     uint64
+}
+
+// New returns a Clock over the given base source (time.Now when base is
+// nil). Anomalies injected later adjust what Now reports relative to the
+// base.
+func New(base func() time.Time) *Clock {
+	if base == nil {
+		base = time.Now
+	}
+	return &Clock{base: base}
+}
+
+// NewManual returns a fully virtual Clock that starts at start and moves
+// only when Advance (or an anomaly method) is called — the deterministic
+// substrate for driver tests with no real sleeps.
+func NewManual(start time.Time) *Clock {
+	return &Clock{manual: start}
+}
+
+// Now reports the current (possibly faulty) time: base time plus the
+// anomaly offset, frozen while stalled, and perturbed by jitter when
+// enabled.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.obs++
+	if c.stalled {
+		return c.stallAt
+	}
+	t := c.baseNow().Add(c.offset)
+	if c.jitter > 0 {
+		t = t.Add(c.nextJitter())
+	}
+	return t
+}
+
+// Observations reports how many times Now has been called — useful for
+// asserting that a driver actually consulted the clock.
+func (c *Clock) Observations() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.obs
+}
+
+// Advance moves a manual clock forward by d (d >= 0). It panics on a
+// clock built with New: real-based clocks advance on their own.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic("chaos: cannot advance backwards; use Regress")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.base != nil {
+		panic("chaos: Advance requires a manual clock")
+	}
+	c.manual = c.manual.Add(d)
+}
+
+// Jump injects a forward leap of d (d >= 0) — the suspend/resume or
+// forward-NTP-step anomaly. Subsequent Now calls include the leap.
+func (c *Clock) Jump(d time.Duration) {
+	if d < 0 {
+		panic("chaos: Jump must be non-negative; use Regress")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.offset += d
+}
+
+// Regress injects a backward step of d (d >= 0) — the backward-NTP-step
+// anomaly. Subsequent Now calls read earlier than before.
+func (c *Clock) Regress(d time.Duration) {
+	if d < 0 {
+		panic("chaos: Regress must be non-negative; use Jump")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.offset -= d
+}
+
+// Stall freezes the clock at its current reading: Now repeats the same
+// instant until Resume. With a real base, time keeps passing underneath,
+// so Resume manifests as a forward leap — exactly what a suspended
+// process observes.
+func (c *Clock) Stall() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stalled {
+		return
+	}
+	c.stallAt = c.baseNow().Add(c.offset)
+	c.stalled = true
+}
+
+// Resume unfreezes a stalled clock.
+func (c *Clock) Resume() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stalled = false
+}
+
+// SetJitter makes every Now reading wobble by a deterministic amount in
+// (-max, +max), seeded by seed — the "jittery tick delivery" anomaly.
+// max = 0 disables jitter. Jittered readings are not monotonic; that is
+// the point.
+func (c *Clock) SetJitter(max time.Duration, seed uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.jitter = max
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	c.rng = seed
+}
+
+// baseNow reads the underlying source; callers hold c.mu.
+func (c *Clock) baseNow() time.Time {
+	if c.base != nil {
+		return c.base()
+	}
+	return c.manual
+}
+
+// nextJitter draws the next deterministic perturbation; callers hold
+// c.mu and have checked c.jitter > 0.
+func (c *Clock) nextJitter() time.Duration {
+	c.rng ^= c.rng << 13
+	c.rng ^= c.rng >> 7
+	c.rng ^= c.rng << 17
+	span := uint64(2*c.jitter) + 1
+	return time.Duration(c.rng%span) - c.jitter
+}

@@ -1,0 +1,114 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC)
+
+func TestManualAdvance(t *testing.T) {
+	c := NewManual(epoch)
+	if !c.Now().Equal(epoch) {
+		t.Fatal("manual clock should start at epoch")
+	}
+	c.Advance(10 * time.Millisecond)
+	if got := c.Now().Sub(epoch); got != 10*time.Millisecond {
+		t.Fatalf("after Advance: %v", got)
+	}
+	if c.Observations() != 2 {
+		t.Fatalf("Observations=%d", c.Observations())
+	}
+}
+
+func TestJumpAndRegress(t *testing.T) {
+	c := NewManual(epoch)
+	c.Jump(time.Minute)
+	if got := c.Now().Sub(epoch); got != time.Minute {
+		t.Fatalf("after Jump: %v", got)
+	}
+	c.Regress(90 * time.Second)
+	if got := c.Now().Sub(epoch); got != -30*time.Second {
+		t.Fatalf("after Regress: %v", got)
+	}
+	// Anomalies compose with normal advancement.
+	c.Advance(time.Hour)
+	if got := c.Now().Sub(epoch); got != time.Hour-30*time.Second {
+		t.Fatalf("after Advance: %v", got)
+	}
+}
+
+func TestStallFreezesAndResumeLeaps(t *testing.T) {
+	c := NewManual(epoch)
+	c.Advance(time.Second)
+	c.Stall()
+	frozen := c.Now()
+	c.Advance(time.Minute) // base keeps moving underneath
+	if !c.Now().Equal(frozen) {
+		t.Fatal("stalled clock moved")
+	}
+	c.Stall() // idempotent
+	if !c.Now().Equal(frozen) {
+		t.Fatal("second Stall changed the frozen reading")
+	}
+	c.Resume()
+	if got := c.Now().Sub(frozen); got != time.Minute {
+		t.Fatalf("resume should surface the elapsed base time, got %v", got)
+	}
+}
+
+func TestRealBaseClock(t *testing.T) {
+	c := New(nil) // time.Now underneath
+	before := time.Now()
+	got := c.Now()
+	if got.Before(before.Add(-time.Second)) || got.After(before.Add(time.Second)) {
+		t.Fatalf("real-base clock far from wall time: %v vs %v", got, before)
+	}
+	c.Jump(time.Hour)
+	if c.Now().Sub(time.Now()) < 59*time.Minute {
+		t.Fatal("Jump not visible over real base")
+	}
+}
+
+func TestAdvanceOnRealBasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance on a real-base clock should panic")
+		}
+	}()
+	New(nil).Advance(time.Second)
+}
+
+func TestJitterBoundedAndDeterministic(t *testing.T) {
+	const max = 5 * time.Millisecond
+	read := func(seed uint64) []time.Duration {
+		c := NewManual(epoch)
+		c.SetJitter(max, seed)
+		out := make([]time.Duration, 32)
+		for i := range out {
+			out[i] = c.Now().Sub(epoch)
+		}
+		return out
+	}
+	a, b := read(42), read(42)
+	varied := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < -max || a[i] > max {
+			t.Fatalf("jitter %v outside (-%v, %v)", a[i], max, max)
+		}
+		if a[i] != 0 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter never perturbed the clock")
+	}
+	c := NewManual(epoch)
+	c.SetJitter(0, 1) // disabled
+	if !c.Now().Equal(epoch) {
+		t.Fatal("zero jitter should leave readings exact")
+	}
+}

@@ -86,3 +86,30 @@ func (w *Wall) TicksFor(d time.Duration) int64 {
 	}
 	return n
 }
+
+// Guard watches the tick stream derived from a Wall for clock anomalies.
+// A well-behaved wall clock yields a non-decreasing tick sequence; an
+// NTP step backwards (or a fault-injected regression) breaks that, and
+// the facility driver must notice rather than silently stall. Guard is
+// not safe for concurrent use: the driver observes under its own lock.
+type Guard struct {
+	wall *Wall
+	last int64
+}
+
+// NewGuard returns a Guard over w, starting at tick 0.
+func NewGuard(w *Wall) *Guard { return &Guard{wall: w} }
+
+// Observe converts t to a wall tick and compares it with the previous
+// observation: target is the tick the facility should catch up to, and
+// back is how many ticks the clock regressed since the last call (0 when
+// time moved forward or held still). The regression becomes the new
+// baseline, so one backward step is reported exactly once.
+func (g *Guard) Observe(t time.Time) (target, back int64) {
+	target = g.wall.TicksAt(t)
+	if target < g.last {
+		back = g.last - target
+	}
+	g.last = target
+	return target, back
+}

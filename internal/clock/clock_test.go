@@ -96,3 +96,33 @@ func TestWallInvalidGranularityPanics(t *testing.T) {
 	}()
 	NewWall(time.Now(), 0)
 }
+
+func TestGuardObservesRegression(t *testing.T) {
+	epoch := time.Unix(0, 0)
+	w := NewWall(epoch, 10*time.Millisecond)
+	g := NewGuard(w)
+
+	// Normal forward motion: no regression reported.
+	target, back := g.Observe(epoch.Add(30 * time.Millisecond))
+	if target != 3 || back != 0 {
+		t.Fatalf("forward: target=%d back=%d", target, back)
+	}
+	// Same tick again: still no regression.
+	if _, back = g.Observe(epoch.Add(35 * time.Millisecond)); back != 0 {
+		t.Fatalf("hold: back=%d", back)
+	}
+	// Backward step of 2 ticks: reported once...
+	target, back = g.Observe(epoch.Add(10 * time.Millisecond))
+	if target != 1 || back != 2 {
+		t.Fatalf("regress: target=%d back=%d", target, back)
+	}
+	// ...and the regressed reading becomes the baseline.
+	if _, back = g.Observe(epoch.Add(10 * time.Millisecond)); back != 0 {
+		t.Fatalf("post-regress hold: back=%d", back)
+	}
+	// Recovery past the old high-water mark is plain forward motion.
+	target, back = g.Observe(epoch.Add(50 * time.Millisecond))
+	if target != 5 || back != 0 {
+		t.Fatalf("recovery: target=%d back=%d", target, back)
+	}
+}

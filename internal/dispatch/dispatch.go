@@ -1,0 +1,111 @@
+// Package dispatch provides a bounded worker pool for expiry-action
+// dispatch with explicit overload shedding.
+//
+// The paper keeps PER_TICK_BOOKKEEPING O(1) but says nothing about
+// EXPIRY_PROCESSING taking arbitrary time; in a production facility one
+// slow expiry action on the ticking goroutine delays every later timer.
+// A Pool moves actions onto a fixed set of workers behind a bounded
+// queue: when the queue is full the submission fails immediately instead
+// of blocking the tick path or buffering without bound — the caller
+// decides what shedding means (the timer runtime counts the drop and
+// moves on).
+package dispatch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool runs submitted functions on a fixed number of worker goroutines
+// behind a bounded queue. The zero value is not usable; construct with
+// New.
+type Pool struct {
+	mu     sync.Mutex
+	tasks  chan func()
+	closed bool
+	wg     sync.WaitGroup
+
+	executed atomic.Uint64
+	panics   atomic.Uint64
+}
+
+// New starts a pool with the given number of workers (clamped to >= 1)
+// and queue capacity (clamped to >= 0; zero means a submission succeeds
+// only when a worker is ready to take it immediately).
+func New(workers, queue int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{tasks: make(chan func(), queue)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				p.run(fn)
+			}
+		}()
+	}
+	return p
+}
+
+// run executes one task, isolating panics so a misbehaving task never
+// kills a worker (the timer runtime wraps its callbacks with its own
+// recovery; this is the pool's backstop for direct users).
+func (p *Pool) run(fn func()) {
+	defer func() {
+		if recover() != nil {
+			p.panics.Add(1)
+		}
+		p.executed.Add(1)
+	}()
+	fn()
+}
+
+// TrySubmit enqueues fn, reporting false — without blocking — when the
+// queue is full or the pool is closed. A false return is the overload
+// signal: the caller sheds the work explicitly rather than stalling.
+func (p *Pool) TrySubmit(fn func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.tasks <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close stops intake, runs every already-queued task to completion, and
+// waits for the workers to exit. It is idempotent and safe to call
+// concurrently; every call blocks until the pool is fully drained. Close
+// must not be called from inside a task (the task would wait on its own
+// worker).
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Executed reports how many tasks workers have finished (including ones
+// that panicked).
+func (p *Pool) Executed() uint64 { return p.executed.Load() }
+
+// Panics reports how many tasks panicked and were recovered.
+func (p *Pool) Panics() uint64 { return p.panics.Load() }
+
+// QueueLen reports the number of tasks waiting for a worker.
+func (p *Pool) QueueLen() int { return len(p.tasks) }
+
+// QueueCap reports the queue capacity.
+func (p *Pool) QueueCap() int { return cap(p.tasks) }

@@ -1,0 +1,108 @@
+package dispatch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := New(2, 8)
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		for !p.TrySubmit(func() { n.Add(1); wg.Done() }) {
+			time.Sleep(time.Millisecond) // queue full: wait and retry
+		}
+	}
+	wg.Wait()
+	if n.Load() != 20 {
+		t.Fatalf("ran %d tasks, want 20", n.Load())
+	}
+	p.Close()
+	if p.Executed() != 20 {
+		t.Fatalf("Executed=%d", p.Executed())
+	}
+}
+
+func TestTrySubmitShedsWhenFull(t *testing.T) {
+	p := New(1, 1)
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	if !p.TrySubmit(func() { close(running); <-gate }) {
+		t.Fatal("first submit should succeed")
+	}
+	<-running // worker is now busy; queue is empty
+	if !p.TrySubmit(func() {}) {
+		t.Fatal("second submit should land in the queue")
+	}
+	if p.TrySubmit(func() { t.Error("shed task ran") }) {
+		t.Fatal("third submit should be shed: queue full")
+	}
+	if p.QueueLen() != 1 || p.QueueCap() != 1 {
+		t.Fatalf("queue %d/%d", p.QueueLen(), p.QueueCap())
+	}
+	close(gate)
+	p.Close()
+	if p.Executed() != 2 {
+		t.Fatalf("Executed=%d, want 2", p.Executed())
+	}
+}
+
+func TestCloseDrainsQueueAndIsIdempotent(t *testing.T) {
+	p := New(1, 4)
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	var n atomic.Int64
+	p.TrySubmit(func() { close(running); <-gate; n.Add(1) })
+	<-running
+	for i := 0; i < 3; i++ {
+		if !p.TrySubmit(func() { n.Add(1) }) {
+			t.Fatal("queue should accept while worker is busy")
+		}
+	}
+	done := make(chan struct{})
+	go func() { p.Close(); close(done) }()
+	select {
+	case <-done:
+		t.Fatal("Close returned before queued tasks finished")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(gate)
+	<-done
+	if n.Load() != 4 {
+		t.Fatalf("drained %d tasks, want 4", n.Load())
+	}
+	p.Close() // idempotent
+	if p.TrySubmit(func() { t.Error("task ran after Close") }) {
+		t.Fatal("TrySubmit after Close should fail")
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	p := New(1, 2)
+	var after atomic.Bool
+	p.TrySubmit(func() { panic("boom") })
+	p.TrySubmit(func() { after.Store(true) })
+	p.Close()
+	if !after.Load() {
+		t.Fatal("worker died on panic: later task never ran")
+	}
+	if p.Panics() != 1 || p.Executed() != 2 {
+		t.Fatalf("panics=%d executed=%d", p.Panics(), p.Executed())
+	}
+}
+
+func TestClampedConstruction(t *testing.T) {
+	p := New(0, -5) // clamps to 1 worker, 0 queue
+	done := make(chan struct{})
+	// With a zero-capacity queue, submission succeeds once the worker is
+	// parked on the channel receive.
+	for !p.TrySubmit(func() { close(done) }) {
+		time.Sleep(time.Millisecond)
+	}
+	<-done
+	p.Close()
+}

@@ -108,7 +108,7 @@ func ExampleInstrument() {
 	timer.AdvanceBy(s, 4)
 	fmt.Println(counters)
 	// Output:
-	// starts=2 stops=1 fired=1 ticks=4 (75% empty) max=1
+	// starts=2 stops=1 fired=1 ticks=4 (75% empty) max=1 burst=1
 }
 
 // ExampleRuntime_Every runs a periodic action on the wheel.

@@ -1,0 +1,218 @@
+package timer
+
+import (
+	"fmt"
+	"time"
+)
+
+// DefaultMaxCatchUp is the per-Poll catch-up budget, in ticks, unless
+// configured with WithMaxCatchUp. At the default 10ms granularity it
+// lets one poll absorb ~41s of missed time; anything larger (a laptop
+// suspend, a forward NTP step) is treated as a clock anomaly and drained
+// across several bounded polls instead of one unbounded expiry storm.
+const DefaultMaxCatchUp = 4096
+
+// AnomalyKind classifies a clock anomaly observed by the runtime.
+type AnomalyKind uint8
+
+// Clock anomaly kinds.
+const (
+	// AnomalyNone means no anomaly has been observed.
+	AnomalyNone AnomalyKind = iota
+	// AnomalyForwardJump means the wall clock leapt further ahead than
+	// the per-poll catch-up budget (suspend/resume, forward NTP step).
+	AnomalyForwardJump
+	// AnomalyBackwardStep means the wall clock moved backwards (backward
+	// NTP step). Timers are unaffected — the runtime never rewinds — but
+	// new wall readings lag until the clock passes its old high-water
+	// mark.
+	AnomalyBackwardStep
+)
+
+// String returns the anomaly kind's name.
+func (k AnomalyKind) String() string {
+	switch k {
+	case AnomalyNone:
+		return "none"
+	case AnomalyForwardJump:
+		return "forward-jump"
+	case AnomalyBackwardStep:
+		return "backward-step"
+	default:
+		return fmt.Sprintf("anomaly(%d)", uint8(k))
+	}
+}
+
+// Anomaly records one observed clock anomaly.
+type Anomaly struct {
+	// Kind is the anomaly class.
+	Kind AnomalyKind
+	// Ticks is the magnitude: ticks the clock jumped ahead of the
+	// facility (forward) or regressed below its high-water mark
+	// (backward).
+	Ticks int64
+	// Wall is the clock reading at detection time.
+	Wall time.Time
+}
+
+// Health is a point-in-time snapshot of the runtime's hardening state —
+// the counters a production service exports to decide whether its timer
+// facility is keeping up.
+type Health struct {
+	// PanicsRecovered counts expiry actions that panicked and were
+	// contained by the runtime's recovery barrier.
+	PanicsRecovered uint64
+	// SlowCallbacks counts expiry actions that exceeded the configured
+	// callback budget (0 unless WithCallbackBudget is set).
+	SlowCallbacks uint64
+	// ShedExpiries counts expiry actions dropped because the async
+	// dispatch queue was full (0 unless WithAsyncDispatch is set).
+	ShedExpiries uint64
+	// Dispatched counts expiry actions handed to the async worker pool.
+	Dispatched uint64
+	// TicksBehind is how many wall ticks the facility still has to catch
+	// up after the last poll; nonzero means a catch-up episode (clock
+	// jump or sustained overload) is in progress.
+	TicksBehind int64
+	// Anomalies counts clock anomalies observed since construction.
+	Anomalies uint64
+	// LastAnomaly is the most recent anomaly (Kind == AnomalyNone if
+	// there has never been one).
+	LastAnomaly Anomaly
+}
+
+// String summarizes the snapshot.
+func (h Health) String() string {
+	return fmt.Sprintf(
+		"panics=%d slow=%d shed=%d dispatched=%d behind=%d anomalies=%d last=%s",
+		h.PanicsRecovered, h.SlowCallbacks, h.ShedExpiries, h.Dispatched,
+		h.TicksBehind, h.Anomalies, h.LastAnomaly.Kind)
+}
+
+// WithPanicHandler installs fn to observe the value recovered from a
+// panicking expiry action. The runtime always recovers callback panics —
+// one bad timer must not kill the driver — and counts them in
+// Health().PanicsRecovered; the handler adds visibility (logging,
+// metrics). A panic inside the handler itself is swallowed.
+func WithPanicHandler(fn func(recovered any)) RuntimeOption {
+	return func(c *runtimeConfig) { c.panicHandler = fn }
+}
+
+// WithCallbackBudget arms the slow-callback watchdog: any expiry action
+// running longer than d (measured against the runtime's clock) is
+// counted in Health().SlowCallbacks. Zero disables the watchdog (the
+// default).
+func WithCallbackBudget(d time.Duration) RuntimeOption {
+	return func(c *runtimeConfig) { c.budget = d }
+}
+
+// WithSlowCallbackHandler installs fn to observe each budget overrun
+// with the callback's measured duration. Requires WithCallbackBudget. A
+// panic inside the handler is swallowed.
+func WithSlowCallbackHandler(fn func(elapsed time.Duration)) RuntimeOption {
+	return func(c *runtimeConfig) { c.slowHandler = fn }
+}
+
+// WithAsyncDispatch moves expiry actions off the driver goroutine onto a
+// bounded pool of workers behind a queue of the given capacity. The
+// driver never blocks on a slow callback; when the queue is full the
+// action is dropped and counted in Health().ShedExpiries — explicit
+// overload shedding, in place of unbounded buffering or tick stalls.
+//
+// Trade-offs: actions may run concurrently with each other and complete
+// out of deadline order across workers; an action must not call Close
+// (Close drains the pool and would wait on the caller's own worker).
+// Each Runtime owns its pool, so NewSharded with this option starts one
+// pool per shard. Close runs already-queued actions to completion.
+func WithAsyncDispatch(workers, queue int) RuntimeOption {
+	return func(c *runtimeConfig) {
+		if workers < 1 {
+			workers = 1
+		}
+		c.asyncWorkers, c.asyncQueue = workers, queue
+	}
+}
+
+// WithMaxCatchUp caps how many ticks a single poll may advance the
+// facility (default DefaultMaxCatchUp). When the wall clock gets further
+// ahead than the cap — suspend/resume, NTP step, or a long scheduling
+// stall — the runtime records an AnomalyForwardJump, advances at most
+// the cap per wakeup, and reports the remainder in Health().TicksBehind
+// while the drivers drain it across successive bounded bursts. ticks <=
+// 0 removes the cap (every poll catches up fully, however large the
+// jump).
+func WithMaxCatchUp(ticks int) RuntimeOption {
+	return func(c *runtimeConfig) { c.maxCatchUp = Tick(ticks) }
+}
+
+// Health returns a snapshot of the hardening counters. Safe to call
+// concurrently with scheduling and expiry processing.
+func (rt *Runtime) Health() Health {
+	rt.mu.Lock()
+	last := rt.lastAnomaly
+	rt.mu.Unlock()
+	return Health{
+		PanicsRecovered: rt.panics.Load(),
+		SlowCallbacks:   rt.slow.Load(),
+		ShedExpiries:    rt.shed.Load(),
+		Dispatched:      rt.dispatched.Load(),
+		TicksBehind:     rt.behind.Load(),
+		Anomalies:       rt.anomalies.Load(),
+		LastAnomaly:     last,
+	}
+}
+
+// noteAnomaly records a clock anomaly; callers hold rt.mu.
+func (rt *Runtime) noteAnomaly(a Anomaly) {
+	rt.anomalies.Add(1)
+	rt.lastAnomaly = a
+}
+
+// deliver routes one expired timer's action: inline on the driver
+// goroutine, or to the worker pool with shed-on-full semantics.
+func (rt *Runtime) deliver(t *Timer) {
+	if rt.pool == nil {
+		rt.runCallback(t.fn)
+		return
+	}
+	fn := t.fn
+	if rt.pool.TrySubmit(func() { rt.runCallback(fn) }) {
+		rt.dispatched.Add(1)
+		return
+	}
+	rt.shed.Add(1)
+}
+
+// runCallback executes one expiry action under the recovery barrier and
+// the slow-callback watchdog.
+func (rt *Runtime) runCallback(fn func()) {
+	var start time.Time
+	if rt.budget > 0 {
+		start = rt.now()
+	}
+	defer func() {
+		if rt.budget > 0 {
+			if elapsed := rt.now().Sub(start); elapsed > rt.budget {
+				rt.slow.Add(1)
+				if rt.slowHandler != nil {
+					elapsed := elapsed
+					safeHook(func() { rt.slowHandler(elapsed) })
+				}
+			}
+		}
+		if r := recover(); r != nil {
+			rt.panics.Add(1)
+			if rt.panicHandler != nil {
+				safeHook(func() { rt.panicHandler(r) })
+			}
+		}
+	}()
+	fn()
+}
+
+// safeHook runs a user-supplied hardening hook, swallowing any panic so
+// a hook cannot reintroduce the failure it exists to observe.
+func safeHook(fn func()) {
+	defer func() { _ = recover() }()
+	fn()
+}

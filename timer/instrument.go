@@ -19,13 +19,16 @@ type Counters struct {
 	Fired uint64
 	// MaxOutstanding is the high-water mark of pending timers.
 	MaxOutstanding int
+	// MaxBatch is the largest number of expiries a single Tick fired —
+	// the per-tick burst a hardened runtime wants to see bounded.
+	MaxBatch int
 }
 
 // String summarizes the counters.
 func (c Counters) String() string {
-	return fmt.Sprintf("starts=%d stops=%d fired=%d ticks=%d (%.0f%% empty) max=%d",
+	return fmt.Sprintf("starts=%d stops=%d fired=%d ticks=%d (%.0f%% empty) max=%d burst=%d",
 		c.Starts, c.Stops, c.Fired, c.Ticks,
-		100*float64(c.EmptyTicks)/float64(max64(c.Ticks, 1)), c.MaxOutstanding)
+		100*float64(c.EmptyTicks)/float64(max64(c.Ticks, 1)), c.MaxOutstanding, c.MaxBatch)
 }
 
 func max64(a, b uint64) uint64 {
@@ -100,6 +103,9 @@ func (w *instrumented) Tick() int {
 	w.c.Ticks++
 	if fired == 0 {
 		w.c.EmptyTicks++
+	}
+	if fired > w.c.MaxBatch {
+		w.c.MaxBatch = fired
 	}
 	w.c.Fired += uint64(fired)
 	return fired

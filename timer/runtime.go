@@ -3,10 +3,12 @@ package timer
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"timingwheels/internal/clock"
 	"timingwheels/internal/core"
+	"timingwheels/internal/dispatch"
 )
 
 // ErrRuntimeClosed reports an operation on a Runtime after Close.
@@ -25,6 +27,14 @@ type runtimeConfig struct {
 	nowFunc     func() time.Time
 	manual      bool
 	tickless    bool
+
+	// Hardening knobs; see health.go for the options that set them.
+	panicHandler func(recovered any)
+	budget       time.Duration
+	slowHandler  func(elapsed time.Duration)
+	asyncWorkers int
+	asyncQueue   int
+	maxCatchUp   Tick
 }
 
 // WithGranularity sets the tick length (default 10ms). Finer granularity
@@ -60,11 +70,16 @@ func WithManualDriver() RuntimeOption {
 // Expiry functions run on the runtime's ticking goroutine, outside the
 // internal lock, so they may schedule and stop other timers; they should
 // not block for long, or they delay other expiries (the same discipline
-// production hashed-wheel timers impose).
+// production hashed-wheel timers impose) — unless WithAsyncDispatch
+// moves them onto a worker pool. Every expiry action runs under a
+// recovery barrier: a panicking callback is contained and counted (see
+// Health and WithPanicHandler) instead of killing the driver and
+// stranding every outstanding timer.
 type Runtime struct {
 	mu     sync.Mutex
 	fac    Scheme
 	wall   *clock.Wall
+	guard  *clock.Guard // anomaly watch over the wall tick stream
 	now    func() time.Time
 	closed bool
 
@@ -75,6 +90,23 @@ type Runtime struct {
 	started uint64
 	expired uint64
 	stopped uint64
+
+	// Hardening configuration (immutable after NewRuntime).
+	panicHandler func(recovered any)
+	budget       time.Duration
+	slowHandler  func(elapsed time.Duration)
+	pool         *dispatch.Pool // nil unless WithAsyncDispatch
+	maxCatchUp   Tick           // per-poll advance cap; <= 0 means unbounded
+
+	// Health counters. The atomics are written outside rt.mu (callbacks,
+	// pool workers); lastAnomaly is guarded by rt.mu.
+	panics      atomic.Uint64
+	slow        atomic.Uint64
+	shed        atomic.Uint64
+	dispatched  atomic.Uint64
+	behind      atomic.Int64
+	anomalies   atomic.Uint64
+	lastAnomaly Anomaly
 }
 
 // Timer is one scheduled expiry action, returned by AfterFunc and
@@ -90,7 +122,11 @@ type Timer struct {
 // NewRuntime starts a runtime. Close it when done to release the ticking
 // goroutine.
 func NewRuntime(opts ...RuntimeOption) *Runtime {
-	cfg := runtimeConfig{granularity: DefaultGranularity, nowFunc: time.Now}
+	cfg := runtimeConfig{
+		granularity: DefaultGranularity,
+		nowFunc:     time.Now,
+		maxCatchUp:  DefaultMaxCatchUp,
+	}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -98,12 +134,20 @@ func NewRuntime(opts ...RuntimeOption) *Runtime {
 		cfg.scheme = NewHashedWheel(4096)
 	}
 	rt := &Runtime{
-		fac:    cfg.scheme,
-		now:    cfg.nowFunc,
-		stopCh: make(chan struct{}),
-		doneCh: make(chan struct{}),
+		fac:          cfg.scheme,
+		now:          cfg.nowFunc,
+		stopCh:       make(chan struct{}),
+		doneCh:       make(chan struct{}),
+		panicHandler: cfg.panicHandler,
+		budget:       cfg.budget,
+		slowHandler:  cfg.slowHandler,
+		maxCatchUp:   cfg.maxCatchUp,
+	}
+	if cfg.asyncWorkers > 0 {
+		rt.pool = dispatch.New(cfg.asyncWorkers, cfg.asyncQueue)
 	}
 	rt.wall = clock.NewWall(rt.now(), cfg.granularity)
+	rt.guard = clock.NewGuard(rt.wall)
 	switch {
 	case cfg.manual:
 		close(rt.doneCh)
@@ -133,24 +177,58 @@ func (rt *Runtime) loop(granularity time.Duration) {
 			return
 		case <-ticker.C:
 			rt.Poll()
+			// A clock jump can leave the facility further behind than
+			// the per-poll catch-up budget. Keep draining in bounded
+			// bursts — running each batch's expiries between polls —
+			// instead of paying one tick of latency per budget's worth.
+			for rt.behind.Load() > 0 {
+				select {
+				case <-rt.stopCh:
+					return
+				default:
+				}
+				rt.Poll()
+			}
 		}
 	}
 }
 
-// Poll advances the facility to the current wall tick and runs due
+// Poll advances the facility toward the current wall tick and runs due
 // expiry actions. It is called automatically by the background driver;
-// call it directly only with WithManualDriver.
+// call it directly only with WithManualDriver. One poll advances at most
+// the WithMaxCatchUp budget; if the clock is further ahead (suspend/
+// resume, NTP step) the overrun is reported in Health().TicksBehind and
+// manual drivers should keep polling until it reaches zero (the
+// background drivers do so automatically).
 func (rt *Runtime) Poll() int {
 	rt.mu.Lock()
 	if rt.closed {
 		rt.mu.Unlock()
 		return 0
 	}
-	target := rt.wall.TicksAt(rt.now())
+	wallNow := rt.now()
+	target, back := rt.guard.Observe(wallNow)
+	if back > 0 {
+		// Backward step: never rewind the facility — outstanding timers
+		// keep their deadlines — but record that the clock misbehaved.
+		rt.noteAnomaly(Anomaly{Kind: AnomalyBackwardStep, Ticks: back, Wall: wallNow})
+	}
 	if delta := Tick(target) - rt.fac.Now(); delta > 0 {
+		burst := delta
+		if rt.maxCatchUp > 0 && burst > rt.maxCatchUp {
+			burst = rt.maxCatchUp
+			// Record the jump once per catch-up episode, not once per
+			// bounded batch while draining it.
+			if rt.behind.Load() == 0 {
+				rt.noteAnomaly(Anomaly{Kind: AnomalyForwardJump, Ticks: int64(delta), Wall: wallNow})
+			}
+		}
 		// AdvanceBy lets ordered/tree schemes skip idle spans in O(1);
 		// wheels fall back to per-tick stepping.
-		core.AdvanceBy(rt.fac, delta)
+		core.AdvanceBy(rt.fac, burst)
+		rt.behind.Store(int64(delta - burst))
+	} else {
+		rt.behind.Store(0)
 	}
 	fired := rt.fired
 	rt.fired = nil
@@ -158,9 +236,11 @@ func (rt *Runtime) Poll() int {
 	rt.mu.Unlock()
 
 	// Run expiry actions outside the lock so they can freely call
-	// AfterFunc / Stop without self-deadlock.
+	// AfterFunc / Stop without self-deadlock. deliver applies the
+	// recovery barrier, the slow-callback watchdog, and — when async
+	// dispatch is on — the bounded pool with shed-on-full semantics.
 	for _, t := range fired {
-		t.fn()
+		rt.deliver(t)
 	}
 	return len(fired)
 }
@@ -186,12 +266,29 @@ func (rt *Runtime) Schedule(ticks Tick, fn func()) (*Timer, error) {
 	return rt.schedule(int64(ticks), fn)
 }
 
+// stretchLocked compensates a start interval for a facility whose
+// virtual time lags the wall clock — a parked tickless driver, or a
+// catch-up episode in progress. Starting the timer against the stale
+// virtual clock would fire it early by exactly the staleness; stretching
+// by the lag lands the expiry on the wall-clock deadline instead,
+// upholding the "never fires before its deadline" guarantee. The
+// interval is never shortened: after a backward clock step the facility
+// is ahead of the wall and timers stay conservatively late, not early.
+// Caller holds rt.mu.
+func (rt *Runtime) stretchLocked(ticks int64) int64 {
+	if lag := rt.wall.TicksAt(rt.now()) - int64(rt.fac.Now()); lag > 0 {
+		ticks += lag
+	}
+	return ticks
+}
+
 func (rt *Runtime) schedule(ticks int64, fn func()) (*Timer, error) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if rt.closed {
 		return nil, ErrRuntimeClosed
 	}
+	ticks = rt.stretchLocked(ticks)
 	t := &Timer{rt: rt, fn: fn}
 	h, err := rt.fac.StartTimer(Tick(ticks), func(core.ID) {
 		// Invoked inside fac.Tick under rt.mu: defer execution.
@@ -257,7 +354,7 @@ func (t *Timer) Reset(d time.Duration) (wasPending bool, err error) {
 	if wasPending {
 		rt.stopped++
 	}
-	ticks := rt.wall.TicksFor(d)
+	ticks := rt.stretchLocked(rt.wall.TicksFor(d))
 	h, err := rt.fac.StartTimer(Tick(ticks), func(core.ID) {
 		rt.fired = append(rt.fired, t)
 	})
@@ -288,17 +385,20 @@ func (rt *Runtime) Stats() (started, expired, stopped uint64) {
 
 // Close shuts the runtime down. Pending timers never fire; subsequent
 // scheduling calls fail with ErrRuntimeClosed. Close blocks until the
-// ticking goroutine exits and is idempotent.
+// ticking goroutine exits and — with WithAsyncDispatch — until every
+// already-queued expiry action has run; it is idempotent and safe to
+// call concurrently. Close must not be called from inside an expiry
+// action: the driver (or, async, the pool) would wait on itself.
 func (rt *Runtime) Close() error {
 	rt.mu.Lock()
-	if rt.closed {
-		rt.mu.Unlock()
-		<-rt.doneCh
-		return nil
+	if !rt.closed {
+		rt.closed = true
+		close(rt.stopCh)
 	}
-	rt.closed = true
-	close(rt.stopCh)
 	rt.mu.Unlock()
 	<-rt.doneCh
+	if rt.pool != nil {
+		rt.pool.Close() // idempotent; drains queued expiry actions
+	}
 	return nil
 }

@@ -83,7 +83,44 @@ func (s *Sharded) Outstanding() int {
 	return total
 }
 
-// Close shuts every shard down.
+// Stats aggregates lifetime counters across all shards.
+func (s *Sharded) Stats() (started, expired, stopped uint64) {
+	for _, rt := range s.shards {
+		b, e, x := rt.Stats()
+		started += b
+		expired += e
+		stopped += x
+	}
+	return started, expired, stopped
+}
+
+// Health aggregates hardening counters across all shards: counts and
+// TicksBehind sum, and LastAnomaly is the most recently observed anomaly
+// on any shard. A wall-clock anomaly typically shows up on every shard
+// (they share the host clock), so Anomalies counts shard observations,
+// not distinct host events.
+func (s *Sharded) Health() Health {
+	var h Health
+	for _, rt := range s.shards {
+		sh := rt.Health()
+		h.PanicsRecovered += sh.PanicsRecovered
+		h.SlowCallbacks += sh.SlowCallbacks
+		h.ShedExpiries += sh.ShedExpiries
+		h.Dispatched += sh.Dispatched
+		h.TicksBehind += sh.TicksBehind
+		h.Anomalies += sh.Anomalies
+		if sh.LastAnomaly.Kind != AnomalyNone &&
+			(h.LastAnomaly.Kind == AnomalyNone || sh.LastAnomaly.Wall.After(h.LastAnomaly.Wall)) {
+			h.LastAnomaly = sh.LastAnomaly
+		}
+	}
+	return h
+}
+
+// Close shuts every shard down. It is idempotent: every call blocks
+// until all shards (and their async dispatch pools, if any) have fully
+// stopped, and scheduling calls on any shard afterwards fail with
+// ErrRuntimeClosed.
 func (s *Sharded) Close() error {
 	for _, rt := range s.shards {
 		rt.Close() // Close never fails; it blocks until the shard stops.

@@ -31,7 +31,10 @@ func WithTickless() RuntimeOption {
 type nextExpirer = core.NextExpirer
 
 // ticklessLoop sleeps until the next deadline, a new-timer poke, or
-// shutdown. maxIdle bounds the sleep when no timers are outstanding.
+// shutdown. maxIdle bounds the sleep when no timers are outstanding —
+// and bounds every sleep, so a backward clock step (which inflates the
+// computed wait) delays re-evaluation by at most maxIdle rather than
+// parking the driver until the far future.
 func (rt *Runtime) ticklessLoop() {
 	defer close(rt.doneCh)
 	const maxIdle = time.Minute
@@ -42,15 +45,25 @@ func (rt *Runtime) ticklessLoop() {
 			rt.mu.Unlock()
 			return
 		}
-		if when, ok := rt.fac.(nextExpirer).NextExpiry(); ok {
-			// Sleep until the wall time at which the expiry tick has
-			// elapsed (the tick boundary after `when` begins).
-			target := rt.wall.TimeOf(int64(when))
-			wait = target.Sub(rt.now())
-			if wait < 0 {
-				wait = 0
+		switch {
+		case rt.behind.Load() > 0:
+			// Mid catch-up after a clock jump: re-poll immediately; the
+			// WithMaxCatchUp budget bounds each burst.
+			wait = 0
+		default:
+			if when, ok := rt.fac.(nextExpirer).NextExpiry(); ok {
+				// Sleep until the wall time at which the expiry tick has
+				// elapsed (the tick boundary after `when` begins).
+				target := rt.wall.TimeOf(int64(when))
+				wait = target.Sub(rt.now())
+				if wait < 0 {
+					wait = 0
+				}
+			} else {
+				wait = maxIdle
 			}
-		} else {
+		}
+		if wait > maxIdle {
 			wait = maxIdle
 		}
 		rt.mu.Unlock()
@@ -62,8 +75,13 @@ func (rt *Runtime) ticklessLoop() {
 			return
 		case <-rt.wake:
 			wakeup.Stop()
-			// A timer with an earlier deadline was scheduled; loop to
-			// recompute the sleep.
+			// A timer with an earlier deadline was scheduled (or Reset)
+			// while the driver slept; loop to re-arm the sleep against
+			// the new earliest deadline. schedule/Reset poke under
+			// rt.mu, and the recompute above retakes rt.mu, so the new
+			// timer is always visible by the time the sleep is re-armed
+			// — the buffered channel coalesces a burst of pokes into
+			// one recompute.
 		case <-wakeup.C:
 			rt.Poll()
 		}

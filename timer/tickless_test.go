@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"timingwheels/internal/chaos"
 )
 
 func TestTicklessFiresTimers(t *testing.T) {
@@ -162,5 +164,145 @@ func TestTicklessConcurrent(t *testing.T) {
 	}
 	if got := fired.Load() + stopped.Load(); got != total {
 		t.Fatalf("fired+stopped=%d, want %d", got, total)
+	}
+}
+
+// TestTicklessEarlierDeadlineRearmsSleep is the chaos-clock regression
+// test for the wakeup edge case: the driver is parked on a far-future
+// deadline (an hour of virtual time) when an earlier timer arrives. The
+// poke must re-arm the sleep against the new earliest deadline; if it
+// does not, the driver stays asleep on the far deadline and the test
+// times out. The chaos clock keeps the deadlines virtual, so the test
+// never depends on real-time pacing beyond the poke itself.
+func TestTicklessEarlierDeadlineRearmsSleep(t *testing.T) {
+	c := chaos.NewManual(time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC))
+	rt := NewRuntime(
+		WithGranularity(time.Millisecond),
+		WithScheme(NewTree(TreeHeap)),
+		WithTickless(),
+		WithNowFunc(c.Now),
+	)
+	defer rt.Close()
+	if _, err := rt.AfterFunc(time.Hour, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond) // let the driver settle into the 1h sleep
+	fired := make(chan struct{})
+	if _, err := rt.AfterFunc(5*time.Millisecond, func() { close(fired) }); err != nil {
+		t.Fatal(err)
+	}
+	c.Advance(10 * time.Millisecond) // the near deadline passes on the fault clock
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("driver never re-armed its sleep for the earlier deadline")
+	}
+}
+
+// TestTicklessStaleParkDoesNotFireEarly pins the interval-stretching fix
+// in schedule: a parked tickless driver leaves the facility's virtual
+// time behind the wall clock, and a timer started against that stale
+// base would expire early by exactly the staleness (an 80ms timer after
+// a 100ms park fired immediately). The interval must be stretched to the
+// wall-clock deadline instead.
+func TestTicklessStaleParkDoesNotFireEarly(t *testing.T) {
+	c := chaos.NewManual(time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC))
+	rt := NewRuntime(
+		WithGranularity(10*time.Millisecond),
+		WithScheme(NewTree(TreeHeap)),
+		WithTickless(),
+		WithNowFunc(c.Now),
+	)
+	defer rt.Close()
+	if _, err := rt.AfterFunc(time.Hour, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond) // let the driver park on the 1h deadline
+	c.Advance(500 * time.Millisecond) // 50 ticks pass unobserved while parked
+
+	fired := make(chan struct{})
+	if _, err := rt.AfterFunc(100*time.Millisecond, func() { close(fired) }); err != nil {
+		t.Fatal(err)
+	}
+	// The schedule pokes the driver, whose next Poll catches the facility
+	// up to the wall tick. Wait for that to happen before asserting.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rt.mu.Lock()
+		caughtUp := rt.fac.Now() >= 50
+		rt.mu.Unlock()
+		if caughtUp {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("driver never caught the facility up to the wall tick")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // let any (buggy) early delivery land
+	select {
+	case <-fired:
+		t.Fatal("timer fired before its 100ms wall-clock deadline")
+	default:
+	}
+
+	c.Advance(100 * time.Millisecond) // now the wall-clock deadline passes
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer never fired after its wall-clock deadline passed")
+	}
+}
+
+// TestTicklessForwardJumpRecovery: a suspended-and-resumed host (10
+// minutes of clock injected by chaos.Jump) must drain every due timer in
+// bounded batches and record the anomaly, with the driver staying live.
+func TestTicklessForwardJumpRecovery(t *testing.T) {
+	c := chaos.New(nil) // real base clock with injectable leaps
+	rt := NewRuntime(
+		WithGranularity(10*time.Millisecond),
+		WithScheme(NewTree(TreeHeap)),
+		WithTickless(),
+		WithNowFunc(c.Now),
+		WithMaxCatchUp(100),
+	)
+	defer rt.Close()
+	const timers = 60
+	var fired atomic.Int32
+	// One sentinel wakes the driver shortly after the jump; the rest are
+	// spread across the 10-minute window the clock will leap over.
+	sentinel := make(chan struct{})
+	if _, err := rt.AfterFunc(50*time.Millisecond, func() { close(sentinel) }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= timers; i++ {
+		if _, err := rt.AfterFunc(time.Duration(i)*10*time.Second, func() {
+			fired.Add(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Jump(10 * time.Minute)
+	select {
+	case <-sentinel:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sentinel never fired after the jump")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && fired.Load() < timers {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if fired.Load() != timers {
+		t.Fatalf("fired %d/%d timers after the jump", fired.Load(), timers)
+	}
+	for time.Now().Before(deadline) && rt.Health().TicksBehind > 0 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	h := rt.Health()
+	if h.TicksBehind != 0 {
+		t.Fatalf("catch-up never completed: %s", h)
+	}
+	if h.Anomalies == 0 || h.LastAnomaly.Kind != AnomalyForwardJump {
+		t.Fatalf("jump not recorded: %s", h)
 	}
 }

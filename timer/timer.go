@@ -31,6 +31,17 @@
 // granularity and exposes AfterFunc/Schedule in time.Duration terms; see
 // NewRuntime. It defaults to a Scheme 6 hashed wheel, the paper's
 // recommendation for a general timer module.
+//
+// # Hardening
+//
+// The Runtime treats misbehaving callbacks and clock anomalies as
+// first-class inputs: expiry actions run under a recovery barrier
+// (WithPanicHandler), can be measured against a time budget
+// (WithCallbackBudget) and dispatched to a bounded worker pool with
+// explicit overload shedding (WithAsyncDispatch), and wall-clock jumps
+// and backward steps are detected and drained in bounded batches
+// (WithMaxCatchUp). Health reports the resulting counters; Sharded
+// aggregates them across shards.
 package timer
 
 import (
