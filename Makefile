@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race short bench experiments fuzz fmt vet clean
+.PHONY: all build test check race short bench benchall experiments fuzz fmt vet clean
 
 all: build vet test
 
@@ -15,10 +15,13 @@ test:
 	$(GO) test ./...
 	$(GO) test -short -race ./...
 
-# The pre-merge gate: static analysis plus the full suite under -race.
+# The pre-merge gate: static analysis, the full suite under -race, and a
+# one-iteration benchmark smoke so `make bench` can never rot unnoticed
+# (it compiles and enters every benchmark without measuring anything).
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 short:
 	$(GO) test -short ./...
@@ -26,7 +29,17 @@ short:
 race:
 	$(GO) test -race ./...
 
+# Hot-path benchmarks with allocation counts, summarized as JSON at the
+# repo root (BENCH_2.json). Set BENCH_BASELINE to a saved `go test
+# -bench` output file to embed before/after numbers; BENCH_COUNT repeats
+# each benchmark. `make benchall` is the old kitchen-sink run.
+BENCH_BASELINE ?=
+BENCH_COUNT ?= 1
 bench:
+	$(GO) run ./cmd/benchjson -count=$(BENCH_COUNT) \
+		$(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE)) -o BENCH_2.json
+
+benchall:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every figure/table from the paper (e1..e15).

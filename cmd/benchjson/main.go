@@ -1,0 +1,181 @@
+// Command benchjson runs the runtime-facing benchmarks (the concurrent
+// AfterFunc+Stop hot path of Appendix A.2) with -benchmem and emits a
+// machine-readable JSON summary, optionally merged with a baseline run
+// for before/after comparison. It backs `make bench`, which commits the
+// result as BENCH_<n>.json at the repository root so hot-path
+// regressions show up in review as a diff, not a vibe.
+//
+// Usage:
+//
+//	benchjson [-bench regexp] [-baseline file] [-o out.json] [-count n]
+//
+// The baseline file is plain `go test -bench` output from an earlier
+// commit; its ns/op, B/op, and allocs/op are embedded verbatim under
+// "before" for each benchmark name that also appears in the fresh run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Metrics holds one benchmark line's numbers.
+type Metrics struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Result pairs a benchmark with its fresh numbers and, when a baseline
+// was supplied and contains the same benchmark, the old numbers plus
+// the ns/op speedup ratio (before / after; > 1 means faster now).
+type Result struct {
+	Name    string   `json:"name"`
+	After   Metrics  `json:"after"`
+	Before  *Metrics `json:"before,omitempty"`
+	Speedup float64  `json:"speedup_ns_per_op,omitempty"`
+}
+
+// Report is the top-level BENCH_*.json document.
+type Report struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoOS        string   `json:"goos,omitempty"`
+	GoArch      string   `json:"goarch,omitempty"`
+	CPU         string   `json:"cpu,omitempty"`
+	BenchRegexp string   `json:"bench_regexp"`
+	Benchmarks  []Result `json:"benchmarks"`
+}
+
+func main() {
+	bench := flag.String("bench", "BenchmarkRuntimeConcurrent|BenchmarkVsStdlib",
+		"benchmark regexp passed to go test -bench")
+	baseline := flag.String("baseline", "", "prior go test -bench output to embed as the before numbers")
+	out := flag.String("o", "BENCH_2.json", "output JSON path")
+	count := flag.Int("count", 1, "-count passed to go test")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run=NONE",
+		"-bench="+*bench, "-benchmem", "-count="+strconv.Itoa(*count), *pkg)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go test failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(string(raw))
+
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		BenchRegexp: *bench,
+	}
+	fresh := parseBenchOutput(string(raw), &rep)
+	if len(fresh) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in go test output")
+		os.Exit(1)
+	}
+
+	before := make(map[string]Metrics)
+	if *baseline != "" {
+		b, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range parseBenchOutput(string(b), nil) {
+			before[r.Name] = r.After
+		}
+	}
+
+	for _, r := range fresh {
+		if m, ok := before[r.Name]; ok {
+			mm := m
+			r.Before = &mm
+			if r.After.NsPerOp > 0 {
+				r.Speedup = m.NsPerOp / r.After.NsPerOp
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, *r)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+}
+
+// parseBenchOutput extracts benchmark lines from go test output in
+// declaration order. Lines look like:
+//
+//	BenchmarkX/sub-8   1064222   373.7 ns/op   184 B/op   4 allocs/op
+//
+// When rep is non-nil the goos/goarch/cpu header lines are captured
+// into it. With -count > 1 the last line per name wins.
+func parseBenchOutput(s string, rep *Report) (ordered []*Result) {
+	results := make(map[string]Metrics)
+	var order []string
+	for _, line := range strings.Split(s, "\n") {
+		if rep != nil {
+			if v, ok := strings.CutPrefix(line, "goos: "); ok {
+				rep.GoOS = strings.TrimSpace(v)
+				continue
+			}
+			if v, ok := strings.CutPrefix(line, "goarch: "); ok {
+				rep.GoArch = strings.TrimSpace(v)
+				continue
+			}
+			if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+				rep.CPU = strings.TrimSpace(v)
+				continue
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 3 {
+			continue
+		}
+		// Names are matched verbatim between baseline and fresh runs
+		// (including any -GOMAXPROCS suffix): a "sharded-4" sub-benchmark
+		// ends in a digit too, so stripping suffixes blindly would corrupt
+		// real names. Take baselines on the same GOMAXPROCS.
+		name := f[0]
+		var m Metrics
+		m.Iterations, _ = strconv.ParseInt(f[1], 10, 64)
+		for i := 2; i+1 < len(f); i += 2 {
+			val, unit := f[i], f[i+1]
+			switch unit {
+			case "ns/op":
+				m.NsPerOp, _ = strconv.ParseFloat(val, 64)
+			case "B/op":
+				m.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				m.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			}
+		}
+		if _, seen := results[name]; !seen {
+			order = append(order, name)
+		}
+		results[name] = m
+	}
+	for _, n := range order {
+		m := results[n]
+		ordered = append(ordered, &Result{Name: n, After: m})
+	}
+	return ordered
+}

@@ -83,6 +83,42 @@ type Facility interface {
 	Len() int
 }
 
+// PayloadCallback is the zero-allocation variant of Callback: expiry
+// processing invokes it with the timer's ID and the opaque payload the
+// caller stored at start time. Because the payload rides with the timer
+// entry, a host runtime needs no per-timer capturing closure to find its
+// own record — one shared PayloadCallback serves every timer.
+type PayloadCallback func(id ID, payload any)
+
+// PayloadStarter is an optional fast-path extension of Facility for
+// hosts (like the concurrent runtime) that schedule at high rates.
+//
+// StartTimerPayload behaves like StartTimer but stores payload with the
+// entry and fires cb(id, payload) instead of a per-timer closure. It
+// also opts the entry into the facility's free-list: the entry object is
+// recycled as soon as the timer fires or is stopped, so steady-state
+// scheduling allocates nothing.
+//
+// Recycling means the returned Handle may later be reissued for a
+// different timer. Callers MUST therefore cancel through StopTimerID
+// (IDStopper), remembering the ID the handle reported at start time;
+// the never-reused ID is the ABA guard that makes a stale handle inert.
+// Plain StopTimer on a payload-started handle is NOT safe once the
+// timer has fired or been stopped.
+type PayloadStarter interface {
+	StartTimerPayload(interval Tick, payload any, cb PayloadCallback) (Handle, error)
+}
+
+// IDStopper is the cancellation half of the PayloadStarter fast path:
+// StopTimerID cancels the timer only if h still represents the timer
+// identified by id. If the underlying entry has been recycled and
+// reissued (so h now carries a different ID), or the timer already
+// fired or was stopped, it fails with ErrTimerNotPending — a stale
+// handle can never cancel somebody else's timer.
+type IDStopper interface {
+	StopTimerID(h Handle, id ID) error
+}
+
 // Advancer is implemented by facilities that can skip over several ticks
 // more efficiently than calling Tick in a loop.
 type Advancer interface {

@@ -9,6 +9,12 @@
 // of blocking the tick path or buffering without bound — the caller
 // decides what shedding means (the timer runtime counts the drop and
 // moves on).
+//
+// The pool is generic over the queued item type with a single runner
+// function fixed at construction. Submitting a plain value (typically a
+// pointer to the caller's own timer record) therefore allocates nothing,
+// where a chan func() design would force the submitter to allocate a
+// capturing closure per dispatch.
 package dispatch
 
 import (
@@ -16,12 +22,13 @@ import (
 	"sync/atomic"
 )
 
-// Pool runs submitted functions on a fixed number of worker goroutines
-// behind a bounded queue. The zero value is not usable; construct with
-// New.
-type Pool struct {
+// Pool runs submitted items through a fixed runner on a fixed number of
+// worker goroutines behind a bounded queue. The zero value is not
+// usable; construct with New.
+type Pool[T any] struct {
 	mu     sync.Mutex
-	tasks  chan func()
+	tasks  chan T
+	runner func(T)
 	closed bool
 	wg     sync.WaitGroup
 
@@ -31,51 +38,52 @@ type Pool struct {
 
 // New starts a pool with the given number of workers (clamped to >= 1)
 // and queue capacity (clamped to >= 0; zero means a submission succeeds
-// only when a worker is ready to take it immediately).
-func New(workers, queue int) *Pool {
+// only when a worker is ready to take it immediately). Every submitted
+// item is passed to run on some worker goroutine.
+func New[T any](workers, queue int, run func(T)) *Pool[T] {
 	if workers < 1 {
 		workers = 1
 	}
 	if queue < 0 {
 		queue = 0
 	}
-	p := &Pool{tasks: make(chan func(), queue)}
+	p := &Pool[T]{tasks: make(chan T, queue), runner: run}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer p.wg.Done()
-			for fn := range p.tasks {
-				p.run(fn)
+			for v := range p.tasks {
+				p.run(v)
 			}
 		}()
 	}
 	return p
 }
 
-// run executes one task, isolating panics so a misbehaving task never
+// run executes one item, isolating panics so a misbehaving task never
 // kills a worker (the timer runtime wraps its callbacks with its own
 // recovery; this is the pool's backstop for direct users).
-func (p *Pool) run(fn func()) {
+func (p *Pool[T]) run(v T) {
 	defer func() {
 		if recover() != nil {
 			p.panics.Add(1)
 		}
 		p.executed.Add(1)
 	}()
-	fn()
+	p.runner(v)
 }
 
-// TrySubmit enqueues fn, reporting false — without blocking — when the
+// TrySubmit enqueues v, reporting false — without blocking — when the
 // queue is full or the pool is closed. A false return is the overload
 // signal: the caller sheds the work explicitly rather than stalling.
-func (p *Pool) TrySubmit(fn func()) bool {
+func (p *Pool[T]) TrySubmit(v T) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return false
 	}
 	select {
-	case p.tasks <- fn:
+	case p.tasks <- v:
 		return true
 	default:
 		return false
@@ -87,7 +95,7 @@ func (p *Pool) TrySubmit(fn func()) bool {
 // concurrently; every call blocks until the pool is fully drained. Close
 // must not be called from inside a task (the task would wait on its own
 // worker).
-func (p *Pool) Close() {
+func (p *Pool[T]) Close() {
 	p.mu.Lock()
 	if !p.closed {
 		p.closed = true
@@ -99,13 +107,13 @@ func (p *Pool) Close() {
 
 // Executed reports how many tasks workers have finished (including ones
 // that panicked).
-func (p *Pool) Executed() uint64 { return p.executed.Load() }
+func (p *Pool[T]) Executed() uint64 { return p.executed.Load() }
 
 // Panics reports how many tasks panicked and were recovered.
-func (p *Pool) Panics() uint64 { return p.panics.Load() }
+func (p *Pool[T]) Panics() uint64 { return p.panics.Load() }
 
 // QueueLen reports the number of tasks waiting for a worker.
-func (p *Pool) QueueLen() int { return len(p.tasks) }
+func (p *Pool[T]) QueueLen() int { return len(p.tasks) }
 
 // QueueCap reports the queue capacity.
-func (p *Pool) QueueCap() int { return cap(p.tasks) }
+func (p *Pool[T]) QueueCap() int { return cap(p.tasks) }

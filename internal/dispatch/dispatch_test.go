@@ -8,7 +8,7 @@ import (
 )
 
 func TestPoolRunsTasks(t *testing.T) {
-	p := New(2, 8)
+	p := New(2, 8, func(fn func()) { fn() })
 	var n atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < 20; i++ {
@@ -28,7 +28,7 @@ func TestPoolRunsTasks(t *testing.T) {
 }
 
 func TestTrySubmitShedsWhenFull(t *testing.T) {
-	p := New(1, 1)
+	p := New(1, 1, func(fn func()) { fn() })
 	gate := make(chan struct{})
 	running := make(chan struct{})
 	if !p.TrySubmit(func() { close(running); <-gate }) {
@@ -52,7 +52,7 @@ func TestTrySubmitShedsWhenFull(t *testing.T) {
 }
 
 func TestCloseDrainsQueueAndIsIdempotent(t *testing.T) {
-	p := New(1, 4)
+	p := New(1, 4, func(fn func()) { fn() })
 	gate := make(chan struct{})
 	running := make(chan struct{})
 	var n atomic.Int64
@@ -82,7 +82,7 @@ func TestCloseDrainsQueueAndIsIdempotent(t *testing.T) {
 }
 
 func TestPanicIsolation(t *testing.T) {
-	p := New(1, 2)
+	p := New(1, 2, func(fn func()) { fn() })
 	var after atomic.Bool
 	p.TrySubmit(func() { panic("boom") })
 	p.TrySubmit(func() { after.Store(true) })
@@ -96,7 +96,7 @@ func TestPanicIsolation(t *testing.T) {
 }
 
 func TestClampedConstruction(t *testing.T) {
-	p := New(0, -5) // clamps to 1 worker, 0 queue
+	p := New(0, -5, func(fn func()) { fn() }) // clamps to 1 worker, 0 queue
 	done := make(chan struct{})
 	// With a zero-capacity queue, submission succeeds once the worker is
 	// parked on the channel receive.

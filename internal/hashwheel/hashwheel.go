@@ -36,15 +36,32 @@ type entry struct {
 	when core.Tick // absolute expiry, for Scheme 5 ordering and slot math
 	// rounds is Scheme 6's stored quotient: the number of times the
 	// cursor must pass this slot before the timer expires.
-	rounds int64
-	cb     core.Callback
-	state  core.State
+	rounds  int64
+	cb      core.Callback
+	pcb     core.PayloadCallback // fast path: shared callback + payload
+	payload any
+	state   core.State
+	// pooled marks entries started through StartTimerPayload: they are
+	// recycled onto the table's free list as soon as they fire or are
+	// stopped. Plain StartTimer entries are never recycled, because
+	// their handles carry no ID guard against reuse.
+	pooled bool
 	owner  facility
 	node   ilist.Node[*entry]
 }
 
 // TimerID implements core.Handle.
 func (e *entry) TimerID() core.ID { return e.id }
+
+// fire runs the entry's expiry action through whichever callback form it
+// was started with.
+func (e *entry) fire() {
+	if e.pcb != nil {
+		e.pcb(e.id, e.payload)
+		return
+	}
+	e.cb(e.id)
+}
 
 // facility is the common identity type for handle-ownership checks.
 type facility interface{ core.Facility }
@@ -62,6 +79,34 @@ type table struct {
 	nextID core.ID
 	n      int
 	cost   *metrics.Cost
+	// free is the entry free-list for the StartTimerPayload fast path.
+	// Entries parked here keep their last id and terminal state, so a
+	// stale StopTimerID against them fails cleanly until reuse assigns a
+	// fresh never-repeated id.
+	free []*entry
+}
+
+// acquire returns a recycled entry (reset to pending) or a fresh one.
+func (t *table) acquire() *entry {
+	if n := len(t.free); n > 0 {
+		e := t.free[n-1]
+		t.free[n-1] = nil
+		t.free = t.free[:n-1]
+		e.state = core.StatePending
+		return e
+	}
+	e := &entry{}
+	e.node.Value = e
+	return e
+}
+
+// release parks a pooled entry on the free list. The caller guarantees
+// the node is detached and the entry reached a terminal state.
+func (t *table) release(e *entry) {
+	e.cb = nil
+	e.pcb = nil
+	e.payload = nil
+	t.free = append(t.free, e)
 }
 
 func newTable(size int, cost *metrics.Cost) table {
@@ -116,6 +161,36 @@ func (t *table) removeSlot(i int, n *ilist.Node[*entry]) {
 	if t.slots[i].Empty() {
 		t.occ.Clear(i)
 	}
+}
+
+// stopEntry cancels an outstanding entry: shared STOP_TIMER logic for
+// every hashed-wheel variant. A pooled entry is recycled immediately
+// when it was still linked into a slot; an entry that is detached but
+// pending sits in a Tick batch, and the batch loop recycles it instead.
+func (t *table) stopEntry(e *entry) error {
+	if e.state != core.StatePending {
+		return core.ErrTimerNotPending
+	}
+	e.state = core.StateStopped
+	if e.node.Attached() {
+		t.removeSlot(t.index(e.when), &e.node)
+		t.n--
+		if e.pooled {
+			t.release(e)
+		}
+	}
+	return nil
+}
+
+// stopEntryID is stopEntry guarded by the never-reused timer ID: a
+// handle whose entry has been recycled and reissued carries a different
+// id and fails with ErrTimerNotPending instead of cancelling the new
+// occupant.
+func (t *table) stopEntryID(e *entry, id core.ID) error {
+	if e.id != id {
+		return core.ErrTimerNotPending
+	}
+	return t.stopEntry(e)
 }
 
 // jumpTo moves the clock and cursor directly to time tk; every slot in

@@ -47,9 +47,33 @@ func (s *Scheme5) StartTimer(interval core.Tick, cb core.Callback) (core.Handle,
 	if err := core.CheckInterval(interval, cb); err != nil {
 		return nil, err
 	}
-	e := &entry{id: s.nextID, when: s.now + interval, cb: cb, owner: s}
+	return s.insert(interval, cb, nil, nil, false), nil
+}
+
+// StartTimerPayload implements core.PayloadStarter: the sorted insert of
+// StartTimer, but the entry carries an opaque payload and is recycled on
+// the table's free list once it fires or is stopped.
+func (s *Scheme5) StartTimerPayload(interval core.Tick, payload any, cb core.PayloadCallback) (core.Handle, error) {
+	if cb == nil {
+		return nil, core.ErrNilCallback
+	}
+	if interval < 1 {
+		return nil, core.ErrNonPositiveInterval
+	}
+	return s.insert(interval, nil, cb, payload, true), nil
+}
+
+// insert sorts one validated timer into its bucket (ascending expiry,
+// FIFO on ties).
+func (s *Scheme5) insert(interval core.Tick, cb core.Callback, pcb core.PayloadCallback, payload any, pooled bool) *entry {
+	e := s.acquire()
+	e.id = s.nextID
 	s.nextID++
-	e.node.Value = e
+	e.when = s.now + interval
+	e.rounds = 0
+	e.cb, e.pcb, e.payload = cb, pcb, payload
+	e.pooled = pooled
+	e.owner = s
 	bucket := &s.slots[s.index(e.when)]
 	s.cost.Read(1)
 	steps := uint64(0)
@@ -71,7 +95,7 @@ func (s *Scheme5) StartTimer(interval core.Tick, cb core.Callback) (core.Handle,
 	s.SearchSteps += steps
 	s.Starts++
 	s.n++
-	return e, nil
+	return e
 }
 
 // StopTimer unlinks the timer from its bucket in O(1).
@@ -80,15 +104,17 @@ func (s *Scheme5) StopTimer(h core.Handle) error {
 	if !ok || e.owner != s {
 		return core.ErrForeignHandle
 	}
-	if e.state != core.StatePending {
-		return core.ErrTimerNotPending
+	return s.stopEntry(e)
+}
+
+// StopTimerID implements core.IDStopper: StopTimer guarded against
+// recycled-handle ABA by the never-reused timer ID.
+func (s *Scheme5) StopTimerID(h core.Handle, id core.ID) error {
+	e, ok := h.(*entry)
+	if !ok || e.owner != s {
+		return core.ErrForeignHandle
 	}
-	e.state = core.StateStopped
-	if e.node.Attached() {
-		s.removeSlot(s.index(e.when), &e.node)
-		s.n--
-	}
-	return nil
+	return s.stopEntryID(e, id)
 }
 
 // Tick advances the cursor and, as in Scheme 2, inspects only the head of
@@ -112,12 +138,14 @@ func (s *Scheme5) Tick() int {
 			s.occ.Clear(s.cursor)
 		}
 		s.n--
-		if e.state != core.StatePending {
-			continue
+		if e.state == core.StatePending {
+			e.state = core.StateFired
+			fired++
+			e.fire()
 		}
-		e.state = core.StateFired
-		fired++
-		e.cb(e.id)
+		if e.pooled {
+			s.release(e)
+		}
 	}
 }
 
@@ -152,4 +180,8 @@ func (s *Scheme5) CheckInvariants() bool {
 	return true
 }
 
-var _ core.Facility = (*Scheme5)(nil)
+var (
+	_ core.Facility       = (*Scheme5)(nil)
+	_ core.PayloadStarter = (*Scheme5)(nil)
+	_ core.IDStopper      = (*Scheme5)(nil)
+)

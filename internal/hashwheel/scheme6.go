@@ -45,20 +45,37 @@ func (s *Scheme6) StartTimer(interval core.Tick, cb core.Callback) (core.Handle,
 	if err := core.CheckInterval(interval, cb); err != nil {
 		return nil, err
 	}
-	e := &entry{
-		id:     s.nextID,
-		when:   s.now + interval,
-		rounds: s.roundsFor(interval),
-		cb:     cb,
-		owner:  s,
+	return s.insert(interval, cb, nil, nil, false), nil
+}
+
+// StartTimerPayload implements core.PayloadStarter: like StartTimer, but
+// the entry carries an opaque payload, fires through the shared cb, and
+// is recycled on the facility's free list at fire/stop time.
+func (s *Scheme6) StartTimerPayload(interval core.Tick, payload any, cb core.PayloadCallback) (core.Handle, error) {
+	if cb == nil {
+		return nil, core.ErrNilCallback
 	}
+	if interval < 1 {
+		return nil, core.ErrNonPositiveInterval
+	}
+	return s.insert(interval, nil, cb, payload, true), nil
+}
+
+// insert links one validated timer into its slot.
+func (s *Scheme6) insert(interval core.Tick, cb core.Callback, pcb core.PayloadCallback, payload any, pooled bool) *entry {
+	e := s.acquire()
+	e.id = s.nextID
 	s.nextID++
-	e.node.Value = e
+	e.when = s.now + interval
+	e.rounds = s.roundsFor(interval)
+	e.cb, e.pcb, e.payload = cb, pcb, payload
+	e.pooled = pooled
+	e.owner = s
 	s.cost.Read(1)  // slot header
 	s.cost.Write(1) // store high-order bits
 	s.pushSlot(s.index(e.when), &e.node)
 	s.n++
-	return e, nil
+	return e
 }
 
 // StopTimer unlinks the timer from its bucket in O(1).
@@ -67,15 +84,17 @@ func (s *Scheme6) StopTimer(h core.Handle) error {
 	if !ok || e.owner != s {
 		return core.ErrForeignHandle
 	}
-	if e.state != core.StatePending {
-		return core.ErrTimerNotPending
+	return s.stopEntry(e)
+}
+
+// StopTimerID implements core.IDStopper: StopTimer guarded against
+// recycled-handle ABA by the never-reused timer ID.
+func (s *Scheme6) StopTimerID(h core.Handle, id core.ID) error {
+	e, ok := h.(*entry)
+	if !ok || e.owner != s {
+		return core.ErrForeignHandle
 	}
-	e.state = core.StateStopped
-	if e.node.Attached() {
-		s.removeSlot(s.index(e.when), &e.node)
-		s.n--
-	}
-	return nil
+	return s.stopEntryID(e, id)
 }
 
 // Tick advances the cursor; if there is a list in the new slot, it
@@ -107,12 +126,14 @@ func (s *Scheme6) Tick() int {
 	}
 	fired := 0
 	for _, e := range s.batch {
-		if e.state != core.StatePending {
-			continue
+		if e.state == core.StatePending {
+			e.state = core.StateFired
+			fired++
+			e.fire()
 		}
-		e.state = core.StateFired
-		fired++
-		e.cb(e.id)
+		if e.pooled {
+			s.release(e)
+		}
 	}
 	return fired
 }
@@ -137,8 +158,10 @@ func (s *Scheme6) Advance(n core.Tick) int {
 }
 
 var (
-	_ core.Facility = (*Scheme6)(nil)
-	_ core.Advancer = (*Scheme6)(nil)
+	_ core.Facility       = (*Scheme6)(nil)
+	_ core.Advancer       = (*Scheme6)(nil)
+	_ core.PayloadStarter = (*Scheme6)(nil)
+	_ core.IDStopper      = (*Scheme6)(nil)
 )
 
 // Scheme6Absolute is the ablation variant of Scheme 6 that stores the
@@ -164,14 +187,35 @@ func (s *Scheme6Absolute) StartTimer(interval core.Tick, cb core.Callback) (core
 	if err := core.CheckInterval(interval, cb); err != nil {
 		return nil, err
 	}
-	e := &entry{id: s.nextID, when: s.now + interval, cb: cb, owner: s}
+	return s.insert(interval, cb, nil, nil, false), nil
+}
+
+// StartTimerPayload implements core.PayloadStarter (see Scheme6).
+func (s *Scheme6Absolute) StartTimerPayload(interval core.Tick, payload any, cb core.PayloadCallback) (core.Handle, error) {
+	if cb == nil {
+		return nil, core.ErrNilCallback
+	}
+	if interval < 1 {
+		return nil, core.ErrNonPositiveInterval
+	}
+	return s.insert(interval, nil, cb, payload, true), nil
+}
+
+// insert links one validated timer into its slot.
+func (s *Scheme6Absolute) insert(interval core.Tick, cb core.Callback, pcb core.PayloadCallback, payload any, pooled bool) *entry {
+	e := s.acquire()
+	e.id = s.nextID
 	s.nextID++
-	e.node.Value = e
+	e.when = s.now + interval
+	e.rounds = 0
+	e.cb, e.pcb, e.payload = cb, pcb, payload
+	e.pooled = pooled
+	e.owner = s
 	s.cost.Read(1)
 	s.cost.Write(1)
 	s.pushSlot(s.index(e.when), &e.node)
 	s.n++
-	return e, nil
+	return e
 }
 
 // StopTimer unlinks the timer from its bucket in O(1).
@@ -180,15 +224,16 @@ func (s *Scheme6Absolute) StopTimer(h core.Handle) error {
 	if !ok || e.owner != s {
 		return core.ErrForeignHandle
 	}
-	if e.state != core.StatePending {
-		return core.ErrTimerNotPending
+	return s.stopEntry(e)
+}
+
+// StopTimerID implements core.IDStopper (see Scheme6).
+func (s *Scheme6Absolute) StopTimerID(h core.Handle, id core.ID) error {
+	e, ok := h.(*entry)
+	if !ok || e.owner != s {
+		return core.ErrForeignHandle
 	}
-	e.state = core.StateStopped
-	if e.node.Attached() {
-		s.removeSlot(s.index(e.when), &e.node)
-		s.n--
-	}
-	return nil
+	return s.stopEntryID(e, id)
 }
 
 // Tick compares the absolute expiry of every element in the slot against
@@ -216,12 +261,14 @@ func (s *Scheme6Absolute) Tick() int {
 	}
 	fired := 0
 	for _, e := range s.batch {
-		if e.state != core.StatePending {
-			continue
+		if e.state == core.StatePending {
+			e.state = core.StateFired
+			fired++
+			e.fire()
 		}
-		e.state = core.StateFired
-		fired++
-		e.cb(e.id)
+		if e.pooled {
+			s.release(e)
+		}
 	}
 	return fired
 }
@@ -243,6 +290,8 @@ func (s *Scheme6Absolute) Advance(n core.Tick) int {
 }
 
 var (
-	_ core.Facility = (*Scheme6Absolute)(nil)
-	_ core.Advancer = (*Scheme6Absolute)(nil)
+	_ core.Facility       = (*Scheme6Absolute)(nil)
+	_ core.Advancer       = (*Scheme6Absolute)(nil)
+	_ core.PayloadStarter = (*Scheme6Absolute)(nil)
+	_ core.IDStopper      = (*Scheme6Absolute)(nil)
 )

@@ -64,13 +64,19 @@ func (p Policy) String() string {
 
 // entry is one outstanding hierarchical timer.
 type entry struct {
-	id    core.ID
-	when  core.Tick // expiry after any policy rounding
-	cb    core.Callback
-	state core.State
-	owner *Scheme7
-	node  ilist.Node[*entry]
-	moves int // migrations performed so far
+	id      core.ID
+	when    core.Tick // expiry after any policy rounding
+	cb      core.Callback
+	pcb     core.PayloadCallback // fast path: shared callback + payload
+	payload any
+	state   core.State
+	// pooled marks entries started through StartTimerPayload: they are
+	// recycled onto the scheme's free list as soon as they fire or are
+	// stopped. Plain StartTimer entries are never recycled.
+	pooled bool
+	owner  *Scheme7
+	node   ilist.Node[*entry]
+	moves  int // migrations performed so far
 	// lvl and slot locate the entry for occupancy-bit maintenance; they
 	// change on every migration.
 	lvl, slot int
@@ -78,6 +84,16 @@ type entry struct {
 
 // TimerID implements core.Handle.
 func (e *entry) TimerID() core.ID { return e.id }
+
+// fire runs the entry's expiry action through whichever callback form it
+// was started with.
+func (e *entry) fire() {
+	if e.pcb != nil {
+		e.pcb(e.id, e.payload)
+		return
+	}
+	e.cb(e.id)
+}
 
 // level is one wheel in the hierarchy.
 type level struct {
@@ -96,10 +112,36 @@ type Scheme7 struct {
 	n      int
 	cost   *metrics.Cost
 	batch  []*entry
+	// free is the entry free-list for the StartTimerPayload fast path
+	// (see core.PayloadStarter for the recycling contract).
+	free []*entry
 
 	// Migrations counts timer moves between levels, the c(7)*m work term
 	// of the section 6.2 cost comparison (experiments E7/E8).
 	Migrations uint64
+}
+
+// acquire returns a recycled entry (reset to pending) or a fresh one.
+func (s *Scheme7) acquire() *entry {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.state = core.StatePending
+		return e
+	}
+	e := &entry{}
+	e.node.Value = e
+	return e
+}
+
+// release parks a pooled entry on the free list. The caller guarantees
+// the node is detached and the entry reached a terminal state.
+func (s *Scheme7) release(e *entry) {
+	e.cb = nil
+	e.pcb = nil
+	e.payload = nil
+	s.free = append(s.free, e)
 }
 
 // DayRadices is the paper's worked example: a seconds wheel, a minutes
@@ -223,16 +265,42 @@ func (s *Scheme7) StartTimer(interval core.Tick, cb core.Callback) (core.Handle,
 	if interval > s.MaxInterval() {
 		return nil, core.ErrIntervalOutOfRange
 	}
-	e := &entry{id: s.nextID, when: s.now + interval, cb: cb, owner: s}
+	return s.insert(interval, cb, nil, nil, false), nil
+}
+
+// StartTimerPayload implements core.PayloadStarter: like StartTimer, but
+// the entry carries an opaque payload, fires through the shared cb, and
+// is recycled on the scheme's free list at fire/stop time.
+func (s *Scheme7) StartTimerPayload(interval core.Tick, payload any, cb core.PayloadCallback) (core.Handle, error) {
+	if cb == nil {
+		return nil, core.ErrNilCallback
+	}
+	if interval < 1 {
+		return nil, core.ErrNonPositiveInterval
+	}
+	if interval > s.MaxInterval() {
+		return nil, core.ErrIntervalOutOfRange
+	}
+	return s.insert(interval, nil, cb, payload, true), nil
+}
+
+// insert places one validated timer into the hierarchy.
+func (s *Scheme7) insert(interval core.Tick, cb core.Callback, pcb core.PayloadCallback, payload any, pooled bool) *entry {
+	e := s.acquire()
+	e.id = s.nextID
 	s.nextID++
-	e.node.Value = e
+	e.when = s.now + interval
+	e.cb, e.pcb, e.payload = cb, pcb, payload
+	e.pooled = pooled
+	e.owner = s
+	e.moves = 0
 	if s.policy == MigrateNever {
 		e.when = s.roundFor(e.when)
 	}
 	s.cost.Write(1) // store the remainder with the timer record
 	s.place(e)
 	s.n++
-	return e, nil
+	return e
 }
 
 // StopTimer detaches the timer from whichever level currently holds it,
@@ -242,6 +310,26 @@ func (s *Scheme7) StopTimer(h core.Handle) error {
 	if !ok || e.owner != s {
 		return core.ErrForeignHandle
 	}
+	return s.stopEntry(e)
+}
+
+// StopTimerID implements core.IDStopper: StopTimer guarded against
+// recycled-handle ABA by the never-reused timer ID.
+func (s *Scheme7) StopTimerID(h core.Handle, id core.ID) error {
+	e, ok := h.(*entry)
+	if !ok || e.owner != s {
+		return core.ErrForeignHandle
+	}
+	if e.id != id {
+		return core.ErrTimerNotPending
+	}
+	return s.stopEntry(e)
+}
+
+// stopEntry is the shared STOP_TIMER logic. A pooled entry still linked
+// into a slot is recycled immediately; one that is detached but pending
+// sits in a Tick batch, and the batch loop recycles it instead.
+func (s *Scheme7) stopEntry(e *entry) error {
 	if e.state != core.StatePending {
 		return core.ErrTimerNotPending
 	}
@@ -251,6 +339,9 @@ func (s *Scheme7) StopTimer(h core.Handle) error {
 			s.levels[e.lvl].occ.Clear(e.slot)
 		}
 		s.n--
+		if e.pooled {
+			s.release(e)
+		}
 	}
 	return nil
 }
@@ -275,34 +366,43 @@ func (s *Scheme7) Tick() int {
 		s.cost.Read(1)
 		s.cost.Compare(1)
 		if !lv.slots[slot].Empty() {
-			for n := lv.slots[slot].PopFront(); n != nil; n = lv.slots[slot].PopFront() {
+			// Splice the whole slot out in O(1); cascade re-places or
+			// batches each entry as the chain is consumed.
+			for n := lv.slots[slot].TakeChain(); n != nil; {
+				next := n.Unchain()
 				s.cascade(n.Value)
+				n = next
 			}
 			lv.occ.Clear(slot)
 		}
 	}
 
-	// Fire the finest wheel's slot for the new time.
+	// Fire the finest wheel's slot for the new time: one splice instead of
+	// a per-node unlink.
 	lv0 := &s.levels[0]
 	slot := int(s.now % core.Tick(len(lv0.slots)))
 	s.cost.Read(1)
 	s.cost.Compare(1)
 	if !lv0.slots[slot].Empty() {
-		for n := lv0.slots[slot].PopFront(); n != nil; n = lv0.slots[slot].PopFront() {
+		for n := lv0.slots[slot].TakeChain(); n != nil; {
+			next := n.Unchain()
 			s.batch = append(s.batch, n.Value)
 			s.n-- // detached entries no longer count as outstanding
+			n = next
 		}
 		lv0.occ.Clear(slot)
 	}
 
 	fired := 0
 	for _, e := range s.batch {
-		if e.state != core.StatePending {
-			continue // stopped by an earlier callback in this same batch
+		if e.state == core.StatePending {
+			e.state = core.StateFired
+			fired++
+			e.fire()
 		}
-		e.state = core.StateFired
-		fired++
-		e.cb(e.id)
+		if e.pooled {
+			s.release(e)
+		}
 	}
 	return fired
 }
@@ -457,6 +557,8 @@ func (s *Scheme7) Advance(n core.Tick) int {
 }
 
 var (
-	_ core.Facility = (*Scheme7)(nil)
-	_ core.Advancer = (*Scheme7)(nil)
+	_ core.Facility       = (*Scheme7)(nil)
+	_ core.Advancer       = (*Scheme7)(nil)
+	_ core.PayloadStarter = (*Scheme7)(nil)
+	_ core.IDStopper      = (*Scheme7)(nil)
 )

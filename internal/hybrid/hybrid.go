@@ -36,18 +36,34 @@ const (
 
 // entry is one outstanding hybrid timer.
 type entry struct {
-	id    core.ID
-	when  core.Tick
-	cb    core.Callback
-	state core.State
-	owner *Scheme
-	loc   location
-	node  ilist.Node[*entry] // wheel linkage
-	hd    pq.Handle          // overflow linkage
+	id      core.ID
+	when    core.Tick
+	cb      core.Callback
+	pcb     core.PayloadCallback // fast path: shared callback + payload
+	payload any
+	state   core.State
+	// pooled marks entries started through StartTimerPayload: they are
+	// recycled onto the scheme's free list as soon as they fire or are
+	// stopped. Plain StartTimer entries are never recycled.
+	pooled bool
+	owner  *Scheme
+	loc    location
+	node   ilist.Node[*entry] // wheel linkage
+	hd     pq.Handle          // overflow linkage
 }
 
 // TimerID implements core.Handle.
 func (e *entry) TimerID() core.ID { return e.id }
+
+// fire runs the entry's expiry action through whichever callback form it
+// was started with.
+func (e *entry) fire() {
+	if e.pcb != nil {
+		e.pcb(e.id, e.payload)
+		return
+	}
+	e.cb(e.id)
+}
 
 // Scheme is the hybrid wheel + overflow-heap facility.
 type Scheme struct {
@@ -60,10 +76,38 @@ type Scheme struct {
 	n        int
 	cost     *metrics.Cost
 	batch    []*entry
+	// free is the entry free-list for the StartTimerPayload fast path
+	// (see core.PayloadStarter for the recycling contract).
+	free []*entry
 
 	// Migrations counts long timers moved from the overflow heap into
 	// the wheel (each long timer migrates exactly once).
 	Migrations uint64
+}
+
+// acquire returns a recycled entry (reset to pending) or a fresh one.
+func (s *Scheme) acquire() *entry {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.state = core.StatePending
+		return e
+	}
+	e := &entry{}
+	e.node.Value = e
+	return e
+}
+
+// release parks a pooled entry on the free list. The caller guarantees
+// the node is detached from both structures and the entry reached a
+// terminal state.
+func (s *Scheme) release(e *entry) {
+	e.cb = nil
+	e.pcb = nil
+	e.payload = nil
+	e.hd = nil
+	s.free = append(s.free, e)
 }
 
 // New returns a hybrid facility whose wheel covers intervals up to
@@ -111,9 +155,31 @@ func (s *Scheme) StartTimer(interval core.Tick, cb core.Callback) (core.Handle, 
 	if err := core.CheckInterval(interval, cb); err != nil {
 		return nil, err
 	}
-	e := &entry{id: s.nextID, when: s.now + interval, cb: cb, owner: s}
+	return s.insert(interval, cb, nil, nil, false), nil
+}
+
+// StartTimerPayload implements core.PayloadStarter: like StartTimer, but
+// the entry carries an opaque payload, fires through the shared cb, and
+// is recycled on the scheme's free list at fire/stop time.
+func (s *Scheme) StartTimerPayload(interval core.Tick, payload any, cb core.PayloadCallback) (core.Handle, error) {
+	if cb == nil {
+		return nil, core.ErrNilCallback
+	}
+	if interval < 1 {
+		return nil, core.ErrNonPositiveInterval
+	}
+	return s.insert(interval, nil, cb, payload, true), nil
+}
+
+// insert places one validated timer in the wheel or the overflow heap.
+func (s *Scheme) insert(interval core.Tick, cb core.Callback, pcb core.PayloadCallback, payload any, pooled bool) *entry {
+	e := s.acquire()
+	e.id = s.nextID
 	s.nextID++
-	e.node.Value = e
+	e.when = s.now + interval
+	e.cb, e.pcb, e.payload = cb, pcb, payload
+	e.pooled = pooled
+	e.owner = s
 	s.cost.Compare(1) // range test
 	if interval <= core.Tick(len(s.slots)) {
 		e.loc = inWheel
@@ -126,7 +192,7 @@ func (s *Scheme) StartTimer(interval core.Tick, cb core.Callback) (core.Handle, 
 		e.hd = s.overflow.Insert(int64(e.when), e)
 	}
 	s.n++
-	return e, nil
+	return e
 }
 
 // StopTimer cancels the timer wherever it currently lives.
@@ -135,6 +201,26 @@ func (s *Scheme) StopTimer(h core.Handle) error {
 	if !ok || e.owner != s {
 		return core.ErrForeignHandle
 	}
+	return s.stopEntry(e)
+}
+
+// StopTimerID implements core.IDStopper: StopTimer guarded against
+// recycled-handle ABA by the never-reused timer ID.
+func (s *Scheme) StopTimerID(h core.Handle, id core.ID) error {
+	e, ok := h.(*entry)
+	if !ok || e.owner != s {
+		return core.ErrForeignHandle
+	}
+	if e.id != id {
+		return core.ErrTimerNotPending
+	}
+	return s.stopEntry(e)
+}
+
+// stopEntry is the shared STOP_TIMER logic. A pooled entry still linked
+// into a structure is recycled immediately; one that is detached but
+// pending sits in a Tick batch, and the batch loop recycles it instead.
+func (s *Scheme) stopEntry(e *entry) error {
 	if e.state != core.StatePending {
 		return core.ErrTimerNotPending
 	}
@@ -148,10 +234,16 @@ func (s *Scheme) StopTimer(h core.Handle) error {
 				s.occ.Clear(slot)
 			}
 			s.n--
+			if e.pooled {
+				s.release(e)
+			}
 		}
 	case inOverflow:
 		if s.overflow.Remove(e.hd) {
 			s.n--
+			if e.pooled {
+				s.release(e)
+			}
 		}
 	}
 	return nil
@@ -176,18 +268,22 @@ func (s *Scheme) Tick() int {
 	s.cost.Compare(1)
 	if !slot.Empty() {
 		s.batch = s.batch[:0]
-		for n := slot.PopFront(); n != nil; n = slot.PopFront() {
+		for n := slot.TakeChain(); n != nil; {
+			next := n.Unchain()
 			s.batch = append(s.batch, n.Value)
 			s.n--
+			n = next
 		}
 		s.occ.Clear(s.cursor)
 		for _, e := range s.batch {
-			if e.state != core.StatePending {
-				continue
+			if e.state == core.StatePending {
+				e.state = core.StateFired
+				fired++
+				e.fire()
 			}
-			e.state = core.StateFired
-			fired++
-			e.cb(e.id)
+			if e.pooled {
+				s.release(e)
+			}
 		}
 	}
 
@@ -312,7 +408,9 @@ func (s *Scheme) CheckInvariants() bool {
 }
 
 var (
-	_ core.Facility    = (*Scheme)(nil)
-	_ core.Advancer    = (*Scheme)(nil)
-	_ core.NextExpirer = (*Scheme)(nil)
+	_ core.Facility       = (*Scheme)(nil)
+	_ core.Advancer       = (*Scheme)(nil)
+	_ core.NextExpirer    = (*Scheme)(nil)
+	_ core.PayloadStarter = (*Scheme)(nil)
+	_ core.IDStopper      = (*Scheme)(nil)
 )

@@ -162,9 +162,11 @@ func (s *Scheme4) Tick() int {
 	// callback that starts a timer of exactly MaxInterval (landing back in
 	// this same slot) is not fired a revolution early.
 	s.batch = s.batch[:0]
-	for n := slot.PopFront(); n != nil; n = slot.PopFront() {
+	for n := slot.TakeChain(); n != nil; {
+		next := n.Unchain()
 		s.batch = append(s.batch, n.Value)
 		s.n-- // detached entries no longer count as outstanding
+		n = next
 	}
 	s.occ.Clear(s.cursor)
 	fired := 0

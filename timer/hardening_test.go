@@ -345,14 +345,14 @@ func TestShardedHealthAggregates(t *testing.T) {
 	)
 	defer s.Close()
 	// One panicking timer per shard.
-	for _, rt := range s.shards {
-		if _, err := rt.AfterFunc(10*time.Millisecond, func() { panic("per-shard") }); err != nil {
+	for i := range s.shards {
+		if _, err := s.shards[i].rt.AfterFunc(10*time.Millisecond, func() { panic("per-shard") }); err != nil {
 			t.Fatal(err)
 		}
 	}
 	c.Advance(10 * time.Millisecond)
-	for _, rt := range s.shards {
-		rt.Poll()
+	for i := range s.shards {
+		s.shards[i].rt.Poll()
 	}
 	h := s.Health()
 	if h.PanicsRecovered != 2 {
@@ -363,8 +363,8 @@ func TestShardedHealthAggregates(t *testing.T) {
 	}
 	// A host-clock jump shows up on every shard.
 	c.Advance(10 * time.Minute)
-	for _, rt := range s.shards {
-		rt.Poll()
+	for i := range s.shards {
+		s.shards[i].rt.Poll()
 	}
 	h = s.Health()
 	if h.Anomalies != 2 || h.LastAnomaly.Kind != AnomalyForwardJump {

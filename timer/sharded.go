@@ -5,6 +5,15 @@ import (
 	"time"
 )
 
+// shardSlot pads each shard pointer out to its own cache line (64 bytes
+// on the platforms we target), so the per-shard mutex/counter traffic of
+// adjacent shards never false-shares the line holding a neighbour's
+// pointer.
+type shardSlot struct {
+	rt *Runtime
+	_  [64 - 8]byte
+}
+
 // Sharded spreads timers across several independent Runtimes, one per
 // shard, reflecting the symmetric-multiprocessing observation of
 // Appendix A.2: Scheme 2's single ordered list serializes all processors
@@ -12,8 +21,13 @@ import (
 // implementation in symmetric multiprocessors" — each shard owns its own
 // wheel and lock, so concurrent StartTimer calls rarely contend.
 type Sharded struct {
-	shards []*Runtime
-	next   atomic.Uint64
+	shards []shardSlot
+	// next is the round-robin cursor: the one write-hot word every
+	// scheduling goroutine touches. Padding on both sides keeps it off
+	// the (read-only, but constantly loaded) slice header's line.
+	_    [64]byte
+	next atomic.Uint64
+	_    [64]byte
 }
 
 // NewSharded starts n independent runtimes (n >= 1), each configured by
@@ -22,9 +36,9 @@ func NewSharded(n int, opts ...RuntimeOption) *Sharded {
 	if n < 1 {
 		n = 1
 	}
-	s := &Sharded{shards: make([]*Runtime, n)}
+	s := &Sharded{shards: make([]shardSlot, n)}
 	for i := range s.shards {
-		s.shards[i] = NewRuntime(opts...)
+		s.shards[i].rt = NewRuntime(opts...)
 	}
 	return s
 }
@@ -35,7 +49,7 @@ func (s *Sharded) Shards() int { return len(s.shards) }
 // pick selects a shard round-robin.
 func (s *Sharded) pick() *Runtime {
 	i := s.next.Add(1) - 1
-	return s.shards[i%uint64(len(s.shards))]
+	return s.shards[i%uint64(len(s.shards))].rt
 }
 
 // AfterFunc schedules fn on some shard, d from now.
@@ -66,7 +80,7 @@ func (s *Sharded) shardFor(key uint64) *Runtime {
 	x ^= x >> 27
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
-	return s.shards[x%uint64(len(s.shards))]
+	return s.shards[x%uint64(len(s.shards))].rt
 }
 
 // Every schedules fn periodically on some shard.
@@ -77,16 +91,16 @@ func (s *Sharded) Every(period time.Duration, fn func()) (*Ticker, error) {
 // Outstanding reports pending timers across all shards.
 func (s *Sharded) Outstanding() int {
 	total := 0
-	for _, rt := range s.shards {
-		total += rt.Outstanding()
+	for i := range s.shards {
+		total += s.shards[i].rt.Outstanding()
 	}
 	return total
 }
 
 // Stats aggregates lifetime counters across all shards.
 func (s *Sharded) Stats() (started, expired, stopped uint64) {
-	for _, rt := range s.shards {
-		b, e, x := rt.Stats()
+	for i := range s.shards {
+		b, e, x := s.shards[i].rt.Stats()
 		started += b
 		expired += e
 		stopped += x
@@ -101,11 +115,12 @@ func (s *Sharded) Stats() (started, expired, stopped uint64) {
 // not distinct host events.
 func (s *Sharded) Health() Health {
 	var h Health
-	for _, rt := range s.shards {
-		sh := rt.Health()
+	for i := range s.shards {
+		sh := s.shards[i].rt.Health()
 		h.PanicsRecovered += sh.PanicsRecovered
 		h.SlowCallbacks += sh.SlowCallbacks
 		h.ShedExpiries += sh.ShedExpiries
+		h.Delivered += sh.Delivered
 		h.Dispatched += sh.Dispatched
 		h.TicksBehind += sh.TicksBehind
 		h.Anomalies += sh.Anomalies
@@ -122,8 +137,8 @@ func (s *Sharded) Health() Health {
 // stopped, and scheduling calls on any shard afterwards fail with
 // ErrRuntimeClosed.
 func (s *Sharded) Close() error {
-	for _, rt := range s.shards {
-		rt.Close() // Close never fails; it blocks until the shard stops.
+	for i := range s.shards {
+		s.shards[i].rt.Close() // Close never fails; it blocks until the shard stops.
 	}
 	return nil
 }
