@@ -15,12 +15,15 @@ test:
 	$(GO) test ./...
 	$(GO) test -short -race ./...
 
-# The pre-merge gate: static analysis, the full suite under -race, and a
-# one-iteration benchmark smoke so `make bench` can never rot unnoticed
-# (it compiles and enters every benchmark without measuring anything).
+# The pre-merge gate: static analysis, the full suite under -race, a
+# focused overload/shed/drain soak under -race (deterministic virtual
+# time, so it is quick), and a one-iteration benchmark smoke so `make
+# bench` can never rot unnoticed (it compiles and enters every benchmark
+# without measuring anything).
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run Overload -race -short ./timer/ ./internal/schemetest/
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 short:
@@ -30,14 +33,18 @@ race:
 	$(GO) test -race ./...
 
 # Hot-path benchmarks with allocation counts, summarized as JSON at the
-# repo root (BENCH_2.json). Set BENCH_BASELINE to a saved `go test
-# -bench` output file to embed before/after numbers; BENCH_COUNT repeats
-# each benchmark. `make benchall` is the old kitchen-sink run.
+# repo root (BENCH_3.json) and gated against the committed BENCH_2.json:
+# the run fails if AfterFunc+Stop slows down more than 10% or the
+# allocation-free hot path starts allocating. Set BENCH_BASELINE to a
+# saved `go test -bench` output file to embed different before/after
+# numbers; BENCH_COUNT repeats each benchmark. `make benchall` is the old
+# kitchen-sink run.
 BENCH_BASELINE ?=
 BENCH_COUNT ?= 1
 bench:
 	$(GO) run ./cmd/benchjson -count=$(BENCH_COUNT) \
-		$(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE)) -o BENCH_2.json
+		$(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE)) \
+		-compare BENCH_2.json -o BENCH_3.json
 
 benchall:
 	$(GO) test -bench=. -benchmem ./...

@@ -7,11 +7,20 @@
 //
 // Usage:
 //
-//	benchjson [-bench regexp] [-baseline file] [-o out.json] [-count n]
+//	benchjson [-bench regexp] [-baseline file] [-compare BENCH_n.json] [-o out.json] [-count n]
 //
 // The baseline file is plain `go test -bench` output from an earlier
 // commit; its ns/op, B/op, and allocs/op are embedded verbatim under
 // "before" for each benchmark name that also appears in the fresh run.
+//
+// -compare reads a previously committed BENCH_<n>.json and turns the run
+// into a regression gate: the process exits nonzero if any shared
+// benchmark's ns/op exceeds the committed number by more than 10%, or if
+// a benchmark that was allocation-free (0 allocs/op) now allocates.
+// Reference series (names containing "stdlib") are reported but never
+// gate — they measure the standard library, not this repository. When
+// -baseline is not given, the compared report's numbers double as the
+// "before" column of the fresh output.
 package main
 
 import (
@@ -57,6 +66,7 @@ func main() {
 	bench := flag.String("bench", "BenchmarkRuntimeConcurrent|BenchmarkVsStdlib",
 		"benchmark regexp passed to go test -bench")
 	baseline := flag.String("baseline", "", "prior go test -bench output to embed as the before numbers")
+	compare := flag.String("compare", "", "prior BENCH_<n>.json to gate against (>10% ns/op or 0->N allocs/op fails)")
 	out := flag.String("o", "BENCH_2.json", "output JSON path")
 	count := flag.Int("count", 1, "-count passed to go test")
 	pkg := flag.String("pkg", ".", "package to benchmark")
@@ -94,6 +104,14 @@ func main() {
 		}
 	}
 
+	var committed map[string]Metrics
+	if *compare != "" {
+		committed = readReport(*compare)
+		if *baseline == "" {
+			before = committed
+		}
+	}
+
 	for _, r := range fresh {
 		if m, ok := before[r.Name]; ok {
 			mm := m
@@ -116,6 +134,71 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+
+	if committed != nil && !gate(rep.Benchmarks, committed) {
+		os.Exit(1)
+	}
+}
+
+// maxRegression is the ns/op slack the -compare gate allows before
+// calling a benchmark regressed: committed numbers come from a different
+// (possibly loaded) run of the same machine class, so a tolerance is
+// needed, but a hot-path slowdown past 10% is a finding, not noise.
+const maxRegression = 1.10
+
+// readReport loads a committed BENCH_<n>.json and indexes its "after"
+// numbers by benchmark name.
+func readReport(path string) map[string]Metrics {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: compare: %v\n", err)
+		os.Exit(1)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: compare %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	m := make(map[string]Metrics, len(rep.Benchmarks))
+	for _, r := range rep.Benchmarks {
+		m[r.Name] = r.After
+	}
+	return m
+}
+
+// gate checks every fresh benchmark that also appears in the committed
+// report, printing a verdict per line; it reports false if any gated
+// benchmark regressed past maxRegression in ns/op or gained allocations
+// after being allocation-free.
+func gate(fresh []Result, committed map[string]Metrics) bool {
+	ok := true
+	for _, r := range fresh {
+		old, found := committed[r.Name]
+		if !found {
+			continue
+		}
+		if strings.Contains(r.Name, "stdlib") {
+			fmt.Fprintf(os.Stderr, "benchjson: compare %-45s reference only (%.1f -> %.1f ns/op)\n",
+				r.Name, old.NsPerOp, r.After.NsPerOp)
+			continue
+		}
+		verdict := "ok"
+		if old.NsPerOp > 0 && r.After.NsPerOp > old.NsPerOp*maxRegression {
+			verdict = fmt.Sprintf("REGRESSION: %.1f -> %.1f ns/op (+%.1f%%)",
+				old.NsPerOp, r.After.NsPerOp, 100*(r.After.NsPerOp/old.NsPerOp-1))
+			ok = false
+		}
+		if old.AllocsPerOp == 0 && r.After.AllocsPerOp > 0 {
+			verdict = fmt.Sprintf("REGRESSION: hot path now allocates (%d allocs/op, was 0)",
+				r.After.AllocsPerOp)
+			ok = false
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: compare %-45s %s\n", r.Name, verdict)
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "benchjson: hot-path regression gate FAILED")
+	}
+	return ok
 }
 
 // parseBenchOutput extracts benchmark lines from go test output in

@@ -1,6 +1,8 @@
 // Command resilient demonstrates the hardened Runtime: panic isolation,
 // the slow-callback watchdog, overload shedding through bounded async
-// dispatch, and a retry-with-backoff loop built on AfterFunc — the
+// dispatch, priority classes that decide who is shed first (and who
+// never is), a retry-with-backoff loop built on AfterFunc, and a
+// graceful drain that fires in-window timers before shutdown — the
 // failure modes a production timer facility absorbs without stalling
 // its tick path.
 //
@@ -8,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -74,7 +77,28 @@ func main() {
 	fmt.Printf("burst of 32: %d ran, %d shed (capacity: 2 workers + 4 queued)\n",
 		ran.Load(), h.ShedExpiries)
 
-	// 4. Retry with backoff: each failed attempt reschedules itself with
+	// 4. Priority classes: the same overload, but now the work declares
+	// what it is worth. Critical expiries are never shed — if the pool
+	// cannot take one even by evicting weaker work, it runs inline on
+	// the driver — while best-effort work is evicted first, most-overdue
+	// first.
+	fmt.Println("-- priority classes --")
+	var critRan, beRan atomic.Int64
+	for i := 0; i < 8; i++ {
+		must(rt.AfterFunc(5*time.Millisecond, func() { critRan.Add(1) },
+			timer.WithPriority(timer.PriorityCritical)))
+		must(rt.AfterFunc(5*time.Millisecond, func() {
+			time.Sleep(20 * time.Millisecond)
+			beRan.Add(1)
+		}, timer.WithPriority(timer.PriorityBestEffort)))
+	}
+	waitFor(func() bool { return critRan.Load() == 8 })
+	h = rt.Health()
+	fmt.Printf("critical: 8/8 ran, %d shed; best-effort: %d shed so far\n",
+		h.ByClass[timer.PriorityCritical].Shed,
+		h.ByClass[timer.PriorityBestEffort].Shed)
+
+	// 5. Retry with backoff: each failed attempt reschedules itself with
 	// a doubled delay — the retransmission-timer idiom composed with the
 	// hardening above (a panicking attempt would be contained too).
 	fmt.Println("-- retry with backoff --")
@@ -95,6 +119,23 @@ func main() {
 	must(rt.AfterFunc(2*time.Millisecond, attempt))
 	<-succeeded
 
+	// 6. Graceful drain: stop admitting, give outstanding timers a grace
+	// window to fire at their natural deadlines, cancel the rest, and get
+	// an exact account. (Close is simply Drain with zero grace.)
+	fmt.Println("-- graceful drain --")
+	must(rt.AfterFunc(10*time.Millisecond, func() {
+		fmt.Println("in-window timer fired during drain")
+	}))
+	must(rt.AfterFunc(time.Hour, func() {
+		fmt.Println("BUG: timer beyond the window fired")
+	}))
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	report, err := rt.Drain(ctx, timer.DrainWaitUntilDeadline)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s\n", report)
 	fmt.Printf("final health: %s\n", rt.Health())
 }
 

@@ -1,0 +1,136 @@
+package dispatch
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"timingwheels/internal/overload"
+)
+
+// ClassPool is the priority-aware sibling of Pool: submitted items carry
+// an overload.Class and a deadline, the queue is an overload.Rings, and
+// a full queue evicts the weakest, most-overdue waiting item instead of
+// refusing the newcomer outright. Workers drain in strict class order
+// (Critical first), FIFO within a class.
+//
+// Unlike Pool's channel queue, the rings live under the pool mutex with
+// a condition variable waking workers — eviction from the middle of a
+// queue is impossible with a channel. Submission and eviction decisions
+// are made atomically under the lock, so a single-threaded submitter
+// (the timer runtime's driver goroutine) observes fully deterministic
+// shed decisions for a given submission/completion interleaving.
+type ClassPool[T any] struct {
+	mu     sync.Mutex
+	cond   sync.Cond
+	q      *overload.Rings[T]
+	runner func(T, overload.Class)
+	closed bool
+	wg     sync.WaitGroup
+
+	executed atomic.Uint64
+	panics   atomic.Uint64
+}
+
+// NewClass starts a class-aware pool with the given number of workers
+// (clamped to >= 1) and total queue capacity across all classes
+// (clamped to >= 1). Every admitted item is eventually passed to run on
+// some worker goroutine, with the class it was submitted under.
+func NewClass[T any](workers, queue int, run func(T, overload.Class)) *ClassPool[T] {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &ClassPool[T]{q: overload.NewRings[T](queue), runner: run}
+	p.cond.L = &p.mu
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *ClassPool[T]) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for p.q.Len() == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		v, c, ok := p.q.Pop()
+		p.mu.Unlock()
+		if !ok {
+			return // closed and drained
+		}
+		p.run(v, c)
+	}
+}
+
+// run executes one item, isolating panics so a misbehaving task never
+// kills a worker.
+func (p *ClassPool[T]) run(v T, c overload.Class) {
+	defer func() {
+		if recover() != nil {
+			p.panics.Add(1)
+		}
+		p.executed.Add(1)
+	}()
+	p.runner(v, c)
+}
+
+// Submit offers v at the given class and deadline. The return values
+// mirror overload.Rings.Push:
+//
+//   - admitted reports whether v was queued (false on a closed pool, or
+//     when v itself was the weakest candidate — the caller sheds v, or
+//     runs it inline if its class forbids shedding);
+//   - when evicted is true, victim (of victimClass) was displaced to
+//     admit v, and the caller now owns shedding it.
+//
+// Submit never blocks and never runs the item on the caller.
+func (p *ClassPool[T]) Submit(v T, c overload.Class, deadline int64) (admitted bool, victim T, victimClass overload.Class, evicted bool) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return false, victim, 0, false
+	}
+	admitted, victim, victimClass, evicted = p.q.Push(v, c, deadline)
+	if admitted {
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+	return admitted, victim, victimClass, evicted
+}
+
+// Close stops intake, runs every already-queued item to completion, and
+// waits for the workers to exit. Idempotent and safe to call
+// concurrently; every call blocks until the pool is fully drained. Close
+// must not be called from inside a task.
+func (p *ClassPool[T]) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Executed reports how many items workers have finished (including ones
+// that panicked).
+func (p *ClassPool[T]) Executed() uint64 { return p.executed.Load() }
+
+// Panics reports how many items panicked and were recovered.
+func (p *ClassPool[T]) Panics() uint64 { return p.panics.Load() }
+
+// QueueLen reports the number of items waiting for a worker.
+func (p *ClassPool[T]) QueueLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.q.Len()
+}
+
+// QueueCap reports the total queue capacity.
+func (p *ClassPool[T]) QueueCap() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.q.Cap()
+}

@@ -1,0 +1,113 @@
+package dispatch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"timingwheels/internal/overload"
+)
+
+func TestClassPoolRunsEverythingAdmitted(t *testing.T) {
+	var sum atomic.Int64
+	p := NewClass(4, 16, func(v int, _ overload.Class) { sum.Add(int64(v)) })
+	// Later submissions carry later deadlines, so a full queue evicts an
+	// older same-class item to admit the newcomer: the expected sum is
+	// admissions minus evictions.
+	want := int64(0)
+	for i := 1; i <= 100; i++ {
+		admitted, victim, _, evicted := p.Submit(i, overload.Normal, int64(i))
+		if admitted {
+			want += int64(i)
+		}
+		if evicted {
+			want -= int64(victim)
+		}
+	}
+	p.Close()
+	if sum.Load() != want {
+		t.Fatalf("sum=%d want %d", sum.Load(), want)
+	}
+	if p.Executed() == 0 {
+		t.Fatal("nothing executed")
+	}
+}
+
+func TestClassPoolEvictsWeakerWorkWhenFull(t *testing.T) {
+	gate := make(chan struct{})
+	var mu sync.Mutex
+	var ran []int
+	p := NewClass(1, 2, func(v int, _ overload.Class) {
+		<-gate
+		mu.Lock()
+		ran = append(ran, v)
+		mu.Unlock()
+	})
+	defer p.Close()
+	defer close(gate)
+	// Occupy the single worker, then fill the queue with best-effort.
+	p.Submit(0, overload.BestEffort, 0)
+	for !func() bool { return p.QueueLen() == 0 }() {
+		time.Sleep(time.Millisecond)
+	}
+	p.Submit(1, overload.BestEffort, 1)
+	p.Submit(2, overload.BestEffort, 2)
+	// A Critical submission evicts the most overdue best-effort item.
+	admitted, victim, vc, evicted := p.Submit(3, overload.Critical, 3)
+	if !admitted || !evicted || victim != 1 || vc != overload.BestEffort {
+		t.Fatalf("admitted=%v evicted=%v victim=%d class=%v", admitted, evicted, victim, vc)
+	}
+	// A second Critical evicts the remaining best-effort item; a third
+	// finds only Critical queued and is refused.
+	if admitted, _, _, _ := p.Submit(4, overload.Critical, 4); !admitted {
+		t.Fatal("second critical not admitted")
+	}
+	if admitted, _, _, evicted := p.Submit(5, overload.Critical, 5); admitted || evicted {
+		t.Fatalf("third critical: admitted=%v evicted=%v, want refusal", admitted, evicted)
+	}
+}
+
+func TestClassPoolCloseDrainsQueued(t *testing.T) {
+	gate := make(chan struct{})
+	var ran atomic.Int64
+	first := make(chan struct{})
+	var once sync.Once
+	p := NewClass(1, 8, func(v int, _ overload.Class) {
+		once.Do(func() { close(first) })
+		<-gate
+		ran.Add(1)
+	})
+	p.Submit(0, overload.Normal, 0)
+	<-first // worker busy; the rest queue up
+	for i := 1; i <= 4; i++ {
+		if admitted, _, _, _ := p.Submit(i, overload.Normal, int64(i)); !admitted {
+			t.Fatalf("submit %d refused with queue space free", i)
+		}
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(gate)
+	}()
+	p.Close()
+	if ran.Load() != 5 {
+		t.Fatalf("Close returned with %d/5 tasks run", ran.Load())
+	}
+	if admitted, _, _, _ := p.Submit(9, overload.Critical, 9); admitted {
+		t.Fatal("Submit after Close admitted")
+	}
+}
+
+func TestClassPoolPanicIsolated(t *testing.T) {
+	p := NewClass(1, 4, func(v int, _ overload.Class) {
+		if v == 1 {
+			panic("bad task")
+		}
+	})
+	p.Submit(1, overload.Normal, 1)
+	p.Submit(2, overload.Normal, 2)
+	p.Close()
+	if p.Panics() != 1 || p.Executed() != 2 {
+		t.Fatalf("panics=%d executed=%d", p.Panics(), p.Executed())
+	}
+}

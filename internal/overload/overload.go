@@ -1,0 +1,230 @@
+// Package overload implements the degradation policy a timer facility
+// applies when expiry processing cannot keep up with expiries.
+//
+// The paper keeps PER_TICK_BOOKKEEPING O(1) so the facility itself never
+// melts under "timers outstanding in the thousands"; what can melt is
+// EXPIRY_PROCESSING — a bounded dispatch pool fills and something must
+// be dropped. Indiscriminate shed-on-full drops whichever expiry happens
+// to arrive last, which is the worst possible policy for a production
+// service: a connection keep-alive is discarded to protect a metrics
+// flush. This package makes the drop decision explicit and deterministic:
+//
+//   - Expiries carry a Class (Critical / Normal / BestEffort).
+//   - A Rings queue holds waiting expiries in per-class FIFO rings under
+//     one total capacity budget.
+//   - When the budget is exhausted, the victim is the lowest-class,
+//     farthest-past-deadline waiting expiry — never a Critical one. If
+//     the newcomer itself is the weakest candidate, the newcomer is
+//     refused instead of evicting anything.
+//
+// Rings is not safe for concurrent use; the dispatch pool serializes
+// access under its own lock. Eviction is a pure function of the
+// submission/pop sequence, so a replayed trace sheds the identical set —
+// the property the runtime's seeded overload soak asserts.
+package overload
+
+import "fmt"
+
+// Class is an expiry's drop-priority under overload. Higher values are
+// more important. The zero value is BestEffort so that an uninitialized
+// class never silently outranks real traffic.
+type Class uint8
+
+// Priority classes, weakest first.
+const (
+	// BestEffort expiries are shed first and never retried.
+	BestEffort Class = iota
+	// Normal expiries are shed only when no BestEffort work remains to
+	// evict, and are eligible for retry with backoff.
+	Normal
+	// Critical expiries are never shed from the queue: when one cannot
+	// be admitted even by evicting weaker work, the submitter must run
+	// it inline instead.
+	Critical
+	// NumClasses is the number of priority classes.
+	NumClasses = int(Critical) + 1
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case BestEffort:
+		return "best-effort"
+	case Normal:
+		return "normal"
+	case Critical:
+		return "critical"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// entry is one queued expiry: the caller's value plus the deadline used
+// to pick eviction victims (smaller = longer past due = shed first).
+type entry[T any] struct {
+	v        T
+	deadline int64
+}
+
+// ring is a FIFO of entries backed by a circular buffer that grows up to
+// the parent's capacity budget.
+type ring[T any] struct {
+	buf  []entry[T]
+	head int
+	n    int
+}
+
+func (r *ring[T]) push(e entry[T]) {
+	if r.n == len(r.buf) {
+		grown := make([]entry[T], maxInt(4, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = e
+	r.n++
+}
+
+func (r *ring[T]) pop() entry[T] {
+	e := r.buf[r.head]
+	r.buf[r.head] = entry[T]{} // drop the reference for the GC
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return e
+}
+
+// at returns the i-th entry in FIFO order (0 = oldest).
+func (r *ring[T]) at(i int) entry[T] { return r.buf[(r.head+i)%len(r.buf)] }
+
+// removeAt deletes the i-th entry (FIFO order), preserving the order of
+// the rest. O(n) in the ring's length; eviction is the overload slow
+// path, never the admit fast path.
+func (r *ring[T]) removeAt(i int) entry[T] {
+	e := r.at(i)
+	for j := i; j < r.n-1; j++ {
+		r.buf[(r.head+j)%len(r.buf)] = r.buf[(r.head+j+1)%len(r.buf)]
+	}
+	r.buf[(r.head+r.n-1)%len(r.buf)] = entry[T]{}
+	r.n--
+	return e
+}
+
+// Rings is the bounded multi-class queue behind a dispatch pool: one
+// FIFO ring per Class under a single total-capacity budget, with
+// deadline-aware eviction on overflow. The zero value is not usable;
+// construct with NewRings.
+type Rings[T any] struct {
+	rings [NumClasses]ring[T]
+	cap   int
+	n     int
+}
+
+// NewRings returns a queue holding at most capacity entries across all
+// classes (clamped to >= 1).
+func NewRings[T any](capacity int) *Rings[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Rings[T]{cap: capacity}
+}
+
+// Len reports the number of queued entries across all classes.
+func (q *Rings[T]) Len() int { return q.n }
+
+// Cap reports the total capacity budget.
+func (q *Rings[T]) Cap() int { return q.cap }
+
+// LenClass reports the number of queued entries of one class.
+func (q *Rings[T]) LenClass(c Class) int { return q.rings[c].n }
+
+// Push offers v for admission. When the queue is full it applies the
+// shed policy: the victim is the weakest-class, farthest-past-deadline
+// entry among the queued entries and the newcomer (Critical entries are
+// never victims). Exactly one of three things happens:
+//
+//   - admitted, no eviction: pushed == true, evicted == false;
+//   - admitted by evicting a weaker/staler entry: pushed == true,
+//     evicted == true, victim/victimClass identify the dropped entry;
+//   - refused (the newcomer is the weakest candidate, or everything
+//     queued is Critical): pushed == false.
+//
+// Deadlines are compared numerically: a smaller deadline is further in
+// the past, hence a better victim — the expiry that is already latest
+// gains the least from still running.
+func (q *Rings[T]) Push(v T, c Class, deadline int64) (pushed bool, victim T, victimClass Class, evicted bool) {
+	if q.n < q.cap {
+		q.rings[c].push(entry[T]{v: v, deadline: deadline})
+		q.n++
+		return true, victim, 0, false
+	}
+	// Full: find the weakest non-empty class, excluding Critical.
+	vc := Class(0)
+	found := false
+	for cc := BestEffort; cc < Critical; cc++ {
+		if q.rings[cc].n > 0 {
+			vc, found = cc, true
+			break
+		}
+	}
+	if !found || c < vc {
+		// Everything queued outranks the newcomer (or is Critical):
+		// the newcomer is the shed.
+		return false, victim, 0, false
+	}
+	if c == vc {
+		// Same class: the farthest-past-deadline of {queued, newcomer}
+		// goes. Ties refuse the newcomer — no churn for equal claims.
+		min := q.minDeadlineIndex(vc)
+		if deadline <= q.rings[vc].at(min).deadline {
+			return false, victim, 0, false
+		}
+		e := q.rings[vc].removeAt(min)
+		q.rings[c].push(entry[T]{v: v, deadline: deadline})
+		return true, e.v, vc, true
+	}
+	// The newcomer outranks the whole victim class: evict its most
+	// overdue entry unconditionally.
+	e := q.rings[vc].removeAt(q.minDeadlineIndex(vc))
+	q.rings[c].push(entry[T]{v: v, deadline: deadline})
+	return true, e.v, vc, true
+}
+
+// minDeadlineIndex returns the FIFO index of the smallest-deadline entry
+// of class c (first such entry on ties, for determinism). The ring must
+// be non-empty.
+func (q *Rings[T]) minDeadlineIndex(c Class) int {
+	r := &q.rings[c]
+	best := 0
+	for i := 1; i < r.n; i++ {
+		if r.at(i).deadline < r.at(best).deadline {
+			best = i
+		}
+	}
+	return best
+}
+
+// Pop removes and returns the next entry to run: strict priority order
+// (Critical before Normal before BestEffort), FIFO within a class. ok is
+// false when the queue is empty. Strict priority cannot starve forever:
+// the queue is bounded and fed by a tick-paced driver, so weaker classes
+// drain whenever a tick's strong work fits the worker budget.
+func (q *Rings[T]) Pop() (v T, c Class, ok bool) {
+	for cc := Critical; ; cc-- {
+		if q.rings[cc].n > 0 {
+			e := q.rings[cc].pop()
+			q.n--
+			return e.v, cc, true
+		}
+		if cc == BestEffort {
+			return v, 0, false
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,158 @@
+package overload
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPushWithinBudgetAdmits(t *testing.T) {
+	q := NewRings[int](3)
+	for i := 0; i < 3; i++ {
+		pushed, _, _, evicted := q.Push(i, BestEffort, int64(i))
+		if !pushed || evicted {
+			t.Fatalf("push %d: pushed=%v evicted=%v", i, pushed, evicted)
+		}
+	}
+	if q.Len() != 3 || q.LenClass(BestEffort) != 3 {
+		t.Fatalf("Len=%d LenClass=%d", q.Len(), q.LenClass(BestEffort))
+	}
+}
+
+func TestPopStrictPriorityThenFIFO(t *testing.T) {
+	q := NewRings[string](8)
+	q.Push("b1", BestEffort, 1)
+	q.Push("c1", Critical, 2)
+	q.Push("n1", Normal, 3)
+	q.Push("c2", Critical, 4)
+	q.Push("n2", Normal, 5)
+	want := []string{"c1", "c2", "n1", "n2", "b1"}
+	for _, w := range want {
+		v, _, ok := q.Pop()
+		if !ok || v != w {
+			t.Fatalf("Pop=%q ok=%v, want %q", v, ok, w)
+		}
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue reported ok")
+	}
+}
+
+func TestFullQueueEvictsWeakestMostOverdue(t *testing.T) {
+	q := NewRings[string](3)
+	q.Push("b-overdue", BestEffort, 5)
+	q.Push("b-fresh", BestEffort, 100)
+	q.Push("n", Normal, 50)
+	// A Normal newcomer outranks the BestEffort ring: the most overdue
+	// BestEffort entry goes, regardless of the newcomer's deadline.
+	pushed, victim, vc, evicted := q.Push("n2", Normal, 1)
+	if !pushed || !evicted || victim != "b-overdue" || vc != BestEffort {
+		t.Fatalf("pushed=%v evicted=%v victim=%q class=%v", pushed, evicted, victim, vc)
+	}
+}
+
+func TestFullQueueSameClassComparesDeadlines(t *testing.T) {
+	q := NewRings[string](2)
+	q.Push("overdue", Normal, 10)
+	q.Push("fresh", Normal, 90)
+	// Newcomer with a later deadline than the most overdue entry wins
+	// its slot.
+	pushed, victim, _, evicted := q.Push("newcomer", Normal, 40)
+	if !pushed || !evicted || victim != "overdue" {
+		t.Fatalf("pushed=%v evicted=%v victim=%q", pushed, evicted, victim)
+	}
+	// Newcomer more overdue than everything queued is itself refused.
+	pushed, _, _, evicted = q.Push("ancient", Normal, 1)
+	if pushed || evicted {
+		t.Fatalf("ancient newcomer: pushed=%v evicted=%v, want refusal", pushed, evicted)
+	}
+	// Ties refuse the newcomer.
+	pushed, _, _, _ = q.Push("tie", Normal, 40)
+	if pushed {
+		t.Fatal("tie newcomer admitted; want refusal")
+	}
+}
+
+func TestCriticalNeverEvicted(t *testing.T) {
+	q := NewRings[string](2)
+	q.Push("c1", Critical, 1)
+	q.Push("c2", Critical, 2)
+	// Even a Critical newcomer cannot displace queued Critical work.
+	pushed, _, _, evicted := q.Push("c3", Critical, 100)
+	if pushed || evicted {
+		t.Fatalf("critical-on-critical: pushed=%v evicted=%v", pushed, evicted)
+	}
+	// Weaker newcomers are refused outright.
+	pushed, _, _, evicted = q.Push("n", Normal, 100)
+	if pushed || evicted {
+		t.Fatalf("normal vs critical queue: pushed=%v evicted=%v", pushed, evicted)
+	}
+}
+
+func TestLowerClassNewcomerRefused(t *testing.T) {
+	q := NewRings[string](2)
+	q.Push("n1", Normal, 1)
+	q.Push("n2", Normal, 2)
+	pushed, _, _, evicted := q.Push("b", BestEffort, 1000)
+	if pushed || evicted {
+		t.Fatalf("best-effort vs normal queue: pushed=%v evicted=%v", pushed, evicted)
+	}
+}
+
+// TestRingWrapAndGrowth exercises the circular buffer through many
+// interleaved push/pop cycles so head wrapping and growth both happen.
+func TestRingWrapAndGrowth(t *testing.T) {
+	q := NewRings[int](256)
+	next, popped := 0, 0
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 3; i++ {
+			if pushed, _, _, _ := q.Push(next, Normal, int64(next)); !pushed {
+				t.Fatalf("round %d: push refused below capacity", round)
+			}
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			v, _, ok := q.Pop()
+			if !ok || v != popped {
+				t.Fatalf("round %d: Pop=%d ok=%v, want %d (FIFO)", round, v, ok, popped)
+			}
+			popped++
+		}
+	}
+	if q.Len() != next-popped {
+		t.Fatalf("Len=%d, want %d", q.Len(), next-popped)
+	}
+}
+
+// TestDeterministicReplay sheds the identical victim set for a replayed
+// mixed trace — the property the runtime's overload soak depends on.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []string {
+		q := NewRings[int](8)
+		var shed []string
+		rng := uint64(0x5EED)
+		for i := 0; i < 500; i++ {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			c := Class(rng % 3)
+			deadline := int64(rng % 97)
+			pushed, victim, vc, evicted := q.Push(i, c, deadline)
+			if evicted {
+				shed = append(shed, fmt.Sprintf("evict:%d/%v", victim, vc))
+			} else if !pushed {
+				shed = append(shed, fmt.Sprintf("refuse:%d/%v", i, c))
+			}
+			if rng%5 == 0 {
+				q.Pop()
+			}
+		}
+		return shed
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("trace shed nothing; not exercising eviction")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("replayed trace shed a different set:\n%v\n%v", a, b)
+	}
+}

@@ -1,0 +1,144 @@
+package schemetest
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"timingwheels/internal/chaos"
+	"timingwheels/timer"
+)
+
+// TestOverloadSoakUnderChaos runs the runtime's overload machinery over
+// each production-candidate scheme: the async pool's single worker is
+// parked, so a sustained burst load (well past 10x the queue capacity)
+// forces the full shed/evict/retry policy, while the chaos clock injects
+// forward jumps, a stall/resume cycle, a backward step, and one leap past
+// the catch-up budget. At the end the per-class conservation law must
+// hold exactly on every scheme: what was scheduled in each class is
+// precisely what was delivered plus what was shed, Critical shed stays
+// zero, and the global started/delivered/stopped/abandoned ledger
+// balances.
+func TestOverloadSoakUnderChaos(t *testing.T) {
+	rounds := 200
+	if testing.Short() {
+		rounds = 60
+	}
+	schemes := []string{"scheme5", "scheme6", "scheme6-abs", "scheme7", "hybrid"}
+	for _, name := range schemes {
+		factory := factories()[name]
+		if factory == nil {
+			t.Fatalf("unknown scheme %q", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const granularity = 10 * time.Millisecond
+			clk := chaos.NewManual(time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC))
+			rt := timer.NewRuntime(
+				timer.WithScheme(factory()),
+				timer.WithGranularity(granularity),
+				timer.WithNowFunc(clk.Now),
+				timer.WithManualDriver(),
+				timer.WithAsyncDispatch(1, 8),
+				timer.WithShedRetry(1, granularity),
+				// A small catch-up budget so a modest jump is an anomaly:
+				// scheme7's [8,8,8] hierarchy only spans 512 ticks, so the
+				// leap (and the backlog-relative intervals it causes) must
+				// stay well inside that while still exceeding the budget.
+				timer.WithMaxCatchUp(64),
+			)
+
+			// Park the pool worker on a gate so the queue only fills; every
+			// admit/evict decision is then deterministic in submission order.
+			gate := make(chan struct{})
+			running := make(chan struct{})
+			if _, err := rt.AfterFunc(granularity, func() { close(running); <-gate }); err != nil {
+				t.Fatal(err)
+			}
+			clk.Advance(granularity)
+			rt.Poll()
+			<-running
+
+			var scheduled [3]uint64 // by Priority ordinal
+			scheduled[timer.PriorityNormal]++ // the parked plug
+			rng := uint64(0x0DDBA11 + len(name))
+			next := func(n int) int {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return int(rng % uint64(n))
+			}
+			for round := 0; round < rounds; round++ {
+				burst := 6 + next(8) // ~10 timers/tick vs 1 queue drained 0/tick
+				for i := 0; i < burst; i++ {
+					p := timer.Priority(next(3))
+					fn := func() { <-gate }
+					if p == timer.PriorityCritical {
+						fn = func() {} // may run inline on the driver: must not block
+					}
+					d := time.Duration(1+next(5)) * granularity
+					if _, err := rt.AfterFunc(d, fn, timer.WithPriority(p)); err != nil {
+						t.Fatalf("round %d: AfterFunc: %v", round, err)
+					}
+					scheduled[p]++
+				}
+				// Clock chaos on a fixed schedule so every run is identical.
+				switch {
+				case round%31 == 17:
+					clk.Jump(7 * granularity)
+				case round%47 == 23:
+					clk.Stall()
+				case round%47 == 29:
+					clk.Resume()
+				case round == rounds/2:
+					clk.Jump(time.Second) // 100 ticks: past the catch-up budget
+				case round == rounds*3/4:
+					clk.Regress(3 * granularity)
+				}
+				clk.Advance(granularity)
+				rt.Poll()
+			}
+			clk.Resume() // in case the schedule left the clock stalled
+			// Drain the anomaly backlog, outstanding deadlines, and retry
+			// re-arms: the farthest re-arm is ~5 ticks + doubled backoff.
+			for i := 0; i < 128 || rt.Health().TicksBehind > 0; i++ {
+				if i > 100_000 {
+					t.Fatal("catch-up never converged")
+				}
+				clk.Advance(granularity)
+				rt.Poll()
+			}
+			close(gate)
+			rep, err := rt.Drain(context.Background(), timer.DrainFireNow)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Cancelled != 0 {
+				t.Fatalf("FireNow drain cancelled %d timers", rep.Cancelled)
+			}
+
+			h := rt.Health()
+			if h.ByClass[timer.PriorityCritical].Shed != 0 {
+				t.Fatalf("%d critical expiries shed under overload", h.ByClass[timer.PriorityCritical].Shed)
+			}
+			for p := timer.PriorityBestEffort; p <= timer.PriorityCritical; p++ {
+				got := h.ByClass[p].Delivered + h.ByClass[p].Shed
+				if got != scheduled[p] {
+					t.Fatalf("class %s: delivered(%d)+shed(%d)=%d, scheduled=%d",
+						p, h.ByClass[p].Delivered, h.ByClass[p].Shed, got, scheduled[p])
+				}
+			}
+			if h.ByClass[timer.PriorityBestEffort].Shed == 0 {
+				t.Fatal("no best-effort sheds: the soak never saturated the pool")
+			}
+			if h.Anomalies == 0 {
+				t.Fatal("chaos clock injected no observed anomalies")
+			}
+			started, expired, stopped := rt.Stats()
+			if started != expired+stopped+h.AbandonedOnClose {
+				t.Fatalf("conservation broken: started=%d expired=%d stopped=%d abandoned=%d",
+					started, expired, stopped, h.AbandonedOnClose)
+			}
+		})
+	}
+}

@@ -153,6 +153,62 @@ func TestShardedCloseIdempotentAndPostClose(t *testing.T) {
 	}
 }
 
+// TestResetCloseRace hammers Reset against a concurrent Close (satellite
+// of the overload work; run under -race). The losing side must fail
+// cleanly — ErrDraining while the shutdown is in flight, ErrRuntimeClosed
+// after — never panic, deadlock, or corrupt the free list.
+func TestResetCloseRace(t *testing.T) {
+	iters := 50
+	if testing.Short() {
+		iters = 10
+	}
+	for iter := 0; iter < iters; iter++ {
+		rt := NewRuntime(WithGranularity(time.Millisecond))
+		tm, err := rt.AfterFunc(time.Hour, func() {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const resetters = 4
+		errs := make([]error, resetters)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < resetters; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 200; i++ {
+					if _, err := tm.Reset(time.Hour); err != nil {
+						errs[g] = err
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			rt.Close()
+		}()
+		close(start)
+		wg.Wait()
+		for g, err := range errs {
+			if err != nil && !errors.Is(err, ErrRuntimeClosed) && !errors.Is(err, ErrDraining) {
+				t.Fatalf("iter %d goroutine %d: Reset lost the race with %v", iter, g, err)
+			}
+		}
+		// Terminal state: Reset must now fail with the closed error, and
+		// Stop must report false (the timer will never fire).
+		if _, err := tm.Reset(time.Second); !errors.Is(err, ErrRuntimeClosed) {
+			t.Fatalf("iter %d: Reset after Close: %v", iter, err)
+		}
+		if tm.Stop() {
+			t.Fatalf("iter %d: Stop after Close reported true", iter)
+		}
+	}
+}
+
 func TestTickerStopAfterClose(t *testing.T) {
 	rt, _ := newManualRuntime(t)
 	tk, err := rt.Every(10*time.Millisecond, func() {})

@@ -3,6 +3,8 @@ package timer
 import (
 	"fmt"
 	"time"
+
+	"timingwheels/internal/overload"
 )
 
 // DefaultMaxCatchUp is the per-Poll catch-up budget, in ticks, unless
@@ -55,6 +57,19 @@ type Anomaly struct {
 	Wall time.Time
 }
 
+// ClassHealth is the per-priority-class slice of the overload counters.
+type ClassHealth struct {
+	// Delivered counts expiry actions of this class that ran to
+	// completion (plus After sends performed).
+	Delivered uint64
+	// Shed counts expiry actions of this class definitively dropped
+	// under overload (after exhausting retries, if configured).
+	Shed uint64
+	// Retried counts shed-retry re-arms consumed by this class (only
+	// PriorityNormal retries; see WithShedRetry).
+	Retried uint64
+}
+
 // Health is a point-in-time snapshot of the runtime's hardening state —
 // the counters a production service exports to decide whether its timer
 // facility is keeping up.
@@ -66,12 +81,22 @@ type Health struct {
 	// callback budget (0 unless WithCallbackBudget is set).
 	SlowCallbacks uint64
 	// ShedExpiries counts expiry actions dropped because the async
-	// dispatch queue was full (0 unless WithAsyncDispatch is set).
+	// dispatch queue was full (0 unless WithAsyncDispatch is set),
+	// summed across priority classes; ByClass has the split.
 	ShedExpiries uint64
 	// Delivered counts expiry actions that actually ran to completion
 	// (including ones that panicked and were recovered) plus After sends
-	// performed. Stats' expired = Delivered + ShedExpiries.
+	// performed, summed across priority classes. Stats' expired =
+	// Delivered + ShedExpiries.
 	Delivered uint64
+	// Retried counts shed expiry actions re-armed for another attempt
+	// (0 unless WithShedRetry is set), summed across classes.
+	Retried uint64
+	// AbandonedOnClose counts timers that were still outstanding when
+	// Close (or a Drain policy) cancelled them: they never fired and
+	// never will. With it, started == Delivered + ShedExpiries + stopped
+	// + Outstanding() + AbandonedOnClose always balances.
+	AbandonedOnClose uint64
 	// Dispatched counts expiry actions handed to the async worker pool.
 	Dispatched uint64
 	// TicksBehind is how many wall ticks the facility still has to catch
@@ -83,14 +108,18 @@ type Health struct {
 	// LastAnomaly is the most recent anomaly (Kind == AnomalyNone if
 	// there has never been one).
 	LastAnomaly Anomaly
+	// ByClass splits Delivered/Shed/Retried per priority class, indexed
+	// by Priority (ByClass[PriorityCritical] etc.).
+	ByClass [numPriorities]ClassHealth
 }
 
 // String summarizes the snapshot.
 func (h Health) String() string {
 	return fmt.Sprintf(
-		"panics=%d slow=%d shed=%d delivered=%d dispatched=%d behind=%d anomalies=%d last=%s",
+		"panics=%d slow=%d shed=%d delivered=%d retried=%d abandoned=%d dispatched=%d behind=%d anomalies=%d last=%s",
 		h.PanicsRecovered, h.SlowCallbacks, h.ShedExpiries, h.Delivered,
-		h.Dispatched, h.TicksBehind, h.Anomalies, h.LastAnomaly.Kind)
+		h.Retried, h.AbandonedOnClose, h.Dispatched, h.TicksBehind,
+		h.Anomalies, h.LastAnomaly.Kind)
 }
 
 // WithPanicHandler installs fn to observe the value recovered from a
@@ -118,10 +147,14 @@ func WithSlowCallbackHandler(fn func(elapsed time.Duration)) RuntimeOption {
 }
 
 // WithAsyncDispatch moves expiry actions off the driver goroutine onto a
-// bounded pool of workers behind a queue of the given capacity. The
-// driver never blocks on a slow callback; when the queue is full the
-// action is dropped and counted in Health().ShedExpiries — explicit
-// overload shedding, in place of unbounded buffering or tick stalls.
+// bounded pool of workers behind a class-aware queue of the given total
+// capacity (clamped to >= 1). The driver never blocks on a slow
+// callback; when the queue is full the overload policy decides what is
+// dropped: the lowest-priority, farthest-past-deadline waiting action is
+// evicted first (see WithPriority), PriorityCritical actions fall back
+// to inline delivery rather than shed, and shed PriorityNormal actions
+// can retry with backoff (WithShedRetry). Drops are counted in
+// Health().ShedExpiries, split per class in Health().ByClass.
 //
 // Trade-offs: actions may run concurrently with each other and complete
 // out of deadline order across workers; an action must not call Close
@@ -155,16 +188,27 @@ func (rt *Runtime) Health() Health {
 	rt.mu.Lock()
 	last := rt.lastAnomaly
 	rt.mu.Unlock()
-	return Health{
-		PanicsRecovered: rt.panics.Load(),
-		SlowCallbacks:   rt.slow.Load(),
-		ShedExpiries:    rt.shed.Load(),
-		Delivered:       rt.delivered.Load(),
-		Dispatched:      rt.dispatched.Load(),
-		TicksBehind:     rt.behind.Load(),
-		Anomalies:       rt.anomalies.Load(),
-		LastAnomaly:     last,
+	h := Health{
+		PanicsRecovered:  rt.panics.Load(),
+		SlowCallbacks:    rt.slow.Load(),
+		AbandonedOnClose: rt.abandoned.Load(),
+		Dispatched:       rt.dispatched.Load(),
+		TicksBehind:      rt.behind.Load(),
+		Anomalies:        rt.anomalies.Load(),
+		LastAnomaly:      last,
 	}
+	for i := range h.ByClass {
+		c := ClassHealth{
+			Delivered: rt.deliveredC[i].Load(),
+			Shed:      rt.shedC[i].Load(),
+			Retried:   rt.retriedC[i].Load(),
+		}
+		h.ByClass[i] = c
+		h.Delivered += c.Delivered
+		h.ShedExpiries += c.Shed
+		h.Retried += c.Retried
+	}
+	return h
 }
 
 // noteAnomaly records a clock anomaly; callers hold rt.mu.
@@ -176,16 +220,16 @@ func (rt *Runtime) noteAnomaly(a Anomaly) {
 // deliver routes one expired timer's action. After-channel sends run
 // inline on the driver goroutine even under async dispatch: they are
 // non-blocking by construction, so shedding them would only strand the
-// receiver. Callback timers run inline, or go to the worker pool with
-// shed-on-full semantics; the expiry is counted (rt.delivered) when the
-// action has actually run, not when it was queued.
+// receiver. Callback timers run inline, or go to the worker pool under
+// the overload policy; the expiry is counted (per-class delivered) when
+// the action has actually run, not when it was queued.
 func (rt *Runtime) deliver(t *Timer) {
 	if t.ch != nil {
 		select {
 		case t.ch <- rt.now():
 		default: // buffered cap 1; a second send can't happen, but stay non-blocking
 		}
-		rt.delivered.Add(1)
+		rt.deliveredC[t.prio].Add(1)
 		// After timers are runtime-internal — no caller ever holds the
 		// *Timer — so the object recycles immediately.
 		rt.recycleTimer(t)
@@ -193,24 +237,88 @@ func (rt *Runtime) deliver(t *Timer) {
 	}
 	if rt.pool == nil {
 		rt.runCallback(t.fn)
-		rt.delivered.Add(1)
+		rt.deliveredC[t.prio].Add(1)
 		return
 	}
 	// The pool carries the *Timer itself and runs rt.runAsync on it: no
 	// per-dispatch closure. The Timer is NOT recycled after an async run
-	// (the caller may still Reset it), matching the inline path.
-	if rt.pool.TrySubmit(t) {
+	// (the caller may still Reset it), matching the inline path. A full
+	// queue sheds by class: the weakest, most-overdue waiting action is
+	// evicted before the newcomer, and the evicted victim (or the
+	// refused newcomer) goes through shedOrRetry.
+	admitted, victim, _, evicted := rt.pool.Submit(t, t.prio.class(), int64(t.deadline))
+	if admitted {
 		rt.dispatched.Add(1)
-		return
 	}
-	rt.shed.Add(1)
+	if evicted {
+		rt.shedOrRetry(victim)
+	}
+	if !admitted {
+		if t.prio == PriorityCritical {
+			// Critical is never shed: deliver inline on the driver, the
+			// same guarantee After-channel sends have.
+			rt.runCallback(t.fn)
+			rt.deliveredC[t.prio].Add(1)
+			return
+		}
+		rt.shedOrRetry(t)
+	}
+}
+
+// shedOrRetry disposes of one overloaded expiry action: Normal-class
+// actions with retry budget left are re-armed through the facility
+// itself with exponential tick-granular backoff; everything else is
+// definitively shed, counted per class, and reported to the shed
+// handler. Runs only on the driver goroutine.
+func (rt *Runtime) shedOrRetry(t *Timer) {
+	if t.prio == PriorityNormal && rt.retryBudget > 0 && int(t.retries) < rt.retryBudget {
+		if rt.rearmForRetry(t) {
+			rt.retriedC[t.prio].Add(1)
+			return
+		}
+	}
+	rt.shedC[t.prio].Add(1)
+	if rt.shedHandler != nil {
+		info := ShedInfo{ID: t.id, Priority: t.prio, Deadline: t.deadline, Retries: int(t.retries)}
+		safeHook(func() { rt.shedHandler(info) })
+	}
+}
+
+// rearmForRetry schedules the shed timer's next attempt through the
+// facility — the retry timer is an ordinary wheel entry — backing off by
+// retryBackoff << attempts ticks. It reports false when the runtime is
+// draining or closed (the retry is then a final shed).
+func (rt *Runtime) rearmForRetry(t *Timer) bool {
+	shift := t.retries
+	if shift > 16 {
+		shift = 16 // cap the backoff growth well below Tick overflow
+	}
+	backoff := rt.retryBackoff << shift
+	if backoff < 1 {
+		backoff = 1
+	}
+	t.retries++
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed || rt.draining {
+		return false
+	}
+	h, err := rt.startLocked(backoff, t)
+	if err != nil {
+		return false
+	}
+	t.h = h
+	t.id = h.TimerID()
+	t.deadline = rt.fac.Now() + backoff
+	rt.poke()
+	return true
 }
 
 // runAsync is the dispatch pool's fixed runner: one expired callback
 // timer per invocation, counted as delivered once it has run.
-func (rt *Runtime) runAsync(t *Timer) {
+func (rt *Runtime) runAsync(t *Timer, _ overload.Class) {
 	rt.runCallback(t.fn)
-	rt.delivered.Add(1)
+	rt.deliveredC[t.prio].Add(1)
 }
 
 // runCallback executes one expiry action under the recovery barrier and

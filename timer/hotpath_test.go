@@ -39,6 +39,38 @@ func TestScheduleStopAllocFree(t *testing.T) {
 	}
 }
 
+// TestScheduleStopAllocFreeWithPriority pins the same guarantee with the
+// overload machinery engaged: ScheduleOptions are plain values, and the
+// priority rides inside the recycled Timer, so WithPriority adds no
+// allocations to the hot path.
+func TestScheduleStopAllocFreeWithPriority(t *testing.T) {
+	rt, _ := newManualRuntime(t)
+	for i := 0; i < 64; i++ {
+		tm, err := rt.AfterFunc(time.Second, noopAction, WithPriority(PriorityCritical))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tm.Stop() {
+			t.Fatal("warmup Stop failed")
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		tm, err := rt.AfterFunc(time.Second, noopAction, WithPriority(PriorityCritical))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tm.Priority() != PriorityCritical {
+			t.Fatal("priority not carried")
+		}
+		if !tm.Stop() {
+			t.Fatal("Stop failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AfterFunc(WithPriority)+Stop allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
 // TestPollAllocFreeWhenIdle verifies the fired-buffer reuse: polls after
 // warmup allocate nothing, whether or not timers fire (the fired Timer
 // objects themselves are owned by the caller and excluded — only the
@@ -192,10 +224,16 @@ func TestTickerSkipsOverrunPeriods(t *testing.T) {
 	}
 }
 
-// TestStatsInvariantUnderShedding is the satellite-b regression: with a
-// saturated one-worker pool, expired must count what actually finished
-// (delivered + shed), so started == expired + stopped + outstanding
-// holds at quiescence instead of double-counting shed actions.
+// TestStatsInvariantUnderShedding is the satellite-b regression (PR 2),
+// extended for drain accounting: with a saturated one-worker pool,
+// expired must count what actually finished (delivered + shed), and a
+// timer still outstanding at Close is counted in AbandonedOnClose —
+// never silently lost — so
+//
+//	started == expired + stopped + outstanding + abandoned
+//
+// holds at quiescence instead of double-counting shed actions or
+// leaking the abandoned one.
 func TestStatsInvariantUnderShedding(t *testing.T) {
 	rt, fc := newManualRuntime(t, WithAsyncDispatch(1, 1))
 	gate := make(chan struct{})
@@ -205,7 +243,7 @@ func TestStatsInvariantUnderShedding(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Two long timers: one stopped, one left outstanding.
+	// Two long timers: one stopped, one left to be abandoned at Close.
 	longA, err := rt.AfterFunc(time.Hour, noopAction)
 	if err != nil {
 		t.Fatal(err)
@@ -224,20 +262,35 @@ func TestStatsInvariantUnderShedding(t *testing.T) {
 	if h.ShedExpiries == 0 {
 		t.Fatalf("expected shedding with 1 worker / queue 1: %s", h)
 	}
+	if h.AbandonedOnClose != 0 {
+		t.Fatalf("abandoned=%d before Close", h.AbandonedOnClose)
+	}
 	close(gate)
 	rt.Close() // drains the pool: every dispatched action has now run
 	started, expired, stopped := rt.Stats()
 	outstanding := uint64(rt.Outstanding())
-	if started != expired+stopped+outstanding {
-		t.Fatalf("invariant broken: started=%d expired=%d stopped=%d outstanding=%d",
-			started, expired, stopped, outstanding)
-	}
 	h = rt.Health()
+	if started != expired+stopped+outstanding+h.AbandonedOnClose {
+		t.Fatalf("invariant broken: started=%d expired=%d stopped=%d outstanding=%d abandoned=%d",
+			started, expired, stopped, outstanding, h.AbandonedOnClose)
+	}
+	if h.AbandonedOnClose != 1 {
+		t.Fatalf("abandoned=%d, want 1 (the un-stopped hour timer)", h.AbandonedOnClose)
+	}
+	if outstanding != 0 {
+		t.Fatalf("outstanding=%d on a closed runtime, want 0", outstanding)
+	}
 	if expired != h.Delivered+h.ShedExpiries {
 		t.Fatalf("expired=%d != delivered=%d + shed=%d", expired, h.Delivered, h.ShedExpiries)
 	}
 	if h.Delivered+h.ShedExpiries != 5 {
 		t.Fatalf("delivered=%d shed=%d, want 5 total", h.Delivered, h.ShedExpiries)
+	}
+	// The per-class split must sum to the totals (everything here was
+	// default PriorityNormal).
+	nc := h.ByClass[PriorityNormal]
+	if nc.Delivered != h.Delivered || nc.Shed != h.ShedExpiries {
+		t.Fatalf("ByClass[normal]=%+v, want the whole delivered/shed total", nc)
 	}
 }
 

@@ -1,0 +1,120 @@
+package timer
+
+import (
+	"fmt"
+	"time"
+
+	"timingwheels/internal/overload"
+)
+
+// Priority is a timer's drop-priority under overload: when the async
+// dispatch queue is full, lower-priority expiries are shed to protect
+// higher-priority ones. Priorities only matter with WithAsyncDispatch —
+// inline delivery never sheds — but they are carried (and counted in
+// Health().ByClass) either way.
+type Priority uint8
+
+// Priority classes, weakest first. The ordinals are defined directly on
+// internal/overload.Class, so the two lattices cannot drift.
+const (
+	// PriorityBestEffort timers are shed first under overload and are
+	// never retried: cache refreshes, sampling, speculative work.
+	PriorityBestEffort Priority = Priority(overload.BestEffort)
+	// PriorityNormal is the default: shed only after all queued
+	// best-effort work, and eligible for retry with backoff
+	// (WithShedRetry).
+	PriorityNormal Priority = Priority(overload.Normal)
+	// PriorityCritical timers are never shed. When the dispatch queue
+	// cannot admit one even by evicting weaker work, the expiry action
+	// runs inline on the driver goroutine — the same guarantee After's
+	// channel sends have always had.
+	PriorityCritical Priority = Priority(overload.Critical)
+
+	// numPriorities sizes the per-class counter arrays.
+	numPriorities = int(overload.NumClasses)
+)
+
+// String returns the priority's name.
+func (p Priority) String() string {
+	switch p {
+	case PriorityBestEffort:
+		return "best-effort"
+	case PriorityNormal:
+		return "normal"
+	case PriorityCritical:
+		return "critical"
+	default:
+		return fmt.Sprintf("priority(%d)", uint8(p))
+	}
+}
+
+// class converts to the dispatch pool's class type.
+func (p Priority) class() overload.Class { return overload.Class(p) }
+
+// ScheduleOption configures one schedule call (AfterFunc, Schedule,
+// After, Every). Options are plain values, not closures, so passing them
+// on the hot path allocates nothing.
+type ScheduleOption struct {
+	prio    Priority
+	hasPrio bool
+}
+
+// WithPriority assigns the timer's overload priority (default
+// PriorityNormal). A Ticker started with a priority applies it to every
+// firing; Reset preserves the priority given at schedule time.
+func WithPriority(p Priority) ScheduleOption {
+	if p > PriorityCritical {
+		p = PriorityCritical
+	}
+	return ScheduleOption{prio: p, hasPrio: true}
+}
+
+// ShedInfo identifies one expiry action that was dropped under overload,
+// delivered to the WithShedHandler callback after every retry (if any)
+// has been exhausted.
+type ShedInfo struct {
+	// ID is the facility identity the timer held when it was shed. IDs
+	// are never reused, so the value pins exactly which scheduled expiry
+	// was lost (a retried timer is re-armed under a fresh ID; the last
+	// one is reported).
+	ID ID
+	// Priority is the timer's class.
+	Priority Priority
+	// Deadline is the virtual-time tick the dropped firing was due at.
+	Deadline Tick
+	// Retries is how many retry re-arms the action consumed before the
+	// final drop (0 when retries are disabled or the class is not
+	// retryable).
+	Retries int
+}
+
+// WithShedRetry arms bounded retry with backoff for shed Normal-class
+// expiries: instead of being dropped, a shed action is re-armed through
+// the timer facility itself to fire again backoff later (tick-granular,
+// doubling per attempt), up to budget re-arms. Only PriorityNormal
+// retries: Critical never sheds, and BestEffort is defined as
+// non-retryable. After the budget is exhausted the action is dropped and
+// the WithShedHandler callback (if any) fires.
+//
+// A retried timer is outstanding again while it waits: Stats' started
+// count is not re-incremented, so the conservation invariant
+// started == delivered + shed + stopped + outstanding + abandoned is
+// unaffected by retries.
+func WithShedRetry(budget int, backoff time.Duration) RuntimeOption {
+	return func(c *runtimeConfig) {
+		if budget < 0 {
+			budget = 0
+		}
+		c.retryBudget = budget
+		c.retryBackoff = backoff
+	}
+}
+
+// WithShedHandler installs fn to observe every expiry action that was
+// definitively dropped under overload — after retries, if WithShedRetry
+// is configured. The handler runs on the driver goroutine; it must be
+// fast and must not schedule timers on the same runtime's lock path. A
+// panic inside the handler is swallowed.
+func WithShedHandler(fn func(ShedInfo)) RuntimeOption {
+	return func(c *runtimeConfig) { c.shedHandler = fn }
+}

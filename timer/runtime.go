@@ -1,6 +1,7 @@
 package timer
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,11 @@ type runtimeConfig struct {
 	asyncWorkers int
 	asyncQueue   int
 	maxCatchUp   Tick
+
+	// Overload-degradation knobs; see priority.go.
+	retryBudget  int
+	retryBackoff time.Duration
+	shedHandler  func(ShedInfo)
 }
 
 // WithGranularity sets the tick length (default 10ms). Finer granularity
@@ -90,10 +96,18 @@ type Runtime struct {
 	ps     core.PayloadStarter // non-nil when fac supports the zero-alloc fast path
 	ids    core.IDStopper      // non-nil iff ps is non-nil
 	onFire core.PayloadCallback
-	wall   *clock.Wall
-	guard  *clock.Guard // anomaly watch over the wall tick stream
-	now    func() time.Time
-	closed bool
+	wall  *clock.Wall
+	guard *clock.Guard // anomaly watch over the wall tick stream
+	now   func() time.Time
+
+	// Shutdown state, guarded by mu. draining means Drain has begun and
+	// new admissions fail with ErrDraining while outstanding timers are
+	// disposed of; closed means the runtime is fully stopped.
+	// doneClosing is non-nil once a Drain/Close has claimed the
+	// shutdown, and is closed when the runtime is fully stopped.
+	draining    bool
+	closed      bool
+	doneClosing chan struct{}
 
 	fired   []*Timer // collected during tick, run after unlock
 	stopCh  chan struct{}
@@ -113,15 +127,23 @@ type Runtime struct {
 	panicHandler func(recovered any)
 	budget       time.Duration
 	slowHandler  func(elapsed time.Duration)
-	pool         *dispatch.Pool[*Timer] // nil unless WithAsyncDispatch
-	maxCatchUp   Tick                   // per-poll advance cap; <= 0 means unbounded
+	pool         *dispatch.ClassPool[*Timer] // nil unless WithAsyncDispatch
+	maxCatchUp   Tick                        // per-poll advance cap; <= 0 means unbounded
+
+	// Overload-degradation configuration (immutable after NewRuntime).
+	retryBudget  int
+	retryBackoff Tick // base retry backoff, in ticks
+	shedHandler  func(ShedInfo)
 
 	// Health counters. The atomics are written outside rt.mu (callbacks,
-	// pool workers); lastAnomaly is guarded by rt.mu.
+	// pool workers); lastAnomaly is guarded by rt.mu. Delivered, shed,
+	// and retried expiries are counted per priority class.
 	panics      atomic.Uint64
 	slow        atomic.Uint64
-	delivered   atomic.Uint64
-	shed        atomic.Uint64
+	deliveredC  [numPriorities]atomic.Uint64
+	shedC       [numPriorities]atomic.Uint64
+	retriedC    [numPriorities]atomic.Uint64
+	abandoned   atomic.Uint64
 	dispatched  atomic.Uint64
 	behind      atomic.Int64
 	anomalies   atomic.Uint64
@@ -144,6 +166,11 @@ type Timer struct {
 	ch chan time.Time // After-style delivery; nil for fn timers
 	// deadline is the tick at which the timer fires.
 	deadline Tick
+	// prio is the timer's overload class (see WithPriority); retries
+	// counts shed-retry re-arms consumed (see WithShedRetry). Both are
+	// written at schedule time and read only on the driver goroutine.
+	prio    Priority
+	retries uint8
 	// free links recycled Timers on the runtime's free list.
 	free *Timer
 }
@@ -187,9 +214,14 @@ func NewRuntime(opts ...RuntimeOption) *Runtime {
 		}
 	}
 	if cfg.asyncWorkers > 0 {
-		rt.pool = dispatch.New(cfg.asyncWorkers, cfg.asyncQueue, rt.runAsync)
+		rt.pool = dispatch.NewClass(cfg.asyncWorkers, cfg.asyncQueue, rt.runAsync)
 	}
 	rt.wall = clock.NewWall(rt.now(), cfg.granularity)
+	rt.retryBudget = cfg.retryBudget
+	rt.shedHandler = cfg.shedHandler
+	if cfg.retryBudget > 0 {
+		rt.retryBackoff = Tick(rt.wall.TicksFor(cfg.retryBackoff))
+	}
 	rt.guard = clock.NewGuard(rt.wall)
 	switch {
 	case cfg.manual:
@@ -347,24 +379,25 @@ func (rt *Runtime) Poll() int {
 }
 
 // AfterFunc schedules fn to run once, d from now (rounded up to a whole
-// tick, minimum one tick). The returned Timer can be stopped.
-func (rt *Runtime) AfterFunc(d time.Duration, fn func()) (*Timer, error) {
+// tick, minimum one tick). The returned Timer can be stopped. Options
+// (e.g. WithPriority) tune how the expiry behaves under overload.
+func (rt *Runtime) AfterFunc(d time.Duration, fn func(), opts ...ScheduleOption) (*Timer, error) {
 	if fn == nil {
 		return nil, ErrNilCallback
 	}
-	return rt.schedule(rt.wall.TicksFor(d), fn, nil)
+	return rt.schedule(rt.wall.TicksFor(d), fn, nil, opts)
 }
 
 // Schedule schedules fn to run once after the given number of whole
 // ticks (minimum one).
-func (rt *Runtime) Schedule(ticks Tick, fn func()) (*Timer, error) {
+func (rt *Runtime) Schedule(ticks Tick, fn func(), opts ...ScheduleOption) (*Timer, error) {
 	if fn == nil {
 		return nil, ErrNilCallback
 	}
 	if ticks < 1 {
 		ticks = 1
 	}
-	return rt.schedule(int64(ticks), fn, nil)
+	return rt.schedule(int64(ticks), fn, nil, opts)
 }
 
 // stretch compensates a start interval for a facility whose virtual time
@@ -405,16 +438,26 @@ func (rt *Runtime) stopLocked(h Handle, id core.ID) error {
 	return rt.fac.StopTimer(h)
 }
 
-func (rt *Runtime) schedule(ticks int64, fn func(), ch chan time.Time) (*Timer, error) {
+func (rt *Runtime) schedule(ticks int64, fn func(), ch chan time.Time, opts []ScheduleOption) (*Timer, error) {
 	// Clock reads and the free-list pop stay outside rt.mu.
 	wallTicks := rt.wall.TicksAt(rt.now())
 	t := rt.acquireTimer()
 	t.fn, t.ch = fn, ch
+	t.prio, t.retries = PriorityNormal, 0
+	for _, o := range opts {
+		if o.hasPrio {
+			t.prio = o.prio
+		}
+	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	if rt.closed {
+	if rt.closed || rt.draining {
+		err := ErrRuntimeClosed
+		if !rt.closed {
+			err = ErrDraining
+		}
 		rt.recycleTimer(t)
-		return nil, ErrRuntimeClosed
+		return nil, err
 	}
 	ticks = rt.stretch(ticks, wallTicks)
 	h, err := rt.startLocked(Tick(ticks), t)
@@ -434,9 +477,9 @@ func (rt *Runtime) schedule(ticks int64, fn func(), ch chan time.Time) (*Timer, 
 // the time.After analogue. The send is performed inline on the driver
 // goroutine (it is non-blocking by construction), so it is never shed by
 // WithAsyncDispatch and a waiting receiver is never stranded.
-func (rt *Runtime) After(d time.Duration) (<-chan time.Time, error) {
+func (rt *Runtime) After(d time.Duration, opts ...ScheduleOption) (<-chan time.Time, error) {
 	ch := make(chan time.Time, 1)
-	_, err := rt.schedule(rt.wall.TicksFor(d), nil, ch)
+	_, err := rt.schedule(rt.wall.TicksFor(d), nil, ch, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -487,6 +530,11 @@ func (t *Timer) Reset(d time.Duration) (wasPending bool, err error) {
 	if rt.closed {
 		return false, ErrRuntimeClosed
 	}
+	if rt.draining {
+		// A draining runtime admits nothing new; the timer keeps its
+		// current deadline and is disposed of by the drain policy.
+		return false, ErrDraining
+	}
 	wasPending = rt.stopLocked(t.h, t.id) == nil
 	if wasPending {
 		rt.stopped++
@@ -500,49 +548,57 @@ func (t *Timer) Reset(d time.Duration) (wasPending bool, err error) {
 	t.h = h
 	t.id = h.TimerID()
 	t.deadline = rt.fac.Now() + Tick(ticks)
+	t.retries = 0 // a re-armed timer gets a fresh retry budget
 	rt.poke()
 	return wasPending, nil
 }
 
-// Outstanding reports the number of pending timers.
+// Priority reports the timer's overload class.
+func (t *Timer) Priority() Priority { return t.prio }
+
+// Outstanding reports the number of pending timers. On a closed runtime
+// it reports zero: timers still in the facility at close were cancelled
+// and are accounted in Health().AbandonedOnClose (or fired by the drain
+// policy), not outstanding.
 func (rt *Runtime) Outstanding() int {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	if rt.closed {
+		return 0
+	}
 	return rt.fac.Len()
 }
 
 // Stats reports lifetime counters: timers started, expired, and stopped.
 // expired counts finished expiries — actions that actually ran (or, for
-// After, sends that were delivered) plus actions shed by a full async
-// dispatch queue (Health separates the two; expired = Delivered +
-// ShedExpiries). An action handed to the async pool but not yet executed
-// is in neither bucket, so at quiescence the invariant
+// After, sends that were delivered) plus actions definitively shed under
+// overload (Health separates the two; expired = Delivered +
+// ShedExpiries). An action handed to the async pool but not yet
+// executed, or re-armed for a shed retry, is in neither bucket, so at
+// quiescence the invariant
 //
-//	started == expired + stopped + Outstanding()
+//	started == expired + stopped + Outstanding() + AbandonedOnClose
 //
-// holds exactly.
+// holds exactly (the last term is zero until Close/Drain).
 func (rt *Runtime) Stats() (started, expired, stopped uint64) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	return rt.started, rt.delivered.Load() + rt.shed.Load(), rt.stopped
+	return rt.started, rt.deliveredTotal() + rt.shedTotal(), rt.stopped
 }
 
-// Close shuts the runtime down. Pending timers never fire; subsequent
-// scheduling calls fail with ErrRuntimeClosed. Close blocks until the
-// ticking goroutine exits and — with WithAsyncDispatch — until every
-// already-queued expiry action has run; it is idempotent and safe to
-// call concurrently. Close must not be called from inside an expiry
-// action: the driver (or, async, the pool) would wait on itself.
+// Close shuts the runtime down: Drain with the zero-grace DrainCancelAll
+// policy. Pending timers never fire — they are counted in
+// Health().AbandonedOnClose — and subsequent scheduling calls fail with
+// ErrRuntimeClosed. Close blocks until the ticking goroutine exits and —
+// with WithAsyncDispatch — until every already-queued expiry action has
+// run; it is idempotent and safe to call concurrently (every call blocks
+// until the runtime is fully stopped, including a Drain already in
+// flight). Close must not be called from inside an expiry action: the
+// driver (or, async, the pool) would wait on itself.
 func (rt *Runtime) Close() error {
-	rt.mu.Lock()
-	if !rt.closed {
-		rt.closed = true
-		close(rt.stopCh)
-	}
-	rt.mu.Unlock()
-	<-rt.doneCh
-	if rt.pool != nil {
-		rt.pool.Close() // idempotent; drains queued expiry actions
-	}
+	// Drain reports ErrRuntimeClosed/ErrDraining when another shutdown
+	// won the race; it has already waited for that shutdown to finish,
+	// which is all Close promises.
+	_, _ = rt.Drain(context.Background(), DrainCancelAll)
 	return nil
 }

@@ -1,6 +1,8 @@
 package timer
 
 import (
+	"context"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -52,9 +54,10 @@ func (s *Sharded) pick() *Runtime {
 	return s.shards[i%uint64(len(s.shards))].rt
 }
 
-// AfterFunc schedules fn on some shard, d from now.
-func (s *Sharded) AfterFunc(d time.Duration, fn func()) (*Timer, error) {
-	return s.pick().AfterFunc(d, fn)
+// AfterFunc schedules fn on some shard, d from now. Options (e.g.
+// WithPriority) tune how the expiry behaves under overload.
+func (s *Sharded) AfterFunc(d time.Duration, fn func(), opts ...ScheduleOption) (*Timer, error) {
+	return s.pick().AfterFunc(d, fn, opts...)
 }
 
 // AfterFuncKey schedules fn on the shard owned by key, so all timers of
@@ -62,13 +65,13 @@ func (s *Sharded) AfterFunc(d time.Duration, fn func()) (*Timer, error) {
 // relative to each other — the per-connection affinity a multiprocessor
 // timer service wants (Appendix A.2's per-structure locking, applied at
 // shard granularity).
-func (s *Sharded) AfterFuncKey(key uint64, d time.Duration, fn func()) (*Timer, error) {
-	return s.shardFor(key).AfterFunc(d, fn)
+func (s *Sharded) AfterFuncKey(key uint64, d time.Duration, fn func(), opts ...ScheduleOption) (*Timer, error) {
+	return s.shardFor(key).AfterFunc(d, fn, opts...)
 }
 
 // EveryKey schedules a periodic fn on the shard owned by key.
-func (s *Sharded) EveryKey(key uint64, period time.Duration, fn func()) (*Ticker, error) {
-	return s.shardFor(key).Every(period, fn)
+func (s *Sharded) EveryKey(key uint64, period time.Duration, fn func(), opts ...ScheduleOption) (*Ticker, error) {
+	return s.shardFor(key).Every(period, fn, opts...)
 }
 
 // shardFor maps a key to its owning shard with a splitmix-style mix so
@@ -84,8 +87,8 @@ func (s *Sharded) shardFor(key uint64) *Runtime {
 }
 
 // Every schedules fn periodically on some shard.
-func (s *Sharded) Every(period time.Duration, fn func()) (*Ticker, error) {
-	return s.pick().Every(period, fn)
+func (s *Sharded) Every(period time.Duration, fn func(), opts ...ScheduleOption) (*Ticker, error) {
+	return s.pick().Every(period, fn, opts...)
 }
 
 // Outstanding reports pending timers across all shards.
@@ -116,20 +119,43 @@ func (s *Sharded) Stats() (started, expired, stopped uint64) {
 func (s *Sharded) Health() Health {
 	var h Health
 	for i := range s.shards {
-		sh := s.shards[i].rt.Health()
-		h.PanicsRecovered += sh.PanicsRecovered
-		h.SlowCallbacks += sh.SlowCallbacks
-		h.ShedExpiries += sh.ShedExpiries
-		h.Delivered += sh.Delivered
-		h.Dispatched += sh.Dispatched
-		h.TicksBehind += sh.TicksBehind
-		h.Anomalies += sh.Anomalies
-		if sh.LastAnomaly.Kind != AnomalyNone &&
-			(h.LastAnomaly.Kind == AnomalyNone || sh.LastAnomaly.Wall.After(h.LastAnomaly.Wall)) {
-			h.LastAnomaly = sh.LastAnomaly
-		}
+		addHealth(&h, s.shards[i].rt.Health())
 	}
 	return h
+}
+
+// addHealth accumulates one shard's snapshot into the aggregate.
+func addHealth(h *Health, sh Health) {
+	h.PanicsRecovered += sh.PanicsRecovered
+	h.SlowCallbacks += sh.SlowCallbacks
+	h.ShedExpiries += sh.ShedExpiries
+	h.Delivered += sh.Delivered
+	h.Retried += sh.Retried
+	h.AbandonedOnClose += sh.AbandonedOnClose
+	h.Dispatched += sh.Dispatched
+	h.TicksBehind += sh.TicksBehind
+	h.Anomalies += sh.Anomalies
+	for c := range h.ByClass {
+		h.ByClass[c].Delivered += sh.ByClass[c].Delivered
+		h.ByClass[c].Shed += sh.ByClass[c].Shed
+		h.ByClass[c].Retried += sh.ByClass[c].Retried
+	}
+	if sh.LastAnomaly.Kind != AnomalyNone &&
+		(h.LastAnomaly.Kind == AnomalyNone || sh.LastAnomaly.Wall.After(h.LastAnomaly.Wall)) {
+		h.LastAnomaly = sh.LastAnomaly
+	}
+}
+
+// ShardHealth returns each shard's own Health snapshot, indexed by shard.
+// Health() equals the field-wise sum of these (with LastAnomaly the most
+// recent across shards) — the per-shard view is what reveals a hot shard
+// whose shed or catch-up counters dominate an otherwise healthy sum.
+func (s *Sharded) ShardHealth() []Health {
+	out := make([]Health, len(s.shards))
+	for i := range s.shards {
+		out[i] = s.shards[i].rt.Health()
+	}
+	return out
 }
 
 // Close shuts every shard down. It is idempotent: every call blocks
@@ -141,4 +167,34 @@ func (s *Sharded) Close() error {
 		s.shards[i].rt.Close() // Close never fails; it blocks until the shard stops.
 	}
 	return nil
+}
+
+// Drain gracefully shuts every shard down under the same policy,
+// concurrently — the ctx deadline bounds the whole drain, not each shard
+// in turn. The aggregate report sums each shard's Fired/Shed/Cancelled.
+// The first shard error (ErrDraining/ErrRuntimeClosed from a concurrent
+// shutdown) is returned alongside whatever the other shards reported.
+func (s *Sharded) Drain(ctx context.Context, policy DrainPolicy) (DrainReport, error) {
+	reports := make([]DrainReport, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = s.shards[i].rt.Drain(ctx, policy)
+		}(i)
+	}
+	wg.Wait()
+	agg := DrainReport{Policy: policy}
+	var firstErr error
+	for i := range reports {
+		agg.Fired += reports[i].Fired
+		agg.Shed += reports[i].Shed
+		agg.Cancelled += reports[i].Cancelled
+		if errs[i] != nil && firstErr == nil {
+			firstErr = errs[i]
+		}
+	}
+	return agg, firstErr
 }

@@ -18,6 +18,7 @@ type Ticker struct {
 	rt     *Runtime
 	fn     func()
 	period time.Duration
+	opts   []ScheduleOption // applied to every firing (e.g. WithPriority)
 
 	mu      sync.Mutex
 	pending *Timer
@@ -28,15 +29,15 @@ type Ticker struct {
 
 // Every schedules fn to run every period (rounded up to whole ticks; a
 // non-positive period is clamped to one tick). Stop the returned Ticker
-// to cease.
-func (rt *Runtime) Every(period time.Duration, fn func()) (*Ticker, error) {
+// to cease. Options (e.g. WithPriority) apply to every firing.
+func (rt *Runtime) Every(period time.Duration, fn func(), opts ...ScheduleOption) (*Ticker, error) {
 	if fn == nil {
 		return nil, ErrNilCallback
 	}
 	if period <= 0 {
 		period = rt.Granularity()
 	}
-	tk := &Ticker{rt: rt, fn: fn, period: period}
+	tk := &Ticker{rt: rt, fn: fn, period: period, opts: opts}
 	tk.next = rt.now().Add(period)
 	if err := tk.arm(tk.next); err != nil {
 		return nil, err
@@ -48,7 +49,7 @@ func (rt *Runtime) Every(period time.Duration, fn func()) (*Ticker, error) {
 func (tk *Ticker) arm(deadline time.Time) error {
 	// TicksFor rounds up and clamps to one tick, so a deadline that has
 	// already passed (catch-up in progress) fires on the next tick.
-	t, err := tk.rt.AfterFunc(deadline.Sub(tk.rt.now()), tk.fire)
+	t, err := tk.rt.AfterFunc(deadline.Sub(tk.rt.now()), tk.fire, tk.opts...)
 	if err != nil {
 		return err
 	}

@@ -41,7 +41,21 @@
 // explicit overload shedding (WithAsyncDispatch), and wall-clock jumps
 // and backward steps are detected and drained in bounded batches
 // (WithMaxCatchUp). Health reports the resulting counters; Sharded
-// aggregates them across shards.
+// aggregates them across shards (ShardHealth has the per-shard view).
+//
+// # Overload management
+//
+// Under saturation the Runtime degrades by declared priority rather
+// than by luck. Each schedule call may carry WithPriority — BestEffort
+// work is shed first (most-overdue first), Normal next, and Critical
+// never: a Critical expiry the pool cannot admit runs inline on the
+// driver. Shed Normal-class actions can re-arm themselves through the
+// wheel with doubling backoff (WithShedRetry) before a definitive drop
+// is reported to WithShedHandler. Shutdown is Drain: admission stops
+// (ErrDraining), outstanding timers fire now, fire at their natural
+// deadlines within a grace window, or are cancelled (DrainPolicy), and
+// the DrainReport plus Health().AbandonedOnClose account for every
+// timer exactly. Close is Drain with zero grace.
 package timer
 
 import (
