@@ -44,7 +44,7 @@ BENCH_COUNT ?= 1
 bench:
 	$(GO) run ./cmd/benchjson -count=$(BENCH_COUNT) \
 		$(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE)) \
-		-compare BENCH_2.json -o BENCH_3.json
+		-compare BENCH_3.json -o BENCH_4.json
 
 benchall:
 	$(GO) test -bench=. -benchmem ./...

@@ -398,7 +398,49 @@ func BenchmarkRuntimeConcurrent(b *testing.B) {
 	})
 	b.Run("sharded-4", func(b *testing.B) {
 		s := timer.NewSharded(4, timer.WithGranularity(time.Millisecond),
-			timer.WithScheme(timer.NewHashedWheel(1<<14)))
+			timer.WithSchemeFactory(func() timer.Scheme { return timer.NewHashedWheel(1 << 14) }))
+		defer s.Close()
+		var fired atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				t, err := s.AfterFunc(time.Second, func() { fired.Add(1) })
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				t.Stop()
+			}
+		})
+	})
+}
+
+// BenchmarkRuntimeConcurrentTelemetry repeats the concurrent hot path
+// with the full telemetry layer engaged — histograms always record, and
+// WithTrace adds the flight recorder — so its delta against
+// BenchmarkRuntimeConcurrent is the observable cost of observability,
+// and the benchjson gate keeps it from regressing.
+func BenchmarkRuntimeConcurrentTelemetry(b *testing.B) {
+	b.Run("single-traced", func(b *testing.B) {
+		rt := timer.NewRuntime(timer.WithGranularity(time.Millisecond),
+			timer.WithScheme(timer.NewHashedWheel(1<<14)),
+			timer.WithTrace(4096))
+		defer rt.Close()
+		var fired atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				t, err := rt.AfterFunc(time.Second, func() { fired.Add(1) })
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				t.Stop()
+			}
+		})
+	})
+	b.Run("sharded-4-traced", func(b *testing.B) {
+		s := timer.NewSharded(4, timer.WithGranularity(time.Millisecond),
+			timer.WithSchemeFactory(func() timer.Scheme { return timer.NewHashedWheel(1 << 14) }),
+			timer.WithTrace(4096))
 		defer s.Close()
 		var fired atomic.Int64
 		b.RunParallel(func(pb *testing.PB) {

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"timingwheels/timer"
+	"timingwheels/timer/telemetry"
+)
+
+// liveExposition drives a real runtime and exports it, so the parser is
+// tested against exactly what telemetry.WriteProm produces.
+func liveExposition(t *testing.T) string {
+	t.Helper()
+	rt := timer.NewRuntime(timer.WithGranularity(time.Millisecond))
+	defer rt.Close()
+	done := make(chan struct{}, 32)
+	for i := 0; i < 32; i++ {
+		if _, err := rt.AfterFunc(3*time.Millisecond, func() { done <- struct{}{} }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("demo timers did not fire")
+		}
+	}
+	var sb strings.Builder
+	if err := telemetry.WriteProm(&sb, rt.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestParsePromRoundTrip(t *testing.T) {
+	m, err := parseProm(strings.NewReader(liveExposition(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.scalar("timingwheels_started_total"); got != 32 {
+		t.Fatalf("started_total=%v, want 32", got)
+	}
+	lag := m.hists["timingwheels_firing_lag_seconds"]
+	if lag == nil {
+		t.Fatal("firing lag histogram not parsed")
+	}
+	if lag.count != 32 {
+		t.Fatalf("lag count=%v, want 32", lag.count)
+	}
+	last := lag.buckets[len(lag.buckets)-1]
+	if last.le != inf || last.cum != 32 {
+		t.Fatalf("+Inf bucket = %+v, want le=+Inf cum=32", last)
+	}
+	if q := lag.quantile(0.5); q < 0 || q > 1 {
+		t.Fatalf("p50 lag %v outside [0s, 1s]", q)
+	}
+}
+
+func TestQuantileFromBuckets(t *testing.T) {
+	h := &hist{
+		buckets: []bucket{{le: 1, cum: 10}, {le: 2, cum: 19}, {le: 4, cum: 20}, {le: inf, cum: 20}},
+		count:   20,
+	}
+	if q := h.quantile(0.5); q != 1 {
+		t.Fatalf("p50=%v, want 1 (rank 10 inside first bucket)", q)
+	}
+	if q := h.quantile(0.95); q != 2 {
+		t.Fatalf("p95=%v, want 2", q)
+	}
+	if q := h.quantile(1.0); q != 4 {
+		t.Fatalf("p100=%v, want 4", q)
+	}
+	empty := &hist{}
+	if q := empty.quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile=%v, want 0", q)
+	}
+}
+
+func TestRenderDashboard(t *testing.T) {
+	m, err := parseProm(strings.NewReader(liveExposition(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	render(&sb, m)
+	out := sb.String()
+	for _, want := range []string{
+		"started=32",
+		"delivered=32",
+		"firing_lag_seconds",
+		"tick_batch_size",
+		"wheel",
+		"slots=4096",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParsePromRejectsGarbage(t *testing.T) {
+	if _, err := parseProm(strings.NewReader("not a metric line\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+	bad := "x_bucket{le=\"1\"} 5\nx_bucket{le=\"2\"} 3\n"
+	if _, err := parseProm(strings.NewReader(bad)); err == nil {
+		t.Fatal("decreasing cumulative counts accepted")
+	}
+}

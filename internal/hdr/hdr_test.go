@@ -1,0 +1,232 @@
+package hdr
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"timingwheels/internal/dist"
+)
+
+// refQuantile is the sort-based reference: the smallest value v such
+// that at least ceil(q*n) observations are <= v.
+func refQuantile(sorted []int64, q float64) int64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// maxRelErr is the histogram's quantization bound: one sub-bucket,
+// 1/half of the value.
+const maxRelErr = 1.0 / float64(half)
+
+func checkQuantiles(t *testing.T, s Snapshot, values []int64) {
+	t.Helper()
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		got := s.Quantile(q)
+		want := refQuantile(sorted, q)
+		// The estimate is the bucket upper bound, so it never
+		// undershoots by more than a bucket and never overshoots the
+		// true value by more than the bucket width.
+		lo := want - int64(math.Ceil(float64(want)*maxRelErr)) - 1
+		hi := want + int64(math.Ceil(float64(want)*maxRelErr)) + 1
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%g) = %d, reference %d (allowed [%d, %d])", q, got, want, lo, hi)
+		}
+	}
+}
+
+func TestQuantilesAgainstReferenceSort(t *testing.T) {
+	cases := map[string]func(rng *dist.RNG, i int) int64{
+		"uniform-small": func(rng *dist.RNG, _ int) int64 { return int64(rng.Intn(50)) },
+		"uniform-wide":  func(rng *dist.RNG, _ int) int64 { return int64(rng.Intn(1 << 30)) },
+		"exponentialish": func(rng *dist.RNG, _ int) int64 {
+			return int64(rng.Intn(10)) << uint(rng.Intn(40))
+		},
+		"constant": func(_ *dist.RNG, _ int) int64 { return 123456 },
+		"ramp":     func(_ *dist.RNG, i int) int64 { return int64(i) * 1000 },
+	}
+	for name, gen := range cases {
+		t.Run(name, func(t *testing.T) {
+			rng := dist.NewRNG(1987)
+			h := New()
+			values := make([]int64, 10000)
+			for i := range values {
+				values[i] = gen(rng, i)
+				h.Record(values[i])
+			}
+			s := h.Snapshot()
+			if s.Count != uint64(len(values)) {
+				t.Fatalf("Count=%d want %d", s.Count, len(values))
+			}
+			var sum int64
+			for _, v := range values {
+				sum += v
+			}
+			if s.Sum != sum {
+				t.Fatalf("Sum=%d want %d", s.Sum, sum)
+			}
+			checkQuantiles(t, s, values)
+		})
+	}
+}
+
+func TestExactBelowSubBucketRange(t *testing.T) {
+	// Values below subCount get one bucket each: quantiles are exact.
+	h := New()
+	var values []int64
+	for v := int64(0); v < subCount; v++ {
+		for k := int64(0); k <= v%5; k++ {
+			h.Record(v)
+			values = append(values, v)
+		}
+	}
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		if got, want := s.Quantile(q), refQuantile(sorted, q); got != want {
+			t.Errorf("Quantile(%g) = %d, want exact %d", q, got, want)
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	h := New()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	h.Record(42)
+	s = h.Snapshot()
+	if s.Min != 42 || s.Max != 42 || s.Quantile(0.5) != 42 || s.P999() != 42 {
+		t.Fatalf("single-value snapshot wrong: min=%d max=%d p50=%d", s.Min, s.Max, s.Quantile(0.5))
+	}
+}
+
+func TestNegativeClampsToZero(t *testing.T) {
+	h := New()
+	h.Record(-5)
+	s := h.Snapshot()
+	if s.Min != 0 || s.Max != 0 || s.Count != 1 {
+		t.Fatalf("negative record not clamped: %+v", s)
+	}
+}
+
+func TestExtremeValues(t *testing.T) {
+	h := New()
+	h.Record(math.MaxInt64)
+	h.Record(0)
+	s := h.Snapshot()
+	if s.Max != math.MaxInt64 || s.Min != 0 {
+		t.Fatalf("watermarks: min=%d max=%d", s.Min, s.Max)
+	}
+	if got := s.Quantile(1); got != math.MaxInt64 {
+		t.Fatalf("Quantile(1)=%d", got)
+	}
+}
+
+func TestBucketIndexRoundTrip(t *testing.T) {
+	// Every bucket's upper bound must map back to that bucket, and
+	// bounds must be strictly increasing.
+	prev := int64(-1)
+	for i := 0; i < NumBuckets; i++ {
+		ub := UpperBound(i)
+		if ub <= prev {
+			t.Fatalf("bucket %d upper bound %d not increasing past %d", i, ub, prev)
+		}
+		prev = ub
+		if got := bucketIndex(ub); got != i {
+			t.Fatalf("bucketIndex(UpperBound(%d)) = %d", i, got)
+		}
+	}
+	if got := bucketIndex(math.MaxInt64); got >= NumBuckets {
+		t.Fatalf("MaxInt64 bucket %d out of range %d", got, NumBuckets)
+	}
+}
+
+func TestMergeMatchesCombinedRecording(t *testing.T) {
+	rng := dist.NewRNG(7)
+	a, b, c := New(), New(), New()
+	var values []int64
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.Intn(1 << 20))
+		values = append(values, v)
+		c.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	var merged Snapshot
+	merged.Merge(a.Snapshot())
+	merged.Merge(b.Snapshot())
+	want := c.Snapshot()
+	if merged.Count != want.Count || merged.Sum != want.Sum ||
+		merged.Min != want.Min || merged.Max != want.Max {
+		t.Fatalf("merged %+v != combined %+v", merged.Count, want.Count)
+	}
+	for i := range merged.Counts {
+		if merged.Counts[i] != want.Counts[i] {
+			t.Fatalf("bucket %d: merged %d combined %d", i, merged.Counts[i], want.Counts[i])
+		}
+	}
+	checkQuantiles(t, merged, values)
+	// Merging an empty snapshot is a no-op.
+	before := merged.Count
+	merged.Merge(Snapshot{})
+	if merged.Count != before {
+		t.Fatal("merging empty changed count")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	h := New()
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := dist.NewRNG(uint64(w + 1))
+			for i := 0; i < per; i++ {
+				h.Record(int64(rng.Intn(1 << 16)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("Count=%d want %d", s.Count, workers*per)
+	}
+	var n uint64
+	for _, c := range s.Counts {
+		n += c
+	}
+	if n != s.Count {
+		t.Fatalf("bucket sum %d != count %d", n, s.Count)
+	}
+}
+
+func TestRecordDoesNotAllocate(t *testing.T) {
+	h := New()
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(987654)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -121,6 +121,10 @@ type Scheme7 struct {
 	Migrations uint64
 }
 
+// MigrationCount reports Migrations through the optional gauge interface
+// the timer runtime's Snapshot probes for.
+func (s *Scheme7) MigrationCount() uint64 { return s.Migrations }
+
 // acquire returns a recycled entry (reset to pending) or a fresh one.
 func (s *Scheme7) acquire() *entry {
 	if n := len(s.free); n > 0 {

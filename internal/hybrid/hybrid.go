@@ -85,6 +85,10 @@ type Scheme struct {
 	Migrations uint64
 }
 
+// MigrationCount reports Migrations through the optional gauge interface
+// the timer runtime's Snapshot probes for.
+func (s *Scheme) MigrationCount() uint64 { return s.Migrations }
+
 // acquire returns a recycled entry (reset to pending) or a fresh one.
 func (s *Scheme) acquire() *entry {
 	if n := len(s.free); n > 0 {

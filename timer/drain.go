@@ -171,6 +171,10 @@ func (rt *Runtime) drainFireNow(ctx context.Context) {
 			}
 		}
 		core.AdvanceBy(rt.fac, step)
+		// Keep the telemetry tick mirror fresh: fire-now deliveries are
+		// early by construction, and a stale mirror would misreport
+		// their (clamped-to-zero) firing lag.
+		rt.lastTick.Store(int64(rt.fac.Now()))
 		fired := rt.fired
 		rt.fired = rt.takeBuf()
 		rt.mu.Unlock()

@@ -211,10 +211,17 @@ func (rt *Runtime) Health() Health {
 	return h
 }
 
-// noteAnomaly records a clock anomaly; callers hold rt.mu.
+// noteAnomaly records a clock anomaly; callers hold rt.mu. With the
+// flight recorder armed the anomaly is traced and — when a sink is
+// configured — triggers an automatic dump, capturing the lifecycle
+// events leading up to the clock misbehaviour.
 func (rt *Runtime) noteAnomaly(a Anomaly) {
 	rt.anomalies.Add(1)
 	rt.lastAnomaly = a
+	if rt.trace != nil {
+		rt.traceRecord(TraceAnomaly, 0, PriorityNormal, rt.fac.Now(), 0, a.Ticks)
+		rt.trace.autoDump()
+	}
 }
 
 // deliver routes one expired timer's action. After-channel sends run
@@ -224,6 +231,17 @@ func (rt *Runtime) noteAnomaly(a Anomaly) {
 // the overload policy; the expiry is counted (per-class delivered) when
 // the action has actually run, not when it was queued.
 func (rt *Runtime) deliver(t *Timer) {
+	// Firing lag: how far past its deadline the timer is being
+	// delivered, in whole ticks of the facility's clock. Early fires
+	// (DrainFireNow) clamp to zero. lastTick is the post-advance
+	// virtual time, maintained by Poll, so no lock or clock read is
+	// needed here.
+	lag := rt.lastTick.Load() - int64(t.deadline)
+	if lag < 0 {
+		lag = 0
+	}
+	rt.lagHist.Record(lag * rt.granNS)
+	rt.traceRecord(TraceFired, t.id, t.prio, Tick(rt.lastTick.Load()), t.deadline, lag)
 	if t.ch != nil {
 		select {
 		case t.ch <- rt.now():
@@ -236,10 +254,11 @@ func (rt *Runtime) deliver(t *Timer) {
 		return
 	}
 	if rt.pool == nil {
-		rt.runCallback(t.fn)
+		rt.runCallback(t)
 		rt.deliveredC[t.prio].Add(1)
 		return
 	}
+	t.enqNS = rt.now().UnixNano()
 	// The pool carries the *Timer itself and runs rt.runAsync on it: no
 	// per-dispatch closure. The Timer is NOT recycled after an async run
 	// (the caller may still Reset it), matching the inline path. A full
@@ -257,7 +276,7 @@ func (rt *Runtime) deliver(t *Timer) {
 		if t.prio == PriorityCritical {
 			// Critical is never shed: deliver inline on the driver, the
 			// same guarantee After-channel sends have.
-			rt.runCallback(t.fn)
+			rt.runCallback(t)
 			rt.deliveredC[t.prio].Add(1)
 			return
 		}
@@ -278,6 +297,11 @@ func (rt *Runtime) shedOrRetry(t *Timer) {
 		}
 	}
 	rt.shedC[t.prio].Add(1)
+	shedLag := rt.lastTick.Load() - int64(t.deadline)
+	if shedLag < 0 {
+		shedLag = 0
+	}
+	rt.traceRecord(TraceShed, t.id, t.prio, Tick(rt.lastTick.Load()), t.deadline, shedLag)
 	if rt.shedHandler != nil {
 		info := ShedInfo{ID: t.id, Priority: t.prio, Deadline: t.deadline, Retries: int(t.retries)}
 		safeHook(func() { rt.shedHandler(info) })
@@ -310,42 +334,49 @@ func (rt *Runtime) rearmForRetry(t *Timer) bool {
 	t.h = h
 	t.id = h.TimerID()
 	t.deadline = rt.fac.Now() + backoff
+	rt.traceRecord(TraceRetried, t.id, t.prio, rt.fac.Now(), t.deadline, 0)
 	rt.poke()
 	return true
 }
 
 // runAsync is the dispatch pool's fixed runner: one expired callback
-// timer per invocation, counted as delivered once it has run.
+// timer per invocation, counted as delivered once it has run. The
+// queue-wait histogram records how long the expiry sat behind other
+// work before a worker picked it up.
 func (rt *Runtime) runAsync(t *Timer, _ overload.Class) {
-	rt.runCallback(t.fn)
+	rt.waitHist.Record(rt.now().UnixNano() - t.enqNS)
+	rt.runCallback(t)
 	rt.deliveredC[t.prio].Add(1)
 }
 
 // runCallback executes one expiry action under the recovery barrier and
-// the slow-callback watchdog.
-func (rt *Runtime) runCallback(fn func()) {
-	var start time.Time
-	if rt.budget > 0 {
-		start = rt.now()
-	}
+// the slow-callback watchdog, recording its duration in the
+// callback-duration histogram (two clock reads per action — the
+// telemetry layer's only steady-state cost beyond atomic increments).
+func (rt *Runtime) runCallback(t *Timer) {
+	start := rt.now()
 	defer func() {
-		if rt.budget > 0 {
-			if elapsed := rt.now().Sub(start); elapsed > rt.budget {
-				rt.slow.Add(1)
-				if rt.slowHandler != nil {
-					elapsed := elapsed
-					safeHook(func() { rt.slowHandler(elapsed) })
-				}
+		elapsed := rt.now().Sub(start)
+		rt.durHist.Record(elapsed.Nanoseconds())
+		if rt.budget > 0 && elapsed > rt.budget {
+			rt.slow.Add(1)
+			if rt.slowHandler != nil {
+				elapsed := elapsed
+				safeHook(func() { rt.slowHandler(elapsed) })
 			}
 		}
 		if r := recover(); r != nil {
 			rt.panics.Add(1)
+			if rt.trace != nil {
+				rt.traceRecord(TracePanic, t.id, t.prio, Tick(rt.lastTick.Load()), t.deadline, 0)
+				rt.trace.autoDump()
+			}
 			if rt.panicHandler != nil {
 				safeHook(func() { rt.panicHandler(r) })
 			}
 		}
 	}()
-	fn()
+	t.fn()
 }
 
 // safeHook runs a user-supplied hardening hook, swallowing any panic so

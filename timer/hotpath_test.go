@@ -39,6 +39,66 @@ func TestScheduleStopAllocFree(t *testing.T) {
 	}
 }
 
+// TestScheduleStopAllocFreeWithTrace pins the same guarantee with the
+// full telemetry layer engaged: histogram recording is atomic stores
+// into fixed arrays, and the flight recorder writes into a preallocated
+// ring, so WithTrace adds zero allocations to the schedule/stop cycle.
+func TestScheduleStopAllocFreeWithTrace(t *testing.T) {
+	rt, _ := newManualRuntime(t, WithTrace(1024))
+	for i := 0; i < 64; i++ {
+		tm, err := rt.AfterFunc(time.Second, noopAction)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tm.Stop() {
+			t.Fatal("warmup Stop failed")
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		tm, err := rt.AfterFunc(time.Second, noopAction)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tm.Stop() {
+			t.Fatal("Stop failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AfterFunc+Stop with WithTrace allocates %.1f allocs/op, want 0", allocs)
+	}
+	if got := len(rt.TraceEvents()); got == 0 {
+		t.Fatal("trace recorded nothing")
+	}
+}
+
+// TestDeliveryTelemetryAddsNoAllocs extends the guarantee through the
+// firing path. A schedule+fire cycle costs exactly one allocation by
+// design — the Timer handle, which is never recycled on fire because
+// the caller may still Reset it — and the telemetry layer (lag,
+// duration, and batch histogram records plus two trace events per
+// cycle) must add nothing to that.
+func TestDeliveryTelemetryAddsNoAllocs(t *testing.T) {
+	measure := func(opts ...RuntimeOption) float64 {
+		rt, fc := newManualRuntime(t, opts...)
+		cycle := func() {
+			if _, err := rt.AfterFunc(10*time.Millisecond, noopAction); err != nil {
+				t.Fatal(err)
+			}
+			fc.Advance(10 * time.Millisecond)
+			rt.Poll()
+		}
+		for i := 0; i < 64; i++ {
+			cycle()
+		}
+		return testing.AllocsPerRun(200, cycle)
+	}
+	plain := measure()
+	traced := measure(WithTrace(1024))
+	if traced > plain {
+		t.Fatalf("schedule+fire: %.1f allocs/op with telemetry vs %.1f without", traced, plain)
+	}
+}
+
 // TestScheduleStopAllocFreeWithPriority pins the same guarantee with the
 // overload machinery engaged: ScheduleOptions are plain values, and the
 // priority rides inside the recycled Timer, so WithPriority adds no

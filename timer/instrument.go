@@ -1,41 +1,61 @@
 package timer
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
-// Counters is a snapshot of the operation counts an instrumented scheme
-// has performed — the observable half of the paper's performance model
-// (how often each of the four routines runs, and with what outcome).
+// Counters holds the operation counts an instrumented scheme has
+// performed — the observable half of the paper's performance model (how
+// often each of the four routines runs, and with what outcome). Every
+// field is atomic: readers may Load (or call String) from any goroutine
+// while the scheme is being driven, and each read is individually
+// consistent. A multi-field read is not a consistent cut — Starts loaded
+// before Ticks may miss an operation in between — which is the usual
+// contract for live counters.
 type Counters struct {
 	// Starts counts successful StartTimer calls; StartErrors counts
 	// rejected ones (bad interval, out of range).
-	Starts, StartErrors uint64
+	Starts, StartErrors atomic.Uint64
 	// Stops counts successful StopTimer calls; StopErrors counts
 	// rejected ones (already fired, foreign handle).
-	Stops, StopErrors uint64
+	Stops, StopErrors atomic.Uint64
 	// Ticks counts PER_TICK_BOOKKEEPING invocations; EmptyTicks counts
 	// the ones that fired nothing (the wheel's cheap common case).
-	Ticks, EmptyTicks uint64
+	Ticks, EmptyTicks atomic.Uint64
 	// Fired counts expiry actions run.
-	Fired uint64
+	Fired atomic.Uint64
 	// MaxOutstanding is the high-water mark of pending timers.
-	MaxOutstanding int
+	MaxOutstanding atomic.Int64
 	// MaxBatch is the largest number of expiries a single Tick fired —
 	// the per-tick burst a hardened runtime wants to see bounded.
-	MaxBatch int
+	MaxBatch atomic.Int64
 }
 
-// String summarizes the counters.
-func (c Counters) String() string {
-	return fmt.Sprintf("starts=%d stops=%d fired=%d ticks=%d (%.0f%% empty) max=%d burst=%d",
-		c.Starts, c.Stops, c.Fired, c.Ticks,
-		100*float64(c.EmptyTicks)/float64(max64(c.Ticks, 1)), c.MaxOutstanding, c.MaxBatch)
-}
-
-func max64(a, b uint64) uint64 {
-	if a > b {
-		return a
+// String summarizes the counters. The empty-tick percentage reads "n/a"
+// until the first tick — a facility that has never ticked has no
+// meaningful empty ratio.
+func (c *Counters) String() string {
+	ticks := c.Ticks.Load()
+	empty := "n/a"
+	if ticks > 0 {
+		empty = fmt.Sprintf("%.0f%%", 100*float64(c.EmptyTicks.Load())/float64(ticks))
 	}
-	return b
+	return fmt.Sprintf("starts=%d stops=%d fired=%d ticks=%d (%s empty) max=%d burst=%d",
+		c.Starts.Load(), c.Stops.Load(), c.Fired.Load(), ticks,
+		empty, c.MaxOutstanding.Load(), c.MaxBatch.Load())
+}
+
+// maxStore raises m to v if v is larger (monotone high-water mark; safe
+// against concurrent readers, and against concurrent writers too, though
+// schemes are single-writer by contract).
+func maxStore(m *atomic.Int64, v int64) {
+	for {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // instrumented wraps a Scheme with operation counting.
@@ -45,11 +65,12 @@ type instrumented struct {
 }
 
 // Instrument wraps a Scheme so every operation is counted; read the
-// counts through the returned *Counters (valid for the wrapper's
-// lifetime; not safe for concurrent readers while the scheme is driven).
-// The wrapper preserves the inner scheme's semantics exactly — including
-// O(1) NextExpiry support for tickless runtimes, when the inner scheme
-// has it — and adds two integer updates per operation.
+// counts through the returned *Counters, from any goroutine — the
+// fields are atomics, so concurrent readers see consistent individual
+// values while the scheme is driven. The wrapper preserves the inner
+// scheme's semantics exactly — including O(1) NextExpiry support for
+// tickless runtimes, when the inner scheme has it — and adds a few
+// atomic updates per operation.
 func Instrument(s Scheme) (Scheme, *Counters) {
 	w := &instrumented{inner: s}
 	if _, ok := s.(nextExpirer); ok {
@@ -73,41 +94,41 @@ func (w *instrumentedNE) NextExpiry() (Tick, bool) {
 // Name reports "<inner>+counters".
 func (w *instrumented) Name() string { return w.inner.Name() + "+counters" }
 
+// Unwrap exposes the inner scheme so Snapshot's gauge probes (occupancy,
+// level population, migrations) see through the counting wrapper.
+func (w *instrumented) Unwrap() Scheme { return w.inner }
+
 // StartTimer counts and forwards.
 func (w *instrumented) StartTimer(interval Tick, cb Callback) (Handle, error) {
 	h, err := w.inner.StartTimer(interval, cb)
 	if err != nil {
-		w.c.StartErrors++
+		w.c.StartErrors.Add(1)
 		return nil, err
 	}
-	w.c.Starts++
-	if n := w.inner.Len(); n > w.c.MaxOutstanding {
-		w.c.MaxOutstanding = n
-	}
+	w.c.Starts.Add(1)
+	maxStore(&w.c.MaxOutstanding, int64(w.inner.Len()))
 	return h, nil
 }
 
 // StopTimer counts and forwards.
 func (w *instrumented) StopTimer(h Handle) error {
 	if err := w.inner.StopTimer(h); err != nil {
-		w.c.StopErrors++
+		w.c.StopErrors.Add(1)
 		return err
 	}
-	w.c.Stops++
+	w.c.Stops.Add(1)
 	return nil
 }
 
 // Tick counts and forwards.
 func (w *instrumented) Tick() int {
 	fired := w.inner.Tick()
-	w.c.Ticks++
+	w.c.Ticks.Add(1)
 	if fired == 0 {
-		w.c.EmptyTicks++
+		w.c.EmptyTicks.Add(1)
 	}
-	if fired > w.c.MaxBatch {
-		w.c.MaxBatch = fired
-	}
-	w.c.Fired += uint64(fired)
+	maxStore(&w.c.MaxBatch, int64(fired))
+	w.c.Fired.Add(uint64(fired))
 	return fired
 }
 

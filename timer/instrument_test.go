@@ -2,6 +2,7 @@ package timer
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -25,17 +26,17 @@ func TestInstrumentCounts(t *testing.T) {
 		t.Fatal("double stop should fail")
 	}
 	AdvanceBy(s, 6)
-	if c.Starts != 2 || c.StartErrors != 1 {
-		t.Fatalf("starts=%d errors=%d", c.Starts, c.StartErrors)
+	if c.Starts.Load() != 2 || c.StartErrors.Load() != 1 {
+		t.Fatalf("starts=%d errors=%d", c.Starts.Load(), c.StartErrors.Load())
 	}
-	if c.Stops != 1 || c.StopErrors != 1 {
-		t.Fatalf("stops=%d errors=%d", c.Stops, c.StopErrors)
+	if c.Stops.Load() != 1 || c.StopErrors.Load() != 1 {
+		t.Fatalf("stops=%d errors=%d", c.Stops.Load(), c.StopErrors.Load())
 	}
-	if c.Ticks != 6 || c.Fired != 1 || c.EmptyTicks != 5 {
-		t.Fatalf("ticks=%d fired=%d empty=%d", c.Ticks, c.Fired, c.EmptyTicks)
+	if c.Ticks.Load() != 6 || c.Fired.Load() != 1 || c.EmptyTicks.Load() != 5 {
+		t.Fatalf("ticks=%d fired=%d empty=%d", c.Ticks.Load(), c.Fired.Load(), c.EmptyTicks.Load())
 	}
-	if c.MaxOutstanding != 2 {
-		t.Fatalf("max=%d", c.MaxOutstanding)
+	if c.MaxOutstanding.Load() != 2 {
+		t.Fatalf("max=%d", c.MaxOutstanding.Load())
 	}
 	if !strings.Contains(s.Name(), "+counters") {
 		t.Fatalf("Name=%q", s.Name())
@@ -83,8 +84,76 @@ func TestInstrumentedUnderRuntime(t *testing.T) {
 		t.Fatal("instrumented tickless runtime never fired")
 	}
 	rt.Close()
-	if c.Starts == 0 || c.Fired == 0 {
-		t.Fatalf("counters not updated: %+v", *c)
+	if c.Starts.Load() == 0 || c.Fired.Load() == 0 {
+		t.Fatalf("counters not updated: %s", c)
+	}
+}
+
+// TestCountersConcurrentReaders reads the counters (Loads and String)
+// while a runtime drives the instrumented scheme — the doc's promise
+// that readers need no external synchronization. Run under -race this
+// is the proof; without -race it still checks reads are sane.
+func TestCountersConcurrentReaders(t *testing.T) {
+	s, c := Instrument(NewHashedWheel(64))
+	rt := NewRuntime(
+		WithGranularity(time.Millisecond),
+		WithScheme(s),
+	)
+	defer rt.Close()
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var lastStarts uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := c.Starts.Load()
+				if n < lastStarts {
+					t.Errorf("Starts went backwards: %d after %d", n, lastStarts)
+					return
+				}
+				lastStarts = n
+				_ = c.String()
+				if c.EmptyTicks.Load() > c.Ticks.Load() {
+					t.Error("EmptyTicks exceeds Ticks")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		tm, err := rt.AfterFunc(time.Millisecond, func() {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			tm.Stop()
+		}
+	}
+	time.Sleep(20 * time.Millisecond) // let some ticks and fires happen
+	close(stop)
+	readers.Wait()
+	if c.Starts.Load() != 500 {
+		t.Fatalf("Starts=%d, want 500", c.Starts.Load())
+	}
+}
+
+func TestCountersStringEmptyTicks(t *testing.T) {
+	var c Counters
+	if got := c.String(); !strings.Contains(got, "(n/a empty)") {
+		t.Fatalf("zero-tick String = %q, want n/a percentage", got)
+	}
+	c.Ticks.Store(4)
+	c.EmptyTicks.Store(3)
+	if got := c.String(); !strings.Contains(got, "(75% empty)") {
+		t.Fatalf("String = %q, want 75%% empty", got)
 	}
 }
 

@@ -343,6 +343,79 @@ func TestOverloadShardHealthSumsToAggregate(t *testing.T) {
 	}
 }
 
+// TestOverloadShardHealthDuringDrain reads ShardHealth and Health
+// continuously while a Drain is in flight. Under -race this proves the
+// per-shard read path is safe against the drain's counter writes; the
+// consistency assertion is a sandwich — each counter summed from the
+// shard snapshots must land between aggregate readings taken before and
+// after it (counters are monotone) — with exact field-wise equality once
+// the drain has quiesced everything.
+func TestOverloadShardHealthDuringDrain(t *testing.T) {
+	s := NewSharded(4, WithGranularity(time.Millisecond))
+	const n = 400
+	for i := 0; i < n; i++ {
+		// Deadlines spread out so the fire-now drain has work in flight
+		// while the readers run.
+		if _, err := s.AfterFuncKey(uint64(i), time.Duration(1+i)*time.Millisecond, func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	drainDone := make(chan struct{})
+	go func() {
+		defer close(drainDone)
+		if _, err := s.Drain(context.Background(), DrainFireNow); err != nil {
+			t.Errorf("Drain: %v", err)
+		}
+	}()
+
+	for done := false; !done; {
+		select {
+		case <-drainDone:
+			done = true
+		default:
+		}
+		before := s.Health()
+		parts := s.ShardHealth()
+		after := s.Health()
+		if len(parts) != s.Shards() {
+			t.Fatalf("ShardHealth returned %d entries", len(parts))
+		}
+		var sum Health
+		for _, p := range parts {
+			addHealth(&sum, p)
+		}
+		check := func(name string, lo, mid, hi uint64) {
+			if mid < lo || mid > hi {
+				t.Fatalf("%s: shard sum %d outside aggregate window [%d, %d]", name, mid, lo, hi)
+			}
+		}
+		check("Delivered", before.Delivered, sum.Delivered, after.Delivered)
+		check("ShedExpiries", before.ShedExpiries, sum.ShedExpiries, after.ShedExpiries)
+		check("Retried", before.Retried, sum.Retried, after.Retried)
+		check("AbandonedOnClose", before.AbandonedOnClose, sum.AbandonedOnClose, after.AbandonedOnClose)
+		check("PanicsRecovered", before.PanicsRecovered, sum.PanicsRecovered, after.PanicsRecovered)
+	}
+
+	// Quiescent: the sum must now match the aggregate exactly, and the
+	// lifetime ledger must balance.
+	parts := s.ShardHealth()
+	var sum Health
+	for _, p := range parts {
+		addHealth(&sum, p)
+	}
+	if agg := s.Health(); sum != agg {
+		t.Fatalf("after drain, sum of shards != aggregate:\nsum: %+v\nagg: %+v", sum, agg)
+	}
+	started, _, stopped := s.Stats()
+	if started != n || stopped != 0 {
+		t.Fatalf("started=%d stopped=%d, want %d/0", started, stopped, n)
+	}
+	if got := sum.Delivered + sum.ShedExpiries + sum.AbandonedOnClose; got != n {
+		t.Fatalf("delivered+shed+abandoned=%d, want %d", got, n)
+	}
+}
+
 // TestOverloadScheduleDuringDrainFails: every admission path refuses with
 // ErrDraining once a drain has begun.
 func TestOverloadScheduleDuringDrainFails(t *testing.T) {

@@ -3,6 +3,7 @@ package timer
 import (
 	"context"
 	"errors"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"timingwheels/internal/clock"
 	"timingwheels/internal/core"
 	"timingwheels/internal/dispatch"
+	"timingwheels/internal/hdr"
 )
 
 // ErrRuntimeClosed reports an operation on a Runtime after Close.
@@ -25,6 +27,7 @@ type RuntimeOption func(*runtimeConfig)
 type runtimeConfig struct {
 	granularity time.Duration
 	scheme      Scheme
+	schemeFn    func() Scheme
 	nowFunc     func() time.Time
 	manual      bool
 	tickless    bool
@@ -41,6 +44,10 @@ type runtimeConfig struct {
 	retryBudget  int
 	retryBackoff time.Duration
 	shedHandler  func(ShedInfo)
+
+	// Telemetry knobs; see trace.go.
+	traceCap  int
+	traceSink io.Writer
 }
 
 // WithGranularity sets the tick length (default 10ms). Finer granularity
@@ -52,9 +59,19 @@ func WithGranularity(d time.Duration) RuntimeOption {
 
 // WithScheme supplies the virtual-time facility the runtime drives
 // (default: a 4096-slot Scheme 6 hashed wheel). The runtime takes
-// ownership: the scheme must not be used directly afterwards.
+// ownership: the scheme must not be used directly afterwards. Do not
+// pass WithScheme to NewSharded — every shard would receive the same
+// facility instance and race on it; use WithSchemeFactory there.
 func WithScheme(s Scheme) RuntimeOption {
 	return func(c *runtimeConfig) { c.scheme = s }
+}
+
+// WithSchemeFactory supplies a constructor called once per runtime, so
+// each of a Sharded facility's shards gets its own scheme instance —
+// the only safe way to pick a non-default scheme for NewSharded. It
+// overrides WithScheme when both are given.
+func WithSchemeFactory(fn func() Scheme) RuntimeOption {
+	return func(c *runtimeConfig) { c.schemeFn = fn }
 }
 
 // WithNowFunc replaces the wall-clock source, for tests.
@@ -135,6 +152,20 @@ type Runtime struct {
 	retryBackoff Tick // base retry backoff, in ticks
 	shedHandler  func(ShedInfo)
 
+	// Telemetry (always on). The histograms are lock-free fixed arrays,
+	// recorded into from the hot path with atomic increments only;
+	// lastTick mirrors the facility's virtual time after the most
+	// recent advance so delivery can compute firing lag without taking
+	// rt.mu. granNS converts tick lags to nanoseconds. trace is the
+	// opt-in flight recorder (nil unless WithTrace).
+	lagHist   *hdr.Histogram // firing lag: deadline -> delivery, ns
+	durHist   *hdr.Histogram // callback duration, ns
+	waitHist  *hdr.Histogram // async dispatch queue wait, ns
+	batchHist *hdr.Histogram // expiries fired per poll
+	lastTick  atomic.Int64
+	granNS    int64
+	trace     *traceRing
+
 	// Health counters. The atomics are written outside rt.mu (callbacks,
 	// pool workers); lastAnomaly is guarded by rt.mu. Delivered, shed,
 	// and retried expiries are counted per priority class.
@@ -171,6 +202,11 @@ type Timer struct {
 	// written at schedule time and read only on the driver goroutine.
 	prio    Priority
 	retries uint8
+	// enqNS stamps the wall time an expired callback entered the async
+	// dispatch queue, so the worker that runs it can record the queue
+	// wait. Written on the driver, read on the worker; the pool's own
+	// synchronization orders the two.
+	enqNS int64
 	// free links recycled Timers on the runtime's free list.
 	free *Timer
 }
@@ -186,6 +222,9 @@ func NewRuntime(opts ...RuntimeOption) *Runtime {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.schemeFn != nil {
+		cfg.scheme = cfg.schemeFn()
+	}
 	if cfg.scheme == nil {
 		cfg.scheme = NewHashedWheel(4096)
 	}
@@ -198,6 +237,14 @@ func NewRuntime(opts ...RuntimeOption) *Runtime {
 		budget:       cfg.budget,
 		slowHandler:  cfg.slowHandler,
 		maxCatchUp:   cfg.maxCatchUp,
+		lagHist:      hdr.New(),
+		durHist:      hdr.New(),
+		waitHist:     hdr.New(),
+		batchHist:    hdr.New(),
+		granNS:       cfg.granularity.Nanoseconds(),
+	}
+	if cfg.traceCap > 0 {
+		rt.trace = newTraceRing(cfg.traceCap, cfg.traceSink)
 	}
 	// The fast path needs both halves: payload-started entries are
 	// recycled at fire/stop time, so cancellation must go through the
@@ -362,6 +409,7 @@ func (rt *Runtime) Poll() int {
 	} else {
 		rt.behind.Store(0)
 	}
+	rt.lastTick.Store(int64(rt.fac.Now()))
 	fired := rt.fired
 	rt.fired = rt.takeBuf()
 	rt.mu.Unlock()
@@ -374,6 +422,7 @@ func (rt *Runtime) Poll() int {
 		rt.deliver(t)
 	}
 	n := len(fired)
+	rt.batchHist.Record(int64(n))
 	rt.putBuf(fired)
 	return n
 }
@@ -469,6 +518,7 @@ func (rt *Runtime) schedule(ticks int64, fn func(), ch chan time.Time, opts []Sc
 	t.id = h.TimerID()
 	t.deadline = rt.fac.Now() + Tick(ticks)
 	rt.started++
+	rt.traceRecord(TraceScheduled, t.id, t.prio, rt.fac.Now(), t.deadline, 0)
 	rt.poke() // tickless driver may need an earlier wakeup
 	return t, nil
 }
@@ -505,6 +555,7 @@ func (t *Timer) Stop() bool {
 		return false
 	}
 	rt.stopped++
+	rt.traceRecord(TraceStopped, t.id, t.prio, rt.fac.Now(), t.deadline, 0)
 	rt.mu.Unlock()
 	// Truly cancelled: the facility entry is already recycled (fast
 	// path); recycle the Timer object too.
@@ -514,6 +565,10 @@ func (t *Timer) Stop() bool {
 
 // Deadline reports the tick at which the timer fires (or would have).
 func (t *Timer) Deadline() Tick { return t.deadline }
+
+// ID reports the timer's never-reused facility identity — the key that
+// correlates its events in the flight recorder (WithTrace).
+func (t *Timer) ID() ID { return t.id }
 
 // Reset re-arms the timer to fire d from now, reporting whether it was
 // still pending when rescheduled (false means the expiry action already
@@ -549,6 +604,7 @@ func (t *Timer) Reset(d time.Duration) (wasPending bool, err error) {
 	t.id = h.TimerID()
 	t.deadline = rt.fac.Now() + Tick(ticks)
 	t.retries = 0 // a re-armed timer gets a fresh retry budget
+	rt.traceRecord(TraceScheduled, t.id, t.prio, rt.fac.Now(), t.deadline, 0)
 	rt.poke()
 	return wasPending, nil
 }

@@ -1,0 +1,187 @@
+package timer
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// traceKinds extracts the kind sequence for one timer ID.
+func traceKinds(events []TraceEvent, id ID) []TraceKind {
+	var out []TraceKind
+	for _, ev := range events {
+		if ev.ID == id {
+			out = append(out, ev.Kind)
+		}
+	}
+	return out
+}
+
+func TestTraceRecordsLifecycle(t *testing.T) {
+	rt, fc := newManualRuntime(t, WithTrace(64))
+
+	fired, err := rt.AfterFunc(30*time.Millisecond, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopped, err := rt.AfterFunc(500*time.Millisecond, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capture identities up front: fired/stopped Timer objects are
+	// recycled afterwards, and a recycled handle no longer answers ID().
+	firedID, stoppedID := fired.ID(), stopped.ID()
+	fc.Advance(40 * time.Millisecond)
+	rt.Poll()
+	if !stopped.Stop() {
+		t.Fatal("Stop failed")
+	}
+
+	events := rt.TraceEvents()
+	if got := traceKinds(events, firedID); len(got) != 2 ||
+		got[0] != TraceScheduled || got[1] != TraceFired {
+		t.Fatalf("fired timer events = %v, want [scheduled fired]", got)
+	}
+	if got := traceKinds(events, stoppedID); len(got) != 2 ||
+		got[0] != TraceScheduled || got[1] != TraceStopped {
+		t.Fatalf("stopped timer events = %v, want [scheduled stopped]", got)
+	}
+	// Seq must be strictly increasing (total order across the runtime).
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("Seq not increasing: %d then %d", events[i-1].Seq, events[i].Seq)
+		}
+	}
+	// The fired event carries the deadline and a lag of >= 0 ticks.
+	for _, ev := range events {
+		if ev.Kind == TraceFired {
+			if ev.Deadline == 0 {
+				t.Fatal("fired event lost its deadline")
+			}
+			if ev.Lag < 0 {
+				t.Fatalf("negative lag %d", ev.Lag)
+			}
+		}
+	}
+}
+
+func TestTraceRingWrapsKeepingNewest(t *testing.T) {
+	rt, _ := newManualRuntime(t, WithTrace(4))
+	for i := 0; i < 10; i++ {
+		tm, err := rt.AfterFunc(time.Second, func() {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm.Stop()
+	}
+	events := rt.TraceEvents()
+	if len(events) != 4 {
+		t.Fatalf("len=%d, want ring capacity 4", len(events))
+	}
+	// 20 events total (10 scheduled + 10 stopped): the survivors are the
+	// last four, contiguous.
+	for i, ev := range events {
+		if want := uint64(16 + i); ev.Seq != want {
+			t.Fatalf("events[%d].Seq=%d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	rt, _ := newManualRuntime(t)
+	if got := rt.TraceEvents(); got != nil {
+		t.Fatalf("TraceEvents=%v on untraced runtime", got)
+	}
+	if err := rt.DumpTrace(&bytes.Buffer{}); err != ErrTraceDisabled {
+		t.Fatalf("DumpTrace err=%v, want ErrTraceDisabled", err)
+	}
+}
+
+func TestDumpTraceEmitsParseableJSONL(t *testing.T) {
+	rt, fc := newManualRuntime(t, WithTrace(32))
+	if _, err := rt.AfterFunc(10*time.Millisecond, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	fc.Advance(20 * time.Millisecond)
+	rt.Poll()
+
+	var buf bytes.Buffer
+	if err := rt.DumpTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("dump has %d lines, want >= 2", len(lines))
+	}
+	kinds := map[string]bool{}
+	for _, line := range lines {
+		var ev struct {
+			Seq      uint64 `json:"seq"`
+			Kind     string `json:"kind"`
+			ID       uint64 `json:"id"`
+			Prio     string `json:"prio"`
+			Tick     int64  `json:"tick"`
+			Deadline int64  `json:"deadline"`
+			Lag      int64  `json:"lag"`
+		}
+		dec := json.NewDecoder(strings.NewReader(line))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		kinds[ev.Kind] = true
+	}
+	if !kinds["scheduled"] || !kinds["fired"] {
+		t.Fatalf("dump kinds = %v, want scheduled and fired", kinds)
+	}
+}
+
+func TestTraceAutoDumpOnPanic(t *testing.T) {
+	var sink bytes.Buffer
+	rt, fc := newManualRuntime(t,
+		WithTrace(32),
+		WithTraceSink(&sink),
+		WithPanicHandler(func(any) {}))
+	if _, err := rt.AfterFunc(10*time.Millisecond, func() { panic("boom") }); err != nil {
+		t.Fatal(err)
+	}
+	fc.Advance(20 * time.Millisecond)
+	rt.Poll()
+	if !strings.Contains(sink.String(), `"kind":"panic"`) {
+		t.Fatalf("sink after panic:\n%s", sink.String())
+	}
+}
+
+func TestTraceAutoDumpOnAnomaly(t *testing.T) {
+	var sink bytes.Buffer
+	rt, fc := newManualRuntime(t, WithTrace(32), WithTraceSink(&sink))
+	fc.Advance(50 * time.Millisecond)
+	rt.Poll()
+	fc.Advance(-30 * time.Millisecond) // backward step
+	rt.Poll()
+	if !strings.Contains(sink.String(), `"kind":"anomaly"`) {
+		t.Fatalf("sink after backward step:\n%s", sink.String())
+	}
+}
+
+func TestShardedDumpTrace(t *testing.T) {
+	s := NewSharded(2, WithGranularity(time.Millisecond), WithTrace(16))
+	defer s.Close()
+	for i := 0; i < 8; i++ {
+		tm, err := s.AfterFunc(time.Hour, func() {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm.Stop()
+	}
+	var buf bytes.Buffer
+	if err := s.DumpTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 16 { // 8 scheduled + 8 stopped, spread across shards
+		t.Fatalf("dump has %d lines, want 16", lines)
+	}
+}
