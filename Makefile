@@ -15,15 +15,19 @@ test:
 	$(GO) test ./...
 	$(GO) test -short -race ./...
 
-# The pre-merge gate: static analysis, the full suite under -race, a
-# focused overload/shed/drain soak under -race (deterministic virtual
-# time, so it is quick), and a one-iteration benchmark smoke so `make
-# bench` can never rot unnoticed (it compiles and enters every benchmark
-# without measuring anything).
+# The pre-merge gate: static analysis, the full suite under -race
+# (which includes the differential model checker), a focused
+# overload/shed/drain soak under -race (deterministic virtual time, so
+# it is quick), 30-second smokes of the batched-ingress fuzz targets,
+# and a one-iteration benchmark smoke so `make bench` can never rot
+# unnoticed (it compiles and enters every benchmark without measuring
+# anything).
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run Overload -race -short ./timer/ ./internal/schemetest/
+	$(GO) test -run=xxx -fuzz=FuzzBatchIngress -fuzztime=30s ./timer/
+	$(GO) test -run=xxx -fuzz=FuzzModelMixedOps -fuzztime=30s ./internal/schemetest/
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 short:
@@ -33,7 +37,7 @@ race:
 	$(GO) test -race ./...
 
 # Hot-path benchmarks with allocation counts, summarized as JSON at the
-# repo root (BENCH_3.json) and gated against the committed BENCH_2.json:
+# repo root (BENCH_5.json) and gated against the committed BENCH_4.json:
 # the run fails if AfterFunc+Stop slows down more than 10% or the
 # allocation-free hot path starts allocating. Set BENCH_BASELINE to a
 # saved `go test -bench` output file to embed different before/after
@@ -44,7 +48,7 @@ BENCH_COUNT ?= 1
 bench:
 	$(GO) run ./cmd/benchjson -count=$(BENCH_COUNT) \
 		$(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE)) \
-		-compare BENCH_3.json -o BENCH_4.json
+		-compare BENCH_4.json -o BENCH_5.json
 
 benchall:
 	$(GO) test -bench=. -benchmem ./...
@@ -53,11 +57,13 @@ benchall:
 experiments:
 	$(GO) run ./cmd/twbench | tee results_twbench.txt
 
-# Short fuzz bursts over the conformance targets.
+# Short fuzz bursts over the conformance and batched-ingress targets.
 fuzz:
 	$(GO) test -run=xxx -fuzz=FuzzScheme6Conformance -fuzztime=30s ./internal/schemetest/
 	$(GO) test -run=xxx -fuzz=FuzzScheme7Conformance -fuzztime=30s ./internal/schemetest/
 	$(GO) test -run=xxx -fuzz=FuzzHybridConformance -fuzztime=30s ./internal/schemetest/
+	$(GO) test -run=xxx -fuzz=FuzzModelMixedOps -fuzztime=30s ./internal/schemetest/
+	$(GO) test -run=xxx -fuzz=FuzzBatchIngress -fuzztime=30s ./timer/
 
 fmt:
 	gofmt -w .

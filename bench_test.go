@@ -19,6 +19,8 @@ package timingwheels
 
 import (
 	"fmt"
+	goruntime "runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -566,4 +568,123 @@ func BenchmarkAblationBitmapAdvance(b *testing.B) {
 			f.Advance(horizon)
 		}
 	})
+}
+
+// BenchmarkRuntimeIngress measures admission throughput for the
+// retransmission pattern (schedule a timeout, cancel it almost always)
+// across the three admission paths — per-op synchronous (one lock
+// acquisition per operation), batched synchronous (one lock per batch
+// of 64), and batched lock-free ingress (one ring reservation per
+// batch; the driver applies intents at tick boundaries, and a pair
+// cancelled within one staging window never touches the wheel) — for
+// 1, 4, and GOMAXPROCS explicit producer goroutines splitting b.N, on
+// both a single runtime and a 4-way sharded facility. The interesting
+// deltas: ingress-batch64 vs sync at the same producer count is the
+// lock-amortization win; the p4 vs p1 scaling within one mode is the
+// contention story.
+func BenchmarkRuntimeIngress(b *testing.B) {
+	producers := []int{1, 4}
+	if p := goruntime.GOMAXPROCS(0); p != 1 && p != 4 {
+		producers = append(producers, p)
+	}
+	const batchSize = 64
+	nothing := func() {}
+
+	type admitter interface {
+		AfterFunc(time.Duration, func(), ...timer.ScheduleOption) (*timer.Timer, error)
+		ScheduleBatch([]timer.Req) ([]*timer.Timer, error)
+		StopBatch([]*timer.Timer) int
+		Close() error
+	}
+
+	perOp := func(b *testing.B, fac admitter, n int) {
+		for i := 0; i < n; i++ {
+			t, err := fac.AfterFunc(time.Second, nothing)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			t.Stop()
+		}
+	}
+	batched := func(b *testing.B, fac admitter, n int) {
+		reqs := make([]timer.Req, batchSize)
+		for i := range reqs {
+			reqs[i] = timer.Req{After: time.Second, Fn: nothing}
+		}
+		for done := 0; done < n; done += batchSize {
+			k := batchSize
+			if n-done < k {
+				k = n - done
+			}
+			timers, err := fac.ScheduleBatch(reqs[:k])
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			fac.StopBatch(timers)
+		}
+	}
+
+	facilities := []struct {
+		name string
+		mk   func(ingress bool) admitter
+	}{
+		{"single", func(ingress bool) admitter {
+			opts := []timer.RuntimeOption{
+				timer.WithGranularity(time.Millisecond),
+				timer.WithScheme(timer.NewHashedWheel(1 << 14)),
+			}
+			if ingress {
+				opts = append(opts, timer.WithIngress(1<<16))
+			}
+			return timer.NewRuntime(opts...)
+		}},
+		{"sharded-4", func(ingress bool) admitter {
+			opts := []timer.RuntimeOption{
+				timer.WithGranularity(time.Millisecond),
+				timer.WithSchemeFactory(func() timer.Scheme { return timer.NewHashedWheel(1 << 14) }),
+			}
+			if ingress {
+				opts = append(opts, timer.WithIngress(1<<16))
+			}
+			return timer.NewSharded(4, opts...)
+		}},
+	}
+	modes := []struct {
+		name    string
+		ingress bool
+		run     func(*testing.B, admitter, int)
+	}{
+		{"sync", false, perOp},
+		{"sync-batch64", false, batched},
+		{"ingress", true, perOp},
+		{"ingress-batch64", true, batched},
+	}
+
+	for _, f := range facilities {
+		for _, m := range modes {
+			for _, p := range producers {
+				b.Run(fmt.Sprintf("%s/%s/p%d", f.name, m.name, p), func(b *testing.B) {
+					fac := f.mk(m.ingress)
+					defer fac.Close()
+					per := b.N / p
+					var wg sync.WaitGroup
+					b.ResetTimer()
+					for i := 0; i < p; i++ {
+						n := per
+						if i == 0 {
+							n = b.N - per*(p-1)
+						}
+						wg.Add(1)
+						go func(n int) {
+							defer wg.Done()
+							m.run(b, fac, n)
+						}(n)
+					}
+					wg.Wait()
+				})
+			}
+		}
+	}
 }

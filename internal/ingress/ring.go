@@ -1,0 +1,196 @@
+// Package ingress provides the lock-free staging structures behind the
+// runtime's batched admission path: a bounded multi-producer /
+// single-consumer ring that producers push schedule/stop/reset intents
+// into without touching the runtime mutex, and a Gate that lets a
+// drain/close sequence fence out producers and wait for the stragglers.
+//
+// The ring is the Vyukov bounded-queue design: every slot carries an
+// atomic sequence number that encodes, relative to the producer and
+// consumer cursors, whether the slot is free, published, or still being
+// written. Producers claim positions with a single CAS on the enqueue
+// cursor and publish by storing the slot sequence; the one consumer
+// (the runtime's tick driver) pops in FIFO order with plain atomic
+// loads and stores — no locks anywhere, and the atomics give the
+// happens-before edges the race detector (and the hardware) need for
+// the payload hand-off.
+//
+// Lawn (Lev-Libfeld 2019) and the batched NIC timer-queue line of work
+// both make the same observation this package encodes: a timer store
+// only scales when admission is decoupled from the tick path, because
+// otherwise the admission lock — not the wheel — is the bottleneck.
+package ingress
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+)
+
+// cacheLine separates the hot cursors so producer CAS traffic and
+// consumer stores do not false-share.
+const cacheLine = 64
+
+type slot[T any] struct {
+	// seq encodes the slot state: seq == pos means free for the producer
+	// claiming position pos; seq == pos+1 means published and waiting
+	// for the consumer at position pos; after consumption it becomes
+	// pos+cap, i.e. free for the producer one lap ahead.
+	seq atomic.Uint64
+	val T
+}
+
+// Ring is a bounded lock-free MPSC queue. Any number of goroutines may
+// Push/PushN concurrently; exactly one goroutine at a time may Pop
+// (the runtime guarantees this by draining under its own mutex).
+// The zero value is not usable; call New.
+type Ring[T any] struct {
+	mask  uint64
+	slots []slot[T]
+	_     [cacheLine - 8 - 24]byte
+	enq   atomic.Uint64 // next position to claim (producers, CAS)
+	_     [cacheLine - 8]byte
+	deq   atomic.Uint64 // next position to pop (consumer store, Len loads)
+	_     [cacheLine - 8]byte
+}
+
+// New returns a ring holding up to depth elements; depth is rounded up
+// to a power of two, minimum 2.
+func New[T any](depth int) *Ring[T] {
+	n := uint64(2)
+	for n < uint64(depth) {
+		n <<= 1
+	}
+	r := &Ring[T]{mask: n - 1, slots: make([]slot[T], n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Cap reports the ring's capacity.
+func (r *Ring[T]) Cap() int { return len(r.slots) }
+
+// Len reports the approximate number of staged elements, including
+// claimed-but-not-yet-published slots. Exact when producers are quiet.
+func (r *Ring[T]) Len() int {
+	n := int64(r.enq.Load()) - int64(r.deq.Load())
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Push stages one element, reporting false when the ring is full (the
+// caller falls back to its synchronous path — staging never blocks).
+func (r *Ring[T]) Push(v T) bool {
+	pos := r.enq.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		switch d := int64(s.seq.Load()) - int64(pos); {
+		case d == 0: // slot free at this position: try to claim it
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				s.val = v
+				s.seq.Store(pos + 1) // publish
+				return true
+			}
+			pos = r.enq.Load()
+		case d < 0: // consumer hasn't freed the slot: ring full
+			return false
+		default: // another producer advanced enq past us; reload
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// PushN stages every element of vs contiguously, all or nothing: one
+// CAS claims the whole block, so a batch costs the same cursor traffic
+// as a single Push. Reports false when the ring cannot hold the batch
+// (including len(vs) > Cap()); an empty batch trivially succeeds.
+func (r *Ring[T]) PushN(vs []T) bool {
+	n := uint64(len(vs))
+	if n == 0 {
+		return true
+	}
+	if n > uint64(len(r.slots)) {
+		return false
+	}
+	pos := r.enq.Load()
+	for {
+		// The consumer frees slots strictly in order, so if the LAST
+		// slot of the block is free for its position, every earlier one
+		// is too.
+		last := pos + n - 1
+		s := &r.slots[last&r.mask]
+		switch d := int64(s.seq.Load()) - int64(last); {
+		case d == 0:
+			if r.enq.CompareAndSwap(pos, pos+n) {
+				for i, v := range vs {
+					sl := &r.slots[(pos+uint64(i))&r.mask]
+					sl.val = v
+					sl.seq.Store(pos + uint64(i) + 1)
+				}
+				return true
+			}
+			pos = r.enq.Load()
+		case d < 0:
+			return false
+		default:
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// Pop removes the oldest element. It returns ok=false when the ring is
+// empty or the head slot is claimed but not yet published (the element
+// will surface on a later call — FIFO order is never violated). Must be
+// called from a single consumer at a time.
+func (r *Ring[T]) Pop() (v T, ok bool) {
+	pos := r.deq.Load()
+	s := &r.slots[pos&r.mask]
+	if int64(s.seq.Load())-int64(pos+1) < 0 {
+		return v, false
+	}
+	v = s.val
+	var zero T
+	s.val = zero // drop the reference so recycled payloads aren't pinned
+	s.seq.Store(pos + uint64(len(r.slots)))
+	r.deq.Store(pos + 1)
+	return v, true
+}
+
+// gateClosed is the bias added to a Gate's counter on Close: any
+// realistic Enter population keeps the sum negative, which is how
+// producers observe the fence.
+const gateClosed = math.MinInt64 / 2
+
+// Gate fences producers out during drain/close. Producers bracket each
+// staging operation with Enter/Leave; the closer calls Close once and
+// Wait until every in-flight producer has left, after which the staging
+// structure is quiescent and can be swept exactly once.
+type Gate struct {
+	n atomic.Int64
+}
+
+// Enter registers a producer, reporting false (without registering)
+// when the gate has been closed.
+func (g *Gate) Enter() bool {
+	if g.n.Add(1) < 0 {
+		g.n.Add(-1)
+		return false
+	}
+	return true
+}
+
+// Leave unregisters a producer previously admitted by Enter.
+func (g *Gate) Leave() { g.n.Add(-1) }
+
+// Close fences out future producers. Idempotent is NOT required by the
+// runtime (Drain has a single winner) and Close must be called once.
+func (g *Gate) Close() { g.n.Add(gateClosed) }
+
+// Wait blocks until every producer admitted before Close has left.
+func (g *Gate) Wait() {
+	for g.n.Load() != gateClosed {
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,171 @@
+package ingress
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestRingFIFO(t *testing.T) {
+	r := New[int](8)
+	if r.Cap() != 8 {
+		t.Fatalf("Cap=%d, want 8", r.Cap())
+	}
+	for lap := 0; lap < 5; lap++ { // several laps exercise wraparound
+		for i := 0; i < 8; i++ {
+			if !r.Push(lap*100 + i) {
+				t.Fatalf("lap %d: Push(%d) refused on non-full ring", lap, i)
+			}
+		}
+		if r.Push(999) {
+			t.Fatalf("lap %d: Push succeeded on full ring", lap)
+		}
+		if r.Len() != 8 {
+			t.Fatalf("lap %d: Len=%d, want 8", lap, r.Len())
+		}
+		for i := 0; i < 8; i++ {
+			v, ok := r.Pop()
+			if !ok || v != lap*100+i {
+				t.Fatalf("lap %d: Pop=%d,%v, want %d,true", lap, v, ok, lap*100+i)
+			}
+		}
+		if _, ok := r.Pop(); ok {
+			t.Fatalf("lap %d: Pop succeeded on empty ring", lap)
+		}
+	}
+}
+
+func TestRingDepthRounding(t *testing.T) {
+	for depth, want := range map[int]int{0: 2, 1: 2, 2: 2, 3: 4, 5: 8, 8: 8, 100: 128} {
+		if got := New[int](depth).Cap(); got != want {
+			t.Errorf("New(%d).Cap()=%d, want %d", depth, got, want)
+		}
+	}
+}
+
+func TestRingPushN(t *testing.T) {
+	r := New[int](8)
+	if !r.PushN(nil) {
+		t.Fatal("PushN(nil) must trivially succeed")
+	}
+	if !r.PushN([]int{1, 2, 3}) {
+		t.Fatal("PushN of 3 into empty 8-ring refused")
+	}
+	if !r.PushN([]int{4, 5, 6, 7, 8}) {
+		t.Fatal("PushN filling the ring exactly refused")
+	}
+	if r.PushN([]int{9}) {
+		t.Fatal("PushN succeeded on full ring")
+	}
+	for i := 1; i <= 8; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop=%d,%v, want %d,true", v, ok, i)
+		}
+	}
+	// A batch larger than capacity is refused outright.
+	if r.PushN(make([]int, 9)) {
+		t.Fatal("PushN larger than Cap succeeded")
+	}
+	// Partial room: batch of 5 with only 4 free must be all-or-nothing.
+	if !r.PushN([]int{1, 2, 3, 4}) {
+		t.Fatal("PushN of 4 refused")
+	}
+	r.Pop() // free one mid-ring slot; 5 free but we'll ask for 6
+	if r.PushN(make([]int, 6)) {
+		t.Fatal("PushN of 6 with 5 free succeeded")
+	}
+	if !r.PushN(make([]int, 5)) {
+		t.Fatal("PushN of 5 with 5 free refused")
+	}
+}
+
+// TestRingConcurrentProducers hammers Push/PushN from several goroutines
+// against one consumer and verifies every element arrives exactly once.
+// Run under -race this also validates the publication ordering.
+func TestRingConcurrentProducers(t *testing.T) {
+	const (
+		producers = 4
+		perProd   = 500
+	)
+	r := New[int](64)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			base := p * perProd
+			i := 0
+			for i < perProd {
+				// Alternate singles and small batches.
+				if i%3 == 0 && i+2 <= perProd {
+					batch := []int{base + i, base + i + 1}
+					for !r.PushN(batch) {
+						runtime.Gosched()
+					}
+					i += 2
+				} else {
+					for !r.Push(base + i) {
+						runtime.Gosched()
+					}
+					i++
+				}
+			}
+		}(p)
+	}
+	seen := make(map[int]bool, producers*perProd)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		last := make([]int, producers) // per-producer FIFO check
+		for i := range last {
+			last[i] = -1
+		}
+		for len(seen) < producers*perProd {
+			v, ok := r.Pop()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			if seen[v] {
+				t.Errorf("value %d popped twice", v)
+				return
+			}
+			seen[v] = true
+			p := v / perProd
+			if off := v % perProd; off <= last[p] {
+				t.Errorf("producer %d order violated: %d after %d", p, off, last[p])
+				return
+			} else {
+				last[p] = off
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if len(seen) != producers*perProd {
+		t.Fatalf("popped %d values, want %d", len(seen), producers*perProd)
+	}
+}
+
+func TestGate(t *testing.T) {
+	var g Gate
+	if !g.Enter() {
+		t.Fatal("Enter on open gate refused")
+	}
+	done := make(chan struct{})
+	go func() {
+		g.Close()
+		if g.Enter() {
+			t.Error("Enter after Close admitted")
+		}
+		g.Wait() // must block until the Leave below
+		close(done)
+	}()
+	// Give Close a chance to land, then release the straggler.
+	for g.Enter() {
+		g.Leave()
+	}
+	g.Leave() // the original Enter
+	<-done
+}

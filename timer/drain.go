@@ -117,6 +117,14 @@ func (rt *Runtime) Drain(ctx context.Context, policy DrainPolicy) (DrainReport, 
 	close(rt.stopCh)
 	<-rt.doneCh
 
+	// Fence out ingress producers and apply every intent they managed to
+	// stage: staged schedules arm (and are then disposed of by the
+	// policy like any other outstanding timer), staged stops and resets
+	// apply, and the ring stays empty for good — producers that lost
+	// the gate race fall back to the locked path, which refuses with
+	// ErrDraining.
+	rt.finishIngressDrain()
+
 	firedBefore := rt.deliveredTotal()
 	shedBefore := rt.shedTotal()
 

@@ -250,7 +250,11 @@ func (rt *Runtime) deliver(t *Timer) {
 		rt.deliveredC[t.prio].Add(1)
 		// After timers are runtime-internal — no caller ever holds the
 		// *Timer — so the object recycles immediately.
-		rt.recycleTimer(t)
+		if rt.ing != nil {
+			rt.recycleIngressTimer(t)
+		} else {
+			rt.recycleTimer(t)
+		}
 		return
 	}
 	if rt.pool == nil {

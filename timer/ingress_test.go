@@ -1,0 +1,536 @@
+package timer
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newIngressRuntime is newManualRuntime with the batched ingress path
+// enabled.
+func newIngressRuntime(t *testing.T, opts ...RuntimeOption) (*Runtime, *fakeClock) {
+	t.Helper()
+	return newManualRuntime(t, append([]RuntimeOption{WithIngress(0)}, opts...)...)
+}
+
+// checkConservation asserts the quiescent ledger: every admission is
+// accounted as delivered, shed, stopped, outstanding, or abandoned.
+func checkConservation(t *testing.T, rt *Runtime) {
+	t.Helper()
+	started, expired, stopped := rt.Stats()
+	h := rt.Health()
+	out := uint64(rt.Outstanding())
+	if started != expired+stopped+out+h.AbandonedOnClose {
+		t.Fatalf("ledger: started=%d != expired=%d + stopped=%d + outstanding=%d + abandoned=%d",
+			started, expired, stopped, out, h.AbandonedOnClose)
+	}
+}
+
+func TestIngressScheduleFires(t *testing.T) {
+	rt, fc := newIngressRuntime(t)
+	fired := make(chan struct{}, 1)
+	if _, err := rt.AfterFunc(50*time.Millisecond, func() { close(fired) }); err != nil {
+		t.Fatalf("AfterFunc: %v", err)
+	}
+	// Not yet applied, but already admitted.
+	if got := rt.Outstanding(); got != 1 {
+		t.Fatalf("Outstanding before poll = %d, want 1 (staged)", got)
+	}
+	fc.Advance(40 * time.Millisecond)
+	rt.Poll()
+	select {
+	case <-fired:
+		t.Fatal("fired before its deadline")
+	default:
+	}
+	if got := rt.Outstanding(); got != 1 {
+		t.Fatalf("Outstanding after arming = %d, want 1", got)
+	}
+	fc.Advance(10 * time.Millisecond)
+	if n := rt.Poll(); n != 1 {
+		t.Fatalf("Poll fired %d, want 1", n)
+	}
+	<-fired
+	checkConservation(t, rt)
+}
+
+// TestIngressFirstPollAtDeadline covers the deadline anchoring: the
+// intent is applied by the same Poll whose advance crosses the
+// deadline, and must still fire on time (not a tick late).
+func TestIngressFirstPollAtDeadline(t *testing.T) {
+	rt, fc := newIngressRuntime(t)
+	fired := false
+	if _, err := rt.AfterFunc(30*time.Millisecond, func() { fired = true }); err != nil {
+		t.Fatalf("AfterFunc: %v", err)
+	}
+	fc.Advance(30 * time.Millisecond)
+	if n := rt.Poll(); n != 1 || !fired {
+		t.Fatalf("Poll fired %d (fired=%v), want 1 at the deadline poll", n, fired)
+	}
+}
+
+func TestIngressStopBeforeApplyNeverTouchesWheel(t *testing.T) {
+	rt, fc := newIngressRuntime(t)
+	tm, err := rt.AfterFunc(50*time.Millisecond, func() { t.Error("cancelled timer fired") })
+	if err != nil {
+		t.Fatalf("AfterFunc: %v", err)
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop on a staged timer refused")
+	}
+	rt.Poll() // applies the schedule/stop pair
+	if got := rt.Outstanding(); got != 0 {
+		t.Fatalf("Outstanding=%d, want 0", got)
+	}
+	started, _, stopped := rt.Stats()
+	if started != 1 || stopped != 1 {
+		t.Fatalf("started=%d stopped=%d, want 1/1", started, stopped)
+	}
+	fc.Advance(100 * time.Millisecond)
+	rt.Poll()
+	checkConservation(t, rt)
+}
+
+func TestIngressStopArmed(t *testing.T) {
+	rt, fc := newIngressRuntime(t)
+	tm, _ := rt.AfterFunc(50*time.Millisecond, func() { t.Error("cancelled timer fired") })
+	rt.Poll() // arm it
+	if !tm.Stop() {
+		t.Fatal("Stop on an armed timer refused")
+	}
+	fc.Advance(100 * time.Millisecond)
+	rt.Poll()
+	if got := rt.Outstanding(); got != 0 {
+		t.Fatalf("Outstanding=%d, want 0", got)
+	}
+	checkConservation(t, rt)
+}
+
+func TestIngressDoubleStop(t *testing.T) {
+	rt, _ := newIngressRuntime(t)
+	tm, _ := rt.AfterFunc(time.Second, func() {})
+	if !tm.Stop() {
+		t.Fatal("first Stop refused")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop accepted")
+	}
+}
+
+// TestIngressResetOnStagedStop is the documented semantics for the
+// latent gap: Reset racing a committed stop gets a definitive loss.
+func TestIngressResetOnStagedStop(t *testing.T) {
+	rt, fc := newIngressRuntime(t)
+	tm, _ := rt.AfterFunc(50*time.Millisecond, func() { t.Error("stopped timer fired") })
+	if !tm.Stop() {
+		t.Fatal("Stop refused")
+	}
+	if ok, err := tm.Reset(time.Millisecond); err != ErrStopPending || ok {
+		t.Fatalf("Reset after staged stop = (%v, %v), want (false, ErrStopPending)", ok, err)
+	}
+	// The stop must still win: nothing fires.
+	fc.Advance(200 * time.Millisecond)
+	rt.Poll()
+	checkConservation(t, rt)
+}
+
+func TestIngressResetExtendsDeadline(t *testing.T) {
+	rt, fc := newIngressRuntime(t)
+	var firedAt time.Duration
+	elapsed := time.Duration(0)
+	tm, _ := rt.AfterFunc(50*time.Millisecond, func() { firedAt = elapsed })
+	rt.Poll() // arm
+	fc.Advance(30 * time.Millisecond)
+	elapsed = 30 * time.Millisecond
+	rt.Poll()
+	if wasPending, err := tm.Reset(50 * time.Millisecond); err != nil || !wasPending {
+		t.Fatalf("Reset = (%v, %v), want (true, nil)", wasPending, err)
+	}
+	for i := 0; i < 10; i++ {
+		fc.Advance(10 * time.Millisecond)
+		elapsed += 10 * time.Millisecond
+		rt.Poll()
+		if firedAt != 0 {
+			break
+		}
+	}
+	if firedAt != 80*time.Millisecond {
+		t.Fatalf("fired at %v, want 80ms (30ms + reset 50ms)", firedAt)
+	}
+	checkConservation(t, rt)
+}
+
+// TestIngressResetStagedTimer resets a timer whose schedule intent has
+// not been applied yet: the locked fallback path must supersede the
+// staged intent, not double-arm.
+func TestIngressResetStagedTimer(t *testing.T) {
+	// Depth 2 so the reset's ring push fails (ring already holds the
+	// schedule intent plus one filler) and takes the locked fallback.
+	rt, fc := newIngressRuntime(t, WithIngress(2))
+	fires := 0
+	tm, _ := rt.AfterFunc(30*time.Millisecond, func() { fires++ })
+	if _, err := rt.AfterFunc(500*time.Millisecond, func() {}); err != nil {
+		t.Fatalf("filler: %v", err)
+	}
+	if wasPending, err := tm.Reset(60 * time.Millisecond); err != nil || !wasPending {
+		t.Fatalf("Reset(staged) = (%v, %v), want (true, nil)", wasPending, err)
+	}
+	fc.Advance(40 * time.Millisecond)
+	rt.Poll()
+	if fires != 0 {
+		t.Fatalf("fired %d times before the reset deadline", fires)
+	}
+	fc.Advance(30 * time.Millisecond)
+	rt.Poll()
+	if fires != 1 {
+		t.Fatalf("fired %d times, want exactly 1 (no double-arm)", fires)
+	}
+	fc.Advance(time.Second)
+	rt.Poll()
+	if fires != 1 {
+		t.Fatalf("fired %d times after drain, want 1", fires)
+	}
+	checkConservation(t, rt)
+}
+
+func TestIngressAfterChannel(t *testing.T) {
+	rt, fc := newIngressRuntime(t)
+	ch, err := rt.After(20 * time.Millisecond)
+	if err != nil {
+		t.Fatalf("After: %v", err)
+	}
+	fc.Advance(20 * time.Millisecond)
+	rt.Poll()
+	select {
+	case <-ch:
+	default:
+		t.Fatal("After channel empty at deadline")
+	}
+	checkConservation(t, rt)
+}
+
+func TestIngressRingFullFallsBackToLock(t *testing.T) {
+	rt, fc := newIngressRuntime(t, WithIngress(2)) // tiny ring
+	fired := 0
+	const n = 20
+	for i := 0; i < n; i++ {
+		if _, err := rt.AfterFunc(30*time.Millisecond, func() { fired++ }); err != nil {
+			t.Fatalf("AfterFunc %d: %v", i, err)
+		}
+	}
+	if got := rt.Outstanding(); got != n {
+		t.Fatalf("Outstanding=%d, want %d", got, n)
+	}
+	fc.Advance(30 * time.Millisecond)
+	rt.Poll()
+	if fired != n {
+		t.Fatalf("fired=%d, want %d", fired, n)
+	}
+	checkConservation(t, rt)
+}
+
+func TestScheduleBatchSync(t *testing.T) {
+	rt, fc := newManualRuntime(t)
+	fired := 0
+	reqs := make([]Req, 10)
+	for i := range reqs {
+		reqs[i] = Req{After: time.Duration(i+1) * 10 * time.Millisecond, Fn: func() { fired++ }}
+	}
+	reqs[3].Fn = nil // voided entry
+	timers, err := rt.ScheduleBatch(reqs)
+	if err != ErrNilCallback {
+		t.Fatalf("ScheduleBatch err=%v, want ErrNilCallback", err)
+	}
+	if len(timers) != len(reqs) || timers[3] != nil {
+		t.Fatalf("timers len=%d, slot3=%v; want parallel slice with nil slot 3", len(timers), timers[3])
+	}
+	// Stop the last 4 in one batch.
+	if got := rt.StopBatch(timers[6:]); got != 4 {
+		t.Fatalf("StopBatch=%d, want 4", got)
+	}
+	fc.Advance(200 * time.Millisecond)
+	rt.Poll()
+	if fired != 5 { // 9 valid - 4 stopped
+		t.Fatalf("fired=%d, want 5", fired)
+	}
+	started, _, stopped := rt.Stats()
+	if started != 9 || stopped != 4 {
+		t.Fatalf("started=%d stopped=%d, want 9/4", started, stopped)
+	}
+	checkConservation(t, rt)
+}
+
+func TestScheduleBatchIngress(t *testing.T) {
+	rt, fc := newIngressRuntime(t)
+	var fired atomic.Int64
+	reqs := make([]Req, 64)
+	for i := range reqs {
+		reqs[i] = Req{After: 30 * time.Millisecond, Fn: func() { fired.Add(1) }, Opt: WithPriority(PriorityCritical)}
+	}
+	timers, err := rt.ScheduleBatch(reqs)
+	if err != nil {
+		t.Fatalf("ScheduleBatch: %v", err)
+	}
+	if got := rt.StopBatch(timers[:32]); got != 32 {
+		t.Fatalf("StopBatch=%d, want 32", got)
+	}
+	fc.Advance(30 * time.Millisecond)
+	rt.Poll()
+	if fired.Load() != 32 {
+		t.Fatalf("fired=%d, want 32", fired.Load())
+	}
+	started, _, stopped := rt.Stats()
+	if started != 64 || stopped != 32 {
+		t.Fatalf("started=%d stopped=%d, want 64/32", started, stopped)
+	}
+	checkConservation(t, rt)
+}
+
+// TestScheduleBatchLargerThanRing exercises the whole-batch locked
+// fallback.
+func TestScheduleBatchLargerThanRing(t *testing.T) {
+	rt, fc := newIngressRuntime(t, WithIngress(4))
+	fired := 0
+	reqs := make([]Req, 32) // 32 > ring cap 4
+	for i := range reqs {
+		reqs[i] = Req{After: 10 * time.Millisecond, Fn: func() { fired++ }}
+	}
+	timers, err := rt.ScheduleBatch(reqs)
+	if err != nil {
+		t.Fatalf("ScheduleBatch: %v", err)
+	}
+	for _, tm := range timers {
+		if tm == nil {
+			t.Fatal("nil timer in fallback batch")
+		}
+	}
+	fc.Advance(10 * time.Millisecond)
+	rt.Poll()
+	if fired != 32 {
+		t.Fatalf("fired=%d, want 32", fired)
+	}
+	checkConservation(t, rt)
+}
+
+func TestIngressDrainCancelsStaged(t *testing.T) {
+	rt, _ := newIngressRuntime(t)
+	var fired atomic.Int64
+	reqs := make([]Req, 16)
+	for i := range reqs {
+		reqs[i] = Req{After: time.Hour, Fn: func() { fired.Add(1) }}
+	}
+	if _, err := rt.ScheduleBatch(reqs); err != nil {
+		t.Fatalf("ScheduleBatch: %v", err)
+	}
+	// No Poll: everything is still staged when the drain begins.
+	rep, err := rt.Drain(context.Background(), DrainCancelAll)
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if rep.Cancelled != 16 {
+		t.Fatalf("Cancelled=%d, want 16 (staged schedules must reach the policy)", rep.Cancelled)
+	}
+	if fired.Load() != 0 {
+		t.Fatalf("fired=%d, want 0", fired.Load())
+	}
+	h := rt.Health()
+	if h.AbandonedOnClose != 16 {
+		t.Fatalf("AbandonedOnClose=%d, want 16", h.AbandonedOnClose)
+	}
+	checkConservation(t, rt)
+}
+
+func TestIngressDrainFireNowFiresStaged(t *testing.T) {
+	rt, _ := newIngressRuntime(t)
+	var fired atomic.Int64
+	for i := 0; i < 8; i++ {
+		if _, err := rt.AfterFunc(time.Hour, func() { fired.Add(1) }); err != nil {
+			t.Fatalf("AfterFunc: %v", err)
+		}
+	}
+	rep, err := rt.Drain(context.Background(), DrainFireNow)
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if rep.Fired != 8 || fired.Load() != 8 {
+		t.Fatalf("Fired=%d actual=%d, want 8/8", rep.Fired, fired.Load())
+	}
+	checkConservation(t, rt)
+}
+
+func TestIngressScheduleAfterCloseFails(t *testing.T) {
+	rt, _ := newIngressRuntime(t)
+	rt.Close()
+	if _, err := rt.AfterFunc(time.Second, func() {}); err != ErrRuntimeClosed {
+		t.Fatalf("AfterFunc after Close: err=%v, want ErrRuntimeClosed", err)
+	}
+	if _, err := rt.ScheduleBatch([]Req{{After: time.Second, Fn: func() {}}}); err != ErrRuntimeClosed {
+		t.Fatalf("ScheduleBatch after Close: err=%v, want ErrRuntimeClosed", err)
+	}
+}
+
+func TestIngressEvery(t *testing.T) {
+	rt, fc := newIngressRuntime(t)
+	fires := 0
+	tk, err := rt.Every(20*time.Millisecond, func() { fires++ })
+	if err != nil {
+		t.Fatalf("Every: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		fc.Advance(10 * time.Millisecond)
+		rt.Poll()
+	}
+	tk.Stop()
+	if fires != 3 {
+		t.Fatalf("ticker fired %d times in 60ms at 20ms period, want 3", fires)
+	}
+}
+
+func TestIngressSnapshotHistograms(t *testing.T) {
+	rt, fc := newIngressRuntime(t)
+	for i := 0; i < 10; i++ {
+		rt.AfterFunc(10*time.Millisecond, func() {})
+	}
+	fc.Advance(10 * time.Millisecond)
+	rt.Poll()
+	s := rt.Snapshot()
+	if s.IngressDepth.Count == 0 || s.IngressDrainBatch.Count == 0 {
+		t.Fatalf("ingress histograms empty: depth=%d batch=%d",
+			s.IngressDepth.Count, s.IngressDrainBatch.Count)
+	}
+	if got := s.IngressDrainBatch.Max; got != 10 {
+		t.Fatalf("IngressDrainBatch.Max=%d, want 10", got)
+	}
+}
+
+func TestWithIngressRequiresPayloadScheme(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRuntime(WithIngress, scheme1) did not panic")
+		}
+	}()
+	NewRuntime(WithIngress(0), WithScheme(NewStraightforward()), WithManualDriver())
+}
+
+// TestIngressSingleOpAllocFree keeps the staged single-timer path
+// allocation-free once warm, matching the synchronous hot path's
+// guarantee (the batch APIs allocate their result slices by design).
+func TestIngressSingleOpAllocFree(t *testing.T) {
+	rt, _ := newIngressRuntime(t)
+	// Warm the pool and the ring.
+	for i := 0; i < 100; i++ {
+		tm, err := rt.AfterFunc(time.Second, func() {})
+		if err != nil {
+			t.Fatalf("warmup: %v", err)
+		}
+		tm.Stop()
+	}
+	rt.Poll()
+	allocs := testing.AllocsPerRun(500, func() {
+		tm, err := rt.AfterFunc(time.Second, func() {})
+		if err != nil {
+			t.Fatalf("AfterFunc: %v", err)
+		}
+		if !tm.Stop() {
+			t.Fatal("Stop refused")
+		}
+		rt.Poll()
+	})
+	if allocs != 0 {
+		t.Fatalf("ingress AfterFunc+Stop+Poll allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestIngressOverloadHammerBatchedProducers is the race-hammer
+// satellite: producer goroutines push batches through the rings while
+// the real driver drains them, then Drain fires mid-batch. Run under
+// -race this validates the ring publication and gate protocol; the
+// assertions validate the conservation ledger and that no staged
+// Critical intent is ever shed.
+func TestIngressOverloadHammerBatchedProducers(t *testing.T) {
+	for _, mode := range []string{"drain", "close"} {
+		t.Run(mode, func(t *testing.T) {
+			rt := NewRuntime(
+				WithGranularity(time.Millisecond),
+				WithIngress(1<<10),
+			)
+			const producers = 4
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(p)))
+					var noop = func() {}
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						reqs := make([]Req, 16)
+						for i := range reqs {
+							prio := PriorityBestEffort
+							switch rng.Intn(3) {
+							case 1:
+								prio = PriorityNormal
+							case 2:
+								prio = PriorityCritical
+							}
+							reqs[i] = Req{
+								After: time.Duration(1+rng.Intn(20)) * time.Millisecond,
+								Fn:    noop,
+								Opt:   WithPriority(prio),
+							}
+						}
+						timers, err := rt.ScheduleBatch(reqs)
+						if err != nil {
+							return // draining/closed: hammer over
+						}
+						// Stop a random half, single and batched.
+						if rng.Intn(2) == 0 {
+							rt.StopBatch(timers[:8])
+						} else {
+							for _, tm := range timers[:8] {
+								if tm != nil {
+									tm.Stop()
+								}
+							}
+						}
+					}
+				}(p)
+			}
+			time.Sleep(50 * time.Millisecond)
+			// Shut down while producers are mid-batch.
+			switch mode {
+			case "drain":
+				ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+				if _, err := rt.Drain(ctx, DrainWaitUntilDeadline); err != nil {
+					t.Fatalf("Drain: %v", err)
+				}
+				cancel()
+			case "close":
+				rt.Close()
+			}
+			close(stop)
+			wg.Wait()
+
+			started, expired, stopped := rt.Stats()
+			h := rt.Health()
+			if started != expired+stopped+h.AbandonedOnClose {
+				t.Fatalf("ledger: started=%d != expired=%d + stopped=%d + abandoned=%d",
+					started, expired, stopped, h.AbandonedOnClose)
+			}
+			if shed := h.ByClass[PriorityCritical].Shed; shed != 0 {
+				t.Fatalf("critical intents shed: %d, want 0", shed)
+			}
+			if started == 0 {
+				t.Fatal("hammer admitted nothing; test is vacuous")
+			}
+		})
+	}
+}

@@ -48,6 +48,9 @@ type runtimeConfig struct {
 	// Telemetry knobs; see trace.go.
 	traceCap  int
 	traceSink io.Writer
+
+	// Batched-ingress knob; see ingress.go.
+	ingressDepth int
 }
 
 // WithGranularity sets the tick length (default 10ms). Finer granularity
@@ -113,9 +116,9 @@ type Runtime struct {
 	ps     core.PayloadStarter // non-nil when fac supports the zero-alloc fast path
 	ids    core.IDStopper      // non-nil iff ps is non-nil
 	onFire core.PayloadCallback
-	wall  *clock.Wall
-	guard *clock.Guard // anomaly watch over the wall tick stream
-	now   func() time.Time
+	wall   *clock.Wall
+	guard  *clock.Guard // anomaly watch over the wall tick stream
+	now    func() time.Time
 
 	// Shutdown state, guarded by mu. draining means Drain has begun and
 	// new admissions fail with ErrDraining while outstanding timers are
@@ -126,12 +129,22 @@ type Runtime struct {
 	closed      bool
 	doneClosing chan struct{}
 
-	fired   []*Timer // collected during tick, run after unlock
-	stopCh  chan struct{}
-	doneCh  chan struct{}
-	wake    chan struct{} // tickless driver poke; nil in ticking mode
-	started uint64
-	stopped uint64
+	fired  []*Timer // collected during tick, run after unlock
+	stopCh chan struct{}
+	doneCh chan struct{}
+	wake   chan struct{} // tickless driver poke; nil in ticking mode
+	// started is atomic because WithIngress producers count admissions
+	// outside rt.mu; stopped stays guarded by mu. Cancellations that
+	// WithIngress producers settle entirely on their side (stop of a
+	// still-staged timer) land in stoppedStaged instead, so the
+	// synchronous stop path never pays an atomic; Stats sums the two.
+	started       atomic.Uint64
+	stopped       uint64
+	stoppedStaged atomic.Uint64
+
+	// ing is the batched-admission staging state; nil (synchronous
+	// admission) unless WithIngress.
+	ing *ingressState
 
 	// freeMu guards the Timer free list and the fired-buffer pool. It is
 	// a leaf lock: acquired with rt.mu held (Poll's buffer swap) or with
@@ -209,6 +222,13 @@ type Timer struct {
 	enqNS int64
 	// free links recycled Timers on the runtime's free list.
 	free *Timer
+	// lc is the ingress lifecycle word (see ingress.go): the low two
+	// bits hold the state (Stop's commit point is a CAS on it), the
+	// rest count incarnations so staged intents that outlive a recycle
+	// are recognized as stale. Packing both into one word makes every
+	// state transition also witness the incarnation it applies to.
+	// Stays zero on synchronous runtimes.
+	lc atomic.Uint32
 }
 
 // NewRuntime starts a runtime. Close it when done to release the ticking
@@ -262,6 +282,17 @@ func NewRuntime(opts ...RuntimeOption) *Runtime {
 	}
 	if cfg.asyncWorkers > 0 {
 		rt.pool = dispatch.NewClass(cfg.asyncWorkers, cfg.asyncQueue, rt.runAsync)
+	}
+	if cfg.ingressDepth > 0 {
+		// Staged timers are armed and recycled by the driver, so the
+		// ingress path leans on the same ID-guarded payload machinery
+		// the zero-alloc hot path uses; a scheme without it cannot
+		// recycle safely.
+		if rt.ps == nil {
+			panic("timer: WithIngress requires a scheme with the payload fast path " +
+				"(hashed, hierarchical, or hybrid wheels); " + rt.fac.Name() + " does not provide one")
+		}
+		rt.ing = newIngressState(cfg.ingressDepth)
 	}
 	rt.wall = clock.NewWall(rt.now(), cfg.granularity)
 	rt.retryBudget = cfg.retryBudget
@@ -385,6 +416,9 @@ func (rt *Runtime) Poll() int {
 		rt.mu.Unlock()
 		return 0
 	}
+	// Apply staged admissions before advancing: an intent whose deadline
+	// lands on this very tick must be armed before the tick fires it.
+	rt.drainIngressLocked()
 	wallNow := rt.now()
 	target, back := rt.guard.Observe(wallNow)
 	if back > 0 {
@@ -488,6 +522,9 @@ func (rt *Runtime) stopLocked(h Handle, id core.ID) error {
 }
 
 func (rt *Runtime) schedule(ticks int64, fn func(), ch chan time.Time, opts []ScheduleOption) (*Timer, error) {
+	if rt.ing != nil {
+		return rt.scheduleIngress(ticks, fn, ch, opts)
+	}
 	// Clock reads and the free-list pop stay outside rt.mu.
 	wallTicks := rt.wall.TicksAt(rt.now())
 	t := rt.acquireTimer()
@@ -517,7 +554,7 @@ func (rt *Runtime) schedule(ticks int64, fn func(), ch chan time.Time, opts []Sc
 	t.h = h
 	t.id = h.TimerID()
 	t.deadline = rt.fac.Now() + Tick(ticks)
-	rt.started++
+	rt.started.Add(1)
 	rt.traceRecord(TraceScheduled, t.id, t.prio, rt.fac.Now(), t.deadline, 0)
 	rt.poke() // tickless driver may need an earlier wakeup
 	return t, nil
@@ -543,8 +580,17 @@ func (rt *Runtime) After(d time.Duration, opts ...ScheduleOption) (<-chan time.T
 // already refer to a different, re-armed timer. Concurrent Stop calls on
 // a timer that has fired (or racing with its firing) remain safe; they
 // return false.
+//
+// On a WithIngress runtime, true means the cancellation was accepted:
+// it is guaranteed to be applied before the timer could fire unless
+// the expiry action had already run when Stop was called (the exact
+// outcome lands in Stats()/Health() at the next tick). The
+// must-not-touch-again contract is the same.
 func (t *Timer) Stop() bool {
 	rt := t.rt
+	if rt.ing != nil {
+		return rt.stopIngress(t)
+	}
 	rt.mu.Lock()
 	if rt.closed {
 		rt.mu.Unlock()
@@ -576,8 +622,18 @@ func (t *Timer) ID() ID { return t.id }
 // regardless, so the action runs again at the new deadline). This is the
 // retransmission-timer idiom: every send Resets the timeout. Reset must
 // not be used after Stop has returned true.
+//
+// On a WithIngress runtime a Reset racing a committed Stop fails with
+// ErrStopPending (definitive: the stop wins, the timer is done), and
+// wasPending reports whether this incarnation had no committed stop —
+// it may be true for a timer whose action already ran, which a
+// synchronous Reset would report as false; the re-arm happens either
+// way, so the difference is only in the report.
 func (t *Timer) Reset(d time.Duration) (wasPending bool, err error) {
 	rt := t.rt
+	if rt.ing != nil {
+		return rt.resetIngress(t, d)
+	}
 	ticks := rt.wall.TicksFor(d)
 	wallTicks := rt.wall.TicksAt(rt.now())
 	rt.mu.Lock()
@@ -599,7 +655,7 @@ func (t *Timer) Reset(d time.Duration) (wasPending bool, err error) {
 	if err != nil {
 		return wasPending, err
 	}
-	rt.started++
+	rt.started.Add(1)
 	t.h = h
 	t.id = h.TimerID()
 	t.deadline = rt.fac.Now() + Tick(ticks)
@@ -619,10 +675,25 @@ func (t *Timer) Priority() Priority { return t.prio }
 func (rt *Runtime) Outstanding() int {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	return rt.outstandingLocked()
+}
+
+// outstandingLocked counts pending timers: armed ones in the facility
+// plus — on a WithIngress runtime — schedule intents staged but not yet
+// applied (they are admitted, so the conservation ledger needs them;
+// a staged schedule whose stop is also staged stays counted until the
+// driver cancels the pair). Caller holds rt.mu.
+func (rt *Runtime) outstandingLocked() int {
 	if rt.closed {
 		return 0
 	}
-	return rt.fac.Len()
+	n := rt.fac.Len()
+	if rt.ing != nil {
+		if s := rt.ing.staged.Load(); s > 0 {
+			n += int(s)
+		}
+	}
+	return n
 }
 
 // Stats reports lifetime counters: timers started, expired, and stopped.
@@ -639,7 +710,7 @@ func (rt *Runtime) Outstanding() int {
 func (rt *Runtime) Stats() (started, expired, stopped uint64) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	return rt.started, rt.deliveredTotal() + rt.shedTotal(), rt.stopped
+	return rt.started.Load(), rt.deliveredTotal() + rt.shedTotal(), rt.stopped + rt.stoppedStaged.Load()
 }
 
 // Close shuts the runtime down: Drain with the zero-grace DrainCancelAll
