@@ -18,7 +18,9 @@ test:
 # The pre-merge gate: static analysis, the full suite under -race
 # (which includes the differential model checker), a focused
 # overload/shed/drain soak under -race (deterministic virtual time, so
-# it is quick), 30-second smokes of the batched-ingress fuzz targets,
+# it is quick), the twd end-to-end durability test (schedule, SIGKILL
+# mid-traffic, restart, verify every acked timer fires or survives),
+# 30-second smokes of the batched-ingress and WAL-replay fuzz targets,
 # and a one-iteration benchmark smoke so `make bench` can never rot
 # unnoticed (it compiles and enters every benchmark without measuring
 # anything).
@@ -26,8 +28,10 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run Overload -race -short ./timer/ ./internal/schemetest/
+	$(GO) test -run=TestE2ECrashRecovery -count=1 -v ./cmd/twd/
 	$(GO) test -run=xxx -fuzz=FuzzBatchIngress -fuzztime=30s ./timer/
 	$(GO) test -run=xxx -fuzz=FuzzModelMixedOps -fuzztime=30s ./internal/schemetest/
+	$(GO) test -run=xxx -fuzz=FuzzWALReplay -fuzztime=30s ./internal/wal/
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 short:
@@ -37,18 +41,20 @@ race:
 	$(GO) test -race ./...
 
 # Hot-path benchmarks with allocation counts, summarized as JSON at the
-# repo root (BENCH_5.json) and gated against the committed BENCH_4.json:
+# repo root (BENCH_6.json) and gated against the committed BENCH_5.json:
 # the run fails if AfterFunc+Stop slows down more than 10% or the
-# allocation-free hot path starts allocating. Set BENCH_BASELINE to a
-# saved `go test -bench` output file to embed different before/after
-# numbers; BENCH_COUNT repeats each benchmark. `make benchall` is the old
+# allocation-free hot path starts allocating. The run now includes the
+# BenchmarkWALAppend sync-policy series, pricing the durable daemon's
+# write path per fsync policy. Set BENCH_BASELINE to a saved
+# `go test -bench` output file to embed different before/after numbers;
+# BENCH_COUNT repeats each benchmark. `make benchall` is the old
 # kitchen-sink run.
 BENCH_BASELINE ?=
 BENCH_COUNT ?= 1
 bench:
 	$(GO) run ./cmd/benchjson -count=$(BENCH_COUNT) \
 		$(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE)) \
-		-compare BENCH_4.json -o BENCH_5.json
+		-compare BENCH_5.json -o BENCH_6.json
 
 benchall:
 	$(GO) test -bench=. -benchmem ./...

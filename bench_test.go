@@ -32,6 +32,7 @@ import (
 	"timingwheels/internal/hier"
 	"timingwheels/internal/hybrid"
 	"timingwheels/internal/tree"
+	"timingwheels/internal/wal"
 	"timingwheels/internal/wheel"
 	"timingwheels/timer"
 )
@@ -686,5 +687,44 @@ func BenchmarkRuntimeIngress(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkWALAppend prices the durable timer daemon's write path: one
+// timer admission is one framed record appended to the write-ahead log
+// under each sync policy. "every1" is the fully durable worst case (an
+// fsync per record), "every64" is the daemon's default group commit,
+// "interval" trades a bounded durability window for append-rate, and
+// "nosync" isolates the framing+CRC cost with the disk out of the
+// picture. The every64/every1 ratio is the group-commit win.
+func BenchmarkWALAppend(b *testing.B) {
+	policies := []struct {
+		name string
+		opts wal.Options
+	}{
+		{"nosync", wal.Options{}},
+		{"every1", wal.Options{SyncEvery: 1}},
+		{"every64", wal.Options{SyncEvery: 64}},
+		{"interval2ms", wal.Options{SyncInterval: 2 * time.Millisecond}},
+	}
+	payload := make([]byte, 64)
+	for _, p := range policies {
+		b.Run(p.name, func(b *testing.B) {
+			log, _, err := wal.Open(b.TempDir(), p.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer log.Close()
+			rec := wal.Record{Op: wal.OpSchedule, Class: 1, Deadline: 1 << 50, Payload: payload}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec.ID = uint64(i + 1)
+				if _, err := log.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			log.Sync()
+		})
 	}
 }

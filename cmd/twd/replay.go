@@ -1,0 +1,94 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"timingwheels/internal/wal"
+	"timingwheels/timer"
+)
+
+// replayChunk bounds one ScheduleBatch during boot replay.
+const replayChunk = 512
+
+// replay re-arms the recovered state: every outstanding timer goes back
+// into the facility at its durable wall-clock deadline (a deadline that
+// passed during downtime arms at the minimum delay and fires on the
+// first poll, with the true lag recorded), and every live lease is
+// restored with its owned-timer set so a client that died along with
+// the daemon is still garbage-collected.
+//
+// Timers are replayed before leases: a recovered past-expiry lease
+// fires its watchdog almost immediately, and its GC must find every
+// owned entry already published. Nothing is written to the WAL — the
+// log already says all of this.
+func (s *server) replay(st *wal.State) error {
+	ids := make([]uint64, 0, len(st.Timers))
+	maxID := uint64(0)
+	for id := range st.Timers {
+		ids = append(ids, id)
+		if id > maxID {
+			maxID = id
+		}
+	}
+	s.nextID.Store(maxID)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	for at := 0; at < len(ids); at += replayChunk {
+		chunk := ids[at:min(at+replayChunk, len(ids))]
+		now := time.Now().UnixNano()
+		reqs := make([]timer.Req, len(chunk))
+		s.mu.Lock()
+		for i, id := range chunk {
+			ts := st.Timers[id]
+			d := time.Duration(ts.Deadline - now)
+			if d < 1 {
+				d = 1
+			}
+			prio := timer.Priority(ts.Class)
+			if prio != timer.PriorityBestEffort && prio != timer.PriorityCritical {
+				prio = timer.PriorityNormal
+			}
+			reqs[i] = timer.Req{After: d, Fn: noop, Opt: timer.WithPriority(prio).WithTag(id)}
+			s.pending[id] = struct{}{}
+		}
+		s.mu.Unlock()
+		timers, err := s.fac.ScheduleBatch(reqs)
+		if err != nil {
+			return fmt.Errorf("twd: replay chunk at %d: %w", at, err)
+		}
+		s.mu.Lock()
+		for i, id := range chunk {
+			ts := st.Timers[id]
+			delete(s.pending, id)
+			e := &entry{tm: timers[i], class: ts.Class, leaseID: ts.Lease,
+				deadline: ts.Deadline, payload: ts.Payload}
+			if _, early := s.earlyHit[id]; early {
+				delete(s.earlyHit, id)
+				s.entries[id] = e
+				s.settleLocked(id, e, time.Now().UnixNano(), false)
+			} else {
+				s.entries[id] = e
+			}
+		}
+		s.mu.Unlock()
+	}
+
+	// Leases, each with the timers the replayed log says it owns. A
+	// timer that fired between its re-arm above and this restore is
+	// simply detached-by-absence: the lease GC skips entries it cannot
+	// find.
+	owned := make(map[uint64][]uint64)
+	for id, ts := range st.Timers {
+		if ts.Lease != 0 {
+			owned[ts.Lease] = append(owned[ts.Lease], id)
+		}
+	}
+	for id, ls := range st.Leases {
+		if err := s.leases.Restore(id, time.Unix(0, ls.Expiry), owned[id]); err != nil {
+			return fmt.Errorf("twd: restore lease %d: %w", id, err)
+		}
+	}
+	return nil
+}

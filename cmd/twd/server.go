@@ -1,0 +1,761 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"timingwheels/internal/lease"
+	"timingwheels/internal/wal"
+	"timingwheels/timer"
+	"timingwheels/timer/telemetry"
+)
+
+// config is the daemon's tuning, filled from flags (main.go) or
+// directly by tests.
+type config struct {
+	dir          string
+	shards       int
+	granularity  time.Duration
+	syncEvery    int
+	syncInterval time.Duration
+	snapBytes    int64 // segment size that triggers compaction; 0 disables
+	defaultTTL   time.Duration
+}
+
+// entry is one live timer the daemon tracks: the facility handle plus
+// the durable identity the WAL and the client speak.
+type entry struct {
+	tm       *timer.Timer
+	class    uint8
+	leaseID  uint64
+	deadline int64 // absolute wall deadline, unix nanoseconds
+	payload  []byte
+}
+
+// firedEvent is one delivery, kept in a bounded ring for /v1/fired.
+type firedEvent struct {
+	Seq     uint64 `json:"seq"`
+	ID      uint64 `json:"id"`
+	FiredNS int64  `json:"fired_unix_ns"`
+	LagNS   int64  `json:"lag_ns"`
+	Payload string `json:"payload,omitempty"`
+}
+
+// firedRingMax bounds the /v1/fired history.
+const firedRingMax = 8192
+
+// server is the daemon: a sharded timer facility fronted by HTTP, with
+// every client-visible transition written ahead to the WAL.
+//
+// Lock order: s.mu is held for the in-memory tables (entries, pending,
+// fired ring, counters) and for every wal.Append — serializing appends
+// against compaction, which rebuilds the snapshot record set under the
+// same lock. The WAL's and lease table's internal mutexes are leaves
+// under s.mu. The facility is NEVER called with s.mu held: the journal's
+// TimerShed hook runs under a runtime's internal lock and takes s.mu,
+// so a facility call under s.mu would deadlock. wal.Commit (which can
+// block on fsync) also happens outside s.mu.
+type server struct {
+	cfg    config
+	log    *wal.Log
+	fac    *timer.Sharded
+	leases *lease.Table
+
+	nextID atomic.Uint64
+
+	mu       sync.Mutex
+	entries  map[uint64]*entry
+	pending  map[uint64]struct{} // admitted, WAL-logged, arm in flight
+	earlyHit map[uint64]struct{} // fired before the admitting handler published the entry
+	fired    []firedEvent
+	firedSeq uint64
+	draining bool
+
+	// Lifetime counters, seeded from replay so the conservation ledger
+	//
+	//	scheduled == fired + cancelled + len(entries)
+	//
+	// closes across restarts (compaction resets history to the
+	// outstanding set).
+	scheduled, firedN, cancelled uint64
+	shed, lateSettles            uint64
+
+	recovered *wal.RecoverResult
+
+	compacting atomic.Bool
+	stopped    atomic.Bool // shutdown ran (it is one-shot)
+}
+
+// noop is the shared expiry action for every client timer: delivery is
+// observed through the Journal hook, keyed by tag, so admission costs
+// no per-timer closure.
+var noop = func() {}
+
+// newServer opens the WAL in cfg.dir, replays it, and starts the
+// facility with the recovered timers and leases re-armed.
+func newServer(cfg config) (*server, error) {
+	if cfg.shards < 1 {
+		cfg.shards = 1
+	}
+	if cfg.granularity <= 0 {
+		cfg.granularity = 10 * time.Millisecond
+	}
+	log, rec, err := wal.Open(cfg.dir, wal.Options{
+		SyncEvery:    cfg.syncEvery,
+		SyncInterval: cfg.syncInterval,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("twd: open wal: %w", err)
+	}
+	s := &server{
+		cfg:       cfg,
+		log:       log,
+		entries:   make(map[uint64]*entry),
+		pending:   make(map[uint64]struct{}),
+		earlyHit:  make(map[uint64]struct{}),
+		recovered: rec,
+		scheduled: rec.State.Scheduled,
+		firedN:    rec.State.Fired,
+		cancelled: rec.State.Cancelled,
+	}
+	s.fac = timer.NewSharded(cfg.shards,
+		timer.WithGranularity(cfg.granularity),
+		timer.WithIngress(0),
+		timer.WithJournal(s),
+	)
+	s.leases = lease.NewTable(s.fac, lease.Config{
+		DefaultTTL: cfg.defaultTTL,
+		OnExpire:   s.onLeaseExpired,
+	})
+	if err := s.replay(rec.State); err != nil {
+		s.fac.Close()
+		log.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Journal implementation. TimerArmed and TimerStopped are no-ops: the
+// daemon logs admissions, cancels, and resets in the handlers, before
+// acking — the WAL record IS the ack's durability. Delivery, though,
+// is the facility's own act, so it is observed here.
+
+func (s *server) TimerArmed(uint64, timer.ID, timer.Tick) {}
+func (s *server) TimerStopped(uint64, timer.ID)           {}
+
+func (s *server) TimerFired(tag uint64, _ timer.ID, _ int64) { s.onSettled(tag, false) }
+
+// TimerShed runs under a runtime's internal lock when a staged
+// admission is refused; onSettled takes only s.mu and WAL/lease leaf
+// locks, never a facility lock, so the ordering is safe.
+func (s *server) TimerShed(tag uint64, _ timer.ID) { s.onSettled(tag, true) }
+
+// onSettled retires one delivered (or shed) timer: WAL fire record,
+// lease detach, fired-ring event. Lag is computed against the durable
+// wall-clock deadline, so a timer that fires on boot replay after
+// downtime reports the true lag, not the re-arm's.
+func (s *server) onSettled(id uint64, wasShed bool) {
+	now := time.Now().UnixNano()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	if !ok {
+		if _, inflight := s.pending[id]; inflight {
+			// Fired before the admitting handler inserted the entry (a
+			// deadline inside the first tick): the handler settles it.
+			s.earlyHit[id] = struct{}{}
+			return
+		}
+		// Settled by a concurrent cancel (the WAL cancel record wins) or
+		// unknown: nothing to do.
+		s.lateSettles++
+		return
+	}
+	s.settleLocked(id, e, now, wasShed)
+}
+
+// settleLocked retires entry e as fired/shed. Caller holds s.mu.
+func (s *server) settleLocked(id uint64, e *entry, nowNS int64, wasShed bool) {
+	delete(s.entries, id)
+	if e.leaseID != 0 {
+		s.leases.Detach(e.leaseID, id)
+	}
+	// Fire records ride the sync policy rather than an explicit commit:
+	// one lost in a crash replays the timer, which re-fires — the
+	// documented at-least-once window.
+	s.log.Append(wal.Record{Op: wal.OpFire, Class: e.class, ID: id, Lease: e.leaseID, Deadline: e.deadline})
+	s.firedN++
+	if wasShed {
+		s.shed++
+	}
+	lag := nowNS - e.deadline
+	if lag < 0 {
+		lag = 0
+	}
+	s.firedSeq++
+	if len(s.fired) == firedRingMax {
+		s.fired = append(s.fired[:0], s.fired[1:]...)
+	}
+	s.fired = append(s.fired, firedEvent{
+		Seq: s.firedSeq, ID: id, FiredNS: nowNS, LagNS: lag, Payload: string(e.payload),
+	})
+}
+
+// onLeaseExpired is the lease table's OnExpire hook: the client stopped
+// heartbeating, so its timers are garbage-collected and the whole
+// transition is logged. Runs on a delivery goroutine (no facility lock
+// held), so calling StopBatch is safe.
+func (s *server) onLeaseExpired(id uint64, timers []uint64) {
+	s.gcLease(id, timers, false)
+}
+
+// gcLease logs a lease's end and cancels every timer it still owned.
+// commit forces the records durable before returning (client-acked
+// release); the expiry path lets the sync policy absorb them.
+func (s *server) gcLease(leaseID uint64, timers []uint64, commit bool) []uint64 {
+	s.mu.Lock()
+	lsn, _ := s.log.Append(wal.Record{Op: wal.OpLeaseExpire, ID: leaseID})
+	victims := make([]*timer.Timer, 0, len(timers))
+	cancelled := make([]uint64, 0, len(timers))
+	for _, tid := range timers {
+		e, ok := s.entries[tid]
+		if !ok {
+			continue // already fired or cancelled
+		}
+		delete(s.entries, tid)
+		lsn, _ = s.log.Append(wal.Record{Op: wal.OpCancel, Class: e.class, ID: tid, Lease: leaseID})
+		s.cancelled++
+		victims = append(victims, e.tm)
+		cancelled = append(cancelled, tid)
+	}
+	s.mu.Unlock()
+	if commit {
+		s.log.Commit(lsn)
+	}
+	s.fac.StopBatch(victims)
+	return cancelled
+}
+
+// routes builds the daemon's mux.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/schedule", s.handleSchedule)
+	mux.HandleFunc("/v1/schedule-batch", s.handleScheduleBatch)
+	mux.HandleFunc("/v1/stop", s.handleStop)
+	mux.HandleFunc("/v1/reset", s.handleReset)
+	mux.HandleFunc("/v1/lease", s.handleLeaseGrant)
+	mux.HandleFunc("/v1/lease/renew", s.handleLeaseRenew)
+	mux.HandleFunc("/v1/lease/release", s.handleLeaseRelease)
+	mux.HandleFunc("/v1/fired", s.handleFired)
+	mux.HandleFunc("/v1/timers", s.handleTimers)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", telemetry.HandlerWith(s.fac, s.extraMetrics()...))
+	return mux
+}
+
+type scheduleItem struct {
+	AfterMS    int64  `json:"after_ms,omitempty"`
+	DeadlineNS int64  `json:"deadline_unix_ns,omitempty"`
+	Class      string `json:"class,omitempty"`
+	Lease      uint64 `json:"lease,omitempty"`
+	Payload    string `json:"payload,omitempty"`
+}
+
+type scheduledAck struct {
+	ID         uint64 `json:"id"`
+	DeadlineNS int64  `json:"deadline_unix_ns"`
+}
+
+func parseClass(s string) (timer.Priority, bool) {
+	switch s {
+	case "", "normal":
+		return timer.PriorityNormal, true
+	case "critical":
+		return timer.PriorityCritical, true
+	case "best-effort":
+		return timer.PriorityBestEffort, true
+	}
+	return 0, false
+}
+
+func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var item scheduleItem
+	if !readJSON(w, r, &item) {
+		return
+	}
+	acks, status, err := s.admit([]scheduleItem{item})
+	if err != nil {
+		httpError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, acks[0])
+}
+
+func (s *server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Timers []scheduleItem `json:"timers"`
+	}
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Timers) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	acks, status, err := s.admit(req.Timers)
+	if err != nil {
+		httpError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"timers": acks})
+}
+
+// admit runs the durable admission protocol for a batch: validate,
+// write-ahead (one group commit for the whole batch), arm in the
+// facility, then publish the entries. The WAL commit precedes the arm
+// so a crash after the ack always replays the timer; a crash before
+// the commit acks nothing and replays nothing.
+func (s *server) admit(items []scheduleItem) ([]scheduledAck, int, error) {
+	now := time.Now()
+	prios := make([]timer.Priority, len(items))
+	deadlines := make([]int64, len(items))
+	for i, it := range items {
+		p, ok := parseClass(it.Class)
+		if !ok {
+			return nil, http.StatusBadRequest, fmt.Errorf("item %d: unknown class %q", i, it.Class)
+		}
+		prios[i] = p
+		switch {
+		case it.DeadlineNS > 0:
+			deadlines[i] = it.DeadlineNS
+		case it.AfterMS > 0:
+			deadlines[i] = now.Add(time.Duration(it.AfterMS) * time.Millisecond).UnixNano()
+		default:
+			return nil, http.StatusBadRequest, fmt.Errorf("item %d: need after_ms or deadline_unix_ns", i)
+		}
+		if it.Lease != 0 {
+			if _, live := s.leases.Expiry(it.Lease); !live {
+				return nil, http.StatusConflict, fmt.Errorf("item %d: lease %d is not alive", i, it.Lease)
+			}
+		}
+	}
+
+	// Write-ahead: one append per timer, one commit for the batch.
+	ids := make([]uint64, len(items))
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("draining")
+	}
+	var lsn wal.LSN
+	for i, it := range items {
+		ids[i] = s.nextID.Add(1)
+		var err error
+		lsn, err = s.log.Append(wal.Record{
+			Op: wal.OpSchedule, Class: uint8(prios[i]), ID: ids[i],
+			Lease: it.Lease, Deadline: deadlines[i], Payload: []byte(it.Payload),
+		})
+		if err != nil {
+			s.mu.Unlock()
+			return nil, http.StatusServiceUnavailable, fmt.Errorf("wal append: %w", err)
+		}
+		s.pending[ids[i]] = struct{}{}
+		s.scheduled++
+	}
+	s.mu.Unlock()
+	if err := s.log.Commit(lsn); err != nil {
+		s.abortAdmission(ids)
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("wal commit: %w", err)
+	}
+
+	// Arm. The deadline is re-expressed as a delay; a deadline already
+	// past arms at the minimum (one tick) and fires on the next poll.
+	reqs := make([]timer.Req, len(items))
+	for i := range items {
+		d := time.Duration(deadlines[i] - now.UnixNano())
+		if d < 1 {
+			d = 1
+		}
+		reqs[i] = timer.Req{After: d, Fn: noop, Opt: timer.WithPriority(prios[i]).WithTag(ids[i])}
+	}
+	timers, err := s.fac.ScheduleBatch(reqs)
+	if err != nil {
+		// Partial or refused batch (draining): un-admit everything. The
+		// armed subset is stopped; the WAL gets a cancel per timer so the
+		// acked-nothing outcome is also the replayed outcome.
+		s.fac.StopBatch(timers)
+		s.abortAdmission(ids)
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("facility refused batch: %w", err)
+	}
+
+	// Publish. A timer whose deadline fell inside the first tick may
+	// already have fired (the journal parked it in earlyHit); settle it
+	// here instead of inserting.
+	acks := make([]scheduledAck, len(items))
+	var orphans []*timer.Timer
+	s.mu.Lock()
+	for i, it := range items {
+		id := ids[i]
+		delete(s.pending, id)
+		e := &entry{tm: timers[i], class: uint8(prios[i]), leaseID: it.Lease,
+			deadline: deadlines[i], payload: []byte(it.Payload)}
+		if _, early := s.earlyHit[id]; early {
+			delete(s.earlyHit, id)
+			s.entries[id] = e // settleLocked removes it
+			s.settleLocked(id, e, time.Now().UnixNano(), false)
+		} else {
+			s.entries[id] = e
+			if it.Lease != 0 && !s.leases.Attach(it.Lease, id) {
+				// The lease died between validation and publish: its GC
+				// already ran and missed this timer, so cancel it here.
+				delete(s.entries, id)
+				s.log.Append(wal.Record{Op: wal.OpCancel, Class: e.class, ID: id, Lease: it.Lease})
+				s.cancelled++
+				orphans = append(orphans, timers[i])
+			}
+		}
+		acks[i] = scheduledAck{ID: id, DeadlineNS: deadlines[i]}
+	}
+	s.mu.Unlock()
+	s.fac.StopBatch(orphans)
+	s.maybeCompact()
+	return acks, 0, nil
+}
+
+// abortAdmission voids WAL-admitted ids after a downstream failure:
+// each gets a cancel record so replay agrees with the refused ack.
+func (s *server) abortAdmission(ids []uint64) {
+	s.mu.Lock()
+	var lsn wal.LSN
+	for _, id := range ids {
+		delete(s.pending, id)
+		delete(s.earlyHit, id)
+		lsn, _ = s.log.Append(wal.Record{Op: wal.OpCancel, ID: id})
+		s.cancelled++
+	}
+	s.mu.Unlock()
+	s.log.Commit(lsn)
+}
+
+func (s *server) handleStop(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID uint64 `json:"id"`
+	}
+	if !readJSON(w, r, &req) {
+		return
+	}
+	var lsn wal.LSN
+	s.mu.Lock()
+	e, ok := s.entries[req.ID]
+	if ok {
+		delete(s.entries, req.ID)
+		if e.leaseID != 0 {
+			s.leases.Detach(e.leaseID, req.ID)
+		}
+		lsn, _ = s.log.Append(wal.Record{Op: wal.OpCancel, Class: e.class, ID: req.ID, Lease: e.leaseID})
+		s.cancelled++
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, map[string]any{"stopped": false})
+		return
+	}
+	s.log.Commit(lsn)
+	// The WAL cancel wins even if the fire won the facility race: the
+	// journal finds the entry gone and logs nothing.
+	stopped := e.tm.Stop()
+	s.maybeCompact()
+	writeJSON(w, map[string]any{"stopped": stopped})
+}
+
+func (s *server) handleReset(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Resets []struct {
+			ID      uint64 `json:"id"`
+			AfterMS int64  `json:"after_ms"`
+		} `json:"resets"`
+	}
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Resets) == 0 {
+		httpError(w, http.StatusBadRequest, "empty reset batch")
+		return
+	}
+	now := time.Now()
+	rr := make([]timer.ResetReq, 0, len(req.Resets))
+	matched := 0
+	s.mu.Lock()
+	var lsn wal.LSN
+	for _, q := range req.Resets {
+		if q.AfterMS <= 0 {
+			continue
+		}
+		e, ok := s.entries[q.ID]
+		if !ok {
+			continue
+		}
+		matched++
+		after := time.Duration(q.AfterMS) * time.Millisecond
+		e.deadline = now.Add(after).UnixNano()
+		lsn, _ = s.log.Append(wal.Record{Op: wal.OpReset, Class: e.class, ID: q.ID, Lease: e.leaseID, Deadline: e.deadline})
+		rr = append(rr, timer.ResetReq{T: e.tm, After: after})
+	}
+	s.mu.Unlock()
+	if matched > 0 {
+		s.log.Commit(lsn)
+	}
+	accepted, _ := s.fac.ResetBatch(rr)
+	s.maybeCompact()
+	writeJSON(w, map[string]any{"matched": matched, "accepted": accepted})
+}
+
+func (s *server) handleLeaseGrant(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		TTLMS int64 `json:"ttl_ms"`
+	}
+	if !readJSON(w, r, &req) {
+		return
+	}
+	id, expiry, err := s.leases.Grant(time.Duration(req.TTLMS) * time.Millisecond)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	s.mu.Lock()
+	lsn, werr := s.log.Append(wal.Record{Op: wal.OpLeaseGrant, ID: id, Deadline: expiry.UnixNano()})
+	s.mu.Unlock()
+	if werr != nil {
+		s.leases.Release(id)
+		httpError(w, http.StatusServiceUnavailable, werr.Error())
+		return
+	}
+	s.log.Commit(lsn)
+	writeJSON(w, map[string]any{"lease": id, "expiry_unix_ns": expiry.UnixNano()})
+}
+
+func (s *server) handleLeaseRenew(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Lease uint64 `json:"lease"`
+		TTLMS int64  `json:"ttl_ms"`
+	}
+	if !readJSON(w, r, &req) {
+		return
+	}
+	expiry, ok := s.leases.Renew(req.Lease, time.Duration(req.TTLMS)*time.Millisecond)
+	if !ok {
+		httpError(w, http.StatusNotFound, "lease not alive")
+		return
+	}
+	s.mu.Lock()
+	lsn, _ := s.log.Append(wal.Record{Op: wal.OpLeaseRenew, ID: req.Lease, Deadline: expiry.UnixNano()})
+	s.mu.Unlock()
+	s.log.Commit(lsn)
+	writeJSON(w, map[string]any{"expiry_unix_ns": expiry.UnixNano()})
+}
+
+func (s *server) handleLeaseRelease(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Lease uint64 `json:"lease"`
+	}
+	if !readJSON(w, r, &req) {
+		return
+	}
+	timers, ok := s.leases.Release(req.Lease)
+	if !ok {
+		httpError(w, http.StatusNotFound, "lease not alive")
+		return
+	}
+	cancelled := s.gcLease(req.Lease, timers, true)
+	s.maybeCompact()
+	writeJSON(w, map[string]any{"cancelled": cancelled})
+}
+
+func (s *server) handleFired(w http.ResponseWriter, r *http.Request) {
+	var since uint64
+	fmt.Sscanf(r.URL.Query().Get("since"), "%d", &since)
+	s.mu.Lock()
+	events := make([]firedEvent, 0, 32)
+	for _, ev := range s.fired {
+		if ev.Seq > since {
+			events = append(events, ev)
+		}
+	}
+	next := s.firedSeq
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{"events": events, "next": next})
+}
+
+// handleTimers lists the outstanding set — the daemon's answer to
+// "what would replay if you crashed right now". Intended for
+// inspection and tests, not high-frequency polling.
+func (s *server) handleTimers(w http.ResponseWriter, r *http.Request) {
+	type timerView struct {
+		ID         uint64 `json:"id"`
+		DeadlineNS int64  `json:"deadline_unix_ns"`
+		Class      string `json:"class"`
+		Lease      uint64 `json:"lease,omitempty"`
+	}
+	s.mu.Lock()
+	out := make([]timerView, 0, len(s.entries))
+	for id, e := range s.entries {
+		out = append(out, timerView{
+			ID: id, DeadlineNS: e.deadline,
+			Class: timer.Priority(e.class).String(), Lease: e.leaseID,
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, map[string]any{"timers": out})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	body := map[string]any{
+		"status":          "ok",
+		"outstanding":     len(s.entries) + len(s.pending),
+		"scheduled_total": s.scheduled,
+		"fired_total":     s.firedN,
+		"cancelled_total": s.cancelled,
+		"shed_total":      s.shed,
+	}
+	s.mu.Unlock()
+	ls := s.leases.Stats()
+	body["leases_active"] = ls.Active
+	ws := s.log.Stats()
+	body["wal"] = map[string]any{
+		"epoch": ws.Epoch, "lsn": ws.LSN, "durable": ws.Durable,
+		"appends": ws.Appends, "syncs": ws.Syncs, "snapshots": ws.Snapshots,
+		"segment_bytes": ws.SegmentBytes,
+	}
+	rec := s.recovered
+	body["recovered"] = map[string]any{
+		"snapshot_records": rec.SnapshotRecords,
+		"log_records":      rec.LogRecords,
+		"torn":             rec.Torn,
+		"torn_bytes":       rec.TornBytes,
+		"sealed":           rec.State.Sealed,
+		"timers":           rec.State.Scheduled - rec.State.Fired - rec.State.Cancelled,
+	}
+	writeJSON(w, body)
+}
+
+// extraMetrics exports the WAL and lease counters next to the
+// facility's own series on /metrics.
+func (s *server) extraMetrics() []telemetry.Metric {
+	walStat := func(f func(wal.Stats) float64) func() float64 {
+		return func() float64 { return f(s.log.Stats()) }
+	}
+	leaseStat := func(f func(lease.Stats) float64) func() float64 {
+		return func() float64 { return f(s.leases.Stats()) }
+	}
+	srvStat := func(f func(*server) float64) func() float64 {
+		return func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return f(s) }
+	}
+	return []telemetry.Metric{
+		{Name: "wal_appends_total", Help: "Records appended to the WAL.", Value: walStat(func(w wal.Stats) float64 { return float64(w.Appends) })},
+		{Name: "wal_syncs_total", Help: "WAL fsync batches.", Value: walStat(func(w wal.Stats) float64 { return float64(w.Syncs) })},
+		{Name: "wal_snapshots_total", Help: "WAL compaction snapshots.", Value: walStat(func(w wal.Stats) float64 { return float64(w.Snapshots) })},
+		{Name: "wal_segment_bytes", Help: "Active WAL segment size.", Gauge: true, Value: walStat(func(w wal.Stats) float64 { return float64(w.SegmentBytes) })},
+		{Name: "wal_unsynced_records", Help: "Appended records not yet durable.", Gauge: true, Value: walStat(func(w wal.Stats) float64 { return float64(w.LSN - w.Durable) })},
+		{Name: "leases_active", Help: "Live client leases.", Gauge: true, Value: leaseStat(func(l lease.Stats) float64 { return float64(l.Active) })},
+		{Name: "leases_granted_total", Help: "Leases granted.", Value: leaseStat(func(l lease.Stats) float64 { return float64(l.Granted) })},
+		{Name: "leases_renewed_total", Help: "Lease renewals.", Value: leaseStat(func(l lease.Stats) float64 { return float64(l.Renewed) })},
+		{Name: "leases_expired_total", Help: "Leases expired for missed heartbeats.", Value: leaseStat(func(l lease.Stats) float64 { return float64(l.Expired) })},
+		{Name: "leases_released_total", Help: "Leases released by their clients.", Value: leaseStat(func(l lease.Stats) float64 { return float64(l.Released) })},
+		{Name: "twd_scheduled_total", Help: "Timers durably admitted.", Value: srvStat(func(s *server) float64 { return float64(s.scheduled) })},
+		{Name: "twd_fired_total", Help: "Timers delivered.", Value: srvStat(func(s *server) float64 { return float64(s.firedN) })},
+		{Name: "twd_cancelled_total", Help: "Timers cancelled.", Value: srvStat(func(s *server) float64 { return float64(s.cancelled) })},
+	}
+}
+
+// maybeCompact triggers a background snapshot once the active segment
+// outgrows the configured threshold. One compaction at a time.
+func (s *server) maybeCompact() {
+	if s.cfg.snapBytes <= 0 || s.log.SegmentBytes() < s.cfg.snapBytes {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.compacting.Store(false)
+		s.compact()
+	}()
+}
+
+// compact rewrites the WAL as a snapshot of the live state. Holding
+// s.mu for the duration pins the record set: no append can land in the
+// old segment after the set is built, so rotation loses nothing.
+func (s *server) compact() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := make([]wal.Record, 0, len(s.entries)+8)
+	for id, e := range s.entries {
+		recs = append(recs, wal.Record{
+			Op: wal.OpSchedule, Class: e.class, ID: id, Lease: e.leaseID,
+			Deadline: e.deadline, Payload: e.payload,
+		})
+	}
+	for _, le := range s.leases.Snapshot() {
+		recs = append(recs, wal.Record{Op: wal.OpLeaseGrant, ID: le.ID, Deadline: le.Expiry.UnixNano()})
+	}
+	s.log.Snapshot(recs)
+}
+
+// shutdown runs the graceful path: fence admissions, cancel the
+// outstanding set in the facility (the WAL deliberately keeps those
+// timers outstanding, so the next boot replays them), then seal and
+// close the log so recovery knows the shutdown was clean.
+func (s *server) shutdown(drainCtx context.Context) {
+	if !s.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.leases.Close()
+	s.fac.Drain(drainCtx, timer.DrainCancelAll)
+	s.mu.Lock()
+	s.log.Append(wal.Record{Op: wal.OpSeal})
+	s.mu.Unlock()
+	s.log.Sync()
+	s.log.Close()
+}
+
+// HTTP plumbing.
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,106 @@
+package wal
+
+// TimerState is one outstanding timer reconstructed by replay.
+type TimerState struct {
+	ID       uint64
+	Class    uint8
+	Lease    uint64
+	Deadline int64 // absolute wall deadline, unix nanoseconds
+	Payload  []byte
+}
+
+// LeaseState is one live lease reconstructed by replay.
+type LeaseState struct {
+	ID     uint64
+	Expiry int64 // absolute wall expiry, unix nanoseconds
+}
+
+// State is the replayed view of a log: the exact outstanding timer and
+// lease sets plus the lifetime counters that close the conservation
+// ledger,
+//
+//	Scheduled == Fired + Cancelled + len(Timers)
+//
+// Apply is idempotent per record identity — a duplicated frame (an
+// appender that retried after an ambiguous failure) transitions the
+// state once and inflates no counter — so replaying any prefix of a log
+// twice, or a log with retry duplicates, reconstructs the same state as
+// the clean history.
+type State struct {
+	// Timers holds the outstanding timers (scheduled, neither fired nor
+	// cancelled), keyed by daemon ID.
+	Timers map[uint64]TimerState
+	// Leases holds the live leases, keyed by lease ID.
+	Leases map[uint64]LeaseState
+	// Scheduled, Fired, Cancelled count distinct timer transitions;
+	// LeasesGranted and LeasesExpired the lease equivalents.
+	Scheduled, Fired, Cancelled  uint64
+	LeasesGranted, LeasesExpired uint64
+	// Sealed reports that the final applied record was a clean-shutdown
+	// seal; any record applied after a seal clears it.
+	Sealed bool
+}
+
+// NewState returns an empty state.
+func NewState() *State {
+	return &State{
+		Timers: make(map[uint64]TimerState),
+		Leases: make(map[uint64]LeaseState),
+	}
+}
+
+// Apply folds one record into the state. Unknown IDs are ignored where
+// the transition needs an existing object (cancel/reset/fire of a timer
+// already settled — the shape replay sees when a snapshot compacted the
+// admission away, or when a duplicate frame re-applies a settled op).
+func (s *State) Apply(rec Record) {
+	s.Sealed = false
+	switch rec.Op {
+	case OpSchedule:
+		if _, dup := s.Timers[rec.ID]; !dup {
+			s.Scheduled++
+		}
+		s.Timers[rec.ID] = TimerState{
+			ID:       rec.ID,
+			Class:    rec.Class,
+			Lease:    rec.Lease,
+			Deadline: rec.Deadline,
+			Payload:  rec.Payload,
+		}
+	case OpCancel:
+		if _, live := s.Timers[rec.ID]; live {
+			delete(s.Timers, rec.ID)
+			s.Cancelled++
+		}
+	case OpReset:
+		if t, live := s.Timers[rec.ID]; live {
+			t.Deadline = rec.Deadline
+			s.Timers[rec.ID] = t
+		}
+	case OpFire:
+		if _, live := s.Timers[rec.ID]; live {
+			delete(s.Timers, rec.ID)
+			s.Fired++
+		}
+	case OpLeaseGrant:
+		if _, dup := s.Leases[rec.ID]; !dup {
+			s.LeasesGranted++
+		}
+		s.Leases[rec.ID] = LeaseState{ID: rec.ID, Expiry: rec.Deadline}
+	case OpLeaseRenew:
+		if l, live := s.Leases[rec.ID]; live {
+			l.Expiry = rec.Deadline
+			s.Leases[rec.ID] = l
+		}
+	case OpLeaseExpire:
+		if _, live := s.Leases[rec.ID]; live {
+			delete(s.Leases, rec.ID)
+			s.LeasesExpired++
+		}
+	case OpSeal:
+		s.Sealed = true
+	}
+}
+
+// Outstanding reports the number of outstanding timers.
+func (s *State) Outstanding() int { return len(s.Timers) }

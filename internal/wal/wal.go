@@ -1,0 +1,488 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options tunes a log's fsync batching. The zero value syncs only on
+// Commit, Sync, Snapshot, and Close — every Commit is still durable
+// (group-committed), but appends that nobody waits on ride along with
+// the next sync.
+type Options struct {
+	// SyncEvery fsyncs once this many appended records are not yet
+	// durable: 1 makes every append durable before Append returns, N
+	// batches N records per fsync, 0 disables count-triggered syncs.
+	SyncEvery int
+	// SyncInterval fsyncs on a background cadence, bounding how long a
+	// record that nobody Commits can stay volatile; 0 disables it.
+	SyncInterval time.Duration
+}
+
+// LSN is a log sequence number: the 1-based count of records appended.
+// LSNs are monotonic across snapshots and rotations.
+type LSN = uint64
+
+// Stats is the log's counter snapshot, exported by twd's /metrics.
+type Stats struct {
+	// Epoch is the active segment's epoch (bumped by each snapshot).
+	Epoch uint64
+	// LSN is the last appended record; Durable the last known fsynced.
+	LSN, Durable LSN
+	// Appends, Syncs, Snapshots count operations since Open.
+	Appends, Syncs, Snapshots uint64
+	// SegmentBytes is the active segment's size.
+	SegmentBytes int64
+}
+
+// Log is an append-only record log over one directory:
+//
+//	wal-<epoch>.log    the active (and only) segment
+//	snap-<epoch>.snap  the snapshot that seeds epoch <epoch>
+//
+// Appends serialize on an internal mutex; fsyncs are group-committed
+// (every waiter of one sync shares a single fsync syscall, and the
+// mutex is not held across it, so appends continue while the disk
+// works). Snapshot compacts: it atomically writes the caller's record
+// set as the new epoch's seed, rotates to a fresh segment, and deletes
+// older epochs.
+type Log struct {
+	dir string
+	opt Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	f       *os.File
+	epoch   uint64
+	buf     []byte
+	lsn     LSN
+	durable LSN
+	syncing bool
+	closed  bool
+	size    int64
+
+	stopInterval chan struct{}
+	intervalDone chan struct{}
+
+	appends   atomic.Uint64
+	syncs     atomic.Uint64
+	snapshots atomic.Uint64
+}
+
+// RecoverResult reports what Open reconstructed from disk.
+type RecoverResult struct {
+	// State is the replayed state: the exact outstanding timer and
+	// lease sets as of the last valid frame.
+	State *State
+	// Epoch is the recovered (now active) epoch.
+	Epoch uint64
+	// SnapshotRecords and LogRecords count frames replayed from the
+	// snapshot seed and the segment.
+	SnapshotRecords, LogRecords uint64
+	// Torn reports that the segment ended in an invalid frame — a torn
+	// or truncated tail, now discarded; TornBytes is how many trailing
+	// bytes were dropped. A cleanly sealed log is never torn.
+	Torn      bool
+	TornBytes int64
+}
+
+// Open opens (creating if needed) the log in dir, replays snapshot +
+// segment into a RecoverResult, truncates any torn tail, and leaves the
+// log positioned for appending.
+func Open(dir string, opt Options) (*Log, *RecoverResult, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	epoch, err := activeEpoch(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &RecoverResult{State: NewState(), Epoch: epoch}
+
+	if epoch > 0 {
+		snapRecs, _, snapTorn, err := readSegment(snapPath(dir, epoch))
+		if err != nil && !os.IsNotExist(err) {
+			return nil, nil, err
+		}
+		for _, r := range snapRecs {
+			res.State.Apply(r)
+		}
+		res.SnapshotRecords = uint64(len(snapRecs))
+		res.Torn = res.Torn || snapTorn
+	}
+
+	logFile := walPath(dir, epoch)
+	recs, validLen, torn, err := readSegment(logFile)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	for _, r := range recs {
+		res.State.Apply(r)
+	}
+	res.LogRecords = uint64(len(recs))
+
+	f, err := os.OpenFile(logFile, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if torn {
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		res.Torn = true
+		res.TornBytes = st.Size() - validLen
+		// Drop the torn tail so the next frame appends at a valid
+		// boundary; leaving it would strand every future frame behind
+		// garbage the reader stops at.
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(validLen, 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+
+	l := &Log{
+		dir:     dir,
+		opt:     opt,
+		f:       f,
+		epoch:   epoch,
+		size:    validLen,
+		lsn:     LSN(len(recs)),
+		durable: LSN(len(recs)), // everything replayed is on disk by definition
+	}
+	l.cond = sync.NewCond(&l.mu)
+	// A crash between a snapshot's rename and its old-epoch deletion
+	// leaves stale files behind; sweep them now that the active epoch
+	// is recovered and durable.
+	for e := epoch; e > 0; e-- {
+		removedAny := os.Remove(walPath(dir, e-1)) == nil
+		if e-1 > 0 && os.Remove(snapPath(dir, e-1)) == nil {
+			removedAny = true
+		}
+		if !removedAny {
+			break
+		}
+	}
+	if opt.SyncInterval > 0 {
+		l.stopInterval = make(chan struct{})
+		l.intervalDone = make(chan struct{})
+		go l.intervalLoop(opt.SyncInterval)
+	}
+	return l, res, nil
+}
+
+// Append writes rec to the log and returns its LSN. The record is in
+// the operating system's hands but not necessarily on stable storage;
+// call Commit(lsn) before acknowledging the operation to a client, or
+// rely on the SyncEvery/SyncInterval policy for bounded-loss batching.
+func (l *Log) Append(rec Record) (LSN, error) {
+	if rec.Op == 0 || rec.Op > opMax {
+		return 0, ErrBadOp
+	}
+	if len(rec.Payload) > MaxPayload {
+		return 0, ErrPayloadTooLarge
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	l.buf = appendFrame(l.buf[:0], rec)
+	if _, err := l.f.Write(l.buf); err != nil {
+		l.mu.Unlock()
+		return 0, err
+	}
+	l.lsn++
+	lsn := l.lsn
+	l.size += int64(len(l.buf))
+	pending := l.lsn - l.durable
+	l.mu.Unlock()
+	l.appends.Add(1)
+
+	if l.opt.SyncEvery > 0 && pending >= LSN(l.opt.SyncEvery) {
+		if err := l.Commit(lsn); err != nil {
+			return lsn, err
+		}
+	}
+	return lsn, nil
+}
+
+// Commit blocks until every record up to lsn is on stable storage,
+// group-committing: concurrent committers share one fsync, and the
+// append path keeps running while the disk works.
+func (l *Log) Commit(lsn LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.durable < lsn {
+		if l.closed {
+			return ErrClosed
+		}
+		if l.syncing {
+			// Someone else's fsync is in flight; it may or may not cover
+			// lsn — wait and re-check.
+			l.cond.Wait()
+			continue
+		}
+		l.syncing = true
+		f := l.f
+		high := l.lsn
+		l.mu.Unlock()
+		err := f.Sync()
+		l.mu.Lock()
+		l.syncing = false
+		l.syncs.Add(1)
+		if err == nil && high > l.durable {
+			l.durable = high
+		}
+		l.cond.Broadcast()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync makes every appended record durable.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	lsn := l.lsn
+	l.mu.Unlock()
+	return l.Commit(lsn)
+}
+
+// intervalLoop is the SyncInterval policy: a background fsync cadence.
+func (l *Log) intervalLoop(every time.Duration) {
+	defer close(l.intervalDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopInterval:
+			return
+		case <-t.C:
+			_ = l.Sync()
+		}
+	}
+}
+
+// Snapshot compacts the log: records becomes the new epoch's seed (it
+// must describe the full live state — every outstanding timer and
+// lease), the segment rotates, and older epochs are deleted. The caller
+// must guarantee that records reflects every Append issued before the
+// call and that no Append runs concurrently (twd serializes both under
+// its state lock). On return the seed and the empty segment are
+// durable; the old epoch's files are removed best-effort.
+func (l *Log) Snapshot(records []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	for l.syncing {
+		l.cond.Wait() // never rotate under an in-flight fsync
+	}
+	newEpoch := l.epoch + 1
+
+	// Seed file: write-all, fsync, atomic rename. A crash anywhere in
+	// here leaves the old epoch intact and recoverable.
+	snap := snapPath(l.dir, newEpoch)
+	tmp := snap + ".tmp"
+	sf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 64<<10)
+	for _, rec := range records {
+		buf = appendFrame(buf, rec)
+		if len(buf) >= 60<<10 {
+			if _, err := sf.Write(buf); err != nil {
+				sf.Close()
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := sf.Write(buf); err != nil {
+			sf.Close()
+			return err
+		}
+	}
+	if err := sf.Sync(); err != nil {
+		sf.Close()
+		return err
+	}
+	if err := sf.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, snap); err != nil {
+		return err
+	}
+
+	// Fresh segment for the new epoch, then the directory entries.
+	nf, err := os.OpenFile(walPath(l.dir, newEpoch), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		nf.Close()
+		return err
+	}
+
+	old := l.f
+	oldEpoch := l.epoch
+	l.f = nf
+	l.epoch = newEpoch
+	l.size = 0
+	// Every record up to lsn is represented by the durable seed: the
+	// old segment is obsolete, so nothing remains to fsync.
+	l.durable = l.lsn
+	l.snapshots.Add(1)
+	old.Close()
+	for e := oldEpoch; ; e-- {
+		removedAny := false
+		if os.Remove(walPath(l.dir, e)) == nil {
+			removedAny = true
+		}
+		if e > 0 && os.Remove(snapPath(l.dir, e)) == nil {
+			removedAny = true
+		}
+		if e == 0 || !removedAny {
+			break
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes the log. It does not write a seal record —
+// that is the caller's shutdown protocol (append OpSeal, Sync, Close).
+func (l *Log) Close() error {
+	if err := l.Sync(); err != nil && err != ErrClosed {
+		return err
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	f := l.f
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	if l.stopInterval != nil {
+		close(l.stopInterval)
+		<-l.intervalDone
+	}
+	return f.Close()
+}
+
+// Stats returns the log's counter snapshot.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	s := Stats{
+		Epoch:        l.epoch,
+		LSN:          l.lsn,
+		Durable:      l.durable,
+		SegmentBytes: l.size,
+	}
+	l.mu.Unlock()
+	s.Appends = l.appends.Load()
+	s.Syncs = l.syncs.Load()
+	s.Snapshots = l.snapshots.Load()
+	return s
+}
+
+// SegmentBytes reports the active segment's size, the quantity twd's
+// auto-compaction thresholds on.
+func (l *Log) SegmentBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// walPath and snapPath name epoch files. Eight hex digits sort
+// lexically in epoch order for any realistic epoch count.
+func walPath(dir string, epoch uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016x.log", epoch))
+}
+
+func snapPath(dir string, epoch uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%016x.snap", epoch))
+}
+
+// activeEpoch picks the epoch to recover: the highest epoch that has a
+// segment or snapshot file; 0 for an empty directory.
+func activeEpoch(dir string) (uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	var epochs []uint64
+	for _, e := range ents {
+		name := e.Name()
+		var hex string
+		switch {
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			hex = strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+			hex = strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap")
+		default:
+			continue
+		}
+		if v, err := strconv.ParseUint(hex, 16, 64); err == nil {
+			epochs = append(epochs, v)
+		}
+	}
+	if len(epochs) == 0 {
+		return 0, nil
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	return epochs[len(epochs)-1], nil
+}
+
+// readSegment replays one framed file: the decoded records of the valid
+// prefix, the prefix's byte length, and whether trailing bytes had to
+// be discarded (torn reports only a dirty tail; a missing file is
+// returned as the os.IsNotExist error with zero records).
+func readSegment(path string) (recs []Record, validLen int64, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	off := 0
+	for off < len(data) {
+		rec, n, ok := decodeFrame(data[off:])
+		if !ok {
+			return recs, int64(off), true, nil
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+	return recs, int64(off), false, nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable. Best-effort on filesystems that refuse directory fsync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return err
+	}
+	return nil
+}

@@ -248,6 +248,7 @@ func (rt *Runtime) deliver(t *Timer) {
 		default: // buffered cap 1; a second send can't happen, but stay non-blocking
 		}
 		rt.deliveredC[t.prio].Add(1)
+		rt.journalFired(t)
 		// After timers are runtime-internal — no caller ever holds the
 		// *Timer — so the object recycles immediately.
 		if rt.ing != nil {
@@ -260,6 +261,7 @@ func (rt *Runtime) deliver(t *Timer) {
 	if rt.pool == nil {
 		rt.runCallback(t)
 		rt.deliveredC[t.prio].Add(1)
+		rt.journalFired(t)
 		return
 	}
 	t.enqNS = rt.now().UnixNano()
@@ -282,6 +284,7 @@ func (rt *Runtime) deliver(t *Timer) {
 			// same guarantee After-channel sends have.
 			rt.runCallback(t)
 			rt.deliveredC[t.prio].Add(1)
+			rt.journalFired(t)
 			return
 		}
 		rt.shedOrRetry(t)
@@ -301,6 +304,7 @@ func (rt *Runtime) shedOrRetry(t *Timer) {
 		}
 	}
 	rt.shedC[t.prio].Add(1)
+	rt.journalShed(t)
 	shedLag := rt.lastTick.Load() - int64(t.deadline)
 	if shedLag < 0 {
 		shedLag = 0
@@ -351,6 +355,7 @@ func (rt *Runtime) runAsync(t *Timer, _ overload.Class) {
 	rt.waitHist.Record(rt.now().UnixNano() - t.enqNS)
 	rt.runCallback(t)
 	rt.deliveredC[t.prio].Add(1)
+	rt.journalFired(t)
 }
 
 // runCallback executes one expiry action under the recovery barrier and

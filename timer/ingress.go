@@ -223,11 +223,9 @@ func (rt *Runtime) scheduleIngress(ticks int64, fn func(), ch chan time.Time, op
 	defer ing.gate.Leave()
 	t := rt.acquireTimer()
 	t.fn, t.ch = fn, ch
-	t.prio, t.retries = PriorityNormal, 0
+	t.prio, t.retries, t.tag = PriorityNormal, 0, 0
 	for _, o := range opts {
-		if o.hasPrio {
-			t.prio = o.prio
-		}
+		o.apply(t)
 	}
 	lc := t.lc.Load()&^lcStateMask | ingStaged
 	t.lc.Store(lc)
@@ -280,6 +278,7 @@ func (rt *Runtime) armIngressFallbackLocked(t *Timer, ticks, wallTicks int64) (*
 	// returned to any caller yet on every path that reaches here.
 	t.lc.Store(t.lc.Load()&^lcStateMask | ingArmed)
 	rt.traceRecord(TraceScheduled, t.id, t.prio, rt.fac.Now(), t.deadline, 0)
+	rt.journalArmed(t)
 	rt.poke()
 	return t, nil
 }
@@ -293,6 +292,9 @@ func (rt *Runtime) settleStagedStop(t *Timer) {
 	rt.ing.staged.Add(-1)
 	rt.stoppedStaged.Add(1)
 	rt.traceRecord(TraceStopped, 0, t.prio, Tick(rt.lastTick.Load()), 0, 0)
+	if rt.journal != nil && t.tag != 0 {
+		rt.journal.TimerStopped(t.tag, 0) // id was never set for a staged incarnation
+	}
 	rt.recycleTimer(t) // h/id were never set for a staged incarnation
 }
 
@@ -348,6 +350,7 @@ func (rt *Runtime) stopIngressLocked(t *Timer) {
 	if t.h != nil && rt.stopLocked(t.h, t.id) == nil {
 		rt.stopped++
 		rt.traceRecord(TraceStopped, t.id, t.prio, rt.fac.Now(), t.deadline, 0)
+		rt.journalStopped(t)
 		rt.recycleIngressTimer(t)
 	}
 }
@@ -383,13 +386,21 @@ func (rt *Runtime) resetIngress(t *Timer, d time.Duration) (bool, error) {
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	return rt.resetIngressLocked(t, ticks, wallTicks)
+}
+
+// resetIngressLocked applies one committed reset under rt.mu — the
+// fallback when the intent cannot stage (gate closed, ring full), and
+// the per-item path ResetBatch's locked fallback shares. Caller holds
+// rt.mu.
+func (rt *Runtime) resetIngressLocked(t *Timer, ticks, wallTicks int64) (bool, error) {
 	if rt.closed {
 		return false, ErrRuntimeClosed
 	}
 	if rt.draining {
 		return false, ErrDraining
 	}
-	cur = t.lc.Load()
+	cur := t.lc.Load()
 	switch cur & lcStateMask {
 	case ingStaged:
 		// Still staged: supersede the pending schedule intent and arm at
@@ -402,7 +413,7 @@ func (rt *Runtime) resetIngress(t *Timer, d time.Duration) (bool, error) {
 		if !t.lc.CompareAndSwap(cur, (cur+lcIncar)&^lcStateMask|ingArmed) {
 			return false, ErrStopPending
 		}
-		ing.staged.Add(-1)
+		rt.ing.staged.Add(-1)
 		ticks = rt.stretch(ticks, wallTicks)
 		h, err := rt.startLocked(Tick(ticks), t)
 		if err != nil {
@@ -415,6 +426,7 @@ func (rt *Runtime) resetIngress(t *Timer, d time.Duration) (bool, error) {
 		t.id = h.TimerID()
 		t.deadline = rt.fac.Now() + Tick(ticks)
 		rt.traceRecord(TraceScheduled, t.id, t.prio, rt.fac.Now(), t.deadline, 0)
+		rt.journalArmed(t)
 		rt.poke()
 		return true, nil
 	case ingArmed:
@@ -439,6 +451,7 @@ func (rt *Runtime) resetIngress(t *Timer, d time.Duration) (bool, error) {
 		t.deadline = rt.fac.Now() + Tick(ticks)
 		t.retries = 0
 		rt.traceRecord(TraceScheduled, t.id, t.prio, rt.fac.Now(), t.deadline, 0)
+		rt.journalArmed(t)
 		rt.poke()
 		return wasPending, nil
 	default:
@@ -454,6 +467,9 @@ func (rt *Runtime) shedStagedLocked(t *Timer) {
 	t.lc.Store(t.lc.Load()&^lcStateMask | ingStopping) // terminal; the object is abandoned to GC
 	rt.shedC[t.prio].Add(1)
 	rt.traceRecord(TraceShed, t.id, t.prio, rt.fac.Now(), t.deadline, 0)
+	if rt.journal != nil && t.tag != 0 {
+		rt.journal.TimerShed(t.tag, 0) // id was never set: the admission never armed
+	}
 	if rt.shedHandler != nil {
 		info := ShedInfo{ID: t.id, Priority: t.prio, Deadline: t.deadline, Retries: int(t.retries)}
 		safeHook(func() { rt.shedHandler(info) })
@@ -514,6 +530,7 @@ func (rt *Runtime) applyIngressLocked(it intent) {
 		t.id = h.TimerID()
 		t.deadline = rt.fac.Now() + Tick(iv)
 		rt.traceRecord(TraceScheduled, t.id, t.prio, rt.fac.Now(), t.deadline, 0)
+		rt.journalArmed(t)
 	case opStop:
 		// Only an armed-stop commit leaves the word in ingStopping, and
 		// the incarnation stays there until this intent applies — so a
@@ -553,6 +570,7 @@ func (rt *Runtime) applyIngressLocked(it intent) {
 		t.deadline = rt.fac.Now() + Tick(iv)
 		t.retries = 0
 		rt.traceRecord(TraceScheduled, t.id, t.prio, rt.fac.Now(), t.deadline, 0)
+		rt.journalArmed(t)
 	}
 }
 
@@ -614,10 +632,8 @@ func (rt *Runtime) ScheduleBatch(reqs []Req) ([]*Timer, error) {
 		}
 		t := rt.acquireTimer()
 		t.fn, t.ch = q.Fn, nil
-		t.prio, t.retries = PriorityNormal, 0
-		if q.Opt.hasPrio {
-			t.prio = q.Opt.prio
-		}
+		t.prio, t.retries, t.tag = PriorityNormal, 0, 0
+		q.Opt.apply(t)
 		ticks := rt.stretch(rt.wall.TicksFor(q.After), wallTicks)
 		h, err := rt.startLocked(Tick(ticks), t)
 		if err != nil {
@@ -632,6 +648,7 @@ func (rt *Runtime) ScheduleBatch(reqs []Req) ([]*Timer, error) {
 		t.deadline = rt.fac.Now() + Tick(ticks)
 		rt.started.Add(1)
 		rt.traceRecord(TraceScheduled, t.id, t.prio, rt.fac.Now(), t.deadline, 0)
+		rt.journalArmed(t)
 		timers[i] = t
 	}
 	rt.mu.Unlock()
@@ -718,10 +735,8 @@ func (rt *Runtime) scheduleBatchIngress(reqs []Req, timers []*Timer) ([]*Timer, 
 			t = &Timer{rt: rt}
 		}
 		t.fn, t.ch = q.Fn, nil
-		t.prio, t.retries = PriorityNormal, 0
-		if q.Opt.hasPrio {
-			t.prio = q.Opt.prio
-		}
+		t.prio, t.retries, t.tag = PriorityNormal, 0, 0
+		q.Opt.apply(t)
 		lc := t.lc.Load()&^lcStateMask | ingStaged
 		t.lc.Store(lc)
 		timers[i] = t
@@ -787,6 +802,7 @@ func (rt *Runtime) StopBatch(timers []*Timer) int {
 		if rt.stopLocked(t.h, t.id) == nil {
 			rt.stopped++
 			rt.traceRecord(TraceStopped, t.id, t.prio, rt.fac.Now(), t.deadline, 0)
+			rt.journalStopped(t)
 			rt.recycleTimer(t)
 			accepted++
 		}
@@ -855,6 +871,9 @@ func (rt *Runtime) stopBatchIngress(timers []*Timer) int {
 				nStaged++
 				accepted++
 				rt.traceRecord(TraceStopped, 0, t.prio, Tick(rt.lastTick.Load()), 0, 0)
+				if rt.journal != nil && t.tag != 0 {
+					rt.journal.TimerStopped(t.tag, 0) // never armed
+				}
 			} else if s == ingArmed {
 				if !t.lc.CompareAndSwap(cur, cur&^lcStateMask|ingStopping) {
 					continue
@@ -884,6 +903,196 @@ func (rt *Runtime) stopBatchIngress(timers []*Timer) int {
 	return accepted
 }
 
+// ResetReq is one entry in a ResetBatch call.
+type ResetReq struct {
+	// T is the timer to re-arm; nil entries are skipped.
+	T *Timer
+	// After is the new delay; it rounds up to a whole tick, minimum one.
+	After time.Duration
+}
+
+// ResetBatch re-arms every (non-nil) timer to fire After from now in
+// one call — the retransmission-window idiom at batch scale (every
+// packet in a send burst Resets its timeout) — and reports how many
+// re-arms were accepted. On a synchronous runtime the whole batch
+// applies under a single lock acquisition and the count is exact; on a
+// WithIngress runtime resets stage as first-class ring intents (the
+// same one-block-reservation chunks ScheduleBatch uses) and the count
+// carries Reset's advisory semantics: an accepted reset is guaranteed
+// to apply unless a concurrently committed stop supersedes it. A timer
+// whose stop is already committed is refused (counted out, first such
+// refusal reported as ErrStopPending); timers from another runtime are
+// reset through their own runtime one by one. On a draining or closed
+// runtime remaining resets are refused — the timers keep their current
+// deadlines and the drain policy disposes of them.
+func (rt *Runtime) ResetBatch(reqs []ResetReq) (int, error) {
+	if len(reqs) == 0 {
+		return 0, nil
+	}
+	if rt.ing != nil {
+		return rt.resetBatchIngress(reqs)
+	}
+	wallTicks := rt.wall.TicksAt(rt.now())
+	accepted := 0
+	var firstErr error
+	locked := false
+	unlock := func() {
+		if locked {
+			rt.mu.Unlock()
+			locked = false
+		}
+	}
+	for _, q := range reqs {
+		if q.T == nil {
+			continue
+		}
+		if q.T.rt != rt {
+			unlock()
+			if _, err := q.T.Reset(q.After); err == nil {
+				accepted++
+			} else if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if !locked {
+			rt.mu.Lock()
+			locked = true
+			if rt.closed || rt.draining {
+				err := ErrRuntimeClosed
+				if !rt.closed {
+					err = ErrDraining
+				}
+				rt.mu.Unlock()
+				return accepted, err
+			}
+		}
+		t := q.T
+		if rt.stopLocked(t.h, t.id) == nil {
+			rt.stopped++
+		}
+		ticks := rt.stretch(rt.wall.TicksFor(q.After), wallTicks)
+		h, err := rt.startLocked(Tick(ticks), t)
+		if err != nil {
+			// The old arm (if any) terminated as stopped; the re-arm was
+			// refused — the same ledger shape as a synchronous Reset
+			// whose re-arm fails.
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		rt.started.Add(1)
+		t.h = h
+		t.id = h.TimerID()
+		t.deadline = rt.fac.Now() + Tick(ticks)
+		t.retries = 0
+		rt.traceRecord(TraceScheduled, t.id, t.prio, rt.fac.Now(), t.deadline, 0)
+		rt.journalArmed(t)
+		accepted++
+	}
+	unlock()
+	rt.poke()
+	return accepted, firstErr
+}
+
+// resetBatchIngress stages the batch's resets as ring intents in
+// chunks, mirroring stopBatchIngress: each chunk is one PushN block
+// reservation, and a chunk that cannot stage (gate closed during a
+// drain, or ring full) is applied synchronously under one lock
+// acquisition through the same per-item path a single Reset's fallback
+// uses.
+func (rt *Runtime) resetBatchIngress(reqs []ResetReq) (int, error) {
+	ing := rt.ing
+	wallTicks := rt.wall.TicksAt(rt.now())
+	open := ing.gate.Enter()
+	if open {
+		defer ing.gate.Leave()
+	}
+	accepted := 0
+	var (
+		firstErr error
+		buf      [batchChunk]intent
+		n        int
+		fenced   bool
+	)
+	flush := func() {
+		if n == 0 {
+			return
+		}
+		if open && ing.ring.PushN(buf[:n]) {
+			accepted += n
+			n = 0
+			return
+		}
+		rt.mu.Lock()
+		rt.drainIngressLocked()
+		for i := 0; i < n; i++ {
+			_, err := rt.resetIngressLocked(buf[i].t, buf[i].ticks, buf[i].wall)
+			if err == nil {
+				accepted++
+				continue
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			if err == ErrDraining || err == ErrRuntimeClosed {
+				// Refuse the rest: the timers keep their deadlines and
+				// the drain policy disposes of them.
+				fenced = true
+				break
+			}
+		}
+		rt.mu.Unlock()
+		n = 0
+	}
+	for _, q := range reqs {
+		if q.T == nil {
+			continue
+		}
+		if q.T.rt != rt {
+			flush()
+			if fenced {
+				break
+			}
+			if _, err := q.T.Reset(q.After); err == nil {
+				accepted++
+			} else if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		cur := q.T.lc.Load()
+		if s := cur & lcStateMask; s != ingStaged && s != ingArmed {
+			// A committed stop owns this timer: definitive refusal, the
+			// same outcome a single Reset reports.
+			if firstErr == nil {
+				firstErr = ErrStopPending
+			}
+			continue
+		}
+		// As with a single staged reset: the intent expects the
+		// incarnation ARMED at apply time — its own schedule intent
+		// applies first by FIFO order, and a concurrent stop voids it.
+		buf[n] = intent{
+			t: q.T, op: opReset, lc: cur&^lcStateMask | ingArmed,
+			ticks: rt.wall.TicksFor(q.After), wall: wallTicks,
+		}
+		n++
+		if n == batchChunk {
+			flush()
+			if fenced {
+				break
+			}
+		}
+	}
+	if !fenced {
+		flush()
+	}
+	rt.poke()
+	return accepted, firstErr
+}
+
 // ScheduleBatch schedules the whole batch on one shard (round-robin),
 // so the batch pays one admission regardless of shard count and its
 // timers fire in deadline order relative to each other. Spreading load
@@ -911,4 +1120,31 @@ func (s *Sharded) StopBatch(timers []*Timer) int {
 		i = j
 	}
 	return accepted
+}
+
+// ResetBatch re-arms every (non-nil) timer, forwarding each run of
+// same-shard timers as one batch; a batch returned by ScheduleBatch is
+// a single run. Reports how many re-arms were accepted and the first
+// per-timer refusal.
+func (s *Sharded) ResetBatch(reqs []ResetReq) (int, error) {
+	accepted := 0
+	var firstErr error
+	for i := 0; i < len(reqs); {
+		if reqs[i].T == nil {
+			i++
+			continue
+		}
+		rt := reqs[i].T.rt
+		j := i + 1
+		for j < len(reqs) && (reqs[j].T == nil || reqs[j].T.rt == rt) {
+			j++
+		}
+		a, err := rt.ResetBatch(reqs[i:j])
+		accepted += a
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		i = j
+	}
+	return accepted, firstErr
 }

@@ -57,6 +57,8 @@ func (p Priority) class() overload.Class { return overload.Class(p) }
 type ScheduleOption struct {
 	prio    Priority
 	hasPrio bool
+	tag     uint64
+	hasTag  bool
 }
 
 // WithPriority assigns the timer's overload priority (default

@@ -51,6 +51,9 @@ type runtimeConfig struct {
 
 	// Batched-ingress knob; see ingress.go.
 	ingressDepth int
+
+	// Durability hook; see journal.go.
+	journal Journal
 }
 
 // WithGranularity sets the tick length (default 10ms). Finer granularity
@@ -165,6 +168,10 @@ type Runtime struct {
 	retryBackoff Tick // base retry backoff, in ticks
 	shedHandler  func(ShedInfo)
 
+	// journal is the durability hook (immutable after NewRuntime); nil
+	// unless WithJournal. See journal.go.
+	journal Journal
+
 	// Telemetry (always on). The histograms are lock-free fixed arrays,
 	// recorded into from the hot path with atomic increments only;
 	// lastTick mirrors the facility's virtual time after the most
@@ -220,6 +227,10 @@ type Timer struct {
 	// wait. Written on the driver, read on the worker; the pool's own
 	// synchronization orders the two.
 	enqNS int64
+	// tag is the caller identity WithTag attached (0 = untagged); the
+	// key the Journal correlates transitions by. Written at schedule
+	// time like prio.
+	tag uint64
 	// free links recycled Timers on the runtime's free list.
 	free *Timer
 	// lc is the ingress lifecycle word (see ingress.go): the low two
@@ -262,6 +273,7 @@ func NewRuntime(opts ...RuntimeOption) *Runtime {
 		waitHist:     hdr.New(),
 		batchHist:    hdr.New(),
 		granNS:       cfg.granularity.Nanoseconds(),
+		journal:      cfg.journal,
 	}
 	if cfg.traceCap > 0 {
 		rt.trace = newTraceRing(cfg.traceCap, cfg.traceSink)
@@ -529,11 +541,9 @@ func (rt *Runtime) schedule(ticks int64, fn func(), ch chan time.Time, opts []Sc
 	wallTicks := rt.wall.TicksAt(rt.now())
 	t := rt.acquireTimer()
 	t.fn, t.ch = fn, ch
-	t.prio, t.retries = PriorityNormal, 0
+	t.prio, t.retries, t.tag = PriorityNormal, 0, 0
 	for _, o := range opts {
-		if o.hasPrio {
-			t.prio = o.prio
-		}
+		o.apply(t)
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -556,6 +566,7 @@ func (rt *Runtime) schedule(ticks int64, fn func(), ch chan time.Time, opts []Sc
 	t.deadline = rt.fac.Now() + Tick(ticks)
 	rt.started.Add(1)
 	rt.traceRecord(TraceScheduled, t.id, t.prio, rt.fac.Now(), t.deadline, 0)
+	rt.journalArmed(t)
 	rt.poke() // tickless driver may need an earlier wakeup
 	return t, nil
 }
@@ -602,6 +613,7 @@ func (t *Timer) Stop() bool {
 	}
 	rt.stopped++
 	rt.traceRecord(TraceStopped, t.id, t.prio, rt.fac.Now(), t.deadline, 0)
+	rt.journalStopped(t)
 	rt.mu.Unlock()
 	// Truly cancelled: the facility entry is already recycled (fast
 	// path); recycle the Timer object too.
@@ -661,6 +673,7 @@ func (t *Timer) Reset(d time.Duration) (wasPending bool, err error) {
 	t.deadline = rt.fac.Now() + Tick(ticks)
 	t.retries = 0 // a re-armed timer gets a fresh retry budget
 	rt.traceRecord(TraceScheduled, t.id, t.prio, rt.fac.Now(), t.deadline, 0)
+	rt.journalArmed(t)
 	rt.poke()
 	return wasPending, nil
 }

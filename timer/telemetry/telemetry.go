@@ -32,9 +32,31 @@ type Source interface {
 // Every request takes a fresh snapshot; the scrape cost is proportional
 // to the histogram bucket count, independent of timer load.
 func Handler(src Source) http.Handler {
+	return HandlerWith(src)
+}
+
+// Metric is one externally-owned sample appended after the snapshot's
+// own series — the hook a service embedding the runtime uses to export
+// adjacent subsystem counters (cmd/twd's WAL appends and lease
+// expirations) on the same endpoint with the same name prefix. Value is
+// called once per scrape.
+type Metric struct {
+	// Name is the metric name without the timingwheels_ prefix.
+	Name string
+	// Help is the HELP text.
+	Help string
+	// Gauge exports the sample as a gauge; false means counter.
+	Gauge bool
+	// Value yields the current sample.
+	Value func() float64
+}
+
+// HandlerWith is Handler plus externally-owned metrics appended to
+// every scrape.
+func HandlerWith(src Source, extra ...Metric) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = WriteProm(w, src.Snapshot())
+		_ = writeProm(w, src.Snapshot(), extra)
 	})
 }
 
@@ -43,6 +65,10 @@ func Handler(src Source) http.Handler {
 // seconds (converted from the snapshot's nanosecond histograms), per
 // Prometheus convention.
 func WriteProm(w io.Writer, s timer.Snapshot) error {
+	return writeProm(w, s, nil)
+}
+
+func writeProm(w io.Writer, s timer.Snapshot, extra []Metric) error {
 	b := make([]byte, 0, 4096)
 
 	gauge := func(name, help string, v float64) {
@@ -129,6 +155,22 @@ func WriteProm(w io.Writer, s timer.Snapshot) error {
 			"Staging-ring depth observed at each drain.", s.IngressDepth, 1)
 		b = appendHistogram(b, "ingress_drain_batch_size",
 			"Staged intents applied per drain.", s.IngressDrainBatch, 1)
+	}
+
+	for _, m := range extra {
+		if m.Value == nil {
+			continue
+		}
+		if m.Gauge {
+			gauge(m.Name, m.Help, m.Value())
+		} else {
+			counterHeader(m.Name, m.Help)
+			b = append(b, "timingwheels_"...)
+			b = append(b, m.Name...)
+			b = append(b, ' ')
+			b = strconv.AppendFloat(b, m.Value(), 'g', -1, 64)
+			b = append(b, '\n')
+		}
 	}
 
 	_, err := w.Write(b)

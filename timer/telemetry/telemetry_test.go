@@ -225,3 +225,40 @@ func TestPublishExposesJSON(t *testing.T) {
 		}
 	}
 }
+
+// TestHandlerWithAppendsExtraMetrics checks the externally-owned
+// samples: counters and gauges land after the snapshot's own series,
+// correctly typed and prefixed, and parse under the text-format
+// grammar like everything else.
+func TestHandlerWithAppendsExtraMetrics(t *testing.T) {
+	rt := buildSource(t)
+	h := HandlerWith(rt,
+		Metric{Name: "wal_appends_total", Help: "Records appended to the WAL.", Value: func() float64 { return 42 }},
+		Metric{Name: "leases_active", Help: "Live client leases.", Gauge: true, Value: func() float64 { return 3 }},
+		Metric{Name: "broken", Help: "Nil Value must be skipped."},
+	)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE timingwheels_wal_appends_total counter",
+		"timingwheels_wal_appends_total 42",
+		"# TYPE timingwheels_leases_active gauge",
+		"timingwheels_leases_active 3",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if strings.Contains(body, "broken") {
+		t.Error("nil-Value metric was exported")
+	}
+	for i, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if m := sampleRe.FindStringSubmatch(line); m == nil {
+			t.Fatalf("line %d: malformed sample: %q", i+1, line)
+		}
+	}
+}
