@@ -25,14 +25,15 @@ const replayChunk = 512
 // log already says all of this.
 func (s *server) replay(st *wal.State) error {
 	ids := make([]uint64, 0, len(st.Timers))
-	maxID := uint64(0)
 	for id := range st.Timers {
 		ids = append(ids, id)
-		if id > maxID {
-			maxID = id
-		}
 	}
-	s.nextID.Store(maxID)
+	// The allocator resumes from the replayed high-water mark — the max
+	// over every timer ID the log ever named, including the snapshot's
+	// explicit OpHighWater pin — not from the outstanding set, which
+	// compaction shrinks: re-issuing a settled timer's ID would let a
+	// client holding the stale ID stop an unrelated new timer.
+	s.nextID.Store(st.NextID)
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 
 	for at := 0; at < len(ids); at += replayChunk {
@@ -51,7 +52,8 @@ func (s *server) replay(st *wal.State) error {
 				prio = timer.PriorityNormal
 			}
 			reqs[i] = timer.Req{After: d, Fn: noop, Opt: timer.WithPriority(prio).WithTag(id)}
-			s.pending[id] = struct{}{}
+			s.pending[id] = &entry{class: ts.Class, leaseID: ts.Lease,
+				deadline: ts.Deadline, payload: ts.Payload}
 		}
 		s.mu.Unlock()
 		timers, err := s.fac.ScheduleBatch(reqs)
@@ -60,10 +62,9 @@ func (s *server) replay(st *wal.State) error {
 		}
 		s.mu.Lock()
 		for i, id := range chunk {
-			ts := st.Timers[id]
+			e := s.pending[id]
 			delete(s.pending, id)
-			e := &entry{tm: timers[i], class: ts.Class, leaseID: ts.Lease,
-				deadline: ts.Deadline, payload: ts.Payload}
+			e.tm = timers[i]
 			if _, early := s.earlyHit[id]; early {
 				delete(s.earlyHit, id)
 				s.entries[id] = e

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -70,9 +71,14 @@ type server struct {
 
 	nextID atomic.Uint64
 
-	mu       sync.Mutex
-	entries  map[uint64]*entry
-	pending  map[uint64]struct{} // admitted, WAL-logged, arm in flight
+	mu      sync.Mutex
+	entries map[uint64]*entry
+	// pending holds admitted, WAL-logged timers whose arm/publish is
+	// still in flight, keyed by ID. Each carries the full durable record
+	// (tm is nil until armed): a compaction that interleaves between the
+	// WAL commit and the publish must fold these into the snapshot seed,
+	// or rotating the log would drop acked-but-unpublished timers.
+	pending  map[uint64]*entry
 	earlyHit map[uint64]struct{} // fired before the admitting handler published the entry
 	fired    []firedEvent
 	firedSeq uint64
@@ -118,7 +124,7 @@ func newServer(cfg config) (*server, error) {
 		cfg:       cfg,
 		log:       log,
 		entries:   make(map[uint64]*entry),
-		pending:   make(map[uint64]struct{}),
+		pending:   make(map[uint64]*entry),
 		earlyHit:  make(map[uint64]struct{}),
 		recovered: rec,
 		scheduled: rec.State.Scheduled,
@@ -213,15 +219,21 @@ func (s *server) settleLocked(id uint64, e *entry, nowNS int64, wasShed bool) {
 // transition is logged. Runs on a delivery goroutine (no facility lock
 // held), so calling StopBatch is safe.
 func (s *server) onLeaseExpired(id uint64, timers []uint64) {
-	s.gcLease(id, timers, false)
+	// Best-effort durability: nobody is waiting on an ack, so a WAL
+	// failure here only means the expiry replays and GCs again on boot.
+	s.gcLease(id, timers, false) //nolint:errcheck
 }
 
 // gcLease logs a lease's end and cancels every timer it still owned.
 // commit forces the records durable before returning (client-acked
-// release); the expiry path lets the sync policy absorb them.
-func (s *server) gcLease(leaseID uint64, timers []uint64, commit bool) []uint64 {
+// release); the expiry path lets the sync policy absorb them. The
+// returned error reports a WAL failure: the in-memory GC still ran —
+// the lease is gone either way — but the caller must not ack success,
+// because replay may resurrect some of the cancelled timers (the
+// at-least-once window a 503 permits).
+func (s *server) gcLease(leaseID uint64, timers []uint64, commit bool) ([]uint64, error) {
 	s.mu.Lock()
-	lsn, _ := s.log.Append(wal.Record{Op: wal.OpLeaseExpire, ID: leaseID})
+	lsn, werr := s.log.Append(wal.Record{Op: wal.OpLeaseExpire, ID: leaseID})
 	victims := make([]*timer.Timer, 0, len(timers))
 	cancelled := make([]uint64, 0, len(timers))
 	for _, tid := range timers {
@@ -230,17 +242,25 @@ func (s *server) gcLease(leaseID uint64, timers []uint64, commit bool) []uint64 
 			continue // already fired or cancelled
 		}
 		delete(s.entries, tid)
-		lsn, _ = s.log.Append(wal.Record{Op: wal.OpCancel, Class: e.class, ID: tid, Lease: leaseID})
+		l, aerr := s.log.Append(wal.Record{Op: wal.OpCancel, Class: e.class, ID: tid, Lease: leaseID})
+		if aerr != nil && werr == nil {
+			werr = aerr
+		}
+		if aerr == nil {
+			lsn = l
+		}
 		s.cancelled++
 		victims = append(victims, e.tm)
 		cancelled = append(cancelled, tid)
 	}
 	s.mu.Unlock()
 	if commit {
-		s.log.Commit(lsn)
+		if cerr := s.log.Commit(lsn); cerr != nil && werr == nil {
+			werr = cerr
+		}
 	}
 	s.fac.StopBatch(victims)
-	return cancelled
+	return cancelled, werr
 }
 
 // routes builds the daemon's mux.
@@ -357,16 +377,19 @@ func (s *server) admit(items []scheduleItem) ([]scheduledAck, int, error) {
 	var lsn wal.LSN
 	for i, it := range items {
 		ids[i] = s.nextID.Add(1)
+		payload := []byte(it.Payload)
 		var err error
 		lsn, err = s.log.Append(wal.Record{
 			Op: wal.OpSchedule, Class: uint8(prios[i]), ID: ids[i],
-			Lease: it.Lease, Deadline: deadlines[i], Payload: []byte(it.Payload),
+			Lease: it.Lease, Deadline: deadlines[i], Payload: payload,
 		})
 		if err != nil {
+			s.abortAdmissionLocked(ids[:i])
 			s.mu.Unlock()
 			return nil, http.StatusServiceUnavailable, fmt.Errorf("wal append: %w", err)
 		}
-		s.pending[ids[i]] = struct{}{}
+		s.pending[ids[i]] = &entry{class: uint8(prios[i]), leaseID: it.Lease,
+			deadline: deadlines[i], payload: payload}
 		s.scheduled++
 	}
 	s.mu.Unlock()
@@ -403,9 +426,9 @@ func (s *server) admit(items []scheduleItem) ([]scheduledAck, int, error) {
 	s.mu.Lock()
 	for i, it := range items {
 		id := ids[i]
+		e := s.pending[id]
 		delete(s.pending, id)
-		e := &entry{tm: timers[i], class: uint8(prios[i]), leaseID: it.Lease,
-			deadline: deadlines[i], payload: []byte(it.Payload)}
+		e.tm = timers[i]
 		if _, early := s.earlyHit[id]; early {
 			delete(s.earlyHit, id)
 			s.entries[id] = e // settleLocked removes it
@@ -433,6 +456,17 @@ func (s *server) admit(items []scheduleItem) ([]scheduledAck, int, error) {
 // each gets a cancel record so replay agrees with the refused ack.
 func (s *server) abortAdmission(ids []uint64) {
 	s.mu.Lock()
+	lsn := s.abortAdmissionLocked(ids)
+	s.mu.Unlock()
+	// Best-effort: the client is getting a 503 either way, and a cancel
+	// that misses the disk only re-fires a timer the client was told
+	// failed — the documented at-least-once ambiguity.
+	s.log.Commit(lsn)
+}
+
+// abortAdmissionLocked is abortAdmission under an already-held s.mu; it
+// returns the last cancel's LSN for the caller to commit.
+func (s *server) abortAdmissionLocked(ids []uint64) wal.LSN {
 	var lsn wal.LSN
 	for _, id := range ids {
 		delete(s.pending, id)
@@ -440,8 +474,7 @@ func (s *server) abortAdmission(ids []uint64) {
 		lsn, _ = s.log.Append(wal.Record{Op: wal.OpCancel, ID: id})
 		s.cancelled++
 	}
-	s.mu.Unlock()
-	s.log.Commit(lsn)
+	return lsn
 }
 
 func (s *server) handleStop(w http.ResponseWriter, r *http.Request) {
@@ -451,23 +484,42 @@ func (s *server) handleStop(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	var lsn wal.LSN
 	s.mu.Lock()
 	e, ok := s.entries[req.ID]
-	if ok {
-		delete(s.entries, req.ID)
-		if e.leaseID != 0 {
-			s.leases.Detach(e.leaseID, req.ID)
-		}
-		lsn, _ = s.log.Append(wal.Record{Op: wal.OpCancel, Class: e.class, ID: req.ID, Lease: e.leaseID})
-		s.cancelled++
-	}
-	s.mu.Unlock()
 	if !ok {
+		s.mu.Unlock()
 		writeJSON(w, map[string]any{"stopped": false})
 		return
 	}
-	s.log.Commit(lsn)
+	// Append before touching memory: a refused append then needs no
+	// undo — the timer simply stays armed and the client gets a 503.
+	lsn, werr := s.log.Append(wal.Record{Op: wal.OpCancel, Class: e.class, ID: req.ID, Lease: e.leaseID})
+	if werr != nil {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "wal append: "+werr.Error())
+		return
+	}
+	delete(s.entries, req.ID)
+	if e.leaseID != 0 {
+		s.leases.Detach(e.leaseID, req.ID)
+	}
+	s.cancelled++
+	s.mu.Unlock()
+	if err := s.log.Commit(lsn); err != nil {
+		// The cancel record's durability is unknown (and the log is now
+		// failed). Undo the in-memory cancel and 503: the timer stays
+		// armed in this process, and either replay outcome — cancelled
+		// or re-armed — is permissible for an unacknowledged stop.
+		s.mu.Lock()
+		s.entries[req.ID] = e
+		if e.leaseID != 0 {
+			s.leases.Attach(e.leaseID, req.ID)
+		}
+		s.cancelled--
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "wal commit: "+err.Error())
+		return
+	}
 	// The WAL cancel wins even if the fire won the facility race: the
 	// journal finds the entry gone and logs nothing.
 	stopped := e.tm.Stop()
@@ -491,6 +543,18 @@ func (s *server) handleReset(w http.ResponseWriter, r *http.Request) {
 	}
 	now := time.Now()
 	rr := make([]timer.ResetReq, 0, len(req.Resets))
+	// undo records each entry's pre-reset deadline so a WAL failure can
+	// roll the in-memory view back to what replay will reconstruct.
+	type undo struct {
+		e   *entry
+		was int64
+	}
+	undos := make([]undo, 0, len(req.Resets))
+	revert := func() {
+		for _, u := range undos {
+			u.e.deadline = u.was
+		}
+	}
 	matched := 0
 	s.mu.Lock()
 	var lsn wal.LSN
@@ -502,15 +566,33 @@ func (s *server) handleReset(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			continue
 		}
-		matched++
 		after := time.Duration(q.AfterMS) * time.Millisecond
-		e.deadline = now.Add(after).UnixNano()
-		lsn, _ = s.log.Append(wal.Record{Op: wal.OpReset, Class: e.class, ID: q.ID, Lease: e.leaseID, Deadline: e.deadline})
+		deadline := now.Add(after).UnixNano()
+		l, werr := s.log.Append(wal.Record{Op: wal.OpReset, Class: e.class, ID: q.ID, Lease: e.leaseID, Deadline: deadline})
+		if werr != nil {
+			revert()
+			s.mu.Unlock()
+			httpError(w, http.StatusServiceUnavailable, "wal append: "+werr.Error())
+			return
+		}
+		lsn = l
+		undos = append(undos, undo{e: e, was: e.deadline})
+		e.deadline = deadline
+		matched++
 		rr = append(rr, timer.ResetReq{T: e.tm, After: after})
 	}
 	s.mu.Unlock()
 	if matched > 0 {
-		s.log.Commit(lsn)
+		if err := s.log.Commit(lsn); err != nil {
+			// No reset reached the facility yet; restoring the recorded
+			// deadlines leaves memory, wheel, and replay agreeing on the
+			// old schedule. The 503 tells the client nothing moved.
+			s.mu.Lock()
+			revert()
+			s.mu.Unlock()
+			httpError(w, http.StatusServiceUnavailable, "wal commit: "+err.Error())
+			return
+		}
 	}
 	accepted, _ := s.fac.ResetBatch(rr)
 	s.maybeCompact()
@@ -532,12 +614,17 @@ func (s *server) handleLeaseGrant(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	lsn, werr := s.log.Append(wal.Record{Op: wal.OpLeaseGrant, ID: id, Deadline: expiry.UnixNano()})
 	s.mu.Unlock()
+	if werr == nil {
+		werr = s.log.Commit(lsn)
+	}
 	if werr != nil {
+		// An unacked grant must not live on in memory: if the record did
+		// sneak to disk, replay restores a lease nobody holds and its
+		// watchdog expires it through the normal path.
 		s.leases.Release(id)
 		httpError(w, http.StatusServiceUnavailable, werr.Error())
 		return
 	}
-	s.log.Commit(lsn)
 	writeJSON(w, map[string]any{"lease": id, "expiry_unix_ns": expiry.UnixNano()})
 }
 
@@ -549,15 +636,32 @@ func (s *server) handleLeaseRenew(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	oldExpiry, live := s.leases.Expiry(req.Lease)
+	if !live {
+		httpError(w, http.StatusNotFound, "lease not alive")
+		return
+	}
 	expiry, ok := s.leases.Renew(req.Lease, time.Duration(req.TTLMS)*time.Millisecond)
 	if !ok {
 		httpError(w, http.StatusNotFound, "lease not alive")
 		return
 	}
 	s.mu.Lock()
-	lsn, _ := s.log.Append(wal.Record{Op: wal.OpLeaseRenew, ID: req.Lease, Deadline: expiry.UnixNano()})
+	lsn, werr := s.log.Append(wal.Record{Op: wal.OpLeaseRenew, ID: req.Lease, Deadline: expiry.UnixNano()})
 	s.mu.Unlock()
-	s.log.Commit(lsn)
+	if werr == nil {
+		werr = s.log.Commit(lsn)
+	}
+	if werr != nil {
+		// An acked renewal that is not durable would silently revert to
+		// the old expiry on restart — the client's timers would then be
+		// GC'd early. Roll the in-memory expiry back (unless a later
+		// renewal already moved it) so memory never promises more than
+		// the log, and let the client retry against the 503.
+		s.leases.RevertExpiry(req.Lease, expiry, oldExpiry)
+		httpError(w, http.StatusServiceUnavailable, werr.Error())
+		return
+	}
 	writeJSON(w, map[string]any{"expiry_unix_ns": expiry.UnixNano()})
 }
 
@@ -573,7 +677,11 @@ func (s *server) handleLeaseRelease(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "lease not alive")
 		return
 	}
-	cancelled := s.gcLease(req.Lease, timers, true)
+	cancelled, err := s.gcLease(req.Lease, timers, true)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "released, but not durably: "+err.Error())
+		return
+	}
 	s.maybeCompact()
 	writeJSON(w, map[string]any{"cancelled": cancelled})
 }
@@ -633,7 +741,12 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	body["wal"] = map[string]any{
 		"epoch": ws.Epoch, "lsn": ws.LSN, "durable": ws.Durable,
 		"appends": ws.Appends, "syncs": ws.Syncs, "snapshots": ws.Snapshots,
-		"segment_bytes": ws.SegmentBytes,
+		"segment_bytes": ws.SegmentBytes, "failed": ws.Failed,
+	}
+	if ws.Failed {
+		// The log hit an unrecoverable I/O error: every acked path is
+		// refusing work with 503s and the daemon needs a restart.
+		body["status"] = "degraded: wal failed"
 	}
 	rec := s.recovered
 	body["recovered"] = map[string]any{
@@ -693,12 +806,23 @@ func (s *server) maybeCompact() {
 
 // compact rewrites the WAL as a snapshot of the live state. Holding
 // s.mu for the duration pins the record set: no append can land in the
-// old segment after the set is built, so rotation loses nothing.
+// old segment after the set is built, so rotation loses nothing. The
+// seed folds in s.pending — timers whose OpSchedule is committed but
+// whose arm/publish is still in flight are acked state, and rotating
+// them away would lose them on the next crash — plus a high-water pin
+// so a restart never re-issues a settled timer's ID.
 func (s *server) compact() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	recs := make([]wal.Record, 0, len(s.entries)+8)
+	recs := make([]wal.Record, 0, len(s.entries)+len(s.pending)+8)
+	recs = append(recs, wal.Record{Op: wal.OpHighWater, ID: s.nextID.Load()})
 	for id, e := range s.entries {
+		recs = append(recs, wal.Record{
+			Op: wal.OpSchedule, Class: e.class, ID: id, Lease: e.leaseID,
+			Deadline: e.deadline, Payload: e.payload,
+		})
+	}
+	for id, e := range s.pending {
 		recs = append(recs, wal.Record{
 			Op: wal.OpSchedule, Class: e.class, ID: id, Lease: e.leaseID,
 			Deadline: e.deadline, Payload: e.payload,
@@ -707,7 +831,13 @@ func (s *server) compact() {
 	for _, le := range s.leases.Snapshot() {
 		recs = append(recs, wal.Record{Op: wal.OpLeaseGrant, ID: le.ID, Deadline: le.Expiry.UnixNano()})
 	}
-	s.log.Snapshot(recs)
+	if err := s.log.Snapshot(recs); err != nil {
+		// A failed snapshot rolled back to the old epoch (still
+		// authoritative) or, if even the rollback failed, poisoned the
+		// log — every later acked path then 503s. Either way the operator
+		// must hear about it; durable state is never silently wrong.
+		fmt.Fprintf(os.Stderr, "twd: wal snapshot failed: %v\n", err)
+	}
 }
 
 // shutdown runs the graceful path: fence admissions, cancel the

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"timingwheels/internal/wal"
 )
 
 // fixture is an in-process daemon over a temp WAL dir with fast ticks.
@@ -461,5 +463,105 @@ func TestCompactionPreservesState(t *testing.T) {
 	srv2.mu.Unlock()
 	if got != len(keep) {
 		t.Fatalf("recovered %d timers, want %d", got, len(keep))
+	}
+}
+
+// TestCompactIncludesPendingAdmissions pins the snapshot protocol
+// against the admit/compact race: a timer whose OpSchedule is already
+// WAL-committed but whose arm/publish has not run yet lives only in
+// s.pending, and a compaction that rotates the old segment away must
+// fold it into the seed — otherwise the acked timer is silently gone
+// from durable state.
+func TestCompactIncludesPendingAdmissions(t *testing.T) {
+	dir := t.TempDir()
+	f := newFixture(t, func(c *config) { c.dir = dir })
+	srv := f.srv
+
+	// One published timer for contrast, and one frozen mid-admission:
+	// exactly the state admit() is in between its WAL commit and its
+	// publish step.
+	var ack scheduledAck
+	f.post("/v1/schedule", scheduleItem{AfterMS: 60_000, Payload: "published"}, &ack, 200)
+	deadline := time.Now().Add(time.Minute).UnixNano()
+	srv.mu.Lock()
+	inflight := srv.nextID.Add(1)
+	_, werr := srv.log.Append(wal.Record{Op: wal.OpSchedule, ID: inflight, Deadline: deadline, Payload: []byte("inflight")})
+	srv.pending[inflight] = &entry{deadline: deadline, payload: []byte("inflight")}
+	srv.scheduled++
+	srv.mu.Unlock()
+	if werr != nil {
+		t.Fatalf("append: %v", werr)
+	}
+	if err := srv.log.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+
+	srv.compact()
+	if got := srv.log.Stats().Snapshots; got != 1 {
+		t.Fatalf("snapshots=%d, want 1", got)
+	}
+
+	f.ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	srv.shutdown(ctx)
+	cancel()
+
+	l, rec, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("reopen wal: %v", err)
+	}
+	defer l.Close()
+	if _, ok := rec.State.Timers[inflight]; !ok {
+		t.Fatalf("in-flight admission %d lost across compaction", inflight)
+	}
+	if ts, ok := rec.State.Timers[ack.ID]; !ok || string(ts.Payload) != "published" {
+		t.Fatalf("published timer %d lost across compaction", ack.ID)
+	}
+	if rec.State.NextID < inflight {
+		t.Fatalf("NextID=%d, want >= %d", rec.State.NextID, inflight)
+	}
+}
+
+// TestRestartAfterCompactionNeverReusesIDs settles every timer, compacts
+// (discarding the settled history), restarts, and asserts the allocator
+// resumes past the old IDs: a client holding a fired timer's stale ID
+// must never be able to stop an unrelated new timer.
+func TestRestartAfterCompactionNeverReusesIDs(t *testing.T) {
+	dir := t.TempDir()
+	f := newFixture(t, func(c *config) { c.dir = dir })
+	var ack scheduledAck
+	f.post("/v1/schedule", scheduleItem{AfterMS: 1, Payload: "burn"}, &ack, 200)
+	f.waitFired(3*time.Second, func(fr firedResp) bool { return len(fr.Events) >= 1 })
+
+	// Everything settled: the outstanding set is empty, so a naive
+	// "max outstanding ID" seed would restart the allocator at zero.
+	f.srv.compact()
+	if got := f.srv.log.Stats().Snapshots; got != 1 {
+		t.Fatalf("snapshots=%d, want 1", got)
+	}
+	f.ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	f.srv.shutdown(ctx)
+	cancel()
+
+	srv2, err := newServer(config{dir: dir, granularity: 2 * time.Millisecond, syncEvery: 1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	ts2 := httptest.NewServer(srv2.routes())
+	f2 := &fixture{t: t, srv: srv2, ts: ts2, dir: dir}
+	t.Cleanup(func() {
+		ts2.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv2.shutdown(ctx)
+	})
+	if got := srv2.nextID.Load(); got < ack.ID {
+		t.Fatalf("allocator restarted at %d, below high-water %d", got, ack.ID)
+	}
+	var ack2 scheduledAck
+	f2.post("/v1/schedule", scheduleItem{AfterMS: 60_000}, &ack2, 200)
+	if ack2.ID <= ack.ID {
+		t.Fatalf("restart issued ID %d, already used by the fired timer %d", ack2.ID, ack.ID)
 	}
 }

@@ -242,6 +242,22 @@ func (tb *Table) Renew(id uint64, ttl time.Duration) (time.Time, bool) {
 	return expiry, true
 }
 
+// RevertExpiry undoes a renewal whose durability failed: if the lease
+// is alive and its expiry is still cur — no later renewal interleaved —
+// it moves back to old, so the in-memory lease agrees with what the log
+// will replay. It reports whether the revert applied. The watchdog
+// needs no adjustment: it re-reads the expiry when it fires.
+func (tb *Table) RevertExpiry(id uint64, cur, old time.Time) bool {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	l, ok := tb.leases[id]
+	if !ok || !l.expiry.Equal(cur) {
+		return false
+	}
+	l.expiry = old
+	return true
+}
+
 // Release ends a lease deliberately (client shutdown) and returns the
 // sorted timer IDs it owned; the caller decides their fate. The armed
 // watchdog is stopped best-effort; a missed stop finds no lease and

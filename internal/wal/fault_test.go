@@ -1,0 +1,198 @@
+package wal
+
+// Fault-injection tests for the write-path repair and failed-log
+// discipline: the log must survive a short write (truncate back to the
+// last good frame so later appends stay readable) and must refuse all
+// work after a failed fsync (the kernel may have dropped the dirty
+// pages; "durable" can no longer be trusted).
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+// faultFile wraps the real segment file and injects one short write
+// and/or a persistent fsync error.
+type faultFile struct {
+	*os.File
+	shortNext  int // next Write persists only this many bytes, then errors (-1: off)
+	syncErr    error
+	shortWrote bool
+}
+
+var errInjectedWrite = errors.New("injected: short write")
+
+func (f *faultFile) Write(b []byte) (int, error) {
+	if f.shortNext >= 0 {
+		n := f.shortNext
+		if n > len(b) {
+			n = len(b)
+		}
+		f.shortNext = -1
+		f.shortWrote = true
+		f.File.Write(b[:n]) // garbage lands on disk, offset advances
+		return n, errInjectedWrite
+	}
+	return f.File.Write(b)
+}
+
+func (f *faultFile) Sync() error {
+	if f.syncErr != nil {
+		return f.syncErr
+	}
+	return f.File.Sync()
+}
+
+// inject swaps l's segment file for a faultFile and returns it.
+func inject(t *testing.T, l *Log) *faultFile {
+	t.Helper()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	real, ok := l.f.(*os.File)
+	if !ok {
+		t.Fatalf("log file is %T, want *os.File", l.f)
+	}
+	ff := &faultFile{File: real, shortNext: -1}
+	l.f = ff
+	return ff
+}
+
+// TestAppendRepairsShortWrite forces a write that persists only part of
+// a frame. Append must report the error AND repair the file — truncate
+// the torn bytes, seek back — so the next append lands at a valid
+// boundary and recovery reads every surviving record with no torn tail.
+func TestAppendRepairsShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(1); id <= 2; id++ {
+		if _, err := l.Append(Record{Op: OpSchedule, ID: id, Deadline: int64(id * 10)}); err != nil {
+			t.Fatalf("append %d: %v", id, err)
+		}
+	}
+	ff := inject(t, l)
+
+	ff.shortNext = 5 // part of the frame header reaches the disk
+	if _, err := l.Append(Record{Op: OpSchedule, ID: 3, Deadline: 30}); !errors.Is(err, errInjectedWrite) {
+		t.Fatalf("short-write append err = %v, want injected error", err)
+	}
+	if !ff.shortWrote {
+		t.Fatal("fault never triggered")
+	}
+	if l.Stats().Failed {
+		t.Fatal("repairable short write marked the log failed")
+	}
+
+	// ENOSPC-style transients pass: the very next append must be
+	// readable, not stranded behind five bytes of garbage.
+	if _, err := l.Append(Record{Op: OpSchedule, ID: 4, Deadline: 40}); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	_, res, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if res.Torn {
+		t.Fatalf("repaired log reports torn (%d bytes)", res.TornBytes)
+	}
+	if res.LogRecords != 3 {
+		t.Fatalf("recovered %d records, want 3 (ids 1,2,4)", res.LogRecords)
+	}
+	for _, id := range []uint64{1, 2, 4} {
+		if _, ok := res.State.Timers[id]; !ok {
+			t.Fatalf("timer %d lost after short-write repair", id)
+		}
+	}
+	if _, ok := res.State.Timers[3]; ok {
+		t.Fatal("failed append's record resurrected")
+	}
+}
+
+// TestSyncFailureFailsLog drives one fsync error through Commit and
+// asserts the log transitions to failed: the error reaches the caller
+// (no false ack) and every later mutation returns ErrFailed.
+func TestSyncFailureFailsLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.Append(Record{Op: OpSchedule, ID: 1, Deadline: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := inject(t, l)
+	ff.syncErr = errors.New("injected: fsync lost the pages")
+
+	if err := l.Commit(lsn); err == nil {
+		t.Fatal("Commit swallowed the fsync error")
+	}
+	if !l.Stats().Failed {
+		t.Fatal("fsync error did not fail the log")
+	}
+	if _, err := l.Append(Record{Op: OpSchedule, ID: 2, Deadline: 20}); !errors.Is(err, ErrFailed) {
+		t.Fatalf("Append on failed log = %v, want ErrFailed", err)
+	}
+	if err := l.Commit(lsn); !errors.Is(err, ErrFailed) {
+		t.Fatalf("Commit on failed log = %v, want ErrFailed", err)
+	}
+	if err := l.Snapshot(nil); !errors.Is(err, ErrFailed) {
+		t.Fatalf("Snapshot on failed log = %v, want ErrFailed", err)
+	}
+	// Close still releases the descriptor; recovery owns the rest.
+	if err := l.Close(); err != nil {
+		t.Fatalf("close failed log: %v", err)
+	}
+
+	// What DID reach the disk before the failure replays normally.
+	_, res, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if _, ok := res.State.Timers[1]; !ok {
+		t.Fatal("pre-failure record lost")
+	}
+}
+
+// TestStateTracksIDHighWater pins the allocator seed semantics: NextID
+// is the max over every timer ID the log ever named — schedules,
+// settles of compacted-away admissions, and explicit OpHighWater pins —
+// never just the outstanding set.
+func TestStateTracksIDHighWater(t *testing.T) {
+	st := NewState()
+	st.Apply(Record{Op: OpSchedule, ID: 5, Deadline: 50})
+	st.Apply(Record{Op: OpFire, ID: 5})
+	if st.NextID != 5 {
+		t.Fatalf("NextID=%d after schedule+fire of 5", st.NextID)
+	}
+	st.Apply(Record{Op: OpCancel, ID: 12}) // settled history survived as a lone cancel
+	if st.NextID != 12 {
+		t.Fatalf("NextID=%d, want 12 from cancel record", st.NextID)
+	}
+	st.Apply(Record{Op: OpHighWater, ID: 40})
+	if st.NextID != 40 {
+		t.Fatalf("NextID=%d, want 40 from high-water pin", st.NextID)
+	}
+	st.Apply(Record{Op: OpSchedule, ID: 14, Deadline: 140})
+	if st.NextID != 40 {
+		t.Fatalf("NextID=%d regressed below the pin", st.NextID)
+	}
+	// Lease IDs are a different namespace and must not move the mark.
+	st.Apply(Record{Op: OpLeaseGrant, ID: 90, Deadline: 900})
+	if st.NextID != 40 {
+		t.Fatalf("NextID=%d, lease grant leaked into timer IDs", st.NextID)
+	}
+	if len(st.Timers) != 1 || st.Scheduled != 2 {
+		t.Fatalf("ledger drifted: timers=%d scheduled=%d", len(st.Timers), st.Scheduled)
+	}
+}

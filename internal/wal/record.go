@@ -66,8 +66,13 @@ const (
 	// the log before the process exited. It is informational — recovery
 	// is identical either way — and any later record voids it.
 	OpSeal
+	// OpHighWater pins the timer-ID allocator's high-water mark: ID is
+	// the largest timer ID ever issued. Snapshots write one so that
+	// compaction — which discards settled history — cannot let a restart
+	// re-issue the ID of an already-acked fired or cancelled timer.
+	OpHighWater
 
-	opMax = OpSeal
+	opMax = OpHighWater
 )
 
 // String returns the op's name.
@@ -89,6 +94,8 @@ func (o Op) String() string {
 		return "lease-expire"
 	case OpSeal:
 		return "seal"
+	case OpHighWater:
+		return "high-water"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -129,6 +136,11 @@ var (
 	ErrBadOp = errors.New("wal: invalid record op")
 	// ErrClosed reports an operation on a closed log.
 	ErrClosed = errors.New("wal: log is closed")
+	// ErrFailed reports an operation on a log that hit an unrecoverable
+	// I/O error (a failed fsync, or a failed write that could not be
+	// repaired). Durability can no longer be promised; the process must
+	// restart and recover from disk.
+	ErrFailed = errors.New("wal: log failed; restart and recover")
 )
 
 // appendFrame encodes rec as one frame onto b and returns the extended

@@ -36,6 +36,11 @@ type State struct {
 	// LeasesGranted and LeasesExpired the lease equivalents.
 	Scheduled, Fired, Cancelled  uint64
 	LeasesGranted, LeasesExpired uint64
+	// NextID is the timer-ID allocator's high-water mark: the largest
+	// timer ID seen in any timer record or OpHighWater pin. Seeding the
+	// allocator from it (not from the outstanding set, which compaction
+	// shrinks) guarantees restarts never re-issue a settled timer's ID.
+	NextID uint64
 	// Sealed reports that the final applied record was a clean-shutdown
 	// seal; any record applied after a seal clears it.
 	Sealed bool
@@ -55,6 +60,16 @@ func NewState() *State {
 // admission away, or when a duplicate frame re-applies a settled op).
 func (s *State) Apply(rec Record) {
 	s.Sealed = false
+	switch rec.Op {
+	case OpSchedule, OpCancel, OpReset, OpFire, OpHighWater:
+		// Every timer record (and the explicit high-water pin) carries a
+		// timer ID the allocator must never re-issue. Cancel/reset/fire
+		// matter too: compaction can discard the admission while a later
+		// record still names the ID.
+		if rec.ID > s.NextID {
+			s.NextID = rec.ID
+		}
+	}
 	switch rec.Op {
 	case OpSchedule:
 		if _, dup := s.Timers[rec.ID]; !dup {

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -11,6 +12,17 @@ import (
 	"sync/atomic"
 	"time"
 )
+
+// logFile is the file surface the log appends through. *os.File
+// satisfies it; tests substitute fault-injecting wrappers to exercise
+// the short-write repair and fsync-failure paths.
+type logFile interface {
+	io.Writer
+	Sync() error
+	Seek(offset int64, whence int) (int64, error)
+	Truncate(size int64) error
+	Close() error
+}
 
 // Options tunes a log's fsync batching. The zero value syncs only on
 // Commit, Sync, Snapshot, and Close — every Commit is still durable
@@ -40,6 +52,9 @@ type Stats struct {
 	Appends, Syncs, Snapshots uint64
 	// SegmentBytes is the active segment's size.
 	SegmentBytes int64
+	// Failed reports an unrecoverable I/O error: every mutation returns
+	// ErrFailed and the daemon should be restarted to recover from disk.
+	Failed bool
 }
 
 // Log is an append-only record log over one directory:
@@ -59,13 +74,14 @@ type Log struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	f       *os.File
+	f       logFile
 	epoch   uint64
 	buf     []byte
 	lsn     LSN
 	durable LSN
 	syncing bool
 	closed  bool
+	failed  bool // unrecoverable I/O error; every mutation returns ErrFailed
 	size    int64
 
 	stopInterval chan struct{}
@@ -199,8 +215,23 @@ func (l *Log) Append(rec Record) (LSN, error) {
 		l.mu.Unlock()
 		return 0, ErrClosed
 	}
+	if l.failed {
+		l.mu.Unlock()
+		return 0, ErrFailed
+	}
 	l.buf = appendFrame(l.buf[:0], rec)
 	if _, err := l.f.Write(l.buf); err != nil {
+		// A failed or short write may have advanced the file past
+		// partially written frame bytes. Repair to the last good frame
+		// boundary — truncate the garbage and seek back — so the next
+		// append lands where recovery can read it; if the repair itself
+		// fails, the tail is unknowable and the log is dead.
+		if _, serr := l.f.Seek(l.size, 0); serr != nil {
+			l.failed = true
+		} else if terr := l.f.Truncate(l.size); terr != nil {
+			l.failed = true
+		}
+		l.cond.Broadcast()
 		l.mu.Unlock()
 		return 0, err
 	}
@@ -229,6 +260,9 @@ func (l *Log) Commit(lsn LSN) error {
 		if l.closed {
 			return ErrClosed
 		}
+		if l.failed {
+			return ErrFailed
+		}
 		if l.syncing {
 			// Someone else's fsync is in flight; it may or may not cover
 			// lsn — wait and re-check.
@@ -245,6 +279,13 @@ func (l *Log) Commit(lsn LSN) error {
 		l.syncs.Add(1)
 		if err == nil && high > l.durable {
 			l.durable = high
+		}
+		if err != nil {
+			// After a failed fsync the kernel may have dropped the dirty
+			// pages it could not write: retrying can report success for
+			// data that never reached the disk. Durability is
+			// unknowable from here on, so the log refuses further work.
+			l.failed = true
 		}
 		l.cond.Broadcast()
 		if err != nil {
@@ -282,21 +323,29 @@ func (l *Log) intervalLoop(every time.Duration) {
 // lease), the segment rotates, and older epochs are deleted. The caller
 // must guarantee that records reflects every Append issued before the
 // call and that no Append runs concurrently (twd serializes both under
-// its state lock). On return the seed and the empty segment are
-// durable; the old epoch's files are removed best-effort.
+// its state lock). On success the seed and the empty segment are
+// durable and the old epoch's files are removed best-effort. On error
+// the old epoch stays authoritative — a seed that already renamed into
+// place is removed again — except when that rollback itself fails, in
+// which case the log transitions to failed (ErrFailed thereafter) so no
+// further appends can land where recovery would not look.
 func (l *Log) Snapshot(records []Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
+	if l.failed {
+		return ErrFailed
+	}
 	for l.syncing {
 		l.cond.Wait() // never rotate under an in-flight fsync
 	}
 	newEpoch := l.epoch + 1
 
-	// Seed file: write-all, fsync, atomic rename. A crash anywhere in
-	// here leaves the old epoch intact and recoverable.
+	// Seed file: write-all, fsync, atomic rename. A failure before the
+	// rename leaves the old epoch intact and authoritative; the tmp file
+	// is swept best-effort.
 	snap := snapPath(l.dir, newEpoch)
 	tmp := snap + ".tmp"
 	sf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -309,6 +358,7 @@ func (l *Log) Snapshot(records []Record) error {
 		if len(buf) >= 60<<10 {
 			if _, err := sf.Write(buf); err != nil {
 				sf.Close()
+				os.Remove(tmp)
 				return err
 			}
 			buf = buf[:0]
@@ -317,28 +367,48 @@ func (l *Log) Snapshot(records []Record) error {
 	if len(buf) > 0 {
 		if _, err := sf.Write(buf); err != nil {
 			sf.Close()
+			os.Remove(tmp)
 			return err
 		}
 	}
 	if err := sf.Sync(); err != nil {
 		sf.Close()
+		os.Remove(tmp)
 		return err
 	}
 	if err := sf.Close(); err != nil {
+		os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, snap); err != nil {
+		os.Remove(tmp)
 		return err
+	}
+
+	// The rename is the commit point: recovery now prefers newEpoch's
+	// seed. A failure past here must NOT leave the in-memory log
+	// appending to the old epoch — those records would be invisible to
+	// recovery — so any error rolls the rename back; if even that fails,
+	// the log is dead.
+	rollback := func(cause error) error {
+		os.Remove(walPath(l.dir, newEpoch))
+		if rerr := os.Remove(snap); rerr != nil {
+			l.failed = true
+			l.cond.Broadcast()
+			return fmt.Errorf("wal: snapshot failed (%w) and rollback failed (%v): log failed", cause, rerr)
+		}
+		syncDir(l.dir)
+		return cause
 	}
 
 	// Fresh segment for the new epoch, then the directory entries.
 	nf, err := os.OpenFile(walPath(l.dir, newEpoch), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return err
+		return rollback(err)
 	}
 	if err := syncDir(l.dir); err != nil {
 		nf.Close()
-		return err
+		return rollback(err)
 	}
 
 	old := l.f
@@ -368,8 +438,10 @@ func (l *Log) Snapshot(records []Record) error {
 
 // Close syncs and closes the log. It does not write a seal record —
 // that is the caller's shutdown protocol (append OpSeal, Sync, Close).
+// A failed log still closes its file descriptor: there is nothing left
+// to flush that could be trusted anyway.
 func (l *Log) Close() error {
-	if err := l.Sync(); err != nil && err != ErrClosed {
+	if err := l.Sync(); err != nil && err != ErrClosed && err != ErrFailed {
 		return err
 	}
 	l.mu.Lock()
@@ -396,6 +468,7 @@ func (l *Log) Stats() Stats {
 		LSN:          l.lsn,
 		Durable:      l.durable,
 		SegmentBytes: l.size,
+		Failed:       l.failed,
 	}
 	l.mu.Unlock()
 	s.Appends = l.appends.Load()
