@@ -1,0 +1,67 @@
+// Package clock abstracts the passage of time behind an interface
+// mirroring the standard time package, so code written against it can
+// run on the real clock in production, on a manually advanced Fake in
+// deterministic tests, and on a timing-wheel facility (timer.Runtime
+// implements the same interface via its Clock method) without change.
+//
+// The paper's model (section 2) treats the tick source as external: the
+// timer module is invoked by a clock, it does not own one. This package
+// is that boundary made explicit. Both related production codebases this
+// repository draws on (navarch's pkg/clock, parsec's internal/clock)
+// converge on the same idiom: a Clock interface with Now / Sleep /
+// After / AfterFunc / NewTimer / NewTicker, a real implementation, and
+// a fake with Advance for tests and time-compressed simulation.
+package clock
+
+import "time"
+
+// Clock is a source of time and of time-triggered events. Implementations:
+//
+//   - Real: delegates to the time package (production).
+//   - Fake: virtual time advanced manually or automatically
+//     (deterministic tests, time-compressed simulation).
+//   - timer.Runtime / timer.Sharded (via their Clock methods): timers
+//     backed by the timing-wheel facility itself.
+type Clock interface {
+	// Now reports the current time.
+	Now() time.Time
+	// Since reports the time elapsed since t.
+	Since(t time.Time) time.Duration
+	// Sleep blocks for d.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the current time once, d
+	// from now.
+	After(d time.Duration) <-chan time.Time
+	// AfterFunc schedules fn to run once, d from now, and returns a
+	// Timer whose Stop cancels it.
+	AfterFunc(d time.Duration, fn func()) Timer
+	// NewTimer returns a Timer that delivers on C once, d from now.
+	NewTimer(d time.Duration) Timer
+	// NewTicker returns a Ticker that delivers on C every d.
+	NewTicker(d time.Duration) Ticker
+}
+
+// Timer mirrors *time.Timer: one future delivery on C (or one callback
+// for AfterFunc timers), cancellable with Stop, re-armable with Reset.
+type Timer interface {
+	// C is the delivery channel (nil for AfterFunc timers on some
+	// implementations; callers of AfterFunc use the callback, not C).
+	C() <-chan time.Time
+	// Stop cancels the timer, reporting whether it was still pending.
+	Stop() bool
+	// Reset re-arms the timer to fire d from now, reporting whether it
+	// was still pending. Like time.Timer.Reset, callers that share the
+	// timer's channel should Stop and drain before Reset.
+	Reset(d time.Duration) bool
+}
+
+// Ticker mirrors *time.Ticker: periodic deliveries on C until Stop.
+type Ticker interface {
+	// C is the delivery channel. Deliveries are dropped, not queued,
+	// when the receiver falls behind (the time.Ticker contract).
+	C() <-chan time.Time
+	// Stop ceases deliveries. It does not close C.
+	Stop()
+	// Reset changes the period and restarts the ticker.
+	Reset(d time.Duration)
+}

@@ -1,0 +1,228 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealImplementsClock(t *testing.T) {
+	var c Clock = Real{}
+	if c.Since(c.Now()) < 0 {
+		t.Fatal("real clock ran backwards")
+	}
+	tm := c.NewTimer(time.Hour)
+	if !tm.Stop() {
+		t.Fatal("fresh hour timer already fired")
+	}
+	tk := c.NewTicker(time.Hour)
+	tk.Stop()
+}
+
+func TestFakeAdvanceFiresInOrder(t *testing.T) {
+	fc := NewFake(time.Time{})
+	start := fc.Now()
+
+	var order []string
+	var mu sync.Mutex
+	record := func(tag string) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, tag)
+			mu.Unlock()
+		}
+	}
+	fc.AfterFunc(30*time.Millisecond, record("c"))
+	fc.AfterFunc(10*time.Millisecond, record("a"))
+	fc.AfterFunc(20*time.Millisecond, record("b"))
+
+	fc.Advance(25 * time.Millisecond)
+	mu.Lock()
+	got := append([]string(nil), order...)
+	mu.Unlock()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("fired %v, want [a b]", got)
+	}
+	if want := start.Add(25 * time.Millisecond); !fc.Now().Equal(want) {
+		t.Fatalf("now = %v, want %v", fc.Now(), want)
+	}
+
+	fc.Advance(5 * time.Millisecond)
+	mu.Lock()
+	n := len(order)
+	mu.Unlock()
+	if n != 3 {
+		t.Fatalf("after second advance fired %d, want 3", n)
+	}
+}
+
+func TestFakeTimerDeliversDeadline(t *testing.T) {
+	fc := NewFake(time.Time{})
+	tm := fc.NewTimer(10 * time.Millisecond)
+	want := fc.Now().Add(10 * time.Millisecond)
+
+	fc.Advance(time.Second)
+	select {
+	case at := <-tm.C():
+		if !at.Equal(want) {
+			t.Fatalf("delivered %v, want deadline %v", at, want)
+		}
+	default:
+		t.Fatal("timer did not fire across its deadline")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop reported pending after fire")
+	}
+}
+
+func TestFakeCallbackSeesDeadlineNow(t *testing.T) {
+	fc := NewFake(time.Time{})
+	deadline := fc.Now().Add(10 * time.Millisecond)
+	var at time.Time
+	fc.AfterFunc(10*time.Millisecond, func() { at = fc.Now() })
+	fc.Advance(time.Second)
+	if !at.Equal(deadline) {
+		t.Fatalf("callback observed %v, want exactly the deadline %v", at, deadline)
+	}
+}
+
+func TestFakeStopAndReset(t *testing.T) {
+	fc := NewFake(time.Time{})
+	fired := 0
+	tm := fc.AfterFunc(10*time.Millisecond, func() { fired++ })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer reported false")
+	}
+	fc.Advance(time.Second)
+	if fired != 0 {
+		t.Fatal("stopped timer fired")
+	}
+	if tm.Reset(10 * time.Millisecond) {
+		t.Fatal("Reset on stopped timer reported pending")
+	}
+	fc.Advance(10 * time.Millisecond)
+	if fired != 1 {
+		t.Fatalf("reset timer fired %d times, want 1", fired)
+	}
+	// Reset while pending pushes the deadline out.
+	tm.Reset(20 * time.Millisecond)
+	fc.Advance(10 * time.Millisecond)
+	if fired != 1 {
+		t.Fatal("fired before pushed-out deadline")
+	}
+	fc.Advance(10 * time.Millisecond)
+	if fired != 2 {
+		t.Fatalf("fired %d times after pushed-out deadline, want 2", fired)
+	}
+}
+
+func TestFakeZeroDelayFiresImmediately(t *testing.T) {
+	fc := NewFake(time.Time{})
+	fired := false
+	fc.AfterFunc(0, func() { fired = true })
+	if !fired {
+		t.Fatal("zero-delay AfterFunc did not fire at registration")
+	}
+	tm := fc.NewTimer(-time.Second)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("negative-delay timer did not fire at registration")
+	}
+}
+
+func TestFakeTickerPeriodicNoDrift(t *testing.T) {
+	fc := NewFake(time.Time{})
+	start := fc.Now()
+	tk := fc.NewTicker(10 * time.Millisecond)
+
+	for i := 1; i <= 5; i++ {
+		fc.Advance(10 * time.Millisecond)
+		select {
+		case at := <-tk.C():
+			if want := start.Add(time.Duration(i) * 10 * time.Millisecond); !at.Equal(want) {
+				t.Fatalf("tick %d delivered %v, want %v", i, at, want)
+			}
+		default:
+			t.Fatalf("tick %d not delivered", i)
+		}
+	}
+	tk.Stop()
+	fc.Advance(time.Second)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker delivered")
+	default:
+	}
+}
+
+func TestFakeTickerDropsWhenBehind(t *testing.T) {
+	fc := NewFake(time.Time{})
+	tk := fc.NewTicker(10 * time.Millisecond)
+	fc.Advance(100 * time.Millisecond) // 10 periods, buffer holds 1
+	n := 0
+	for {
+		select {
+		case <-tk.C():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 1 {
+		t.Fatalf("slow receiver got %d ticks, want 1 (drop-don't-queue)", n)
+	}
+}
+
+func TestFakeSleepAndBlockUntilWaiters(t *testing.T) {
+	fc := NewFake(time.Time{})
+	done := make(chan struct{})
+	go func() {
+		fc.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	fc.BlockUntilWaiters(1)
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before advance")
+	default:
+	}
+	fc.Advance(50 * time.Millisecond)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not return after advance")
+	}
+}
+
+func TestFakeAutoAdvance(t *testing.T) {
+	fc := NewFake(time.Time{})
+	fc.SetAutoAdvance(true)
+	start := fc.Now()
+	fc.Sleep(time.Hour) // must not block: registration advances the clock
+	if want := start.Add(time.Hour); !fc.Now().Equal(want) {
+		t.Fatalf("auto-advance moved to %v, want %v", fc.Now(), want)
+	}
+	select {
+	case <-fc.After(time.Minute):
+	default:
+		t.Fatal("After under auto-advance did not deliver")
+	}
+}
+
+func TestFakeCallbackMayRearm(t *testing.T) {
+	fc := NewFake(time.Time{})
+	fired := 0
+	var tm Timer
+	tm = fc.AfterFunc(10*time.Millisecond, func() {
+		fired++
+		if fired < 3 {
+			tm.Reset(10 * time.Millisecond)
+		}
+	})
+	fc.Advance(100 * time.Millisecond)
+	if fired != 3 {
+		t.Fatalf("re-arming callback fired %d times, want 3", fired)
+	}
+}

@@ -1,0 +1,300 @@
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Fake is a virtual Clock: time stands still until Advance (or
+// AdvanceTo) moves it, firing every timer, ticker, and sleeper whose
+// deadline the movement crosses, in deadline order, each at exactly its
+// own deadline. The result is deterministic: a test or simulation that
+// drives a Fake observes the same interleaving every run, with zero
+// real-time sleeping.
+//
+// With SetAutoAdvance(true) the clock additionally jumps forward on its
+// own whenever a timer or sleep is registered, immediately satisfying
+// it — the mode for draining code that polls on a Clock without a
+// cooperating advancer (e.g. a shutdown loop sleeping between checks).
+//
+// All methods are safe for concurrent use. AfterFunc callbacks run
+// synchronously on the advancing goroutine (not a fresh goroutine as in
+// the time package): this is what makes simulations deterministic, and
+// it means callbacks may use the Fake but must not call Advance.
+type Fake struct {
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast when the waiter set changes
+	now     time.Time
+	waiters waiterHeap
+	seq     uint64
+	auto    bool
+}
+
+// NewFake returns a Fake reading start (a fixed epoch when start is
+// zero, so tests that don't care stay deterministic).
+func NewFake(start time.Time) *Fake {
+	if start.IsZero() {
+		start = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	f := &Fake{now: start}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// Now reports the current virtual time.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Since reports the virtual time elapsed since t.
+func (f *Fake) Since(t time.Time) time.Duration { return f.Now().Sub(t) }
+
+// Advance moves the clock forward by d (d >= 0), delivering every
+// expiry crossed, and returns the new time.
+func (f *Fake) Advance(d time.Duration) time.Time {
+	if d < 0 {
+		panic("clock: Fake cannot advance backwards")
+	}
+	f.mu.Lock()
+	target := f.now.Add(d)
+	f.mu.Unlock()
+	f.advanceTo(target)
+	return target
+}
+
+// AdvanceTo moves the clock forward to t (no-op if t is not after the
+// current reading), delivering every expiry crossed.
+func (f *Fake) AdvanceTo(t time.Time) { f.advanceTo(t) }
+
+// SetAutoAdvance toggles auto-advance: when on, registering any timer,
+// ticker, or sleep immediately advances the clock to its deadline.
+func (f *Fake) SetAutoAdvance(on bool) {
+	f.mu.Lock()
+	f.auto = on
+	f.mu.Unlock()
+}
+
+// Waiters reports how many timers, tickers, and sleepers are currently
+// registered.
+func (f *Fake) Waiters() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiters)
+}
+
+// BlockUntilWaiters blocks until at least n waiters are registered —
+// the handshake a test uses to know a goroutine under test has parked
+// on the clock before advancing it.
+func (f *Fake) BlockUntilWaiters(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.waiters) < n {
+		f.cond.Wait()
+	}
+}
+
+// Sleep blocks until the clock advances past d from now.
+func (f *Fake) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-f.After(d)
+}
+
+// After returns a channel delivering the fire time once, d from now in
+// virtual time.
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	return f.NewTimer(d).C()
+}
+
+// AfterFunc schedules fn to run when the clock passes d from now. The
+// callback runs synchronously on the advancing goroutine.
+func (f *Fake) AfterFunc(d time.Duration, fn func()) Timer {
+	return f.newWaiter(d, 0, fn)
+}
+
+// NewTimer returns a Timer delivering once, d from now in virtual time.
+func (f *Fake) NewTimer(d time.Duration) Timer {
+	return f.newWaiter(d, 0, nil)
+}
+
+// NewTicker returns a Ticker delivering every d in virtual time.
+func (f *Fake) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("clock: non-positive ticker period")
+	}
+	return fakeTicker{f.newWaiter(d, d, nil)}
+}
+
+// fakeTicker narrows a periodic waiter to the Ticker interface (whose
+// Stop and Reset, like time.Ticker's, return nothing).
+type fakeTicker struct{ w *waiter }
+
+func (t fakeTicker) C() <-chan time.Time   { return t.w.ch }
+func (t fakeTicker) Stop()                 { t.w.Stop() }
+func (t fakeTicker) Reset(d time.Duration) { t.w.Reset(d) }
+
+// waiter is one registered expiry: a timer or sleeper (period == 0) or
+// a ticker (period > 0). It doubles as the Timer/Ticker handle.
+type waiter struct {
+	fk     *Fake
+	when   time.Time
+	period time.Duration
+	ch     chan time.Time // nil for AfterFunc waiters
+	fn     func()         // nil for channel waiters
+	seq    uint64         // registration order breaks deadline ties
+	idx    int            // heap index; -1 when not registered
+}
+
+// newWaiter registers an expiry d from now and applies auto-advance.
+func (f *Fake) newWaiter(d time.Duration, period time.Duration, fn func()) *waiter {
+	w := &waiter{fk: f, period: period, fn: fn, idx: -1}
+	if fn == nil {
+		w.ch = make(chan time.Time, 1)
+	}
+	f.mu.Lock()
+	w.when = f.now.Add(d)
+	w.seq = f.seq
+	f.seq++
+	fire := !w.when.After(f.now) // d <= 0: due immediately
+	if !fire {
+		heap.Push(&f.waiters, w)
+		f.cond.Broadcast()
+	}
+	auto := f.auto && !fire
+	target := w.when
+	now := f.now
+	f.mu.Unlock()
+	if fire {
+		w.deliver(now)
+		return w
+	}
+	if auto {
+		f.advanceTo(target)
+	}
+	return w
+}
+
+// advanceTo is the delivery loop: pop each due waiter in deadline
+// order, move the clock to its deadline, and deliver outside the lock
+// (callbacks may re-enter the clock).
+func (f *Fake) advanceTo(target time.Time) {
+	for {
+		f.mu.Lock()
+		if len(f.waiters) == 0 || f.waiters[0].when.After(target) {
+			if target.After(f.now) {
+				f.now = target
+			}
+			f.mu.Unlock()
+			return
+		}
+		w := heap.Pop(&f.waiters).(*waiter)
+		if w.when.After(f.now) {
+			f.now = w.when
+		}
+		at := w.when
+		if w.period > 0 {
+			w.when = at.Add(w.period)
+			heap.Push(&f.waiters, w)
+		}
+		f.cond.Broadcast()
+		f.mu.Unlock()
+		w.deliver(at)
+	}
+}
+
+// deliver fires one expiry: a non-blocking channel send (the time
+// package's drop-don't-queue contract) or a synchronous callback.
+func (w *waiter) deliver(at time.Time) {
+	if w.fn != nil {
+		w.fn()
+		return
+	}
+	select {
+	case w.ch <- at:
+	default:
+	}
+}
+
+// C returns the waiter's delivery channel (nil for AfterFunc waiters).
+func (w *waiter) C() <-chan time.Time { return w.ch }
+
+// Stop deregisters the waiter, reporting whether it was still pending.
+func (w *waiter) Stop() bool {
+	f := w.fk
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if w.idx < 0 {
+		return false
+	}
+	heap.Remove(&f.waiters, w.idx)
+	f.cond.Broadcast()
+	return true
+}
+
+// Reset re-arms the waiter d from now (for a ticker, d also becomes the
+// new period), reporting whether it was still pending.
+func (w *waiter) Reset(d time.Duration) bool {
+	f := w.fk
+	f.mu.Lock()
+	wasPending := w.idx >= 0
+	if wasPending {
+		heap.Remove(&f.waiters, w.idx)
+	}
+	if w.period > 0 {
+		if d <= 0 {
+			panic("clock: non-positive ticker period")
+		}
+		w.period = d
+	}
+	w.when = f.now.Add(d)
+	fire := !w.when.After(f.now)
+	if !fire {
+		heap.Push(&f.waiters, w)
+	}
+	f.cond.Broadcast()
+	auto := f.auto && !fire
+	target := w.when
+	now := f.now
+	f.mu.Unlock()
+	if fire {
+		w.deliver(now)
+		return wasPending
+	}
+	if auto {
+		f.advanceTo(target)
+	}
+	return wasPending
+}
+
+// waiterHeap orders waiters by deadline, then by registration order.
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if !h[i].when.Equal(h[j].when) {
+		return h[i].when.Before(h[j].when)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waiterHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *waiterHeap) Push(x any) {
+	w := x.(*waiter)
+	w.idx = len(*h)
+	*h = append(*h, w)
+}
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	w.idx = -1
+	*h = old[:n-1]
+	return w
+}

@@ -1,0 +1,47 @@
+package clock
+
+import "time"
+
+// Real is the production Clock: every method delegates to the time
+// package. The zero value is ready to use.
+type Real struct{}
+
+// System is the shared real clock, for callers that want a default.
+var System Clock = Real{}
+
+// Now reports time.Now().
+func (Real) Now() time.Time { return time.Now() }
+
+// Since reports time.Since(t).
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Sleep calls time.Sleep(d).
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After returns time.After(d).
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// AfterFunc wraps time.AfterFunc(d, fn).
+func (Real) AfterFunc(d time.Duration, fn func()) Timer {
+	return realTimer{time.AfterFunc(d, fn)}
+}
+
+// NewTimer wraps time.NewTimer(d).
+func (Real) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+// NewTicker wraps time.NewTicker(d).
+func (Real) NewTicker(d time.Duration) Ticker { return realTicker{time.NewTicker(d)} }
+
+// realTimer adapts *time.Timer to the Timer interface.
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) C() <-chan time.Time        { return r.t.C }
+func (r realTimer) Stop() bool                 { return r.t.Stop() }
+func (r realTimer) Reset(d time.Duration) bool { return r.t.Reset(d) }
+
+// realTicker adapts *time.Ticker to the Ticker interface.
+type realTicker struct{ t *time.Ticker }
+
+func (r realTicker) C() <-chan time.Time   { return r.t.C }
+func (r realTicker) Stop()                 { r.t.Stop() }
+func (r realTicker) Reset(d time.Duration) { r.t.Reset(d) }

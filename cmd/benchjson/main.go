@@ -21,6 +21,14 @@
 // gate — they measure the standard library, not this repository. When
 // -baseline is not given, the compared report's numbers double as the
 // "before" column of the fresh output.
+//
+// -input skips running go test and parses a saved `go test -bench`
+// output instead (repeated benchmark names keep the fastest run, as
+// with -count). This is how to produce a fair before/after pair on a
+// noisy machine: alternate benchmark runs of the two trees A B A B …
+// in one window, concatenate the A outputs and the B outputs, and feed
+// each file through -input — slow drift then hits both sides equally
+// instead of whichever tree happened to run second.
 package main
 
 import (
@@ -70,17 +78,29 @@ func main() {
 	out := flag.String("o", "BENCH_2.json", "output JSON path")
 	count := flag.Int("count", 1, "-count passed to go test")
 	pkg := flag.String("pkg", ".", "package to benchmark")
+	input := flag.String("input", "", "saved go test -bench output to parse instead of running go test")
 	flag.Parse()
 
-	cmd := exec.Command("go", "test", "-run=NONE",
-		"-bench="+*bench, "-benchmem", "-count="+strconv.Itoa(*count), *pkg)
-	cmd.Stderr = os.Stderr
-	raw, err := cmd.Output()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: go test failed: %v\n", err)
-		os.Exit(1)
+	var raw []byte
+	if *input != "" {
+		var err error
+		raw, err = os.ReadFile(*input)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: input: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		cmd := exec.Command("go", "test", "-run=NONE",
+			"-bench="+*bench, "-benchmem", "-count="+strconv.Itoa(*count), *pkg)
+		cmd.Stderr = os.Stderr
+		var err error
+		raw, err = cmd.Output()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: go test failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(string(raw))
 	}
-	fmt.Print(string(raw))
 
 	rep := Report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),

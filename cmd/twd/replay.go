@@ -38,7 +38,7 @@ func (s *server) replay(st *wal.State) error {
 
 	for at := 0; at < len(ids); at += replayChunk {
 		chunk := ids[at:min(at+replayChunk, len(ids))]
-		now := time.Now().UnixNano()
+		now := s.clk.Now().UnixNano()
 		reqs := make([]timer.Req, len(chunk))
 		s.mu.Lock()
 		for i, id := range chunk {
@@ -68,7 +68,10 @@ func (s *server) replay(st *wal.State) error {
 			if _, early := s.earlyHit[id]; early {
 				delete(s.earlyHit, id)
 				s.entries[id] = e
-				s.settleLocked(id, e, time.Now().UnixNano(), false)
+				// The chunk's admission timestamp, not a fresh sample:
+				// every early hit in one chunk settles at one instant, so
+				// replayed lag is a function of the durable deadline alone.
+				s.settleLocked(id, e, now, false)
 			} else {
 				s.entries[id] = e
 			}

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"timingwheels/clock"
 	"timingwheels/internal/lease"
 	"timingwheels/internal/wal"
 	"timingwheels/timer"
@@ -28,6 +29,7 @@ type config struct {
 	syncInterval time.Duration
 	snapBytes    int64 // segment size that triggers compaction; 0 disables
 	defaultTTL   time.Duration
+	clk          clock.Clock // time source; nil means clock.Real{}
 }
 
 // entry is one live timer the daemon tracks: the facility handle plus
@@ -65,6 +67,7 @@ const firedRingMax = 8192
 // block on fsync) also happens outside s.mu.
 type server struct {
 	cfg    config
+	clk    clock.Clock
 	log    *wal.Log
 	fac    *timer.Sharded
 	leases *lease.Table
@@ -113,6 +116,9 @@ func newServer(cfg config) (*server, error) {
 	if cfg.granularity <= 0 {
 		cfg.granularity = 10 * time.Millisecond
 	}
+	if cfg.clk == nil {
+		cfg.clk = clock.Real{}
+	}
 	log, rec, err := wal.Open(cfg.dir, wal.Options{
 		SyncEvery:    cfg.syncEvery,
 		SyncInterval: cfg.syncInterval,
@@ -122,6 +128,7 @@ func newServer(cfg config) (*server, error) {
 	}
 	s := &server{
 		cfg:       cfg,
+		clk:       cfg.clk,
 		log:       log,
 		entries:   make(map[uint64]*entry),
 		pending:   make(map[uint64]*entry),
@@ -135,6 +142,7 @@ func newServer(cfg config) (*server, error) {
 		timer.WithGranularity(cfg.granularity),
 		timer.WithIngress(0),
 		timer.WithJournal(s),
+		timer.WithClockSource(cfg.clk),
 	)
 	s.leases = lease.NewTable(s.fac, lease.Config{
 		DefaultTTL: cfg.defaultTTL,
@@ -168,7 +176,7 @@ func (s *server) TimerShed(tag uint64, _ timer.ID) { s.onSettled(tag, true) }
 // wall-clock deadline, so a timer that fires on boot replay after
 // downtime reports the true lag, not the re-arm's.
 func (s *server) onSettled(id uint64, wasShed bool) {
-	now := time.Now().UnixNano()
+	now := s.clk.Now().UnixNano()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.entries[id]
@@ -343,7 +351,7 @@ func (s *server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 // so a crash after the ack always replays the timer; a crash before
 // the commit acks nothing and replays nothing.
 func (s *server) admit(items []scheduleItem) ([]scheduledAck, int, error) {
-	now := time.Now()
+	now := s.clk.Now()
 	prios := make([]timer.Priority, len(items))
 	deadlines := make([]int64, len(items))
 	for i, it := range items {
@@ -423,6 +431,10 @@ func (s *server) admit(items []scheduleItem) ([]scheduledAck, int, error) {
 	// here instead of inserting.
 	acks := make([]scheduledAck, len(items))
 	var orphans []*timer.Timer
+	// One settle timestamp for the whole publish pass: re-sampling the
+	// clock per early hit would stamp timers of the same batch with
+	// different fire times (and different lags) for the same event.
+	pubNow := s.clk.Now().UnixNano()
 	s.mu.Lock()
 	for i, it := range items {
 		id := ids[i]
@@ -432,7 +444,7 @@ func (s *server) admit(items []scheduleItem) ([]scheduledAck, int, error) {
 		if _, early := s.earlyHit[id]; early {
 			delete(s.earlyHit, id)
 			s.entries[id] = e // settleLocked removes it
-			s.settleLocked(id, e, time.Now().UnixNano(), false)
+			s.settleLocked(id, e, pubNow, false)
 		} else {
 			s.entries[id] = e
 			if it.Lease != 0 && !s.leases.Attach(it.Lease, id) {
@@ -541,7 +553,7 @@ func (s *server) handleReset(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty reset batch")
 		return
 	}
-	now := time.Now()
+	now := s.clk.Now()
 	rr := make([]timer.ResetReq, 0, len(req.Resets))
 	// undo records each entry's pre-reset deadline so a WAL failure can
 	// roll the in-memory view back to what replay will reconstruct.

@@ -5,6 +5,8 @@
 //	twreplay -gen 500 -seed 7 -max 100 > sched.txt   # export a random schedule
 //	twreplay -schemes scheme2,scheme6,scheme7 < sched.txt
 //	twreplay -f sched.txt -v                         # print every fire
+//	twreplay -f sched.txt -virtual                   # diff against the
+//	                                                 # runtime on a fake clock
 //
 // Schedule format (see internal/replay): `s <key> <interval>`,
 // `x <key>`, `t <n>`, comments with #.
@@ -16,6 +18,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"timingwheels/internal/baseline"
 	"timingwheels/internal/core"
@@ -36,6 +39,9 @@ func main() {
 		"comma-separated schemes to replay against")
 	size := flag.Int("size", 1024, "wheel/table size for bounded schemes")
 	verbose := flag.Bool("v", false, "print every fire of the first scheme")
+	virtual := flag.Bool("virtual", false,
+		"also replay against the concurrent runtime on a fake clock (virtual time) and diff")
+	vgran := flag.Duration("vgran", time.Millisecond, "virtual-time tick granularity for -virtual")
 	flag.Parse()
 
 	if *gen > 0 {
@@ -85,6 +91,20 @@ func main() {
 		}
 		if d := replay.Diff(ref, tr); d != "" {
 			fmt.Printf("DIVERGENCE %s vs %s: %s\n", refName, name, d)
+			os.Exit(1)
+		}
+	}
+	if *virtual {
+		tr, err := applyVirtual(ops, *vgran)
+		if err != nil {
+			fatal(fmt.Errorf("runtime-virtual: %w", err))
+		}
+		fmt.Printf("%-14s fires=%d stopErrors=%d end=%d pending=%d (gran=%v)\n",
+			"runtime", len(tr.Fires), tr.StopErrors, tr.End, tr.Pending, *vgran)
+		if ref == nil {
+			ref, refName = tr, "runtime"
+		} else if d := replay.Diff(ref, tr); d != "" {
+			fmt.Printf("DIVERGENCE %s vs runtime: %s\n", refName, d)
 			os.Exit(1)
 		}
 	}

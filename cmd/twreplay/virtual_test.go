@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"timingwheels/internal/replay"
+)
+
+// TestVirtualReplayMatchesRawSchemes is the virtual-time differential:
+// random schedules applied to the bare schemes and to the full runtime
+// on a fake clock must produce identical traces — same fires at the
+// same ticks, same stop failures, same pending count — with zero
+// sleeping.
+func TestVirtualReplayMatchesRawSchemes(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 99} {
+		ops := replay.Random(seed, 400, 64)
+		fac, err := build("hybrid", 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := replay.Apply(fac, ops)
+		if err != nil {
+			t.Fatalf("seed %d: raw apply: %v", seed, err)
+		}
+		virt, err := applyVirtual(ops, time.Millisecond)
+		if err != nil {
+			t.Fatalf("seed %d: virtual apply: %v", seed, err)
+		}
+		if d := replay.Diff(raw, virt); d != "" {
+			t.Fatalf("seed %d: hybrid vs runtime-virtual: %s", seed, d)
+		}
+	}
+}

@@ -5,13 +5,90 @@
 // O(log n) per event, the classic per-cycle wheel pays overflow-list
 // churn, and the per-tick wheel (the insight that becomes Scheme 4)
 // pays neither.
+//
+// A fifth mechanism closes the loop through the public interface: the
+// production timer facility (timer.Runtime on a clock.Fake, advanced by
+// timer.VirtualDriver) is itself a time-flow mechanism — one simulation
+// tick is one wheel tick of virtual time, and the circuit neither knows
+// nor cares that its event container is the concurrent runtime rather
+// than a bare data structure.
 package main
 
 import (
 	"fmt"
+	"time"
 
 	"timingwheels/des"
+	"timingwheels/timer"
 )
+
+// runtimeMech adapts the public timer API to the des.Mechanism shape:
+// events become AfterFunc timers on a virtual-time runtime, Next steps
+// the VirtualDriver one tick at a time (never past the next event's
+// causal horizon), and mark-and-discard cancellation falls out for free
+// because the engine, not the mechanism, owns the canceled flag.
+type runtimeMech struct {
+	rt    *timer.Runtime
+	vd    *timer.VirtualDriver
+	start time.Time
+	stats *des.Stats
+	ready []*des.Event // fired this tick, not yet popped
+	armed int          // notices still in the wheel
+}
+
+// simGran is the virtual duration of one simulation tick.
+const simGran = time.Millisecond
+
+func newRuntimeMech(stats *des.Stats) *runtimeMech {
+	rt, vd := timer.NewVirtualRuntime(
+		timer.WithGranularity(simGran),
+		timer.WithMaxCatchUp(0),
+	)
+	return &runtimeMech{rt: rt, vd: vd, start: vd.Clock().Now(), stats: stats}
+}
+
+func (m *runtimeMech) Name() string { return "runtime/virtual" }
+
+func (m *runtimeMech) Now() des.Time {
+	return des.Time(m.vd.Clock().Now().Sub(m.start) / simGran)
+}
+
+func (m *runtimeMech) Schedule(ev *des.Event) {
+	d := ev.At - m.Now()
+	if d < 1 {
+		// Due now: hand it straight to the engine on the next pop.
+		m.ready = append(m.ready, ev)
+		return
+	}
+	e := ev
+	if _, err := m.rt.AfterFunc(time.Duration(d)*simGran, func() {
+		m.armed--
+		m.ready = append(m.ready, e)
+	}); err != nil {
+		panic(err)
+	}
+	m.armed++
+}
+
+func (m *runtimeMech) Next() (*des.Event, bool) {
+	for len(m.ready) == 0 {
+		if m.armed == 0 {
+			return nil, false
+		}
+		// One tick at a time: jumping further would move Now past events
+		// the popped one's action may still schedule.
+		if m.vd.Run(simGran) == 0 {
+			m.stats.EmptySteps++
+		}
+	}
+	ev := m.ready[0]
+	m.ready = m.ready[1:]
+	return ev, true
+}
+
+func (m *runtimeMech) Pending() int { return m.armed + len(m.ready) }
+
+func (m *runtimeMech) Close() { m.rt.Close() }
 
 func run(name string, mech des.Mechanism, stats *des.Stats) {
 	e := des.NewEngine(mech)
@@ -48,10 +125,13 @@ func run(name string, mech des.Mechanism, stats *des.Stats) {
 	fmt.Printf("%-18s executed=%-7d transitions=%-6d overflow=%-5d scanned=%-6d peak=%d\n",
 		name, executed, c.Transitions, stats.OverflowInserts,
 		stats.OverflowScanned, e.Stats.PeakPending)
+	if closer, ok := mech.(interface{ Close() }); ok {
+		closer.Close()
+	}
 }
 
 func main() {
-	fmt.Println("one circuit, four time-flow mechanisms (section 4.2):")
+	fmt.Println("one circuit, five time-flow mechanisms (section 4.2):")
 	fmt.Println()
 	for _, m := range []struct {
 		name  string
@@ -66,6 +146,9 @@ func main() {
 		}},
 		{"wheel/per-tick", func(s *des.Stats) des.Mechanism {
 			return des.NewSimulationWheel(64, des.RotatePerTick, s)
+		}},
+		{"runtime/virtual", func(s *des.Stats) des.Mechanism {
+			return newRuntimeMech(s)
 		}},
 	} {
 		stats := &des.Stats{}

@@ -73,16 +73,31 @@ func (w *Wall) TimeOf(tick int64) time.Time {
 	return w.epoch.Add(time.Duration(tick) * w.granularity)
 }
 
+// MaxTicks caps TicksFor so tick arithmetic downstream (deadline =
+// current tick + interval, interval stretching) cannot overflow int64
+// even after the facility has run for years and the caller multiplies
+// by small factors.
+const MaxTicks = int64(1) << 61
+
 // TicksFor converts a duration to a tick count, rounding up so a timer
 // never fires early (a request of 1ns with 1ms granularity waits one full
-// tick). The result is at least 1.
+// tick). The result is at least 1 and at most MaxTicks. The round-up is
+// computed by division rather than as (d + granularity - 1) / granularity:
+// the addition wraps negative for d near math.MaxInt64, which made a
+// ~292-year timer fire on the next tick.
 func (w *Wall) TicksFor(d time.Duration) int64 {
 	if d <= 0 {
 		return 1
 	}
-	n := int64((d + w.granularity - 1) / w.granularity)
+	n := int64(d / w.granularity)
+	if d%w.granularity != 0 {
+		n++ // cannot wrap: n <= MaxInt64/granularity < MaxInt64
+	}
 	if n < 1 {
 		n = 1
+	}
+	if n > MaxTicks {
+		n = MaxTicks
 	}
 	return n
 }

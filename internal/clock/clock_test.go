@@ -1,6 +1,7 @@
 package clock
 
 import (
+	"math"
 	"testing"
 	"time"
 )
@@ -85,6 +86,36 @@ func TestWallTicksFor(t *testing.T) {
 	}
 	if !w.Epoch().Equal(time.Unix(0, 0)) {
 		t.Fatal("Epoch mismatch")
+	}
+}
+
+// Regression: the round-up used to be (d + granularity - 1) / granularity,
+// which wraps negative for d near MaxInt64 — a ~292-year timer fired on
+// the very next tick.
+func TestWallTicksForOverflow(t *testing.T) {
+	w := NewWall(time.Unix(0, 0), 10*time.Millisecond)
+	huge := []time.Duration{
+		math.MaxInt64,
+		math.MaxInt64 - 1,
+		math.MaxInt64 - time.Duration(10*time.Millisecond) + 1,
+	}
+	for _, d := range huge {
+		got := w.TicksFor(d)
+		if got <= 1 {
+			t.Fatalf("TicksFor(%d) = %d: overflow wrapped a far-future timer to the next tick", d, got)
+		}
+		if want := int64(d / (10 * time.Millisecond)); got < want {
+			t.Fatalf("TicksFor(%d) = %d rounded down below %d", d, got, want)
+		}
+		if got > MaxTicks {
+			t.Fatalf("TicksFor(%d) = %d exceeds MaxTicks", d, got)
+		}
+	}
+	// With 1ns granularity the exact tick count would be MaxInt64; the cap
+	// must hold so downstream deadline arithmetic cannot overflow.
+	w1 := NewWall(time.Unix(0, 0), time.Nanosecond)
+	if got := w1.TicksFor(math.MaxInt64); got != MaxTicks {
+		t.Fatalf("TicksFor(MaxInt64) at 1ns granularity = %d, want MaxTicks cap %d", got, MaxTicks)
 	}
 }
 

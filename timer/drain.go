@@ -4,8 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"time"
 
+	"timingwheels/clock"
 	"timingwheels/internal/core"
 )
 
@@ -205,6 +205,15 @@ func (rt *Runtime) drainFireNow(ctx context.Context) {
 // whose deadline falls within the grace window always fires.
 func (rt *Runtime) drainWait(ctx context.Context) {
 	granularity := rt.wall.Granularity()
+	// One poll timer reused across iterations (the old per-iteration
+	// time.After allocated a timer per spin and — worse — ignored the
+	// injected clock, so Drain under a fake clock blocked on real time).
+	var poll clock.Timer
+	defer func() {
+		if poll != nil {
+			poll.Stop()
+		}
+	}()
 	for {
 		rt.Poll()
 		rt.mu.Lock()
@@ -216,11 +225,22 @@ func (rt *Runtime) drainWait(ctx context.Context) {
 		if rt.behind.Load() > 0 {
 			continue // mid catch-up: keep polling without sleeping
 		}
+		if poll == nil {
+			poll = rt.clk.NewTimer(granularity)
+		} else {
+			if !poll.Stop() {
+				select {
+				case <-poll.C():
+				default:
+				}
+			}
+			poll.Reset(granularity)
+		}
 		select {
 		case <-ctx.Done():
 			rt.Poll() // final sweep at the cut-off
 			return
-		case <-time.After(granularity):
+		case <-poll.C():
 		}
 	}
 }

@@ -3,6 +3,8 @@ package timer
 import (
 	"testing"
 	"time"
+
+	"timingwheels/clock"
 )
 
 // noopAction is shared across alloc tests so the measured loop doesn't
@@ -128,6 +130,42 @@ func TestScheduleStopAllocFreeWithPriority(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("AfterFunc(WithPriority)+Stop allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestScheduleStopAllocFreeWithClockSource pins the guarantee through
+// the clock indirection: WithClockSource routes Now through an
+// interface, and neither the interface call nor the Fake's bookkeeping
+// may put allocations on the schedule/stop or poll path.
+func TestScheduleStopAllocFreeWithClockSource(t *testing.T) {
+	fc := clock.NewFake(time.Time{})
+	rt := NewRuntime(
+		WithGranularity(10*time.Millisecond),
+		WithClockSource(fc),
+		WithManualDriver(),
+	)
+	t.Cleanup(func() { rt.Close() })
+	for i := 0; i < 64; i++ {
+		tm, err := rt.AfterFunc(time.Second, noopAction)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tm.Stop() {
+			t.Fatal("warmup Stop failed")
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		tm, err := rt.AfterFunc(time.Second, noopAction)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tm.Stop() {
+			t.Fatal("Stop failed")
+		}
+		rt.Poll()
+	})
+	if allocs != 0 {
+		t.Fatalf("AfterFunc+Stop+Poll via WithClockSource allocates %.1f allocs/op, want 0", allocs)
 	}
 }
 

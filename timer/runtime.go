@@ -8,7 +8,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"timingwheels/internal/clock"
+	"timingwheels/clock"
+	iclock "timingwheels/internal/clock"
 	"timingwheels/internal/core"
 	"timingwheels/internal/dispatch"
 	"timingwheels/internal/hdr"
@@ -29,6 +30,7 @@ type runtimeConfig struct {
 	scheme      Scheme
 	schemeFn    func() Scheme
 	nowFunc     func() time.Time
+	clk         clock.Clock
 	manual      bool
 	tickless    bool
 
@@ -80,9 +82,20 @@ func WithSchemeFactory(fn func() Scheme) RuntimeOption {
 	return func(c *runtimeConfig) { c.schemeFn = fn }
 }
 
-// WithNowFunc replaces the wall-clock source, for tests.
+// WithNowFunc replaces the wall-clock source, for tests. It overrides
+// the Now of a WithClockSource clock; the driver's tickers and sleeps
+// still come from that clock.
 func WithNowFunc(fn func() time.Time) RuntimeOption {
 	return func(c *runtimeConfig) { c.nowFunc = fn }
+}
+
+// WithClockSource replaces every use of the time package in the runtime
+// — Now sampling, the driver's ticker, the tickless sleeper, and the
+// Drain poll loop — with c, making the runtime a pure consumer of the
+// clock.Clock interface. Pass a *clock.Fake to run the runtime on
+// virtual time (see VirtualDriver); the default is clock.Real.
+func WithClockSource(c clock.Clock) RuntimeOption {
+	return func(cfg *runtimeConfig) { cfg.clk = c }
 }
 
 // WithManualDriver disables the background ticking goroutine; the caller
@@ -119,9 +132,11 @@ type Runtime struct {
 	ps     core.PayloadStarter // non-nil when fac supports the zero-alloc fast path
 	ids    core.IDStopper      // non-nil iff ps is non-nil
 	onFire core.PayloadCallback
-	wall   *clock.Wall
-	guard  *clock.Guard // anomaly watch over the wall tick stream
+	wall   *iclock.Wall
+	guard  *iclock.Guard // anomaly watch over the wall tick stream
 	now    func() time.Time
+	clk    clock.Clock // tick/sleep source: Real unless WithClockSource
+	manual bool        // WithManualDriver: no background goroutine
 
 	// Shutdown state, guarded by mu. draining means Drain has begun and
 	// new admissions fail with ErrDraining while outstanding timers are
@@ -247,11 +262,22 @@ type Timer struct {
 func NewRuntime(opts ...RuntimeOption) *Runtime {
 	cfg := runtimeConfig{
 		granularity: DefaultGranularity,
-		nowFunc:     time.Now,
 		maxCatchUp:  DefaultMaxCatchUp,
 	}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.clk == nil {
+		cfg.clk = clock.Real{}
+	}
+	if cfg.nowFunc == nil {
+		if _, real := cfg.clk.(clock.Real); real {
+			// Skip the interface method-value hop on the default path:
+			// nowFunc is read on every Schedule and every poll.
+			cfg.nowFunc = time.Now
+		} else {
+			cfg.nowFunc = cfg.clk.Now
+		}
 	}
 	if cfg.schemeFn != nil {
 		cfg.scheme = cfg.schemeFn()
@@ -262,6 +288,8 @@ func NewRuntime(opts ...RuntimeOption) *Runtime {
 	rt := &Runtime{
 		fac:          cfg.scheme,
 		now:          cfg.nowFunc,
+		clk:          cfg.clk,
+		manual:       cfg.manual,
 		stopCh:       make(chan struct{}),
 		doneCh:       make(chan struct{}),
 		panicHandler: cfg.panicHandler,
@@ -306,13 +334,13 @@ func NewRuntime(opts ...RuntimeOption) *Runtime {
 		}
 		rt.ing = newIngressState(cfg.ingressDepth)
 	}
-	rt.wall = clock.NewWall(rt.now(), cfg.granularity)
+	rt.wall = iclock.NewWall(rt.now(), cfg.granularity)
 	rt.retryBudget = cfg.retryBudget
 	rt.shedHandler = cfg.shedHandler
 	if cfg.retryBudget > 0 {
 		rt.retryBackoff = Tick(rt.wall.TicksFor(cfg.retryBackoff))
 	}
-	rt.guard = clock.NewGuard(rt.wall)
+	rt.guard = iclock.NewGuard(rt.wall)
 	switch {
 	case cfg.manual:
 		close(rt.doneCh)
@@ -390,13 +418,13 @@ func (rt *Runtime) putBuf(b []*Timer) {
 // several ticks back to back rather than skewing all future timers.
 func (rt *Runtime) loop(granularity time.Duration) {
 	defer close(rt.doneCh)
-	ticker := time.NewTicker(granularity)
+	ticker := rt.clk.NewTicker(granularity)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-rt.stopCh:
 			return
-		case <-ticker.C:
+		case <-ticker.C():
 			rt.Poll()
 			// A clock jump can leave the facility further behind than
 			// the per-poll catch-up budget. Keep draining in bounded
@@ -492,6 +520,11 @@ func (rt *Runtime) Schedule(ticks Tick, fn func(), opts ...ScheduleOption) (*Tim
 	if ticks < 1 {
 		ticks = 1
 	}
+	// Same cap TicksFor applies: downstream deadline arithmetic
+	// (fac.Now() + ticks, stretch's lag add) must never wrap int64.
+	if int64(ticks) > iclock.MaxTicks {
+		ticks = Tick(iclock.MaxTicks)
+	}
 	return rt.schedule(int64(ticks), fn, nil, opts)
 }
 
@@ -508,6 +541,13 @@ func (rt *Runtime) Schedule(ticks Tick, fn func(), opts ...ScheduleOption) (*Tim
 func (rt *Runtime) stretch(ticks, wallTicks int64) int64 {
 	if lag := wallTicks - int64(rt.fac.Now()); lag > 0 {
 		ticks += lag
+	}
+	// ticks is at most MaxTicks (1<<61; TicksFor and Schedule cap there),
+	// but the lag is only bounded by the wall reading, which an extreme
+	// nowFunc could push arbitrarily far ahead; saturate so the caller's
+	// deadline add stays in range.
+	if ticks > iclock.MaxTicks {
+		ticks = iclock.MaxTicks
 	}
 	return ticks
 }

@@ -38,6 +38,10 @@ type nextExpirer = core.NextExpirer
 func (rt *Runtime) ticklessLoop() {
 	defer close(rt.doneCh)
 	const maxIdle = time.Minute
+	// One wakeup timer reused across iterations (Stop-drain-Reset), from
+	// the runtime's clock source so a Fake clock drives the sleeper too.
+	wakeup := rt.clk.NewTimer(maxIdle)
+	defer wakeup.Stop()
 	for {
 		rt.mu.Lock()
 		var wait time.Duration
@@ -55,9 +59,12 @@ func (rt *Runtime) ticklessLoop() {
 			// WithMaxCatchUp budget bounds each burst.
 			wait = 0
 		default:
-			if when, ok := rt.fac.(nextExpirer).NextExpiry(); ok {
+			if when, ok := rt.fac.(nextExpirer).NextExpiry(); ok && int64(when) < int64(1<<62)/rt.granNS {
 				// Sleep until the wall time at which the expiry tick has
-				// elapsed (the tick boundary after `when` begins).
+				// elapsed (the tick boundary after `when` begins). Ticks
+				// so far out that tick*granularity would overflow a
+				// Duration (TimeOf would wrap, yielding a negative wait
+				// and a busy spin) fall through to the maxIdle nap.
 				target := rt.wall.TimeOf(int64(when))
 				wait = target.Sub(rt.now())
 				if wait < 0 {
@@ -72,13 +79,20 @@ func (rt *Runtime) ticklessLoop() {
 		}
 		rt.mu.Unlock()
 
-		wakeup := time.NewTimer(wait)
+		// Re-arm the shared timer. It is always in the fired-or-stopped
+		// state here (every select arm below consumes or stops it), so
+		// Stop+drain makes Reset race-free per the time.Timer contract.
+		if !wakeup.Stop() {
+			select {
+			case <-wakeup.C():
+			default:
+			}
+		}
+		wakeup.Reset(wait)
 		select {
 		case <-rt.stopCh:
-			wakeup.Stop()
 			return
 		case <-rt.wake:
-			wakeup.Stop()
 			// A timer with an earlier deadline was scheduled (or Reset)
 			// while the driver slept; loop to re-arm the sleep against
 			// the new earliest deadline. schedule/Reset poke under
@@ -86,7 +100,7 @@ func (rt *Runtime) ticklessLoop() {
 			// timer is always visible by the time the sleep is re-armed
 			// — the buffered channel coalesces a burst of pokes into
 			// one recompute.
-		case <-wakeup.C:
+		case <-wakeup.C():
 			rt.Poll()
 		}
 	}
