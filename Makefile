@@ -31,9 +31,11 @@ check:
 	$(GO) test -race ./...
 	$(GO) test -run Overload -race -short ./timer/ ./internal/schemetest/
 	$(GO) test -run=TestE2ECrashRecovery -count=1 -v ./cmd/twd/
+	$(GO) test -race -run=TestE2EFailover -count=1 -v ./cmd/twd/
 	$(GO) test -run=xxx -fuzz=FuzzBatchIngress -fuzztime=30s ./timer/
 	$(GO) test -run=xxx -fuzz=FuzzModelMixedOps -fuzztime=30s ./internal/schemetest/
 	$(GO) test -run=xxx -fuzz=FuzzWALReplay -fuzztime=30s ./internal/wal/
+	$(GO) test -run=xxx -fuzz=FuzzReplicaStream -fuzztime=30s ./internal/replica/
 	$(MAKE) sim
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
@@ -51,7 +53,7 @@ race:
 	$(GO) test -race ./...
 
 # Hot-path benchmarks with allocation counts, summarized as JSON at the
-# repo root (BENCH_7.json) and gated against the committed BENCH_6.json:
+# repo root (BENCH_8.json) and gated against the committed BENCH_7.json:
 # the run fails if AfterFunc+Stop slows down more than 10% or the
 # allocation-free hot path starts allocating — which is what proves the
 # clock-source indirection costs nothing on the hot path. Set
@@ -63,7 +65,7 @@ BENCH_COUNT ?= 1
 bench:
 	$(GO) run ./cmd/benchjson -count=$(BENCH_COUNT) \
 		$(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE)) \
-		-compare BENCH_6.json -o BENCH_7.json
+		-compare BENCH_7.json -o BENCH_8.json
 
 benchall:
 	$(GO) test -bench=. -benchmem ./...

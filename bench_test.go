@@ -728,3 +728,77 @@ func BenchmarkWALAppend(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkWALStream prices warm-standby replication: a writer appends
+// framed records under the daemon's sync policies while a follower
+// tails the durable prefix through ReadDurable and re-frames it with a
+// FrameDecoder — the exact read path twd's replication streamer and
+// follower share. The metric that matters is frames/s: how fast a
+// standby can drink a primary's commit stream. SyncEvery=1 shows
+// replication gated by per-record fsync; SyncEvery=64 shows the group
+// commit window the streamer rides.
+func BenchmarkWALStream(b *testing.B) {
+	for _, sync := range []int{1, 64} {
+		b.Run(fmt.Sprintf("syncevery%d", sync), func(b *testing.B) {
+			log, _, err := wal.Open(b.TempDir(), wal.Options{SyncEvery: sync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer log.Close()
+			payload := make([]byte, 64)
+			b.ResetTimer()
+
+			done := make(chan error, 1)
+			go func() {
+				// The follower half: poll the durable boundary, decode
+				// every frame exactly once.
+				var dec wal.FrameDecoder
+				epoch := log.FollowPos().Epoch
+				var off int64
+				decoded := 0
+				for decoded < b.N {
+					chunk, err := log.ReadDurable(epoch, off, 256<<10)
+					if err != nil {
+						done <- err
+						return
+					}
+					if len(chunk) == 0 {
+						goruntime.Gosched() // caught up; writer still appending
+						continue
+					}
+					off += int64(len(chunk))
+					dec.Write(chunk)
+					for {
+						_, n, err := dec.Next()
+						if err != nil {
+							done <- err
+							return
+						}
+						if n == 0 {
+							break
+						}
+						decoded++
+					}
+				}
+				done <- nil
+			}()
+
+			rec := wal.Record{Op: wal.OpSchedule, Class: 1, Deadline: 1 << 50, Payload: payload}
+			for i := 0; i < b.N; i++ {
+				rec.ID = uint64(i + 1)
+				if _, err := log.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Promote the group-commit tail so the follower can finish.
+			if err := log.Sync(); err != nil {
+				b.Fatal(err)
+			}
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+		})
+	}
+}

@@ -10,8 +10,21 @@
 //
 //	twd -addr :7474 -dir /var/lib/twd
 //
-// See the repository README for the endpoint reference and a worked
-// curl session.
+// A second twd can follow the first as a warm standby, replaying the
+// primary's WAL stream into its own log:
+//
+//	twd -addr :7475 -dir /var/lib/twd-b -follow http://127.0.0.1:7474
+//
+// POST /v1/promote (or SIGUSR1) turns the standby into the primary: it
+// drains the replication cursor, re-arms the outstanding timers at
+// their absolute deadlines, bumps the fencing term, and starts
+// accepting writes. A deposed primary that restarts with
+// -peers http://127.0.0.1:7475 discovers the higher term and boots
+// fenced — refusing writes and arming nothing, so no timer ever fires
+// twice.
+//
+// See the repository README for the endpoint reference and worked curl
+// sessions.
 package main
 
 import (
@@ -23,9 +36,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 )
+
+// serverWriteTimeout bounds any single response, and therefore every
+// long poll: maxFiredWait and maxStreamWait must stay below it.
+const serverWriteTimeout = 45 * time.Second
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -46,9 +64,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		snapBytes    = fs.Int64("snapshot-bytes", 8<<20, "segment size that triggers compaction (0 disables)")
 		defaultTTL   = fs.Duration("lease-ttl", 30*time.Second, "default lease TTL")
 		drainWait    = fs.Duration("drain-timeout", 5*time.Second, "graceful shutdown budget")
+		follow       = fs.String("follow", "", "run as a warm standby of this primary base URL")
+		peers        = fs.String("peers", "", "comma-separated peer base URLs to probe for a higher term at boot")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	// A node that was ever a primary must assume it was deposed while it
+	// was down: if any peer serves a higher term, boot fenced — recover
+	// the state for inspection, arm nothing, refuse writes.
+	startFenced := false
+	if *peers != "" && *follow == "" {
+		own := loadTerm(*dir)
+		if highest := probePeerTerms(strings.Split(*peers, ","), 2*time.Second); highest > own {
+			fmt.Fprintf(stdout, "twd boot fenced: peer term %d > own term %d\n", highest, own)
+			startFenced = true
+		}
 	}
 
 	srv, err := newServer(config{
@@ -59,6 +91,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		syncInterval: *syncInterval,
 		snapBytes:    *snapBytes,
 		defaultTTL:   *defaultTTL,
+		follow:       *follow,
+		startFenced:  startFenced,
+		logf:         func(format string, a ...any) { fmt.Fprintf(stdout, format, a...) },
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "twd: %v\n", err)
@@ -68,6 +103,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "twd recovered epoch=%d snapshot=%d log=%d outstanding=%d leases=%d torn=%v sealed=%v\n",
 		rec.Epoch, rec.SnapshotRecords, rec.LogRecords,
 		rec.State.Outstanding(), len(rec.State.Leases), rec.Torn, rec.State.Sealed)
+	fmt.Fprintf(stdout, "twd role=%s term=%d\n", srv.currentRole(), srv.currentTerm())
+	if *follow != "" {
+		fmt.Fprintf(stdout, "twd following %s\n", *follow)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -78,18 +117,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// waits for before sending traffic.
 	fmt.Fprintf(stdout, "twd listening on %s\n", ln.Addr())
 
-	hs := &http.Server{Handler: srv.routes()}
+	hs := &http.Server{Handler: srv.routes(), WriteTimeout: serverWriteTimeout}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
-	sig := make(chan os.Signal, 2)
-	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
-	select {
-	case got := <-sig:
-		fmt.Fprintf(stdout, "twd shutting down on %v\n", got)
-	case err := <-serveErr:
-		fmt.Fprintf(stderr, "twd: serve: %v\n", err)
-		return 1
+	sig := make(chan os.Signal, 4)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt, syscall.SIGUSR1)
+	for {
+		select {
+		case got := <-sig:
+			if got == syscall.SIGUSR1 {
+				// Operator-driven promotion, equivalent to POST /v1/promote.
+				if _, perr := srv.promote(context.Background()); perr != nil {
+					fmt.Fprintf(stderr, "twd: promote: %v\n", perr)
+				}
+				continue
+			}
+			fmt.Fprintf(stdout, "twd shutting down on %v\n", got)
+		case err := <-serveErr:
+			fmt.Fprintf(stderr, "twd: serve: %v\n", err)
+			return 1
+		}
+		break
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)

@@ -83,13 +83,28 @@ func (s *server) replay(st *wal.State) error {
 	// timer that fired between its re-arm above and this restore is
 	// simply detached-by-absence: the lease GC skips entries it cannot
 	// find.
+	//
+	// A lease already past its TTL is a client that died while the
+	// daemon was down (or, on a promoted standby, died with the old
+	// primary). Its timers are GC'd synchronously HERE — before the
+	// daemon starts admitting — not via Restore's watchdog: an admission
+	// racing the watchdog could attach to a lease that is already dead,
+	// and on a promoted standby the window would span the whole
+	// promotion.
 	owned := make(map[uint64][]uint64)
 	for id, ts := range st.Timers {
 		if ts.Lease != 0 {
 			owned[ts.Lease] = append(owned[ts.Lease], id)
 		}
 	}
+	now := s.clk.Now().UnixNano()
 	for id, ls := range st.Leases {
+		if ls.Expiry <= now {
+			// Best-effort durability, exactly like the watchdog path: the
+			// expiry replays and GCs again if these records miss the disk.
+			s.gcLease(id, owned[id], false) //nolint:errcheck
+			continue
+		}
 		if err := s.leases.Restore(id, time.Unix(0, ls.Expiry), owned[id]); err != nil {
 			return fmt.Errorf("twd: restore lease %d: %w", id, err)
 		}

@@ -14,6 +14,7 @@ import (
 
 	"timingwheels/clock"
 	"timingwheels/internal/lease"
+	"timingwheels/internal/replica"
 	"timingwheels/internal/wal"
 	"timingwheels/timer"
 	"timingwheels/timer/telemetry"
@@ -30,6 +31,20 @@ type config struct {
 	snapBytes    int64 // segment size that triggers compaction; 0 disables
 	defaultTTL   time.Duration
 	clk          clock.Clock // time source; nil means clock.Real{}
+
+	// follow makes this node a standby replicating the primary at this
+	// base URL; empty means primary.
+	follow string
+	// followWait is the stream long-poll bound a standby sends; 0 takes
+	// the replica package default.
+	followWait time.Duration
+	// startFenced boots the node fenced: state is recovered but nothing
+	// is armed and every write is refused. Set when a -peers probe found
+	// a higher term — this node was deposed while it was down.
+	startFenced bool
+	// logf receives operational banners (promotions, fences); nil means
+	// os.Stderr.
+	logf func(format string, args ...any)
 }
 
 // entry is one live timer the daemon tracks: the facility handle plus
@@ -74,6 +89,19 @@ type server struct {
 
 	nextID atomic.Uint64
 
+	// Replication identity: role transitions serialize on role.mu;
+	// roleNow/termNow are the lock-free read side. repState is the
+	// replayed-and-replicated wal.State — on a standby the follower keeps
+	// appending to it, and promotion replays it; on a primary it is only
+	// the boot recovery's state.
+	role        roleState
+	roleNow     atomic.Int32
+	termNow     atomic.Uint64
+	repState    *wal.State
+	repMu       sync.Mutex // guards repState between the follower and healthz
+	replApplied atomic.Uint64
+	logf        func(format string, args ...any)
+
 	mu      sync.Mutex
 	entries map[uint64]*entry
 	// pending holds admitted, WAL-logged timers whose arm/publish is
@@ -85,7 +113,10 @@ type server struct {
 	earlyHit map[uint64]struct{} // fired before the admitting handler published the entry
 	fired    []firedEvent
 	firedSeq uint64
-	draining bool
+	// firedNotify is closed-and-replaced on every fire: the broadcast
+	// /v1/fired?wait= long-pollers block on.
+	firedNotify chan struct{}
+	draining    bool
 
 	// Lifetime counters, seeded from replay so the conservation ledger
 	//
@@ -107,8 +138,11 @@ type server struct {
 // no per-timer closure.
 var noop = func() {}
 
-// newServer opens the WAL in cfg.dir, replays it, and starts the
-// facility with the recovered timers and leases re-armed.
+// newServer opens the WAL in cfg.dir, replays it, and — on a primary —
+// starts the facility with the recovered timers and leases re-armed. A
+// standby (cfg.follow) arms nothing: it streams the primary's WAL into
+// repState and only replays at promotion. A fenced boot
+// (cfg.startFenced) arms nothing and never will.
 func newServer(cfg config) (*server, error) {
 	if cfg.shards < 1 {
 		cfg.shards = 1
@@ -119,6 +153,9 @@ func newServer(cfg config) (*server, error) {
 	if cfg.clk == nil {
 		cfg.clk = clock.Real{}
 	}
+	if cfg.logf == nil {
+		cfg.logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format, args...) }
+	}
 	log, rec, err := wal.Open(cfg.dir, wal.Options{
 		SyncEvery:    cfg.syncEvery,
 		SyncInterval: cfg.syncInterval,
@@ -127,16 +164,23 @@ func newServer(cfg config) (*server, error) {
 		return nil, fmt.Errorf("twd: open wal: %w", err)
 	}
 	s := &server{
-		cfg:       cfg,
-		clk:       cfg.clk,
-		log:       log,
-		entries:   make(map[uint64]*entry),
-		pending:   make(map[uint64]*entry),
-		earlyHit:  make(map[uint64]struct{}),
-		recovered: rec,
-		scheduled: rec.State.Scheduled,
-		firedN:    rec.State.Fired,
-		cancelled: rec.State.Cancelled,
+		cfg:         cfg,
+		clk:         cfg.clk,
+		log:         log,
+		entries:     make(map[uint64]*entry),
+		pending:     make(map[uint64]*entry),
+		earlyHit:    make(map[uint64]struct{}),
+		firedNotify: make(chan struct{}),
+		recovered:   rec,
+		repState:    rec.State,
+		logf:        cfg.logf,
+		scheduled:   rec.State.Scheduled,
+		firedN:      rec.State.Fired,
+		cancelled:   rec.State.Cancelled,
+		// The fired cursor continues from the replayed fire count, so a
+		// client's /v1/fired `since` stays monotonic across restarts and
+		// failovers instead of resetting to zero.
+		firedSeq: rec.State.Fired,
 	}
 	s.fac = timer.NewSharded(cfg.shards,
 		timer.WithGranularity(cfg.granularity),
@@ -148,10 +192,39 @@ func newServer(cfg config) (*server, error) {
 		DefaultTTL: cfg.defaultTTL,
 		OnExpire:   s.onLeaseExpired,
 	})
-	if err := s.replay(rec.State); err != nil {
-		s.fac.Close()
-		log.Close()
-		return nil, err
+
+	switch {
+	case cfg.follow != "":
+		s.roleNow.Store(int32(roleStandby))
+		s.termNow.Store(loadTerm(cfg.dir))
+		if err := s.startFollowing(); err != nil {
+			s.fac.Close()
+			log.Close()
+			return nil, fmt.Errorf("twd: start following %s: %w", cfg.follow, err)
+		}
+	case cfg.startFenced:
+		s.roleNow.Store(int32(roleFenced))
+		s.termNow.Store(loadTerm(cfg.dir))
+		s.mu.Lock()
+		s.draining = true
+		s.mu.Unlock()
+	default:
+		s.roleNow.Store(int32(rolePrimary))
+		term := loadTerm(cfg.dir)
+		if term == 0 {
+			term = 1
+			if err := saveTerm(cfg.dir, term); err != nil {
+				s.fac.Close()
+				log.Close()
+				return nil, fmt.Errorf("twd: persist term: %w", err)
+			}
+		}
+		s.termNow.Store(term)
+		if err := s.replay(rec.State); err != nil {
+			s.fac.Close()
+			log.Close()
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -220,6 +293,9 @@ func (s *server) settleLocked(id uint64, e *entry, nowNS int64, wasShed bool) {
 	s.fired = append(s.fired, firedEvent{
 		Seq: s.firedSeq, ID: id, FiredNS: nowNS, LagNS: lag, Payload: string(e.payload),
 	})
+	// Wake the /v1/fired long-pollers: close-and-replace is a broadcast.
+	close(s.firedNotify)
+	s.firedNotify = make(chan struct{})
 }
 
 // onLeaseExpired is the lease table's OnExpire hook: the client stopped
@@ -271,22 +347,37 @@ func (s *server) gcLease(leaseID uint64, timers []uint64, commit bool) ([]uint64
 	return cancelled, werr
 }
 
-// routes builds the daemon's mux.
+// routes builds the daemon's mux. Write endpoints pass through the
+// role/term guard; reads and replication are served in every role
+// (a standby's stream serves its own WAL, enabling chained replicas).
+// Every response carries the node's term via stampTerm.
 func (s *server) routes() http.Handler {
+	streamer := &replica.Streamer{Src: s.log, Term: s.currentTerm, MaxWait: maxStreamWait}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/schedule", s.handleSchedule)
-	mux.HandleFunc("/v1/schedule-batch", s.handleScheduleBatch)
-	mux.HandleFunc("/v1/stop", s.handleStop)
-	mux.HandleFunc("/v1/reset", s.handleReset)
-	mux.HandleFunc("/v1/lease", s.handleLeaseGrant)
-	mux.HandleFunc("/v1/lease/renew", s.handleLeaseRenew)
-	mux.HandleFunc("/v1/lease/release", s.handleLeaseRelease)
+	mux.HandleFunc("/v1/schedule", s.writeGuard(s.handleSchedule))
+	mux.HandleFunc("/v1/schedule-batch", s.writeGuard(s.handleScheduleBatch))
+	mux.HandleFunc("/v1/stop", s.writeGuard(s.handleStop))
+	mux.HandleFunc("/v1/reset", s.writeGuard(s.handleReset))
+	mux.HandleFunc("/v1/lease", s.writeGuard(s.handleLeaseGrant))
+	mux.HandleFunc("/v1/lease/renew", s.writeGuard(s.handleLeaseRenew))
+	mux.HandleFunc("/v1/lease/release", s.writeGuard(s.handleLeaseRelease))
 	mux.HandleFunc("/v1/fired", s.handleFired)
 	mux.HandleFunc("/v1/timers", s.handleTimers)
+	mux.HandleFunc("/v1/promote", s.handlePromote)
+	mux.HandleFunc("/v1/replica/snapshot", streamer.ServeSnapshot)
+	mux.HandleFunc("/v1/replica/stream", streamer.ServeStream)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", telemetry.HandlerWith(s.fac, s.extraMetrics()...))
-	return mux
+	return s.stampTerm(mux)
 }
+
+// Long-poll bounds. Both must stay under the http.Server write timeout
+// main.go configures (serverWriteTimeout), or a caught-up poller would
+// see its response killed mid-wait.
+const (
+	maxFiredWait  = 30 * time.Second
+	maxStreamWait = 2 * time.Second
+)
 
 type scheduleItem struct {
 	AfterMS    int64  `json:"after_ms,omitempty"`
@@ -318,9 +409,9 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &item) {
 		return
 	}
-	acks, status, err := s.admit([]scheduleItem{item})
+	acks, status, code, err := s.admit([]scheduleItem{item})
 	if err != nil {
-		httpError(w, status, err.Error())
+		httpError(w, status, code, err.Error())
 		return
 	}
 	writeJSON(w, acks[0])
@@ -334,12 +425,12 @@ func (s *server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Timers) == 0 {
-		httpError(w, http.StatusBadRequest, "empty batch")
+		httpError(w, http.StatusBadRequest, "bad_request", "empty batch")
 		return
 	}
-	acks, status, err := s.admit(req.Timers)
+	acks, status, code, err := s.admit(req.Timers)
 	if err != nil {
-		httpError(w, status, err.Error())
+		httpError(w, status, code, err.Error())
 		return
 	}
 	writeJSON(w, map[string]any{"timers": acks})
@@ -350,14 +441,14 @@ func (s *server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 // facility, then publish the entries. The WAL commit precedes the arm
 // so a crash after the ack always replays the timer; a crash before
 // the commit acks nothing and replays nothing.
-func (s *server) admit(items []scheduleItem) ([]scheduledAck, int, error) {
+func (s *server) admit(items []scheduleItem) ([]scheduledAck, int, string, error) {
 	now := s.clk.Now()
 	prios := make([]timer.Priority, len(items))
 	deadlines := make([]int64, len(items))
 	for i, it := range items {
 		p, ok := parseClass(it.Class)
 		if !ok {
-			return nil, http.StatusBadRequest, fmt.Errorf("item %d: unknown class %q", i, it.Class)
+			return nil, http.StatusBadRequest, "bad_request", fmt.Errorf("item %d: unknown class %q", i, it.Class)
 		}
 		prios[i] = p
 		switch {
@@ -366,11 +457,11 @@ func (s *server) admit(items []scheduleItem) ([]scheduledAck, int, error) {
 		case it.AfterMS > 0:
 			deadlines[i] = now.Add(time.Duration(it.AfterMS) * time.Millisecond).UnixNano()
 		default:
-			return nil, http.StatusBadRequest, fmt.Errorf("item %d: need after_ms or deadline_unix_ns", i)
+			return nil, http.StatusBadRequest, "bad_request", fmt.Errorf("item %d: need after_ms or deadline_unix_ns", i)
 		}
 		if it.Lease != 0 {
 			if _, live := s.leases.Expiry(it.Lease); !live {
-				return nil, http.StatusConflict, fmt.Errorf("item %d: lease %d is not alive", i, it.Lease)
+				return nil, http.StatusConflict, "lease_not_alive", fmt.Errorf("item %d: lease %d is not alive", i, it.Lease)
 			}
 		}
 	}
@@ -380,7 +471,7 @@ func (s *server) admit(items []scheduleItem) ([]scheduledAck, int, error) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		return nil, http.StatusServiceUnavailable, fmt.Errorf("draining")
+		return nil, http.StatusServiceUnavailable, "draining", fmt.Errorf("draining")
 	}
 	var lsn wal.LSN
 	for i, it := range items {
@@ -394,7 +485,7 @@ func (s *server) admit(items []scheduleItem) ([]scheduledAck, int, error) {
 		if err != nil {
 			s.abortAdmissionLocked(ids[:i])
 			s.mu.Unlock()
-			return nil, http.StatusServiceUnavailable, fmt.Errorf("wal append: %w", err)
+			return nil, http.StatusServiceUnavailable, "wal_failed", fmt.Errorf("wal append: %w", err)
 		}
 		s.pending[ids[i]] = &entry{class: uint8(prios[i]), leaseID: it.Lease,
 			deadline: deadlines[i], payload: payload}
@@ -403,7 +494,7 @@ func (s *server) admit(items []scheduleItem) ([]scheduledAck, int, error) {
 	s.mu.Unlock()
 	if err := s.log.Commit(lsn); err != nil {
 		s.abortAdmission(ids)
-		return nil, http.StatusServiceUnavailable, fmt.Errorf("wal commit: %w", err)
+		return nil, http.StatusServiceUnavailable, "wal_failed", fmt.Errorf("wal commit: %w", err)
 	}
 
 	// Arm. The deadline is re-expressed as a delay; a deadline already
@@ -423,7 +514,7 @@ func (s *server) admit(items []scheduleItem) ([]scheduledAck, int, error) {
 		// acked-nothing outcome is also the replayed outcome.
 		s.fac.StopBatch(timers)
 		s.abortAdmission(ids)
-		return nil, http.StatusServiceUnavailable, fmt.Errorf("facility refused batch: %w", err)
+		return nil, http.StatusServiceUnavailable, "overloaded", fmt.Errorf("facility refused batch: %w", err)
 	}
 
 	// Publish. A timer whose deadline fell inside the first tick may
@@ -461,7 +552,7 @@ func (s *server) admit(items []scheduleItem) ([]scheduledAck, int, error) {
 	s.mu.Unlock()
 	s.fac.StopBatch(orphans)
 	s.maybeCompact()
-	return acks, 0, nil
+	return acks, 0, "", nil
 }
 
 // abortAdmission voids WAL-admitted ids after a downstream failure:
@@ -508,7 +599,7 @@ func (s *server) handleStop(w http.ResponseWriter, r *http.Request) {
 	lsn, werr := s.log.Append(wal.Record{Op: wal.OpCancel, Class: e.class, ID: req.ID, Lease: e.leaseID})
 	if werr != nil {
 		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, "wal append: "+werr.Error())
+		httpError(w, http.StatusServiceUnavailable, "wal_failed", "wal append: "+werr.Error())
 		return
 	}
 	delete(s.entries, req.ID)
@@ -529,7 +620,7 @@ func (s *server) handleStop(w http.ResponseWriter, r *http.Request) {
 		}
 		s.cancelled--
 		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, "wal commit: "+err.Error())
+		httpError(w, http.StatusServiceUnavailable, "wal_failed", "wal commit: "+err.Error())
 		return
 	}
 	// The WAL cancel wins even if the fire won the facility race: the
@@ -550,7 +641,7 @@ func (s *server) handleReset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Resets) == 0 {
-		httpError(w, http.StatusBadRequest, "empty reset batch")
+		httpError(w, http.StatusBadRequest, "bad_request", "empty reset batch")
 		return
 	}
 	now := s.clk.Now()
@@ -584,7 +675,7 @@ func (s *server) handleReset(w http.ResponseWriter, r *http.Request) {
 		if werr != nil {
 			revert()
 			s.mu.Unlock()
-			httpError(w, http.StatusServiceUnavailable, "wal append: "+werr.Error())
+			httpError(w, http.StatusServiceUnavailable, "wal_failed", "wal append: "+werr.Error())
 			return
 		}
 		lsn = l
@@ -602,7 +693,7 @@ func (s *server) handleReset(w http.ResponseWriter, r *http.Request) {
 			s.mu.Lock()
 			revert()
 			s.mu.Unlock()
-			httpError(w, http.StatusServiceUnavailable, "wal commit: "+err.Error())
+			httpError(w, http.StatusServiceUnavailable, "wal_failed", "wal commit: "+err.Error())
 			return
 		}
 	}
@@ -620,7 +711,7 @@ func (s *server) handleLeaseGrant(w http.ResponseWriter, r *http.Request) {
 	}
 	id, expiry, err := s.leases.Grant(time.Duration(req.TTLMS) * time.Millisecond)
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, err.Error())
+		httpError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
 		return
 	}
 	s.mu.Lock()
@@ -634,7 +725,7 @@ func (s *server) handleLeaseGrant(w http.ResponseWriter, r *http.Request) {
 		// sneak to disk, replay restores a lease nobody holds and its
 		// watchdog expires it through the normal path.
 		s.leases.Release(id)
-		httpError(w, http.StatusServiceUnavailable, werr.Error())
+		httpError(w, http.StatusServiceUnavailable, "wal_failed", werr.Error())
 		return
 	}
 	writeJSON(w, map[string]any{"lease": id, "expiry_unix_ns": expiry.UnixNano()})
@@ -650,12 +741,12 @@ func (s *server) handleLeaseRenew(w http.ResponseWriter, r *http.Request) {
 	}
 	oldExpiry, live := s.leases.Expiry(req.Lease)
 	if !live {
-		httpError(w, http.StatusNotFound, "lease not alive")
+		httpError(w, http.StatusNotFound, "lease_not_alive", "lease not alive")
 		return
 	}
 	expiry, ok := s.leases.Renew(req.Lease, time.Duration(req.TTLMS)*time.Millisecond)
 	if !ok {
-		httpError(w, http.StatusNotFound, "lease not alive")
+		httpError(w, http.StatusNotFound, "lease_not_alive", "lease not alive")
 		return
 	}
 	s.mu.Lock()
@@ -671,7 +762,7 @@ func (s *server) handleLeaseRenew(w http.ResponseWriter, r *http.Request) {
 		// renewal already moved it) so memory never promises more than
 		// the log, and let the client retry against the 503.
 		s.leases.RevertExpiry(req.Lease, expiry, oldExpiry)
-		httpError(w, http.StatusServiceUnavailable, werr.Error())
+		httpError(w, http.StatusServiceUnavailable, "wal_failed", werr.Error())
 		return
 	}
 	writeJSON(w, map[string]any{"expiry_unix_ns": expiry.UnixNano()})
@@ -686,31 +777,71 @@ func (s *server) handleLeaseRelease(w http.ResponseWriter, r *http.Request) {
 	}
 	timers, ok := s.leases.Release(req.Lease)
 	if !ok {
-		httpError(w, http.StatusNotFound, "lease not alive")
+		httpError(w, http.StatusNotFound, "lease_not_alive", "lease not alive")
 		return
 	}
 	cancelled, err := s.gcLease(req.Lease, timers, true)
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, "released, but not durably: "+err.Error())
+		httpError(w, http.StatusServiceUnavailable, "wal_failed", "released, but not durably: "+err.Error())
 		return
 	}
 	s.maybeCompact()
 	writeJSON(w, map[string]any{"cancelled": cancelled})
 }
 
+// handleFired serves the fired-event ring. `since` is the client's
+// cursor; `wait` long-polls: if no event past the cursor exists yet,
+// the handler blocks up to min(wait, maxFiredWait) for the next fire
+// instead of forcing the client to poll.
 func (s *server) handleFired(w http.ResponseWriter, r *http.Request) {
 	var since uint64
 	fmt.Sscanf(r.URL.Query().Get("since"), "%d", &since)
-	s.mu.Lock()
-	events := make([]firedEvent, 0, 32)
-	for _, ev := range s.fired {
-		if ev.Seq > since {
-			events = append(events, ev)
+	var wait time.Duration
+	if ws := r.URL.Query().Get("wait"); ws != "" {
+		d, err := time.ParseDuration(ws)
+		if err != nil || d < 0 {
+			httpError(w, http.StatusBadRequest, "bad_request", "bad wait duration")
+			return
+		}
+		if d > maxFiredWait {
+			d = maxFiredWait
+		}
+		wait = d
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		s.mu.Lock()
+		events := make([]firedEvent, 0, 32)
+		for _, ev := range s.fired {
+			if ev.Seq > since {
+				events = append(events, ev)
+			}
+		}
+		next := s.firedSeq
+		notify := s.firedNotify
+		s.mu.Unlock()
+		// next > since with no events means the cursor predates the ring's
+		// retention: answer immediately so the client can resynchronize
+		// rather than block on history that will never reappear.
+		if len(events) > 0 || wait == 0 || next > since {
+			writeJSON(w, map[string]any{"events": events, "next": next})
+			return
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			writeJSON(w, map[string]any{"events": events, "next": next})
+			return
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-notify: // a fire landed; re-collect
+			t.Stop()
+		case <-t.C:
+		case <-r.Context().Done():
+			t.Stop()
+			return
 		}
 	}
-	next := s.firedSeq
-	s.mu.Unlock()
-	writeJSON(w, map[string]any{"events": events, "next": next})
 }
 
 // handleTimers lists the outstanding set — the daemon's answer to
@@ -740,6 +871,8 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	body := map[string]any{
 		"status":          "ok",
+		"role":            s.currentRole().String(),
+		"term":            s.currentTerm(),
 		"outstanding":     len(s.entries) + len(s.pending),
 		"scheduled_total": s.scheduled,
 		"fired_total":     s.firedN,
@@ -753,7 +886,37 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	body["wal"] = map[string]any{
 		"epoch": ws.Epoch, "lsn": ws.LSN, "durable": ws.Durable,
 		"appends": ws.Appends, "syncs": ws.Syncs, "snapshots": ws.Snapshots,
-		"segment_bytes": ws.SegmentBytes, "failed": ws.Failed,
+		"segment_bytes": ws.SegmentBytes, "durable_bytes": ws.DurableBytes,
+		"failed": ws.Failed,
+	}
+	if s.currentRole() == roleStandby {
+		// Replication lag, observable without /metrics: how far this
+		// standby trails the primary's commit point.
+		rs := s.role.follower.Status()
+		rep := map[string]any{
+			"primary":        s.cfg.follow,
+			"cursor_epoch":   rs.Cursor.Epoch,
+			"cursor_offset":  rs.Cursor.Offset,
+			"bytes_behind":   rs.BytesBehind,
+			"records_behind": rs.RecordsBehind,
+			"frames_applied": rs.FramesApplied,
+			"seeds":          rs.Seeds,
+			"resyncs":        rs.Resyncs,
+			"net_errors":     rs.NetErrors,
+		}
+		if !rs.LastContact.IsZero() {
+			rep["last_contact_ms_ago"] = time.Since(rs.LastContact).Milliseconds()
+		}
+		body["replication"] = rep
+		s.repMu.Lock()
+		st := s.repState
+		body["replicated"] = map[string]any{
+			"outstanding": st.Outstanding(),
+			"scheduled":   st.Scheduled,
+			"fired":       st.Fired,
+			"cancelled":   st.Cancelled,
+		}
+		s.repMu.Unlock()
 	}
 	if ws.Failed {
 		// The log hit an unrecoverable I/O error: every acked path is
@@ -798,6 +961,22 @@ func (s *server) extraMetrics() []telemetry.Metric {
 		{Name: "twd_scheduled_total", Help: "Timers durably admitted.", Value: srvStat(func(s *server) float64 { return float64(s.scheduled) })},
 		{Name: "twd_fired_total", Help: "Timers delivered.", Value: srvStat(func(s *server) float64 { return float64(s.firedN) })},
 		{Name: "twd_cancelled_total", Help: "Timers cancelled.", Value: srvStat(func(s *server) float64 { return float64(s.cancelled) })},
+		{Name: "twd_role", Help: "Replication role (0 primary, 1 standby, 2 fenced).", Gauge: true, Value: func() float64 { return float64(s.roleNow.Load()) }},
+		{Name: "twd_term", Help: "Fencing term.", Gauge: true, Value: func() float64 { return float64(s.currentTerm()) }},
+		{Name: "wal_durable_bytes", Help: "Durable prefix of the active WAL segment (what replication serves).", Gauge: true, Value: walStat(func(w wal.Stats) float64 { return float64(w.DurableBytes) })},
+		{Name: "replica_frames_applied_total", Help: "WAL frames applied from the primary (standby only).", Value: func() float64 { return float64(s.replApplied.Load()) }},
+		{Name: "replica_bytes_behind", Help: "Replication lag in bytes (standby only).", Gauge: true, Value: func() float64 {
+			if f := s.role.follower; f != nil {
+				return float64(f.Status().BytesBehind)
+			}
+			return 0
+		}},
+		{Name: "replica_records_behind", Help: "Replication lag in records (standby only).", Gauge: true, Value: func() float64 {
+			if f := s.role.follower; f != nil {
+				return float64(f.Status().RecordsBehind)
+			}
+			return 0
+		}},
 	}
 }
 
@@ -860,6 +1039,15 @@ func (s *server) shutdown(drainCtx context.Context) {
 	if !s.stopped.CompareAndSwap(false, true) {
 		return
 	}
+	if s.currentRole() == roleStandby && s.role.followStop != nil {
+		// Stop the stream first, then persist a cursor that matches the
+		// synced local journal — the restart resumes instead of re-seeding.
+		s.role.followStop()
+		<-s.role.followDone
+		expired, cancel := context.WithCancel(context.Background())
+		cancel() // pre-cancelled: Drain skips fetching, syncs, persists
+		s.role.follower.Drain(expired)
+	}
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
@@ -876,16 +1064,16 @@ func (s *server) shutdown(drainCtx context.Context) {
 
 func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST required")
 		return false
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		httpError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return false
 	}
 	if err := json.Unmarshal(body, v); err != nil {
-		httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
+		httpError(w, http.StatusBadRequest, "bad_request", "bad json: "+err.Error())
 		return false
 	}
 	return true
@@ -896,8 +1084,16 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func httpError(w http.ResponseWriter, code int, msg string) {
+// httpError writes a machine-readable error: `error` is a stable code
+// clients can switch on ("draining", "wal_failed", "not_primary", ...),
+// `message` the human detail. 503s carry Retry-After so a well-behaved
+// client backs off instead of hammering a daemon that is draining or
+// whose WAL failed.
+func httpError(w http.ResponseWriter, status int, code, msg string) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": code, "message": msg})
 }

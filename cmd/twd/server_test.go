@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -563,5 +564,248 @@ func TestRestartAfterCompactionNeverReusesIDs(t *testing.T) {
 	f2.post("/v1/schedule", scheduleItem{AfterMS: 60_000}, &ack2, 200)
 	if ack2.ID <= ack.ID {
 		t.Fatalf("restart issued ID %d, already used by the fired timer %d", ack2.ID, ack.ID)
+	}
+}
+
+// TestErrorCodesAndRetryAfter pins the refusal contract: 503s carry a
+// Retry-After hint and a machine-readable {"error": <code>} body, and
+// validation failures name their code too — what twclient keys its
+// retry policy off.
+func TestErrorCodesAndRetryAfter(t *testing.T) {
+	f := newFixture(t, nil)
+
+	// Draining: every admission answers 503 draining + Retry-After.
+	f.srv.mu.Lock()
+	f.srv.draining = true
+	f.srv.mu.Unlock()
+	raw, _ := json.Marshal(map[string]any{"after_ms": 50})
+	resp, err := http.Post(f.ts.URL+"/v1/schedule", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Error   string `json:"error"`
+		Message string `json:"message"`
+	}
+	derr := json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining schedule = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 missing Retry-After")
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("error Content-Type = %q, want application/json", ct)
+	}
+	if derr != nil || body.Error != "draining" {
+		t.Fatalf("503 body error = %q (%v), want \"draining\"", body.Error, derr)
+	}
+	f.srv.mu.Lock()
+	f.srv.draining = false
+	f.srv.mu.Unlock()
+
+	// Validation: 400 bad_request, no Retry-After.
+	raw, _ = json.Marshal(map[string]any{"payload": "no deadline"})
+	resp, err = http.Post(f.ts.URL+"/v1/schedule", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	derr = json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || derr != nil || body.Error != "bad_request" {
+		t.Fatalf("validation refusal = %d %q (%v), want 400 bad_request", resp.StatusCode, body.Error, derr)
+	}
+	if resp.Header.Get("Retry-After") != "" {
+		t.Error("400 carries Retry-After; retrying a validation error is useless")
+	}
+
+	// A dead lease: 409 lease_not_alive.
+	raw, _ = json.Marshal(map[string]any{"after_ms": 50, "lease": 999999})
+	resp, err = http.Post(f.ts.URL+"/v1/schedule", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	derr = json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || derr != nil || body.Error != "lease_not_alive" {
+		t.Fatalf("dead-lease refusal = %d %q (%v), want 409 lease_not_alive", resp.StatusCode, body.Error, derr)
+	}
+}
+
+// TestHealthzWALPosition pins the healthz WAL fields replication
+// tooling keys off: epoch, segment bytes, and the durable prefix.
+func TestHealthzWALPosition(t *testing.T) {
+	f := newFixture(t, nil)
+	f.post("/v1/schedule", map[string]any{"after_ms": 60_000}, nil, 200)
+
+	var h struct {
+		Role string `json:"role"`
+		Term uint64 `json:"term"`
+		Wal  struct {
+			Epoch        uint64 `json:"epoch"`
+			SegmentBytes int64  `json:"segment_bytes"`
+			DurableBytes int64  `json:"durable_bytes"`
+		} `json:"wal"`
+	}
+	f.get("/healthz", &h)
+	if h.Role != "primary" || h.Term == 0 {
+		t.Fatalf("role=%q term=%d, want primary with a positive term", h.Role, h.Term)
+	}
+	if h.Wal.SegmentBytes == 0 || h.Wal.DurableBytes == 0 {
+		t.Fatalf("wal position empty after a durable admission: %+v", h.Wal)
+	}
+	if h.Wal.DurableBytes > h.Wal.SegmentBytes {
+		t.Fatalf("durable %d exceeds segment %d", h.Wal.DurableBytes, h.Wal.SegmentBytes)
+	}
+}
+
+// TestFiredLongPoll: /v1/fired?wait= parks until an event lands, wakes
+// promptly when one does, and returns immediately for stale cursors.
+func TestFiredLongPoll(t *testing.T) {
+	f := newFixture(t, nil)
+
+	// Park a long poll, then admit a timer that fires 40ms later: the
+	// poll must return the event well before its wait bound.
+	type pollResult struct {
+		fr  firedResp
+		el  time.Duration
+		err error
+	}
+	res := make(chan pollResult, 1)
+	go func() {
+		start := time.Now()
+		resp, err := http.Get(f.ts.URL + "/v1/fired?since=0&wait=5s")
+		if err != nil {
+			res <- pollResult{err: err}
+			return
+		}
+		var fr firedResp
+		err = json.NewDecoder(resp.Body).Decode(&fr)
+		resp.Body.Close()
+		res <- pollResult{fr: fr, el: time.Since(start), err: err}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the poll park
+	f.post("/v1/schedule", map[string]any{"after_ms": 40}, nil, 200)
+	r := <-res
+	if r.err != nil {
+		t.Fatalf("long poll: %v", r.err)
+	}
+	if len(r.fr.Events) == 0 {
+		t.Fatal("long poll returned empty despite a fire")
+	}
+	if r.el >= 5*time.Second {
+		t.Fatalf("long poll blocked the full wait (%v) instead of waking on the fire", r.el)
+	}
+
+	// A caught-up cursor with wait=0 returns immediately and empty.
+	var fr firedResp
+	f.get(fmt.Sprintf("/v1/fired?since=%d", r.fr.Next), &fr)
+	if len(fr.Events) != 0 {
+		t.Fatalf("caught-up cursor returned %d events", len(fr.Events))
+	}
+
+	// Malformed wait: 400 bad_request.
+	resp, err := http.Get(f.ts.URL + "/v1/fired?wait=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad wait = %d, want 400", resp.StatusCode)
+	}
+
+	// A wait past the server bound is clamped, not refused: the poll
+	// with an absurd wait and a fresh fire still answers promptly.
+	f.post("/v1/schedule", map[string]any{"after_ms": 20}, nil, 200)
+	start := time.Now()
+	resp, err = http.Get(f.ts.URL + fmt.Sprintf("/v1/fired?since=%d&wait=10h", r.fr.Next))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("clamped wait = %d, want 200", resp.StatusCode)
+	}
+	if time.Since(start) > maxFiredWait+5*time.Second {
+		t.Fatalf("absurd wait not clamped: took %v", time.Since(start))
+	}
+}
+
+// TestTermFenceOn421: a request bearing a higher term than the node's
+// own is proof of deposal — the node fences itself and refuses the
+// write with the machine-readable code.
+func TestTermFenceOnHigherTerm(t *testing.T) {
+	f := newFixture(t, nil)
+	raw, _ := json.Marshal(map[string]any{"after_ms": 50})
+	req, _ := http.NewRequest(http.MethodPost, f.ts.URL+"/v1/schedule", bytes.NewReader(raw))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Twd-Term", "99")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	derr := json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest || derr != nil || body.Error != "fenced" {
+		t.Fatalf("higher-term write = %d %q (%v), want 421 fenced", resp.StatusCode, body.Error, derr)
+	}
+
+	var h struct {
+		Role string `json:"role"`
+	}
+	f.get("/healthz", &h)
+	if h.Role != "fenced" {
+		t.Fatalf("role after fencing = %q, want fenced", h.Role)
+	}
+	// Ordinary writes stay refused.
+	raw, _ = json.Marshal(map[string]any{"after_ms": 50})
+	resp, err = http.Post(f.ts.URL+"/v1/schedule", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("post-fence write = %d, want 421", resp.StatusCode)
+	}
+}
+
+// TestBootGCsExpiredLeases: a lease that expired while the daemon was
+// down is a client that died with it. Its timers must be GC'd during
+// replay — synchronously, before the daemon admits anything — not via
+// a watchdog racing the first admissions.
+func TestBootGCsExpiredLeases(t *testing.T) {
+	dir := t.TempDir()
+	f1 := newFixture(t, func(c *config) { c.dir = dir })
+
+	var lr struct {
+		Lease uint64 `json:"lease"`
+	}
+	// 1s is the table's MinTTL floor; anything shorter silently clamps.
+	f1.post("/v1/lease", map[string]any{"ttl_ms": 1000}, &lr, 200)
+	f1.post("/v1/schedule", map[string]any{"after_ms": 60_000, "lease": lr.Lease}, nil, 200)
+	f1.post("/v1/schedule", map[string]any{"after_ms": 60_000}, nil, 200) // leaseless control
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	f1.srv.shutdown(ctx)
+	cancel()
+	f1.ts.Close()
+
+	// Let the lease's TTL lapse while "down".
+	time.Sleep(1100 * time.Millisecond)
+
+	f2 := newFixture(t, func(c *config) { c.dir = dir })
+	// No settling wait: the GC must have happened inside newServer.
+	h := f2.checkLedger()
+	if h.LeasesActive != 0 {
+		t.Fatalf("leases_active=%d at boot, want dead lease collected", h.LeasesActive)
+	}
+	if h.Outstanding != 1 {
+		t.Fatalf("outstanding=%d, want only the leaseless timer", h.Outstanding)
+	}
+	if h.Cancelled != 1 {
+		t.Fatalf("cancelled_total=%d, want the dead client's timer GC'd", h.Cancelled)
 	}
 }

@@ -305,3 +305,48 @@ func TestRenewHammer(t *testing.T) {
 		t.Fatalf("stats: %+v", st)
 	}
 }
+
+// TestRestorePastExpiryFiresExactlyOnce: a lease restored already past
+// its TTL — a client that died while the daemon was down — must expire
+// through OnExpire exactly once, no matter how long the clock keeps
+// running afterwards, and must be fully dead to every other verb. This
+// is the contract twd's boot (and a promoted standby's replay) leans
+// on for its eager dead-client GC.
+func TestRestorePastExpiryFiresExactlyOnce(t *testing.T) {
+	fx := newFixture(t)
+	gone := fx.clk.Now().Add(-30 * time.Second)
+	if err := fx.tb.Restore(41, gone, []uint64{11, 12, 13}); err != nil {
+		t.Fatal(err)
+	}
+	fx.step(2 * time.Millisecond)
+	if got := fx.fires.Load(); got != 1 {
+		t.Fatalf("OnExpire fired %d times, want exactly 1", got)
+	}
+	ts, _ := fx.expiredTimers(41)
+	if len(ts) != 3 {
+		t.Fatalf("expiry delivered %d owned timers, want 3", len(ts))
+	}
+
+	// Keep the world turning: repeated polls and long advances must not
+	// re-deliver the expiry.
+	for i := 0; i < 5; i++ {
+		fx.step(time.Second)
+	}
+	if got := fx.fires.Load(); got != 1 {
+		t.Fatalf("OnExpire re-fired: %d total deliveries", got)
+	}
+
+	// The dead lease is dead to every verb.
+	if _, live := fx.tb.Expiry(41); live {
+		t.Fatal("expired restored lease still reports alive")
+	}
+	if _, ok := fx.tb.Renew(41, 0); ok {
+		t.Fatal("Renew on an expired restored lease succeeded")
+	}
+	if fx.tb.Attach(41, 99) {
+		t.Fatal("Attach on an expired restored lease succeeded")
+	}
+	if st := fx.tb.Stats(); st.Active != 0 || st.Expired != 1 {
+		t.Fatalf("stats = %+v, want 0 active / 1 expired", st)
+	}
+}

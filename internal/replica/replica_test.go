@@ -1,0 +1,476 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"timingwheels/internal/wal"
+)
+
+// primary bundles a real WAL with a Streamer served over httptest.
+type primary struct {
+	log  *wal.Log
+	srv  *httptest.Server
+	term atomic.Uint64
+	recs []wal.Record // every record appended, for expected-state builds
+}
+
+func newPrimary(t *testing.T) *primary {
+	t.Helper()
+	l, _, err := wal.Open(t.TempDir(), wal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &primary{log: l}
+	st := &Streamer{Src: l, Term: p.term.Load, MaxWait: 250 * time.Millisecond, Poll: 2 * time.Millisecond}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/replica/snapshot", st.ServeSnapshot)
+	mux.HandleFunc("/v1/replica/stream", st.ServeStream)
+	p.srv = httptest.NewServer(mux)
+	t.Cleanup(func() { p.srv.Close(); l.Close() })
+	return p
+}
+
+func (p *primary) append(t *testing.T, recs ...wal.Record) {
+	t.Helper()
+	for _, r := range recs {
+		if _, err := p.log.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		p.recs = append(p.recs, r)
+	}
+}
+
+// follower bundles a Follower over a real local WAL journal.
+type followerRig struct {
+	f     *Follower
+	dir   string
+	jrnl  *wal.Log
+	state *wal.State
+}
+
+func newFollowerRig(t *testing.T, primaryURL, dir string) *followerRig {
+	t.Helper()
+	jrnl, res, err := wal.Open(dir, wal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { jrnl.Close() })
+	f, err := NewFollower(FollowerConfig{
+		Primary:      primaryURL,
+		Dir:          dir,
+		Journal:      jrnl,
+		State:        res.State,
+		Wait:         100 * time.Millisecond,
+		Backoff:      20 * time.Millisecond,
+		PersistEvery: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &followerRig{f: f, dir: dir, jrnl: jrnl, state: res.State}
+}
+
+// waitCaughtUp polls until the follower's cursor reaches the primary's
+// durable boundary on the primary's current epoch.
+func waitCaughtUp(t *testing.T, f *Follower, p *primary) Status {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		pos := p.log.FollowPos()
+		st := f.Status()
+		if st.Cursor.Epoch == pos.Epoch && st.Cursor.Offset == pos.DurableBytes {
+			if st.BytesBehind != 0 || st.RecordsBehind != 0 {
+				t.Fatalf("caught up but lag reports %d bytes / %d records", st.BytesBehind, st.RecordsBehind)
+			}
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("follower never caught up: status %+v, primary %+v", f.Status(), p.log.FollowPos())
+	return Status{}
+}
+
+func applyAll(recs []wal.Record) *wal.State {
+	st := wal.NewState()
+	for _, r := range recs {
+		st.Apply(r)
+	}
+	return st
+}
+
+func sameTimers(t *testing.T, got, want *wal.State) {
+	t.Helper()
+	if len(got.Timers) != len(want.Timers) {
+		t.Fatalf("follower has %d timers, want %d", len(got.Timers), len(want.Timers))
+	}
+	for id, w := range want.Timers {
+		g, ok := got.Timers[id]
+		if !ok || g.Deadline != w.Deadline || g.Class != w.Class || g.Lease != w.Lease {
+			t.Fatalf("timer %d: got %+v, want %+v", id, g, w)
+		}
+	}
+	if got.NextID != want.NextID {
+		t.Fatalf("NextID = %d, want %d", got.NextID, want.NextID)
+	}
+}
+
+// TestFollowerReplicates: live tail streaming — records appended while
+// the follower runs arrive, state matches, lag closes to zero.
+func TestFollowerReplicates(t *testing.T) {
+	p := newPrimary(t)
+	p.term.Store(1)
+	p.append(t,
+		wal.Record{Op: wal.OpSchedule, ID: 1, Deadline: 100, Payload: []byte("a")},
+		wal.Record{Op: wal.OpSchedule, ID: 2, Deadline: 200},
+		wal.Record{Op: wal.OpCancel, ID: 2},
+	)
+
+	rig := newFollowerRig(t, p.srv.URL, t.TempDir())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- rig.f.Run(ctx) }()
+
+	st := waitCaughtUp(t, rig.f, p)
+	if st.Cursor.Term != 1 {
+		t.Fatalf("observed term = %d, want 1", st.Cursor.Term)
+	}
+	sameTimers(t, rig.state, applyAll(p.recs))
+
+	// Tail: more records while the follower is live.
+	p.append(t,
+		wal.Record{Op: wal.OpSchedule, ID: 3, Deadline: 300},
+		wal.Record{Op: wal.OpLeaseGrant, ID: 7, Deadline: 999},
+		wal.Record{Op: wal.OpSchedule, ID: 4, Lease: 7, Deadline: 400},
+		wal.Record{Op: wal.OpFire, ID: 1},
+	)
+	waitCaughtUp(t, rig.f, p)
+	sameTimers(t, rig.state, applyAll(p.recs))
+	if len(rig.state.Leases) != 1 || rig.state.Leases[7].Expiry != 999 {
+		t.Fatalf("leases = %+v, want lease 7 @999", rig.state.Leases)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestFollowerReseedsAfterCompaction: a primary snapshot mid-follow
+// forces a re-seed, and state cancelled during the gap must not
+// resurrect.
+func TestFollowerReseedsAfterCompaction(t *testing.T) {
+	p := newPrimary(t)
+	p.append(t,
+		wal.Record{Op: wal.OpSchedule, ID: 1, Deadline: 100},
+		wal.Record{Op: wal.OpSchedule, ID: 2, Deadline: 200},
+	)
+
+	rig := newFollowerRig(t, p.srv.URL, t.TempDir())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go rig.f.Run(ctx)
+	waitCaughtUp(t, rig.f, p)
+
+	// Compact: timer 2 was cancelled; the seed carries only timer 1.
+	p.append(t, wal.Record{Op: wal.OpCancel, ID: 2})
+	if err := p.log.Snapshot([]wal.Record{
+		{Op: wal.OpSchedule, ID: 1, Deadline: 100},
+		{Op: wal.OpHighWater, ID: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p.append(t, wal.Record{Op: wal.OpSchedule, ID: 3, Deadline: 300})
+
+	st := waitCaughtUp(t, rig.f, p)
+	if st.Seeds < 2 {
+		t.Fatalf("Seeds = %d, want >= 2 (initial + re-seed)", st.Seeds)
+	}
+	if _, live := rig.state.Timers[2]; live {
+		t.Fatal("cancelled timer 2 resurrected across re-seed")
+	}
+	if len(rig.state.Timers) != 2 || rig.state.NextID != 3 {
+		t.Fatalf("post-reseed state: %d timers, NextID %d; want 2 timers, NextID 3", len(rig.state.Timers), rig.state.NextID)
+	}
+}
+
+// TestFollowerRestartResumes: Drain persists the cursor; a new follower
+// over the recovered journal resumes from it without double-counting.
+func TestFollowerRestartResumes(t *testing.T) {
+	p := newPrimary(t)
+	p.append(t,
+		wal.Record{Op: wal.OpSchedule, ID: 1, Deadline: 100},
+		wal.Record{Op: wal.OpSchedule, ID: 2, Deadline: 200},
+	)
+
+	dir := t.TempDir()
+	rig := newFollowerRig(t, p.srv.URL, dir)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := rig.f.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	st := rig.f.Status()
+	if st.Cursor.Offset != p.log.FollowPos().DurableBytes {
+		t.Fatalf("drained cursor %+v, primary durable %d", st.Cursor, p.log.FollowPos().DurableBytes)
+	}
+	rig.jrnl.Close()
+
+	// Restart: recover the journal, reload the cursor, stream the tail.
+	p.append(t, wal.Record{Op: wal.OpSchedule, ID: 3, Deadline: 300})
+	rig2 := newFollowerRig(t, p.srv.URL, dir)
+	if got := rig2.f.Status().Cursor; got.Offset != st.Cursor.Offset || got.Epoch != st.Cursor.Epoch {
+		t.Fatalf("reloaded cursor %+v, want %+v", got, st.Cursor)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	go rig2.f.Run(ctx2)
+	waitCaughtUp(t, rig2.f, p)
+	sameTimers(t, rig2.state, applyAll(p.recs))
+	want := applyAll(p.recs)
+	if rig2.state.Scheduled != want.Scheduled {
+		t.Fatalf("Scheduled = %d after restart, want %d (idempotent overlap)", rig2.state.Scheduled, want.Scheduled)
+	}
+}
+
+// TestFollowerFencedOnTermRegression: a primary answering with a lower
+// term than previously observed is a deposed primary; Run must return
+// ErrFenced rather than apply its stream.
+func TestFollowerFencedOnTermRegression(t *testing.T) {
+	p := newPrimary(t)
+	p.term.Store(5)
+	p.append(t, wal.Record{Op: wal.OpSchedule, ID: 1, Deadline: 100})
+
+	rig := newFollowerRig(t, p.srv.URL, t.TempDir())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- rig.f.Run(ctx) }()
+	waitCaughtUp(t, rig.f, p)
+
+	p.term.Store(3) // deposed primary comes back with its stale term
+	p.append(t, wal.Record{Op: wal.OpSchedule, ID: 99, Deadline: 900})
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrFenced) {
+			t.Fatalf("Run returned %v, want ErrFenced", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower kept following a term-regressed primary")
+	}
+	if _, live := rig.state.Timers[99]; live {
+		t.Fatal("stale primary's record applied despite fencing")
+	}
+}
+
+// memJournal is an in-memory Journal for decoder-path tests.
+type memJournal struct{ recs []wal.Record }
+
+func (m *memJournal) Append(rec wal.Record) (wal.LSN, error) {
+	m.recs = append(m.recs, rec)
+	return wal.LSN(len(m.recs)), nil
+}
+func (m *memJournal) Commit(wal.LSN) error { return nil }
+func (m *memJournal) Sync() error          { return nil }
+func (m *memJournal) Snapshot(recs []wal.Record) error {
+	m.recs = append([]wal.Record(nil), recs...)
+	return nil
+}
+
+// frameBytes renders records to wire frames via a throwaway WAL.
+func frameBytes(t *testing.T, recs ...wal.Record) []byte {
+	t.Helper()
+	l, _, err := wal.Open(t.TempDir(), wal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for _, r := range recs {
+		if _, err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pos := l.FollowPos()
+	b, err := l.ReadDurable(pos.Epoch, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestApplyPartialAndCorrupt drives the follower's apply path directly:
+// a mid-frame truncation parks the decoder (cursor unmoved), the rest
+// of the frame completes it, and a corrupted chunk triggers a resync
+// that leaves the cursor on the last good frame.
+func TestApplyPartialAndCorrupt(t *testing.T) {
+	f, err := NewFollower(FollowerConfig{
+		Primary: "http://unused.invalid",
+		Dir:     t.TempDir(),
+		Journal: &memJournal{},
+		State:   wal.NewState(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.seeded = true
+
+	frame1 := frameBytes(t, wal.Record{Op: wal.OpSchedule, ID: 1, Deadline: 100, Payload: []byte("xyz")})
+	frame2 := frameBytes(t, wal.Record{Op: wal.OpSchedule, ID: 2, Deadline: 200})
+
+	// Truncate mid-frame: no progress, no error, cursor unmoved.
+	half := len(frame1) / 2
+	progressed, err := f.apply(frame1[:half])
+	if progressed || err != nil {
+		t.Fatalf("partial frame: progressed=%v err=%v", progressed, err)
+	}
+	if f.Status().Cursor.Offset != 0 {
+		t.Fatalf("cursor moved on partial frame: %+v", f.Status().Cursor)
+	}
+	// The rest completes it.
+	progressed, err = f.apply(frame1[half:])
+	if !progressed || err != nil {
+		t.Fatalf("completing frame: progressed=%v err=%v", progressed, err)
+	}
+	if got := f.Status().Cursor.Offset; got != int64(len(frame1)) {
+		t.Fatalf("cursor = %d after frame1, want %d", got, len(frame1))
+	}
+
+	// Corrupt: a flipped byte surfaces as a resync, cursor stays put.
+	bad := append([]byte(nil), frame2...)
+	bad[len(bad)-1] ^= 0xff
+	progressed, err = f.apply(bad)
+	if progressed || err == nil {
+		t.Fatalf("corrupt frame: progressed=%v err=%v, want resync error", progressed, err)
+	}
+	st := f.Status()
+	if st.Resyncs != 1 || st.Cursor.Offset != int64(len(frame1)) {
+		t.Fatalf("after corruption: Resyncs=%d cursor=%d, want 1, %d", st.Resyncs, st.Cursor.Offset, len(frame1))
+	}
+	// The clean re-fetch applies.
+	progressed, err = f.apply(frame2)
+	if !progressed || err != nil {
+		t.Fatalf("clean refetch: progressed=%v err=%v", progressed, err)
+	}
+	if got := f.Status().Cursor.Offset; got != int64(len(frame1)+len(frame2)) {
+		t.Fatalf("cursor = %d after refetch, want %d", got, len(frame1)+len(frame2))
+	}
+	if f.Status().FramesApplied != 2 {
+		t.Fatalf("FramesApplied = %d, want 2", f.Status().FramesApplied)
+	}
+}
+
+// TestStreamerHTTPContract pins the raw endpoint behavior a non-Go
+// follower would code against: long-poll empty 200, 410 on a compacted
+// epoch, 416 past the durable boundary, position headers everywhere.
+func TestStreamerHTTPContract(t *testing.T) {
+	p := newPrimary(t)
+	p.term.Store(2)
+	p.append(t, wal.Record{Op: wal.OpSchedule, ID: 1, Deadline: 100})
+	pos := p.log.FollowPos()
+
+	get := func(url string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	// Caught-up long poll: 200, empty body, headers present.
+	start := time.Now()
+	resp := get(p.srv.URL + "/v1/replica/stream?epoch=0&offset=" + itoa(pos.DurableBytes) + "&wait=80ms")
+	if resp.StatusCode != http.StatusOK || resp.ContentLength > 0 {
+		t.Fatalf("caught-up poll: %s, len %d", resp.Status, resp.ContentLength)
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("long poll returned in %v, want >= ~80ms", elapsed)
+	}
+	hpos, term, err := parsePosHeaders(resp.Header)
+	if err != nil || term != 2 || hpos.DurableBytes != pos.DurableBytes {
+		t.Fatalf("headers: pos=%+v term=%d err=%v", hpos, term, err)
+	}
+
+	// Past the durable boundary: 416.
+	if resp := get(p.srv.URL + "/v1/replica/stream?epoch=0&offset=999999"); resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+		t.Fatalf("past-durable: %s, want 416", resp.Status)
+	}
+
+	// Compacted epoch: 410.
+	if err := p.log.Snapshot([]wal.Record{{Op: wal.OpSchedule, ID: 1, Deadline: 100}}); err != nil {
+		t.Fatal(err)
+	}
+	if resp := get(p.srv.URL + "/v1/replica/stream?epoch=0&offset=0"); resp.StatusCode != http.StatusGone {
+		t.Fatalf("stale epoch: %s, want 410", resp.Status)
+	}
+
+	// Malformed cursor: 400.
+	if resp := get(p.srv.URL + "/v1/replica/stream?epoch=x&offset=0"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad epoch: %s, want 400", resp.Status)
+	}
+}
+
+func itoa(v int64) string {
+	b := [20]byte{}
+	i := len(b)
+	if v == 0 {
+		return "0"
+	}
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// TestFollowerTinyChunks pins the refetch-overlap contract: when the
+// streamer cuts chunks mid-frame (MaxChunk smaller than a frame), the
+// follower must fetch past its buffered partial tail instead of
+// re-reading it — otherwise the duplicated prefix mis-frames the
+// stream and every chunk boundary costs a spurious resync.
+func TestFollowerTinyChunks(t *testing.T) {
+	l, _, err := wal.Open(t.TempDir(), wal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	p := &primary{log: l}
+	p.term.Store(1)
+	st := &Streamer{Src: l, Term: p.term.Load,
+		MaxChunk: 7, MaxWait: 50 * time.Millisecond, Poll: 2 * time.Millisecond}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/replica/snapshot", st.ServeSnapshot)
+	mux.HandleFunc("/v1/replica/stream", st.ServeStream)
+	p.srv = httptest.NewServer(mux)
+	defer p.srv.Close()
+
+	for i := uint64(1); i <= 8; i++ {
+		p.append(t, wal.Record{Op: wal.OpSchedule, ID: i, Deadline: int64(i * 100),
+			Payload: []byte("payload-payload")})
+	}
+
+	rig := newFollowerRig(t, p.srv.URL, t.TempDir())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- rig.f.Run(ctx) }()
+
+	fst := waitCaughtUp(t, rig.f, p)
+	sameTimers(t, rig.state, applyAll(p.recs))
+	if fst.Resyncs != 0 {
+		t.Fatalf("Resyncs = %d on a clean mid-frame-chunked stream, want 0", fst.Resyncs)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

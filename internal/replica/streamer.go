@@ -1,0 +1,251 @@
+// Package replica implements warm-standby replication for the durable
+// timer daemon: a primary-side Streamer that serves the WAL's durable
+// frames over HTTP, and a Follower that pulls the seed snapshot plus
+// segment tail, applies records through wal.State, and journals them
+// into its own WAL so a later promotion is itself durable.
+//
+// The design is classic log shipping with the invariants the rest of
+// the repo already enforces doing the correctness work:
+//
+//   - Single writer. Only the primary appends; the follower replays the
+//     identical byte stream. There is no merge and no conflict.
+//   - Commit point, not stream point. The Streamer serves only bytes
+//     covered by an fsync (wal.Log's durable prefix), so a follower can
+//     never apply — and a promoted standby can never fire — a record
+//     whose admission was not acknowledged to a client.
+//   - Frame integrity end to end. Every frame re-verifies its CRC-32C in
+//     the follower's decoder; a partition that truncates mid-frame
+//     parks the decoder on a partial frame, and a corrupted byte
+//     surfaces as wal.ErrCorruptFrame, which the follower answers by
+//     discarding its buffer and re-fetching from its last good cursor.
+//   - Epoch fencing. Cursors name (epoch, offset); when the primary
+//     compacts, the old epoch returns 410 and the follower re-seeds
+//     from the new snapshot. Terms (monotonic, bumped by promotion)
+//     fence a deposed primary out of the write path.
+package replica
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"timingwheels/internal/wal"
+)
+
+// Replication protocol headers. Every stream and snapshot response
+// carries the primary's position so the follower can report lag without
+// a second round trip; term rides along for fencing.
+const (
+	// HeaderEpoch is the active WAL epoch of the serving node.
+	HeaderEpoch = "X-Twd-Epoch"
+	// HeaderDurableBytes is the durable byte length of the active
+	// segment — the furthest a cursor may read.
+	HeaderDurableBytes = "X-Twd-Durable-Bytes"
+	// HeaderDurableLSN is the LSN of the last durable record.
+	HeaderDurableLSN = "X-Twd-Durable-Lsn"
+	// HeaderSegBaseLSN is the LSN of the last record not in the active
+	// segment: segment frame k (1-based) has LSN SegBaseLSN+k.
+	HeaderSegBaseLSN = "X-Twd-Segbase-Lsn"
+	// HeaderTerm is the serving node's term (see cmd/twd fencing).
+	HeaderTerm = "X-Twd-Term"
+)
+
+// Source is the follow surface the Streamer reads. *wal.Log satisfies
+// it.
+type Source interface {
+	FollowPos() wal.FollowPos
+	ReadDurable(epoch uint64, off int64, max int) ([]byte, error)
+	SnapshotSeed() (uint64, []byte, error)
+}
+
+// Streamer serves a WAL's durable frames to followers. Mount
+// ServeSnapshot and ServeStream on the primary's HTTP mux.
+type Streamer struct {
+	// Src is the log being streamed.
+	Src Source
+	// Term reports the serving node's fencing term; nil means term 0.
+	Term func() uint64
+	// MaxChunk bounds one stream response's body; 0 means 1 MiB.
+	MaxChunk int
+	// MaxWait bounds a caught-up stream request's long poll; 0 means 2s.
+	// The server's write timeout must exceed it.
+	MaxWait time.Duration
+	// Poll is the long poll's re-check cadence; 0 means 10ms.
+	Poll time.Duration
+}
+
+func (s *Streamer) maxChunk() int {
+	if s.MaxChunk > 0 {
+		return s.MaxChunk
+	}
+	return 1 << 20
+}
+
+func (s *Streamer) maxWait() time.Duration {
+	if s.MaxWait > 0 {
+		return s.MaxWait
+	}
+	return 2 * time.Second
+}
+
+func (s *Streamer) poll() time.Duration {
+	if s.Poll > 0 {
+		return s.Poll
+	}
+	return 10 * time.Millisecond
+}
+
+// setPosHeaders stamps pos and the term onto a response.
+func (s *Streamer) setPosHeaders(w http.ResponseWriter, pos wal.FollowPos) {
+	h := w.Header()
+	h.Set(HeaderEpoch, strconv.FormatUint(pos.Epoch, 10))
+	h.Set(HeaderDurableBytes, strconv.FormatInt(pos.DurableBytes, 10))
+	h.Set(HeaderDurableLSN, strconv.FormatUint(pos.DurableLSN, 10))
+	h.Set(HeaderSegBaseLSN, strconv.FormatUint(pos.SegBaseLSN, 10))
+	var term uint64
+	if s.Term != nil {
+		term = s.Term()
+	}
+	h.Set(HeaderTerm, strconv.FormatUint(term, 10))
+}
+
+// ServeSnapshot answers GET with the active epoch's seed snapshot: the
+// framed records that epoch starts from (an empty body for epoch 0,
+// which has no seed). The position headers are taken against the same
+// epoch, so the follower can trust SegBaseLSN for its applied-LSN
+// arithmetic.
+func (s *Streamer) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	for tries := 0; tries < 8; tries++ {
+		epoch, data, err := s.Src.SnapshotSeed()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		pos := s.Src.FollowPos()
+		if pos.Epoch != epoch {
+			continue // rotated between the two reads; retry for a stable pair
+		}
+		s.setPosHeaders(w, pos)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+		return
+	}
+	http.Error(w, "snapshot kept racing rotation", http.StatusServiceUnavailable)
+}
+
+// ServeStream answers GET ?epoch=E&offset=O[&wait=D] with durable
+// segment bytes from (E, O): 200 with up to MaxChunk bytes, or — when
+// the cursor is caught up — a long poll bounded by min(wait, MaxWait)
+// that returns 200 with an empty body if nothing lands. 410 Gone means
+// the epoch was compacted away (re-seed); 416 means the offset is
+// beyond the durable boundary (a corrupt cursor; re-seed).
+func (s *Streamer) ServeStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	epoch, err := strconv.ParseUint(q.Get("epoch"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad epoch", http.StatusBadRequest)
+		return
+	}
+	off, err := strconv.ParseInt(q.Get("offset"), 10, 64)
+	if err != nil || off < 0 {
+		http.Error(w, "bad offset", http.StatusBadRequest)
+		return
+	}
+	wait := s.maxWait()
+	if ws := q.Get("wait"); ws != "" {
+		d, err := time.ParseDuration(ws)
+		if err != nil || d < 0 {
+			http.Error(w, "bad wait", http.StatusBadRequest)
+			return
+		}
+		if d < wait {
+			wait = d
+		}
+	}
+
+	deadline := time.Now().Add(wait)
+	for {
+		data, err := s.Src.ReadDurable(epoch, off, s.maxChunk())
+		switch {
+		case err == wal.ErrEpochGone:
+			s.setPosHeaders(w, s.Src.FollowPos())
+			http.Error(w, "epoch compacted; re-seed from snapshot", http.StatusGone)
+			return
+		case err == wal.ErrBadOffset:
+			s.setPosHeaders(w, s.Src.FollowPos())
+			http.Error(w, "offset beyond durable bytes", http.StatusRequestedRangeNotSatisfiable)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		if len(data) > 0 {
+			s.setPosHeaders(w, s.Src.FollowPos())
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+			w.WriteHeader(http.StatusOK)
+			w.Write(data)
+			return
+		}
+		// Caught up: long-poll for new durable bytes (or a rotation, which
+		// the next ReadDurable reports as 410).
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			s.setPosHeaders(w, s.Src.FollowPos())
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(minDuration(s.poll(), remain)):
+		}
+	}
+}
+
+func minDuration(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// parsePosHeaders reads the protocol headers off a response. Missing or
+// malformed headers surface as an error so a misrouted response (a
+// proxy error page, say) cannot be mistaken for an empty poll.
+func parsePosHeaders(h http.Header) (pos wal.FollowPos, term uint64, err error) {
+	pos.Epoch, err = strconv.ParseUint(h.Get(HeaderEpoch), 10, 64)
+	if err != nil {
+		return pos, 0, fmt.Errorf("replica: bad %s: %q", HeaderEpoch, h.Get(HeaderEpoch))
+	}
+	pos.DurableBytes, err = strconv.ParseInt(h.Get(HeaderDurableBytes), 10, 64)
+	if err != nil {
+		return pos, 0, fmt.Errorf("replica: bad %s: %q", HeaderDurableBytes, h.Get(HeaderDurableBytes))
+	}
+	pos.DurableLSN, err = strconv.ParseUint(h.Get(HeaderDurableLSN), 10, 64)
+	if err != nil {
+		return pos, 0, fmt.Errorf("replica: bad %s: %q", HeaderDurableLSN, h.Get(HeaderDurableLSN))
+	}
+	pos.SegBaseLSN, err = strconv.ParseUint(h.Get(HeaderSegBaseLSN), 10, 64)
+	if err != nil {
+		return pos, 0, fmt.Errorf("replica: bad %s: %q", HeaderSegBaseLSN, h.Get(HeaderSegBaseLSN))
+	}
+	term, err = strconv.ParseUint(h.Get(HeaderTerm), 10, 64)
+	if err != nil {
+		return pos, 0, fmt.Errorf("replica: bad %s: %q", HeaderTerm, h.Get(HeaderTerm))
+	}
+	return pos, term, nil
+}

@@ -141,6 +141,15 @@ var (
 	// repaired). Durability can no longer be promised; the process must
 	// restart and recover from disk.
 	ErrFailed = errors.New("wal: log failed; restart and recover")
+	// ErrCorruptFrame reports bytes that can never extend into a valid
+	// frame: an insane length field, a checksum mismatch over a complete
+	// body, or an invalid op. A streaming reader must resynchronize (or
+	// re-seed) — waiting for more bytes cannot help.
+	ErrCorruptFrame = errors.New("wal: corrupt frame")
+	// errShortFrame reports a prefix that could still become a valid
+	// frame once more bytes arrive. Internal: FrameDecoder.Next maps it
+	// to the (zero, 0, nil) "need more input" return.
+	errShortFrame = errors.New("wal: short frame")
 )
 
 // appendFrame encodes rec as one frame onto b and returns the extended
@@ -169,27 +178,37 @@ func frameSize(rec Record) int {
 // decodeFrame decodes the frame at the start of b. ok reports whether a
 // complete, checksum-valid frame was present; n is the frame's total
 // length when ok. A false return means the tail from here on is torn,
-// truncated, or corrupt — by construction the reader cannot distinguish
-// these, and does not need to: the log ends at the last valid frame.
+// truncated, or corrupt — a file reader cannot distinguish these, and
+// does not need to: the log ends at the last valid frame.
 func decodeFrame(b []byte) (rec Record, n int, ok bool) {
+	rec, n, err := scanFrame(b)
+	return rec, n, err == nil
+}
+
+// scanFrame decodes the frame at the start of b, distinguishing a
+// prefix that needs more bytes (errShortFrame) from bytes that can
+// never become a frame (ErrCorruptFrame). A byte-stream reader needs
+// the distinction a file reader doesn't: short means wait, corrupt
+// means resynchronize.
+func scanFrame(b []byte) (rec Record, n int, err error) {
 	if len(b) < frameHeaderSize {
-		return rec, 0, false
+		return rec, 0, errShortFrame
 	}
 	bodyLen := int(binary.LittleEndian.Uint32(b))
 	if bodyLen < recordHeaderSize || bodyLen > maxBody {
-		return rec, 0, false
+		return rec, 0, ErrCorruptFrame
 	}
 	if len(b) < frameHeaderSize+bodyLen {
-		return rec, 0, false
+		return rec, 0, errShortFrame
 	}
 	crc := binary.LittleEndian.Uint32(b[4:])
 	body := b[frameHeaderSize : frameHeaderSize+bodyLen]
 	if crc32.Checksum(body, castagnoli) != crc {
-		return rec, 0, false
+		return rec, 0, ErrCorruptFrame
 	}
 	rec.Op = Op(body[0])
 	if rec.Op == 0 || rec.Op > opMax {
-		return rec, 0, false
+		return rec, 0, ErrCorruptFrame
 	}
 	rec.Class = body[1]
 	rec.ID = binary.LittleEndian.Uint64(body[2:])
@@ -198,5 +217,5 @@ func decodeFrame(b []byte) (rec Record, n int, ok bool) {
 	if p := body[recordHeaderSize:]; len(p) > 0 {
 		rec.Payload = append([]byte(nil), p...)
 	}
-	return rec, frameHeaderSize + bodyLen, true
+	return rec, frameHeaderSize + bodyLen, nil
 }

@@ -119,3 +119,19 @@ func (s *State) Apply(rec Record) {
 
 // Outstanding reports the number of outstanding timers.
 func (s *State) Outstanding() int { return len(s.Timers) }
+
+// ResetTo discards the state and rebuilds it from seed — what a
+// replication follower does when the primary compacts its epoch away:
+// the new snapshot is the full live state, and stale local records must
+// not survive it (a timer cancelled during the gap would otherwise
+// resurrect as outstanding). The pointer identity is preserved so
+// holders of the *State keep seeing the rebuilt view.
+func (s *State) ResetTo(seed []Record) {
+	*s = State{
+		Timers: make(map[uint64]TimerState, len(seed)),
+		Leases: make(map[uint64]LeaseState),
+	}
+	for _, rec := range seed {
+		s.Apply(rec)
+	}
+}

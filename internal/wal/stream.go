@@ -1,0 +1,193 @@
+package wal
+
+// The follow API: the read surface internal/replica streams a warm
+// standby from. The contract is the commit point — ReadDurable serves
+// only bytes an fsync is known to cover, so a follower can never apply
+// (and a promoted standby can never fire) a record whose admission was
+// not yet acknowledged to a client. Offsets are plain byte offsets into
+// one epoch's segment; the durable boundary only ever advances by whole
+// frames, so any (epoch, durable-bounded offset) cursor a follower
+// derives by decoding frames is frame-aligned by construction.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Follow-API errors.
+var (
+	// ErrEpochGone reports a cursor into an epoch that is no longer the
+	// active segment: a snapshot rotated it away, and its records now
+	// exist only as part of the new epoch's seed. The follower must
+	// re-seed from the current snapshot.
+	ErrEpochGone = errors.New("wal: epoch no longer served; re-seed from the current snapshot")
+	// ErrBadOffset reports a cursor beyond the durable boundary — a
+	// follower that somehow got ahead of the primary's commit point,
+	// which can only mean cursor corruption. Re-seed.
+	ErrBadOffset = errors.New("wal: offset beyond durable bytes")
+)
+
+// FollowPos is the streamer's view of the durable boundary: what a
+// follower needs to compute its lag in both bytes and records.
+type FollowPos struct {
+	// Epoch is the active segment's epoch.
+	Epoch uint64
+	// DurableBytes is the segment prefix on stable storage — the
+	// furthest a follower may read.
+	DurableBytes int64
+	// SegBaseLSN is the LSN of the last record not in this segment;
+	// DurableLSN the last durable record. A follower that has applied k
+	// frames of the segment is DurableLSN-(SegBaseLSN+k) records behind.
+	SegBaseLSN, DurableLSN LSN
+}
+
+// FollowPos reports the current durable boundary.
+func (l *Log) FollowPos() FollowPos {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return FollowPos{
+		Epoch:        l.epoch,
+		DurableBytes: l.durableSize,
+		SegBaseLSN:   l.segBase,
+		DurableLSN:   l.durable,
+	}
+}
+
+// ReadDurable returns up to max bytes of the active segment starting at
+// byte offset off, bounded by the durable prefix. A nil, nil return
+// means the follower is caught up (off == durable boundary); the caller
+// long-polls. The read happens on a private descriptor outside the log
+// mutex, so streaming never stalls appends or fsyncs.
+func (l *Log) ReadDurable(epoch uint64, off int64, max int) ([]byte, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if epoch != l.epoch {
+		l.mu.Unlock()
+		return nil, ErrEpochGone
+	}
+	durable := l.durableSize
+	dir := l.dir
+	l.mu.Unlock()
+
+	if off < 0 || off > durable {
+		return nil, ErrBadOffset
+	}
+	if off == durable {
+		return nil, nil
+	}
+	n := durable - off
+	if max > 0 && n > int64(max) {
+		n = int64(max)
+	}
+	f, err := os.Open(walPath(dir, epoch))
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Rotated away between the boundary check and the open.
+			return nil, ErrEpochGone
+		}
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	m, err := f.ReadAt(buf, off)
+	if m > 0 {
+		// A short read of durable bytes cannot happen on a healthy file,
+		// but serving the prefix we did get is always safe: the follower
+		// advances by whole decoded frames and re-requests the rest.
+		return buf[:m], nil
+	}
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// SnapshotSeed returns the active epoch and its seed snapshot's frames
+// (nil for epoch 0, which has no seed). The epoch is re-checked after
+// the read so a rotation that raced the call can never pair one epoch's
+// number with another's seed.
+func (l *Log) SnapshotSeed() (uint64, []byte, error) {
+	for tries := 0; tries < 8; tries++ {
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return 0, nil, ErrClosed
+		}
+		epoch := l.epoch
+		dir := l.dir
+		l.mu.Unlock()
+		if epoch == 0 {
+			return 0, nil, nil
+		}
+		data, err := os.ReadFile(snapPath(dir, epoch))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // rotated mid-call; retry against the new epoch
+			}
+			return 0, nil, err
+		}
+		l.mu.Lock()
+		same := l.epoch == epoch
+		l.mu.Unlock()
+		if same {
+			return epoch, data, nil
+		}
+	}
+	return 0, nil, fmt.Errorf("wal: snapshot seed kept racing rotation")
+}
+
+// FrameDecoder incrementally decodes a byte stream of frames — the
+// follower's half of the replication channel. Feed bytes with Write;
+// pop records with Next. Unlike the file reader, it distinguishes "the
+// next frame is not complete yet" (Next returns n == 0, err == nil)
+// from "these bytes can never decode" (ErrCorruptFrame) — a stream must
+// wait for the former and resynchronize on the latter, where a file
+// reader treats both as the end of the log.
+type FrameDecoder struct {
+	buf []byte
+	off int // consumed prefix of buf
+}
+
+// Write appends p to the undecoded buffer. It never fails; the error
+// return satisfies io.Writer.
+func (d *FrameDecoder) Write(p []byte) (int, error) {
+	// Compact the consumed prefix before growing, so a long stream does
+	// not accrete every byte it ever saw.
+	if d.off > 0 && (d.off >= len(d.buf) || d.off > 4096) {
+		d.buf = append(d.buf[:0], d.buf[d.off:]...)
+		d.off = 0
+	}
+	d.buf = append(d.buf, p...)
+	return len(p), nil
+}
+
+// Next decodes and consumes the next frame. n is the frame's on-stream
+// byte length (0 with a nil error means the buffer holds only a partial
+// frame — feed more bytes). ErrCorruptFrame poisons the buffered tail;
+// the caller must Reset and re-fetch from its last good cursor.
+func (d *FrameDecoder) Next() (rec Record, n int, err error) {
+	rec, n, err = scanFrame(d.buf[d.off:])
+	if err != nil {
+		if err == errShortFrame {
+			return Record{}, 0, nil
+		}
+		return Record{}, 0, err
+	}
+	d.off += n
+	return rec, n, nil
+}
+
+// Buffered reports how many undecoded bytes the decoder holds.
+func (d *FrameDecoder) Buffered() int { return len(d.buf) - d.off }
+
+// Reset discards all buffered bytes.
+func (d *FrameDecoder) Reset() { d.buf = d.buf[:0]; d.off = 0 }
+
+// FrameSize reports the on-stream size of rec's frame — what a
+// follower's cursor advances by per applied record.
+func FrameSize(rec Record) int { return frameSize(rec) }

@@ -1,0 +1,297 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFrameDecoderIncremental feeds frames one byte at a time and
+// expects each record to pop out exactly when its last byte arrives.
+func TestFrameDecoderIncremental(t *testing.T) {
+	recs := []Record{
+		{Op: OpSchedule, Class: 2, ID: 7, Lease: 3, Deadline: 12345, Payload: []byte("hello")},
+		{Op: OpCancel, ID: 7},
+		{Op: OpFire, ID: 9, Deadline: -1},
+		{Op: OpLeaseGrant, ID: 3, Deadline: 99},
+	}
+	var stream []byte
+	for _, r := range recs {
+		stream = appendFrame(stream, r)
+	}
+
+	var d FrameDecoder
+	var got []Record
+	var gotBytes int
+	for i := 0; i < len(stream); i++ {
+		if _, err := d.Write(stream[i : i+1]); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		for {
+			rec, n, err := d.Next()
+			if err != nil {
+				t.Fatalf("Next at byte %d: %v", i, err)
+			}
+			if n == 0 {
+				break
+			}
+			got = append(got, rec)
+			gotBytes += n
+		}
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	if gotBytes != len(stream) {
+		t.Fatalf("frame bytes sum %d, want %d", gotBytes, len(stream))
+	}
+	for i, r := range recs {
+		g := got[i]
+		if g.Op != r.Op || g.Class != r.Class || g.ID != r.ID || g.Lease != r.Lease || g.Deadline != r.Deadline || !bytes.Equal(g.Payload, r.Payload) {
+			t.Fatalf("record %d: got %+v, want %+v", i, g, r)
+		}
+	}
+	if d.Buffered() != 0 {
+		t.Fatalf("Buffered() = %d after draining, want 0", d.Buffered())
+	}
+}
+
+// TestFrameDecoderCorrupt checks that poisoned bytes surface as
+// ErrCorruptFrame (not a hang or a panic), and that Reset recovers the
+// decoder for a clean re-fetch.
+func TestFrameDecoderCorrupt(t *testing.T) {
+	good := appendFrame(nil, Record{Op: OpSchedule, ID: 1, Deadline: 5})
+
+	cases := map[string][]byte{
+		"bit-flip-in-body": func() []byte {
+			b := append([]byte(nil), good...)
+			b[len(b)-1] ^= 0xff
+			return b
+		}(),
+		"insane-length": func() []byte {
+			b := append([]byte(nil), good...)
+			b[0], b[1], b[2], b[3] = 0xff, 0xff, 0xff, 0xff
+			return b
+		}(),
+		"zero-length": make([]byte, frameHeaderSize+recordHeaderSize),
+	}
+	for name, poison := range cases {
+		var d FrameDecoder
+		d.Write(poison)
+		if _, _, err := d.Next(); err != ErrCorruptFrame {
+			t.Fatalf("%s: Next err = %v, want ErrCorruptFrame", name, err)
+		}
+		// The error is sticky until Reset.
+		if _, _, err := d.Next(); err != ErrCorruptFrame {
+			t.Fatalf("%s: second Next err = %v, want ErrCorruptFrame", name, err)
+		}
+		d.Reset()
+		d.Write(good)
+		rec, n, err := d.Next()
+		if err != nil || n != len(good) || rec.ID != 1 {
+			t.Fatalf("%s: after Reset got (%+v, %d, %v)", name, rec, n, err)
+		}
+	}
+}
+
+// TestReadDurableServesOnlyCommitted: appended-but-unsynced bytes are
+// invisible to the stream; Commit publishes them.
+func TestReadDurableServesOnlyCommitted(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	rec := Record{Op: OpSchedule, ID: 1, Deadline: 100, Payload: []byte("p")}
+	lsn, err := l.Append(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := l.FollowPos()
+	if pos.DurableBytes != 0 {
+		t.Fatalf("DurableBytes = %d before Commit, want 0", pos.DurableBytes)
+	}
+	if b, err := l.ReadDurable(pos.Epoch, 0, 0); err != nil || b != nil {
+		t.Fatalf("ReadDurable before Commit = (%d bytes, %v), want (nil, nil)", len(b), err)
+	}
+
+	if err := l.Commit(lsn); err != nil {
+		t.Fatal(err)
+	}
+	pos = l.FollowPos()
+	want := int64(frameSize(rec))
+	if pos.DurableBytes != want {
+		t.Fatalf("DurableBytes = %d after Commit, want %d", pos.DurableBytes, want)
+	}
+	if pos.DurableLSN != 1 || pos.SegBaseLSN != 0 {
+		t.Fatalf("pos = %+v, want DurableLSN 1, SegBaseLSN 0", pos)
+	}
+	b, err := l.ReadDurable(pos.Epoch, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d FrameDecoder
+	d.Write(b)
+	got, n, err := d.Next()
+	if err != nil || n != int(want) || got.ID != 1 || !bytes.Equal(got.Payload, []byte("p")) {
+		t.Fatalf("streamed record = (%+v, %d, %v)", got, n, err)
+	}
+	// Caught up: nil, nil.
+	if b, err := l.ReadDurable(pos.Epoch, pos.DurableBytes, 0); err != nil || b != nil {
+		t.Fatalf("caught-up read = (%d bytes, %v), want (nil, nil)", len(b), err)
+	}
+	// max caps the read.
+	if b, err := l.ReadDurable(pos.Epoch, 0, 4); err != nil || len(b) != 4 {
+		t.Fatalf("capped read = (%d bytes, %v), want 4 bytes", len(b), err)
+	}
+}
+
+// TestReadDurableErrors: stale epoch → ErrEpochGone; offset past the
+// durable boundary → ErrBadOffset.
+func TestReadDurableErrors(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(Record{Op: OpSchedule, ID: 1, Deadline: 9}); err != nil {
+		t.Fatal(err)
+	}
+	pos := l.FollowPos()
+	if _, err := l.ReadDurable(pos.Epoch, pos.DurableBytes+1, 0); err != ErrBadOffset {
+		t.Fatalf("past-durable read err = %v, want ErrBadOffset", err)
+	}
+	if _, err := l.ReadDurable(pos.Epoch, -1, 0); err != ErrBadOffset {
+		t.Fatalf("negative offset err = %v, want ErrBadOffset", err)
+	}
+
+	if err := l.Snapshot([]Record{{Op: OpSchedule, ID: 1, Deadline: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.ReadDurable(pos.Epoch, 0, 0); err != ErrEpochGone {
+		t.Fatalf("stale-epoch read err = %v, want ErrEpochGone", err)
+	}
+}
+
+// TestSnapshotSeed: epoch 0 has no seed; after a snapshot the seed's
+// frames replay to the snapshotted state, and the new segment's stream
+// position starts empty with SegBaseLSN at the rotation point.
+func TestSnapshotSeed(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	if epoch, data, err := l.SnapshotSeed(); err != nil || epoch != 0 || data != nil {
+		t.Fatalf("epoch-0 seed = (%d, %d bytes, %v), want (0, nil, nil)", epoch, len(data), err)
+	}
+
+	for id := uint64(1); id <= 3; id++ {
+		if _, err := l.Append(Record{Op: OpSchedule, ID: id, Deadline: int64(id * 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed := []Record{
+		{Op: OpSchedule, ID: 2, Deadline: 20},
+		{Op: OpSchedule, ID: 3, Deadline: 30},
+		{Op: OpHighWater, ID: 3},
+	}
+	if err := l.Snapshot(seed); err != nil {
+		t.Fatal(err)
+	}
+
+	epoch, data, err := l.SnapshotSeed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Fatalf("seed epoch = %d, want 1", epoch)
+	}
+	st := NewState()
+	var d FrameDecoder
+	d.Write(data)
+	frames := 0
+	for {
+		rec, n, err := d.Next()
+		if err != nil {
+			t.Fatalf("seed frame %d: %v", frames, err)
+		}
+		if n == 0 {
+			break
+		}
+		st.Apply(rec)
+		frames++
+	}
+	if frames != len(seed) {
+		t.Fatalf("seed frames = %d, want %d", frames, len(seed))
+	}
+	if len(st.Timers) != 2 || st.NextID != 3 {
+		t.Fatalf("seed state: %d timers, NextID %d; want 2, 3", len(st.Timers), st.NextID)
+	}
+
+	pos := l.FollowPos()
+	if pos.Epoch != 1 || pos.DurableBytes != 0 || pos.SegBaseLSN != 3 {
+		t.Fatalf("post-rotation pos = %+v, want epoch 1, 0 durable bytes, SegBaseLSN 3", pos)
+	}
+}
+
+// TestFollowCursorSurvivesRestart: a follower cursor taken against a
+// primary that restarts (same epoch, recovered tail) stays valid — the
+// durable prefix it saw is still byte-identical.
+func TestFollowCursorSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Record{Op: OpSchedule, ID: 1, Deadline: 10}); err != nil {
+		t.Fatal(err)
+	}
+	firstLen := l.FollowPos().DurableBytes
+	first, err := l.ReadDurable(l.FollowPos().Epoch, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, _, err := Open(dir, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if _, err := l2.Append(Record{Op: OpSchedule, ID: 2, Deadline: 20}); err != nil {
+		t.Fatal(err)
+	}
+	pos := l2.FollowPos()
+	if pos.DurableBytes <= firstLen {
+		t.Fatalf("durable bytes %d after restart+append, want > %d", pos.DurableBytes, firstLen)
+	}
+	// Resume from the old cursor: only the new record arrives.
+	tail, err := l2.ReadDurable(pos.Epoch, firstLen, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d FrameDecoder
+	d.Write(first)
+	d.Write(tail)
+	ids := []uint64{}
+	for {
+		rec, n, err := d.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		ids = append(ids, rec.ID)
+	}
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("replayed ids = %v, want [1 2]", ids)
+	}
+}

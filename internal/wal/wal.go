@@ -50,8 +50,14 @@ type Stats struct {
 	LSN, Durable LSN
 	// Appends, Syncs, Snapshots count operations since Open.
 	Appends, Syncs, Snapshots uint64
-	// SegmentBytes is the active segment's size.
-	SegmentBytes int64
+	// SegmentBytes is the active segment's size; DurableBytes the prefix
+	// of it known to be on stable storage (always a frame boundary — the
+	// replication streamer serves exactly this prefix, so a standby never
+	// sees a record that could still be lost).
+	SegmentBytes, DurableBytes int64
+	// SegBaseLSN is the LSN of the last record that is NOT in the active
+	// segment: record k of the segment (1-based) has LSN SegBaseLSN+k.
+	SegBaseLSN LSN
 	// Failed reports an unrecoverable I/O error: every mutation returns
 	// ErrFailed and the daemon should be restarted to recover from disk.
 	Failed bool
@@ -72,17 +78,19 @@ type Log struct {
 	dir string
 	opt Options
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	f       logFile
-	epoch   uint64
-	buf     []byte
-	lsn     LSN
-	durable LSN
-	syncing bool
-	closed  bool
-	failed  bool // unrecoverable I/O error; every mutation returns ErrFailed
-	size    int64
+	mu          sync.Mutex
+	cond        *sync.Cond
+	f           logFile
+	epoch       uint64
+	buf         []byte
+	lsn         LSN
+	durable     LSN
+	segBase     LSN   // LSN of the last record not in the active segment
+	syncing     bool
+	closed      bool
+	failed      bool // unrecoverable I/O error; every mutation returns ErrFailed
+	size        int64
+	durableSize int64 // bytes of the active segment known fsynced (frame-aligned)
 
 	stopInterval chan struct{}
 	intervalDone chan struct{}
@@ -170,13 +178,14 @@ func Open(dir string, opt Options) (*Log, *RecoverResult, error) {
 	}
 
 	l := &Log{
-		dir:     dir,
-		opt:     opt,
-		f:       f,
-		epoch:   epoch,
-		size:    validLen,
-		lsn:     LSN(len(recs)),
-		durable: LSN(len(recs)), // everything replayed is on disk by definition
+		dir:         dir,
+		opt:         opt,
+		f:           f,
+		epoch:       epoch,
+		size:        validLen,
+		durableSize: validLen,
+		lsn:         LSN(len(recs)),
+		durable:     LSN(len(recs)), // everything replayed is on disk by definition
 	}
 	l.cond = sync.NewCond(&l.mu)
 	// A crash between a snapshot's rename and its old-epoch deletion
@@ -272,6 +281,9 @@ func (l *Log) Commit(lsn LSN) error {
 		l.syncing = true
 		f := l.f
 		high := l.lsn
+		// Bytes written before this fsync started are covered by it;
+		// anything appended while the disk works waits for the next one.
+		highSize := l.size
 		l.mu.Unlock()
 		err := f.Sync()
 		l.mu.Lock()
@@ -279,6 +291,9 @@ func (l *Log) Commit(lsn LSN) error {
 		l.syncs.Add(1)
 		if err == nil && high > l.durable {
 			l.durable = high
+			if highSize > l.durableSize {
+				l.durableSize = highSize
+			}
 		}
 		if err != nil {
 			// After a failed fsync the kernel may have dropped the dirty
@@ -416,6 +431,8 @@ func (l *Log) Snapshot(records []Record) error {
 	l.f = nf
 	l.epoch = newEpoch
 	l.size = 0
+	l.durableSize = 0
+	l.segBase = l.lsn
 	// Every record up to lsn is represented by the durable seed: the
 	// old segment is obsolete, so nothing remains to fsync.
 	l.durable = l.lsn
@@ -468,6 +485,8 @@ func (l *Log) Stats() Stats {
 		LSN:          l.lsn,
 		Durable:      l.durable,
 		SegmentBytes: l.size,
+		DurableBytes: l.durableSize,
+		SegBaseLSN:   l.segBase,
 		Failed:       l.failed,
 	}
 	l.mu.Unlock()

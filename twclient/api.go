@@ -1,0 +1,166 @@
+package twclient
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// ScheduleReq is one timer to admit. Exactly one of AfterMS or
+// DeadlineNS must be set.
+type ScheduleReq struct {
+	AfterMS    int64  `json:"after_ms,omitempty"`
+	DeadlineNS int64  `json:"deadline_unix_ns,omitempty"`
+	Class      string `json:"class,omitempty"`
+	Lease      uint64 `json:"lease,omitempty"`
+	Payload    string `json:"payload,omitempty"`
+}
+
+// ScheduleAck is the daemon's durable admission receipt.
+type ScheduleAck struct {
+	ID         uint64 `json:"id"`
+	DeadlineNS int64  `json:"deadline_unix_ns"`
+}
+
+// FiredEvent is one settled timer from /v1/fired.
+type FiredEvent struct {
+	Seq     uint64 `json:"seq"`
+	ID      uint64 `json:"id"`
+	FiredNS int64  `json:"fired_unix_ns"`
+	LagNS   int64  `json:"lag_ns"`
+	Payload string `json:"payload,omitempty"`
+}
+
+// FiredPage is a /v1/fired response: events after the cursor, and the
+// cursor to pass next time.
+type FiredPage struct {
+	Events []FiredEvent `json:"events"`
+	Next   uint64       `json:"next"`
+}
+
+// Schedule admits one timer.
+func (c *Client) Schedule(ctx context.Context, req ScheduleReq) (ScheduleAck, error) {
+	var ack ScheduleAck
+	err := c.do(ctx, http.MethodPost, "/v1/schedule", req, &ack)
+	return ack, err
+}
+
+// ScheduleBatch admits a batch under one group commit.
+func (c *Client) ScheduleBatch(ctx context.Context, reqs []ScheduleReq) ([]ScheduleAck, error) {
+	var out struct {
+		Timers []ScheduleAck `json:"timers"`
+	}
+	err := c.do(ctx, http.MethodPost, "/v1/schedule-batch",
+		map[string]any{"timers": reqs}, &out)
+	return out.Timers, err
+}
+
+// Stop cancels a timer; false means it had already settled.
+func (c *Client) Stop(ctx context.Context, id uint64) (bool, error) {
+	var out struct {
+		Stopped bool `json:"stopped"`
+	}
+	err := c.do(ctx, http.MethodPost, "/v1/stop", map[string]uint64{"id": id}, &out)
+	return out.Stopped, err
+}
+
+// Fired pages the settled-timer feed from the given cursor. A non-zero
+// wait long-polls: the daemon holds the request until an event lands
+// past the cursor or the wait elapses (the server clamps it to its own
+// write-timeout budget).
+func (c *Client) Fired(ctx context.Context, since uint64, wait time.Duration) (FiredPage, error) {
+	q := url.Values{"since": {strconv.FormatUint(since, 10)}}
+	if wait > 0 {
+		q.Set("wait", wait.String())
+	}
+	var page FiredPage
+	err := c.do(ctx, http.MethodGet, "/v1/fired?"+q.Encode(), nil, &page)
+	return page, err
+}
+
+// LeaseGrant acquires a lease; ttl 0 takes the daemon default.
+func (c *Client) LeaseGrant(ctx context.Context, ttl time.Duration) (uint64, time.Time, error) {
+	var out struct {
+		Lease    uint64 `json:"lease"`
+		ExpiryNS int64  `json:"expiry_unix_ns"`
+	}
+	err := c.do(ctx, http.MethodPost, "/v1/lease",
+		map[string]int64{"ttl_ms": ttl.Milliseconds()}, &out)
+	return out.Lease, time.Unix(0, out.ExpiryNS), err
+}
+
+// LeaseRenew heartbeats a lease.
+func (c *Client) LeaseRenew(ctx context.Context, lease uint64, ttl time.Duration) (time.Time, error) {
+	var out struct {
+		ExpiryNS int64 `json:"expiry_unix_ns"`
+	}
+	err := c.do(ctx, http.MethodPost, "/v1/lease/renew",
+		map[string]any{"lease": lease, "ttl_ms": ttl.Milliseconds()}, &out)
+	return time.Unix(0, out.ExpiryNS), err
+}
+
+// LeaseRelease releases a lease, cancelling its owned timers; returns
+// how many were cancelled.
+func (c *Client) LeaseRelease(ctx context.Context, lease uint64) (int, error) {
+	var out struct {
+		Cancelled int `json:"cancelled"`
+	}
+	err := c.do(ctx, http.MethodPost, "/v1/lease/release",
+		map[string]uint64{"lease": lease}, &out)
+	return out.Cancelled, err
+}
+
+// Promote asks the node the client currently points at to become the
+// primary. Unlike the write path this intentionally does NOT rediscover
+// on 421 — promotion targets a specific standby.
+func (c *Client) Promote(ctx context.Context, endpoint string) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, endpoint+"/v1/promote", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.cfg.HTTP.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	c.noteTerm(resp)
+	var out struct {
+		Term  uint64 `json:"term"`
+		Error string `json:"error"`
+	}
+	if err := decodeJSON(resp, &out); err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, &APIError{Status: resp.StatusCode, Code: out.Error}
+	}
+	return out.Term, nil
+}
+
+// Health is the subset of /healthz the client cares about.
+type Health struct {
+	Role string `json:"role"`
+	Term uint64 `json:"term"`
+}
+
+// Healthz probes a specific endpoint's health (not retried).
+func (c *Client) Healthz(ctx context.Context, endpoint string) (Health, error) {
+	var h Health
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, endpoint+"/healthz", nil)
+	if err != nil {
+		return h, err
+	}
+	resp, err := c.cfg.HTTP.Do(req)
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	c.noteTerm(resp)
+	if resp.StatusCode != http.StatusOK {
+		return h, fmt.Errorf("twclient: healthz %s: %d", endpoint, resp.StatusCode)
+	}
+	return h, decodeJSON(resp, &h)
+}

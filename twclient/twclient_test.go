@@ -1,0 +1,254 @@
+package twclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func mustNew(t *testing.T, cfg Config) *Client {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+// fakeNode is a scripted twd endpoint: a role, a term, and a write
+// handler.
+type fakeNode struct {
+	srv   *httptest.Server
+	role  atomic.Value // string
+	term  atomic.Uint64
+	hits  atomic.Int64
+	write http.HandlerFunc
+}
+
+func newFakeNode(t *testing.T, role string, term uint64) *fakeNode {
+	t.Helper()
+	n := &fakeNode{}
+	n.role.Store(role)
+	n.term.Store(term)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(HeaderTerm, itoa(n.term.Load()))
+		json.NewEncoder(w).Encode(map[string]any{
+			"role": n.role.Load().(string), "term": n.term.Load()})
+	})
+	mux.HandleFunc("/v1/schedule", func(w http.ResponseWriter, r *http.Request) {
+		n.hits.Add(1)
+		w.Header().Set(HeaderTerm, itoa(n.term.Load()))
+		if n.role.Load().(string) != "primary" {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusMisdirectedRequest)
+			json.NewEncoder(w).Encode(map[string]string{"error": "not_primary"})
+			return
+		}
+		if n.write != nil {
+			n.write(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode(ScheduleAck{ID: 1, DeadlineNS: 99})
+	})
+	n.srv = httptest.NewServer(mux)
+	t.Cleanup(n.srv.Close)
+	return n
+}
+
+func itoa(v uint64) string {
+	b := []byte{}
+	if v == 0 {
+		return "0"
+	}
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+// A 421 from a standby must send the client to the primary via
+// /healthz rediscovery, and the call must succeed transparently.
+func TestRediscoverOn421(t *testing.T) {
+	standby := newFakeNode(t, "standby", 2)
+	primary := newFakeNode(t, "primary", 2)
+	c := mustNew(t, Config{
+		Endpoints:   []string{standby.srv.URL, primary.srv.URL},
+		BackoffBase: time.Millisecond, BackoffCap: 5 * time.Millisecond,
+	})
+
+	ack, err := c.Schedule(context.Background(), ScheduleReq{AfterMS: 10})
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if ack.ID != 1 {
+		t.Fatalf("ack = %+v", ack)
+	}
+	if got := c.Endpoint(); got != primary.srv.URL {
+		t.Fatalf("client still points at %s, want primary %s", got, primary.srv.URL)
+	}
+	if standby.hits.Load() != 1 || primary.hits.Load() != 1 {
+		t.Fatalf("hits: standby=%d primary=%d, want 1/1",
+			standby.hits.Load(), primary.hits.Load())
+	}
+}
+
+// Retry-After on a 503 must delay the retry by at least the advertised
+// duration, overriding exponential backoff.
+func TestRetryAfterHonored(t *testing.T) {
+	n := newFakeNode(t, "primary", 1)
+	var calls atomic.Int64
+	n.write = func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "overloaded"})
+			return
+		}
+		json.NewEncoder(w).Encode(ScheduleAck{ID: 2})
+	}
+	c := mustNew(t, Config{
+		Endpoints:   []string{n.srv.URL},
+		BackoffBase: time.Millisecond, BackoffCap: 2 * time.Millisecond,
+	})
+
+	start := time.Now()
+	if _, err := c.Schedule(context.Background(), ScheduleReq{AfterMS: 10}); err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if el := time.Since(start); el < time.Second {
+		t.Fatalf("retried after %v; Retry-After: 1 demands >= 1s", el)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2", calls.Load())
+	}
+}
+
+// A plain 4xx is the daemon refusing the request itself — no retry,
+// surfaced as *APIError with the machine-readable code.
+func TestNonRetryable4xx(t *testing.T) {
+	n := newFakeNode(t, "primary", 1)
+	n.write = func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{
+			"error": "bad_request", "message": "need after_ms"})
+	}
+	c := mustNew(t, Config{Endpoints: []string{n.srv.URL}})
+
+	_, err := c.Schedule(context.Background(), ScheduleReq{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.Code != "bad_request" || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("apiErr = %+v", apiErr)
+	}
+	if n.hits.Load() != 1 {
+		t.Fatalf("hits = %d, want 1 (no retry)", n.hits.Load())
+	}
+}
+
+// The client must echo the highest term it has seen on every request —
+// the mechanism that lets an up-to-date client fence a stale primary.
+func TestTermEcho(t *testing.T) {
+	n := newFakeNode(t, "primary", 7)
+	var echoed atomic.Value
+	inner := n.write
+	n.write = func(w http.ResponseWriter, r *http.Request) {
+		echoed.Store(r.Header.Get(HeaderTerm))
+		if inner != nil {
+			inner(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode(ScheduleAck{ID: 1})
+	}
+	c := mustNew(t, Config{Endpoints: []string{n.srv.URL}})
+
+	ctx := context.Background()
+	if _, err := c.Schedule(ctx, ScheduleReq{AfterMS: 5}); err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	if got, _ := echoed.Load().(string); got != "" {
+		t.Fatalf("first request carried term %q before any was observed", got)
+	}
+	if c.Term() != 7 {
+		t.Fatalf("Term() = %d, want 7", c.Term())
+	}
+	if _, err := c.Schedule(ctx, ScheduleReq{AfterMS: 5}); err != nil {
+		t.Fatalf("second: %v", err)
+	}
+	if got, _ := echoed.Load().(string); got != "7" {
+		t.Fatalf("second request echoed %q, want \"7\"", got)
+	}
+}
+
+// Exhausted attempts surface the last transient error; attempts are
+// bounded by MaxAttempts.
+func TestAttemptsExhausted(t *testing.T) {
+	n := newFakeNode(t, "primary", 1)
+	n.write = func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}
+	c := mustNew(t, Config{
+		Endpoints:   []string{n.srv.URL},
+		MaxAttempts: 3,
+		BackoffBase: time.Millisecond, BackoffCap: 2 * time.Millisecond,
+	})
+
+	_, err := c.Schedule(context.Background(), ScheduleReq{AfterMS: 5})
+	if err == nil {
+		t.Fatal("want error after exhausted attempts")
+	}
+	if n.hits.Load() != 3 {
+		t.Fatalf("hits = %d, want MaxAttempts=3", n.hits.Load())
+	}
+}
+
+// A dead endpoint must not strand the client: network errors rotate to
+// the next candidate.
+func TestNetworkErrorRotates(t *testing.T) {
+	primary := newFakeNode(t, "primary", 3)
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // refuse connections from now on
+	c := mustNew(t, Config{
+		Endpoints:   []string{dead.URL, primary.srv.URL},
+		BackoffBase: time.Millisecond, BackoffCap: 5 * time.Millisecond,
+	})
+
+	ack, err := c.Schedule(context.Background(), ScheduleReq{AfterMS: 10})
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if ack.ID != 1 {
+		t.Fatalf("ack = %+v", ack)
+	}
+}
+
+// Context cancellation cuts retries short even mid-backoff.
+func TestContextCancelStopsRetry(t *testing.T) {
+	n := newFakeNode(t, "primary", 1)
+	n.write = func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	c := mustNew(t, Config{Endpoints: []string{n.srv.URL}})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Schedule(ctx, ScheduleReq{AfterMS: 5})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("took %v; cancellation did not cut the Retry-After sleep", el)
+	}
+}
