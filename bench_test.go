@@ -31,6 +31,7 @@ import (
 	"timingwheels/internal/hashwheel"
 	"timingwheels/internal/hier"
 	"timingwheels/internal/hybrid"
+	"timingwheels/internal/stagetrace"
 	"timingwheels/internal/tree"
 	"timingwheels/internal/wal"
 	"timingwheels/internal/wheel"
@@ -801,4 +802,62 @@ func BenchmarkWALStream(b *testing.B) {
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
 		})
 	}
+}
+
+// BenchmarkAdmitTraced measures what stage tracing adds to the daemon's
+// admission hot path. The modeled admission is the facility half twd
+// performs per request — AfterFunc then Stop against a sharded facility
+// — and the traced variant wraps it in a full five-mark stagetrace span
+// (decode, append, commit, arm, publish) recorded into live histograms
+// and exemplar rings, exactly as cmd/twd does per request. The delta
+// between the two sub-benchmarks is the per-request cost of the
+// observability layer; the benchjson gate holds both to the usual
+// no-regression bar.
+func BenchmarkAdmitTraced(b *testing.B) {
+	newFac := func() *timer.Sharded {
+		return timer.NewSharded(4, timer.WithGranularity(time.Millisecond),
+			timer.WithSchemeFactory(func() timer.Scheme { return timer.NewHashedWheel(1 << 14) }))
+	}
+	b.Run("untraced", func(b *testing.B) {
+		s := newFac()
+		defer s.Close()
+		var fired atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				t, err := s.AfterFunc(time.Second, func() { fired.Add(1) })
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				t.Stop()
+			}
+		})
+	})
+	b.Run("traced", func(b *testing.B) {
+		s := newFac()
+		defer s.Close()
+		rec := stagetrace.NewRecorder(stagetrace.Config{
+			Recent: 1024, Slow: 256, SlowThreshold: 25 * time.Millisecond,
+		})
+		var fired atomic.Int64
+		var id atomic.Uint64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				sp := rec.Begin("admit", "bench-trace", 0, 1)
+				sp.Mark("decode")
+				sp.Mark("append")
+				t, err := s.AfterFunc(time.Second, func() { fired.Add(1) })
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				sp.Mark("commit")
+				sp.Mark("arm")
+				t.Stop()
+				sp.Mark("publish")
+				sp.SetTimer(id.Add(1), 1)
+				sp.Finish()
+			}
+		})
+	})
 }

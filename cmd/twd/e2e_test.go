@@ -37,6 +37,7 @@ type twdProc struct {
 	sealed      bool
 	stdout      *bytes.Buffer
 	stdoutMu    *sync.Mutex
+	scanDone    chan struct{} // closed when the stdout scanner hits EOF
 }
 
 // startTwd spawns the helper daemon over dir and waits for its boot
@@ -58,7 +59,8 @@ func startTwd(t *testing.T, dir string, extra ...string) *twdProc {
 	if err := cmd.Start(); err != nil {
 		t.Fatalf("start helper: %v", err)
 	}
-	p := &twdProc{cmd: cmd, stdout: &bytes.Buffer{}, stdoutMu: &sync.Mutex{}}
+	p := &twdProc{cmd: cmd, stdout: &bytes.Buffer{}, stdoutMu: &sync.Mutex{},
+		scanDone: make(chan struct{})}
 	t.Cleanup(func() {
 		cmd.Process.Kill()
 		cmd.Wait()
@@ -66,6 +68,7 @@ func startTwd(t *testing.T, dir string, extra ...string) *twdProc {
 
 	banner := make(chan error, 1)
 	go func() {
+		defer close(p.scanDone)
 		sc := bufio.NewScanner(stdout)
 		for sc.Scan() {
 			line := sc.Text()
@@ -104,6 +107,39 @@ func startTwd(t *testing.T, dir string, extra ...string) *twdProc {
 }
 
 func (p *twdProc) url(path string) string { return "http://" + p.addr + path }
+
+// waitExit reaps a daemon expected to exit on its own (e.g. after
+// SIGTERM). It waits for the stdout scanner to hit EOF first: cmd.Wait
+// closes the pipe, and calling it while the final banner lines are
+// still in flight would drop them — a rare but real flake.
+func (p *twdProc) waitExit(t *testing.T) error {
+	t.Helper()
+	select {
+	case <-p.scanDone:
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon stdout never reached EOF; process still alive?")
+	}
+	return p.cmd.Wait()
+}
+
+// getRaw fetches a path as raw text — the JSONL /v1/trace dump, which
+// the JSON-decoding get helper cannot read.
+func (p *twdProc) getRaw(t *testing.T, path string) string {
+	t.Helper()
+	resp, err := http.Get(p.url(path))
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return string(b)
+}
 
 func (p *twdProc) post(t *testing.T, path string, body, out any) error {
 	t.Helper()
@@ -388,7 +424,7 @@ func TestE2ECrashRecovery(t *testing.T) {
 	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
-	if err := p2.cmd.Wait(); err != nil {
+	if err := p2.waitExit(t); err != nil {
 		t.Fatalf("graceful shutdown exit: %v", err)
 	}
 	p2.stdoutMu.Lock()

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"io"
 	"math/rand"
@@ -12,8 +13,35 @@ import (
 	"testing"
 	"time"
 
+	"timingwheels/internal/stagetrace"
 	"timingwheels/twclient"
 )
+
+// findTimeline scans a /v1/trace dump for the timeline of the given
+// kind covering timer id — directly for fires, via the [ID, ID+Count)
+// batch range for admissions. Ring-duplicated seqs resolve to the copy
+// with the most stages.
+func findTimeline(t *testing.T, dump, kind string, id uint64) (stagetrace.Timeline, bool) {
+	t.Helper()
+	var best stagetrace.Timeline
+	found := false
+	sc := bufio.NewScanner(strings.NewReader(dump))
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		tl, err := stagetrace.Parse(sc.Bytes())
+		if err != nil || tl.NStages == 0 || tl.Kind != kind {
+			continue
+		}
+		covers := tl.ID == id
+		if kind == "admit" && tl.Count > 1 {
+			covers = id >= tl.ID && id < tl.ID+uint64(tl.Count)
+		}
+		if covers && (!found || tl.NStages > best.NStages) {
+			best, found = tl, true
+		}
+	}
+	return best, found
+}
 
 // chaosProxy is a TCP proxy the standby replicates through. Its mode
 // decides each connection's fate: pass it cleanly, refuse it, stall it
@@ -318,9 +346,12 @@ func TestE2EFailover(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 
-	// Last pre-kill observation, then SIGKILL the primary — no request
-	// in flight, no warning to anyone.
+	// Last pre-kill observation — including A's stage-timeline dump, the
+	// admission half of the cross-node timeline reconstructed below —
+	// then SIGKILL the primary: no request in flight, no warning to
+	// anyone.
 	cursor = a.pollFired(t, cursor, firedPre)
+	traceA := a.getRaw(t, "/v1/trace")
 	if err := a.cmd.Process.Kill(); err != nil {
 		t.Fatal(err)
 	}
@@ -425,6 +456,54 @@ func TestE2EFailover(t *testing.T) {
 	}
 	if h.LeasesActive != 1 {
 		t.Errorf("B leases_active=%d, want the carried-over lease", h.LeasesActive)
+	}
+
+	// Timeline reconstruction across the failover: a surviving long
+	// timer was admitted on A and fired on B after promotion. The WAL
+	// carries no trace IDs, so the durable timer ID is the correlator:
+	// A's dump must hold the batch admission covering the ID, B's dump
+	// must hold its fire timeline, and both must satisfy the
+	// sum-of-stages == total invariant that makes the decomposition
+	// trustworthy.
+	var survivorID uint64
+	for id := range longSurvivors {
+		if _, postFired := firedPost[id]; postFired {
+			survivorID = id
+			break
+		}
+	}
+	if survivorID == 0 {
+		t.Fatal("no surviving long timer fired on B; cannot reconstruct a cross-node timeline")
+	}
+	admitTL, okA := findTimeline(t, traceA, "admit", survivorID)
+	if !okA {
+		t.Errorf("A's trace dump has no admission timeline covering timer %d", survivorID)
+	}
+	fireTL, okB := findTimeline(t, b.getRaw(t, "/v1/trace"), "fire", survivorID)
+	if !okB {
+		t.Errorf("B's trace dump has no fire timeline for timer %d", survivorID)
+	}
+	if okA && okB {
+		for _, tl := range []stagetrace.Timeline{admitTL, fireTL} {
+			var sum int64
+			for i := 0; i < tl.NStages; i++ {
+				sum += tl.Stages[i].NS
+			}
+			if sum != tl.TotalNS {
+				t.Errorf("%s timeline for %d: stage sum %d != total %d", tl.Kind, survivorID, sum, tl.TotalNS)
+			}
+		}
+		if admitTL.Trace == "" {
+			t.Error("A's admission timeline lost its client trace ID")
+		}
+		if fireTL.Trace != "" {
+			t.Errorf("B's replayed fire timeline carries trace %q; the WAL has no trace column, so it must be empty", fireTL.Trace)
+		}
+		// The two halves lie on one wall-clock axis: the admission
+		// started before the deadline the fire is anchored to.
+		if admitTL.StartNS > fireTL.StartNS {
+			t.Errorf("admission at %d is after the fire deadline %d", admitTL.StartNS, fireTL.StartNS)
+		}
 	}
 
 	// The deposed primary comes back with -peers pointing at B: it must

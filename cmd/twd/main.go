@@ -29,16 +29,22 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
+
+	"timingwheels/timer/telemetry"
 )
 
 // serverWriteTimeout bounds any single response, and therefore every
@@ -66,6 +72,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		drainWait    = fs.Duration("drain-timeout", 5*time.Second, "graceful shutdown budget")
 		follow       = fs.String("follow", "", "run as a warm standby of this primary base URL")
 		peers        = fs.String("peers", "", "comma-separated peer base URLs to probe for a higher term at boot")
+		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty disables)")
+		traceSlow    = fs.Duration("trace-slow", 25*time.Millisecond, "admissions at or above this end-to-end latency are kept as slow exemplars and logged")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -93,7 +101,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defaultTTL:   *defaultTTL,
 		follow:       *follow,
 		startFenced:  startFenced,
-		logf:         func(format string, a ...any) { fmt.Fprintf(stdout, format, a...) },
+		traceSlow:    *traceSlow,
+		logger:       slog.New(slog.NewTextHandler(stderr, nil)),
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "twd: %v\n", err)
@@ -121,6 +130,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
+	var ds *http.Server
+	if *debugAddr != "" {
+		dln, derr := net.Listen("tcp", *debugAddr)
+		if derr != nil {
+			fmt.Fprintf(stderr, "twd: debug listen: %v\n", derr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "twd debug listening on %s\n", dln.Addr())
+		ds = &http.Server{Handler: debugMux(srv)}
+		go ds.Serve(dln)
+	}
+
 	sig := make(chan os.Signal, 4)
 	signal.Notify(sig, syscall.SIGTERM, os.Interrupt, syscall.SIGUSR1)
 	for {
@@ -144,7 +165,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	hs.Shutdown(ctx)
+	if ds != nil {
+		ds.Shutdown(ctx)
+	}
 	srv.shutdown(ctx)
 	fmt.Fprintln(stdout, "twd sealed and stopped")
 	return 0
+}
+
+// expvarOnce guards the expvar registrations: expvar.Publish panics on
+// duplicate names, and the e2e harness execs run() more than once per
+// process. The published facility pointer is therefore the first
+// server's — fine for the production one-server-per-process case the
+// debug endpoint exists for.
+var expvarOnce sync.Once
+
+// debugMux serves the operator-only introspection surface: pprof
+// profiles, expvar (including the facility snapshot under "twd"), and
+// the same /metrics and /v1/trace the main listener serves — useful
+// when the main port is firewalled to clients only.
+func debugMux(srv *server) http.Handler {
+	expvarOnce.Do(func() {
+		telemetry.Publish("twd", srv.fac)
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", telemetry.HandlerWith(srv.fac, srv.extraMetrics()...))
+	mux.HandleFunc("/v1/trace", srv.handleTrace)
+	return mux
 }

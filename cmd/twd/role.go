@@ -179,7 +179,7 @@ func (s *server) fence(peerTerm uint64) {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
-	s.logf("twd fenced: peer term %d > own term %d\n", peerTerm, s.currentTerm())
+	s.logger.Warn("fenced: deposed by peer", "peer_term", peerTerm, "term", s.currentTerm())
 	go func() {
 		// Off the request path: draining cancels every armed timer and can
 		// wait on delivery goroutines.
@@ -242,8 +242,9 @@ func (s *server) promote(ctx context.Context) (uint64, error) {
 		return 0, fmt.Errorf("replay replicated state: %w", err)
 	}
 	s.roleNow.Store(int32(rolePrimary))
-	s.logf("twd promoted to primary term=%d outstanding=%d lag_bytes=%d lag_records=%d\n",
-		newTerm, repState.Outstanding(), st.BytesBehind, st.RecordsBehind)
+	s.logger.Info("promoted to primary", "term", newTerm,
+		"outstanding", repState.Outstanding(),
+		"lag_bytes", st.BytesBehind, "lag_records", st.RecordsBehind)
 	return newTerm, nil
 }
 
@@ -282,8 +283,19 @@ func (s *server) startFollowing() error {
 		State:        s.repState,
 		Wait:         s.cfg.followWait,
 		PersistEvery: 128,
-		OnApply:      func(wal.Record) { s.replApplied.Add(1) },
-		ApplyLock:    &s.repMu,
+		OnApply: func(rec wal.Record) {
+			s.replApplied.Add(1)
+			// Apply lag, measured on the one record type with a natural
+			// clock anchor: a fire record applied at its deadline means
+			// the standby is fully caught up; anything past it is the
+			// primary's own fire lag plus replication delay — exactly the
+			// staleness a failover would inherit. Clamped at zero (the
+			// hdr histogram clamps too) for clock skew between nodes.
+			if rec.Op == wal.OpFire && rec.Deadline > 0 {
+				s.applyLag.Record(s.clk.Now().UnixNano() - rec.Deadline)
+			}
+		},
+		ApplyLock: &s.repMu,
 	})
 	if err != nil {
 		return err

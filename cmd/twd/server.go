@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"sort"
@@ -13,8 +14,10 @@ import (
 	"time"
 
 	"timingwheels/clock"
+	"timingwheels/internal/hdr"
 	"timingwheels/internal/lease"
 	"timingwheels/internal/replica"
+	"timingwheels/internal/stagetrace"
 	"timingwheels/internal/wal"
 	"timingwheels/timer"
 	"timingwheels/timer/telemetry"
@@ -42,9 +45,16 @@ type config struct {
 	// is armed and every write is refused. Set when a -peers probe found
 	// a higher term — this node was deposed while it was down.
 	startFenced bool
-	// logf receives operational banners (promotions, fences); nil means
-	// os.Stderr.
-	logf func(format string, args ...any)
+	// logger receives structured operational events (promotions, fences,
+	// snapshot failures, slow admissions) with trace/timer/term fields;
+	// nil means a text handler on os.Stderr.
+	logger *slog.Logger
+	// traceSlow is the stage-timeline total at or above which a request
+	// is kept as a slow exemplar (and logged); 0 takes defaultTraceSlow.
+	traceSlow time.Duration
+	// facTrace arms the facility's flight recorder with this many events
+	// per shard (served on /v1/trace?facility=1); 0 takes 4096.
+	facTrace int
 }
 
 // entry is one live timer the daemon tracks: the facility handle plus
@@ -55,6 +65,12 @@ type entry struct {
 	leaseID  uint64
 	deadline int64 // absolute wall deadline, unix nanoseconds
 	payload  []byte
+	// trace is the admitting request's correlation ID, inherited by the
+	// fire timeline so client -> admission -> fire reads as one story.
+	// Empty for timers reconstructed from the WAL (replay, promotion):
+	// the log deliberately carries no trace field, so cross-process
+	// correlation falls back to the durable timer ID.
+	trace string
 }
 
 // firedEvent is one delivery, kept in a bounded ring for /v1/fired.
@@ -64,6 +80,9 @@ type firedEvent struct {
 	FiredNS int64  `json:"fired_unix_ns"`
 	LagNS   int64  `json:"lag_ns"`
 	Payload string `json:"payload,omitempty"`
+	// tlSeq links back to the fire's stage timeline so the first
+	// long-poll delivery can amend the push leg in. Not serialized.
+	tlSeq uint64
 }
 
 // firedRingMax bounds the /v1/fired history.
@@ -100,7 +119,16 @@ type server struct {
 	repState    *wal.State
 	repMu       sync.Mutex // guards repState between the follower and healthz
 	replApplied atomic.Uint64
-	logf        func(format string, args ...any)
+	logger      *slog.Logger
+
+	// Stage tracing (see trace.go): stages aggregates per-request and
+	// per-fire latency decompositions; applyLag is the standby's
+	// fire-record apply lag; traceIDs mints correlation IDs; slowNS is
+	// the slow-admission logging threshold.
+	stages   *stagetrace.Recorder
+	applyLag *hdr.Histogram
+	traceIDs *traceIDs
+	slowNS   int64
 
 	mu      sync.Mutex
 	entries map[uint64]*entry
@@ -113,6 +141,11 @@ type server struct {
 	earlyHit map[uint64]struct{} // fired before the admitting handler published the entry
 	fired    []firedEvent
 	firedSeq uint64
+	// pushedSeq is the fired-ring watermark below which the push stage
+	// has already been amended into fire timelines: only the first
+	// delivery of an event counts as its push, no matter how many
+	// long-pollers later replay it.
+	pushedSeq uint64
 	// firedNotify is closed-and-replaced on every fire: the broadcast
 	// /v1/fired?wait= long-pollers block on.
 	firedNotify chan struct{}
@@ -153,8 +186,11 @@ func newServer(cfg config) (*server, error) {
 	if cfg.clk == nil {
 		cfg.clk = clock.Real{}
 	}
-	if cfg.logf == nil {
-		cfg.logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format, args...) }
+	if cfg.logger == nil {
+		cfg.logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	if cfg.facTrace == 0 {
+		cfg.facTrace = 4096
 	}
 	log, rec, err := wal.Open(cfg.dir, wal.Options{
 		SyncEvery:    cfg.syncEvery,
@@ -173,7 +209,10 @@ func newServer(cfg config) (*server, error) {
 		firedNotify: make(chan struct{}),
 		recovered:   rec,
 		repState:    rec.State,
-		logf:        cfg.logf,
+		logger:      cfg.logger,
+		stages:      newStageRecorder(cfg),
+		applyLag:    hdr.New(),
+		traceIDs:    newTraceIDs(),
 		scheduled:   rec.State.Scheduled,
 		firedN:      rec.State.Fired,
 		cancelled:   rec.State.Cancelled,
@@ -182,11 +221,19 @@ func newServer(cfg config) (*server, error) {
 		// failovers instead of resetting to zero.
 		firedSeq: rec.State.Fired,
 	}
+	slow := cfg.traceSlow
+	if slow == 0 {
+		slow = defaultTraceSlow
+	}
+	s.slowNS = slow.Nanoseconds()
 	s.fac = timer.NewSharded(cfg.shards,
 		timer.WithGranularity(cfg.granularity),
 		timer.WithIngress(0),
 		timer.WithJournal(s),
 		timer.WithClockSource(cfg.clk),
+		// The facility's own flight recorder, wall-stamped so
+		// /v1/trace?facility=1 lines up with the stage timelines.
+		timer.WithTrace(cfg.facTrace),
 	)
 	s.leases = lease.NewTable(s.fac, lease.Config{
 		DefaultTTL: cfg.defaultTTL,
@@ -286,12 +333,21 @@ func (s *server) settleLocked(id uint64, e *entry, nowNS int64, wasShed bool) {
 	if lag < 0 {
 		lag = 0
 	}
+	// The fire's stage timeline: deadline -> wheel fire (the facility's
+	// lag) and fire -> ring enqueue (this settle, WAL append included).
+	// The push leg is amended in by the long-poll delivery; shed work
+	// never reaches a client, so its timeline ends here.
+	tl := stagetrace.Timeline{Kind: "fire", Trace: e.trace, ID: id, Count: 1, StartNS: e.deadline}
+	tl.Add("fire", lag)
+	tl.Add("enqueue", s.clk.Now().UnixNano()-nowNS)
+	tlSeq := s.stages.Record(tl)
 	s.firedSeq++
 	if len(s.fired) == firedRingMax {
 		s.fired = append(s.fired[:0], s.fired[1:]...)
 	}
 	s.fired = append(s.fired, firedEvent{
 		Seq: s.firedSeq, ID: id, FiredNS: nowNS, LagNS: lag, Payload: string(e.payload),
+		tlSeq: tlSeq,
 	})
 	// Wake the /v1/fired long-pollers: close-and-replace is a broadcast.
 	close(s.firedNotify)
@@ -363,12 +419,13 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/v1/lease/release", s.writeGuard(s.handleLeaseRelease))
 	mux.HandleFunc("/v1/fired", s.handleFired)
 	mux.HandleFunc("/v1/timers", s.handleTimers)
+	mux.HandleFunc("/v1/trace", s.handleTrace)
 	mux.HandleFunc("/v1/promote", s.handlePromote)
 	mux.HandleFunc("/v1/replica/snapshot", streamer.ServeSnapshot)
 	mux.HandleFunc("/v1/replica/stream", streamer.ServeStream)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", telemetry.HandlerWith(s.fac, s.extraMetrics()...))
-	return s.stampTerm(mux)
+	return s.stampTerm(s.withTrace(mux))
 }
 
 // Long-poll bounds. Both must stay under the http.Server write timeout
@@ -405,11 +462,12 @@ func parseClass(s string) (timer.Priority, bool) {
 }
 
 func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	sp := s.stages.Begin("admit", r.Header.Get(HeaderTrace), 0, 1)
 	var item scheduleItem
 	if !readJSON(w, r, &item) {
 		return
 	}
-	acks, status, code, err := s.admit([]scheduleItem{item})
+	acks, status, code, err := s.admit([]scheduleItem{item}, &sp)
 	if err != nil {
 		httpError(w, status, code, err.Error())
 		return
@@ -418,6 +476,7 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
+	sp := s.stages.Begin("admit", r.Header.Get(HeaderTrace), 0, 0)
 	var req struct {
 		Timers []scheduleItem `json:"timers"`
 	}
@@ -428,7 +487,7 @@ func (s *server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad_request", "empty batch")
 		return
 	}
-	acks, status, code, err := s.admit(req.Timers)
+	acks, status, code, err := s.admit(req.Timers, &sp)
 	if err != nil {
 		httpError(w, status, code, err.Error())
 		return
@@ -441,8 +500,14 @@ func (s *server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 // facility, then publish the entries. The WAL commit precedes the arm
 // so a crash after the ack always replays the timer; a crash before
 // the commit acks nothing and replays nothing.
-func (s *server) admit(items []scheduleItem) ([]scheduledAck, int, string, error) {
+//
+// sp is the request's stage span, opened at handler entry; admit marks
+// the decode/append/commit/arm/publish boundaries and records the
+// timeline only for successful admissions (a refused request has no
+// end-to-end latency to decompose — its story is the error code).
+func (s *server) admit(items []scheduleItem, sp *stagetrace.Span) ([]scheduledAck, int, string, error) {
 	now := s.clk.Now()
+	trace := sp.Trace()
 	prios := make([]timer.Priority, len(items))
 	deadlines := make([]int64, len(items))
 	for i, it := range items {
@@ -465,6 +530,7 @@ func (s *server) admit(items []scheduleItem) ([]scheduledAck, int, string, error
 			}
 		}
 	}
+	sp.Mark("decode")
 
 	// Write-ahead: one append per timer, one commit for the batch.
 	ids := make([]uint64, len(items))
@@ -488,14 +554,16 @@ func (s *server) admit(items []scheduleItem) ([]scheduledAck, int, string, error
 			return nil, http.StatusServiceUnavailable, "wal_failed", fmt.Errorf("wal append: %w", err)
 		}
 		s.pending[ids[i]] = &entry{class: uint8(prios[i]), leaseID: it.Lease,
-			deadline: deadlines[i], payload: payload}
+			deadline: deadlines[i], payload: payload, trace: trace}
 		s.scheduled++
 	}
 	s.mu.Unlock()
+	sp.Mark("append")
 	if err := s.log.Commit(lsn); err != nil {
 		s.abortAdmission(ids)
 		return nil, http.StatusServiceUnavailable, "wal_failed", fmt.Errorf("wal commit: %w", err)
 	}
+	sp.Mark("commit")
 
 	// Arm. The deadline is re-expressed as a delay; a deadline already
 	// past arms at the minimum (one tick) and fires on the next poll.
@@ -508,6 +576,7 @@ func (s *server) admit(items []scheduleItem) ([]scheduledAck, int, string, error
 		reqs[i] = timer.Req{After: d, Fn: noop, Opt: timer.WithPriority(prios[i]).WithTag(ids[i])}
 	}
 	timers, err := s.fac.ScheduleBatch(reqs)
+	sp.Mark("arm")
 	if err != nil {
 		// Partial or refused batch (draining): un-admit everything. The
 		// armed subset is stopped; the WAL gets a cancel per timer so the
@@ -551,6 +620,15 @@ func (s *server) admit(items []scheduleItem) ([]scheduledAck, int, string, error
 	}
 	s.mu.Unlock()
 	s.fac.StopBatch(orphans)
+	sp.Mark("publish")
+	sp.SetTimer(ids[0], len(items))
+	total := sp.Total()
+	sp.Finish()
+	if total >= time.Duration(s.slowNS) {
+		s.logger.Warn("slow admission",
+			"trace", trace, "first_id", ids[0], "count", len(items),
+			"total", total, "term", s.currentTerm())
+	}
 	s.maybeCompact()
 	return acks, 0, "", nil
 }
@@ -819,11 +897,36 @@ func (s *server) handleFired(w http.ResponseWriter, r *http.Request) {
 		}
 		next := s.firedSeq
 		notify := s.firedNotify
-		s.mu.Unlock()
 		// next > since with no events means the cursor predates the ring's
 		// retention: answer immediately so the client can resynchronize
 		// rather than block on history that will never reappear.
-		if len(events) > 0 || wait == 0 || next > since {
+		respond := len(events) > 0 || wait == 0 || next > since
+		// Amend the push leg into each event's fire timeline exactly
+		// once: the watermark advances under s.mu, so concurrent pollers
+		// claim disjoint first deliveries.
+		type pushMark struct {
+			tlSeq   uint64
+			firedNS int64
+		}
+		var pushes []pushMark
+		if respond && len(events) > 0 {
+			for _, ev := range events {
+				if ev.Seq > s.pushedSeq && ev.tlSeq != 0 {
+					pushes = append(pushes, pushMark{ev.tlSeq, ev.FiredNS})
+				}
+			}
+			if last := events[len(events)-1].Seq; last > s.pushedSeq {
+				s.pushedSeq = last
+			}
+		}
+		s.mu.Unlock()
+		if respond {
+			if len(pushes) > 0 {
+				pushNS := s.clk.Now().UnixNano()
+				for _, p := range pushes {
+					s.stages.Amend(p.tlSeq, "push", pushNS-p.firedNS)
+				}
+			}
 			writeJSON(w, map[string]any{"events": events, "next": next})
 			return
 		}
@@ -947,7 +1050,8 @@ func (s *server) extraMetrics() []telemetry.Metric {
 	srvStat := func(f func(*server) float64) func() float64 {
 		return func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return f(s) }
 	}
-	return []telemetry.Metric{
+	metrics := append([]telemetry.Metric(nil), s.stageMetrics()...)
+	return append(metrics, []telemetry.Metric{
 		{Name: "wal_appends_total", Help: "Records appended to the WAL.", Value: walStat(func(w wal.Stats) float64 { return float64(w.Appends) })},
 		{Name: "wal_syncs_total", Help: "WAL fsync batches.", Value: walStat(func(w wal.Stats) float64 { return float64(w.Syncs) })},
 		{Name: "wal_snapshots_total", Help: "WAL compaction snapshots.", Value: walStat(func(w wal.Stats) float64 { return float64(w.Snapshots) })},
@@ -977,7 +1081,7 @@ func (s *server) extraMetrics() []telemetry.Metric {
 			}
 			return 0
 		}},
-	}
+	}...)
 }
 
 // maybeCompact triggers a background snapshot once the active segment
@@ -1027,7 +1131,8 @@ func (s *server) compact() {
 		// authoritative) or, if even the rollback failed, poisoned the
 		// log — every later acked path then 503s. Either way the operator
 		// must hear about it; durable state is never silently wrong.
-		fmt.Fprintf(os.Stderr, "twd: wal snapshot failed: %v\n", err)
+		s.logger.Error("wal snapshot failed", "err", err, "term", s.currentTerm(),
+			"outstanding", len(s.entries)+len(s.pending))
 	}
 }
 

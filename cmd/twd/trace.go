@@ -1,0 +1,162 @@
+package main
+
+// Stage tracing: where did the time go between a client's POST and its
+// ack, and between a timer's deadline and the client holding the fire?
+//
+// Every request carries an X-Twd-Trace ID (client-stamped or minted
+// here) echoed on the response. Admission records a per-request
+// timeline — decode, WAL append, group-commit wait, arm, publish —
+// whose stage durations sum exactly to the end-to-end latency; each
+// fire records deadline -> wheel fire -> fired-ring enqueue, and the
+// long-poll push leg is amended in when the first /v1/fired delivery
+// carries the event out. Timelines aggregate into per-stage hdr
+// histograms on /metrics and into bounded recent/slow exemplar rings
+// served as JSONL on /v1/trace for cmd/twtrace.
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"timingwheels/internal/hdr"
+	"timingwheels/internal/stagetrace"
+	"timingwheels/timer/telemetry"
+)
+
+// HeaderTrace carries the request correlation ID; clients set it,
+// the daemon mints one when absent, and every response echoes it.
+const HeaderTrace = "X-Twd-Trace"
+
+// Stage-recorder sizing. The rings are exemplar storage, not history:
+// big enough that a scrape-interval's worth of slow requests survives,
+// small enough to be an afterthought in memory.
+const (
+	traceRecentRing  = 1024
+	traceSlowRing    = 256
+	defaultTraceSlow = 25 * time.Millisecond
+)
+
+// admitStages and fireStages name the timeline segments in causal
+// order; twd_stage_<name>_seconds on /metrics mirrors them 1:1.
+var (
+	admitStages = []string{"decode", "append", "commit", "arm", "publish"}
+	fireStages  = []string{"fire", "enqueue", "push"}
+)
+
+// newStageRecorder builds the server's recorder and eagerly creates
+// every histogram the exporter will reference, so /metrics closures
+// bind stable pointers at route-build time.
+func newStageRecorder(cfg config) *stagetrace.Recorder {
+	slow := cfg.traceSlow
+	if slow == 0 {
+		slow = defaultTraceSlow
+	}
+	rec := stagetrace.NewRecorder(stagetrace.Config{
+		Recent:        traceRecentRing,
+		Slow:          traceSlowRing,
+		SlowThreshold: slow,
+		Now:           cfg.clk.Now,
+	})
+	for _, st := range admitStages {
+		rec.Hist("admit_" + st)
+	}
+	for _, st := range fireStages {
+		rec.Hist("fire_" + st)
+	}
+	rec.Hist("admit_total")
+	rec.Hist("fire_total")
+	return rec
+}
+
+// stageMetrics exports the stage histograms. Stage keys shared by the
+// admit and fire paths keep distinct metric names (twd_admit_seconds vs
+// twd_fire_seconds) so the two critical paths never blur together.
+func (s *server) stageMetrics() []telemetry.Metric {
+	hist := func(key string) func() hdr.Snapshot {
+		h := s.stages.Hist(key)
+		return h.Snapshot
+	}
+	m := []telemetry.Metric{
+		{Name: "twd_admit_seconds", Help: "End-to-end admission latency (decode through publish).", Hist: hist("admit_total"), Scale: 1e-9},
+		{Name: "twd_fire_seconds", Help: "Deadline-to-fired-ring latency per delivered timer.", Hist: hist("fire_total"), Scale: 1e-9},
+		{Name: "twd_replica_apply_lag_seconds", Help: "Standby apply lag: fire record applied locally vs its deadline (standby only).", Hist: s.applyLag.Snapshot, Scale: 1e-9},
+	}
+	help := map[string]string{
+		"decode":  "Admission: request decode and validation.",
+		"append":  "Admission: WAL append of the batch.",
+		"commit":  "Admission: group-commit (fsync) wait.",
+		"arm":     "Admission: facility ScheduleBatch.",
+		"publish": "Admission: entry publish and early-fire settle.",
+		"fire":    "Fire: wall-clock deadline to wheel delivery.",
+		"enqueue": "Fire: wheel delivery to fired-ring enqueue.",
+		"push":    "Fire: fired-ring enqueue to first long-poll push.",
+	}
+	for _, st := range admitStages {
+		m = append(m, telemetry.Metric{Name: "twd_stage_" + st + "_seconds",
+			Help: help[st], Hist: hist("admit_" + st), Scale: 1e-9})
+	}
+	for _, st := range fireStages {
+		m = append(m, telemetry.Metric{Name: "twd_stage_" + st + "_seconds",
+			Help: help[st], Hist: hist("fire_" + st), Scale: 1e-9})
+	}
+	return m
+}
+
+// traceIDs mints daemon-side correlation IDs: a per-boot random prefix
+// plus a counter, so IDs from different nodes never collide and sort
+// roughly by admission order within one boot.
+type traceIDs struct {
+	boot string
+	n    atomic.Uint64
+}
+
+func newTraceIDs() *traceIDs {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Non-cryptographic fallback: trace IDs only need uniqueness.
+		copy(b[:], []byte{0xde, 0xad, 0xbe, 0xef})
+	}
+	return &traceIDs{boot: hex.EncodeToString(b[:])}
+}
+
+func (t *traceIDs) next() string {
+	return fmt.Sprintf("%s-%x", t.boot, t.n.Add(1))
+}
+
+// withTrace ensures every request has a trace ID and every response
+// echoes it: client-supplied IDs pass through untouched, requests
+// without one get a daemon-minted ID stamped back into the request so
+// handlers read one place.
+func (s *server) withTrace(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(HeaderTrace)
+		if id == "" {
+			id = s.traceIDs.next()
+			r.Header.Set(HeaderTrace, id)
+		}
+		w.Header().Set(HeaderTrace, id)
+		h.ServeHTTP(w, r)
+	})
+}
+
+// handleTrace serves the stage-timeline exemplar rings as JSON Lines —
+// the recent ring oldest-first, then the slow ring — in every role (a
+// standby's fire history after promotion is exactly what a failover
+// post-mortem needs). ?facility=1 appends the timer facility's own
+// flight-recorder events (wall-stamped, so the two sections correlate).
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := s.stages.Dump(w); err != nil {
+		return
+	}
+	if r.URL.Query().Get("facility") != "" {
+		_ = s.fac.DumpTrace(w)
+	}
+}

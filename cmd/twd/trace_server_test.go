@@ -1,0 +1,307 @@
+package main
+
+// The stage-tracing surface, tested over real HTTP: trace IDs echo end
+// to end, admission and fire timelines decompose into the documented
+// stages whose durations sum exactly to the recorded totals, and the
+// stage histograms ride the /metrics exposition.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"timingwheels/internal/stagetrace"
+)
+
+// postTraced is fixture.post plus a request trace header; it returns
+// the response's echoed trace ID.
+func (f *fixture) postTraced(path, trace string, body, out any, want int) string {
+	f.t.Helper()
+	raw, _ := json.Marshal(body)
+	req, err := http.NewRequest(http.MethodPost, f.ts.URL+path, bytes.NewReader(raw))
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if trace != "" {
+		req.Header.Set(HeaderTrace, trace)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		f.t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != want {
+		f.t.Fatalf("POST %s: status %d (want %d): %s", path, resp.StatusCode, want, buf.String())
+	}
+	if out != nil {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			f.t.Fatalf("POST %s: decode %q: %v", path, buf.String(), err)
+		}
+	}
+	return resp.Header.Get(HeaderTrace)
+}
+
+// getText fetches a path as raw text (the JSONL and Prometheus
+// endpoints, which fixture.get's JSON decoding cannot read).
+func (f *fixture) getText(path string) string {
+	f.t.Helper()
+	resp, err := http.Get(f.ts.URL + path)
+	if err != nil {
+		f.t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		f.t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		f.t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return string(b)
+}
+
+// parseTimelines decodes every stage timeline in a /v1/trace dump,
+// deduplicating the recent/slow ring overlap by seq (keeping the copy
+// with more stages — one ring's copy may predate a push amendment).
+func parseTimelines(t *testing.T, dump string) map[uint64]stagetrace.Timeline {
+	t.Helper()
+	out := make(map[uint64]stagetrace.Timeline)
+	sc := bufio.NewScanner(strings.NewReader(dump))
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		tl, err := stagetrace.Parse(sc.Bytes())
+		if err != nil || tl.Seq == 0 || tl.NStages == 0 {
+			continue // facility flight-recorder line or blank
+		}
+		if prev, ok := out[tl.Seq]; !ok || tl.NStages > prev.NStages {
+			out[tl.Seq] = tl
+		}
+	}
+	return out
+}
+
+// stageNames flattens a timeline's stage names for comparison.
+func stageNames(tl stagetrace.Timeline) []string {
+	names := make([]string, tl.NStages)
+	for i := range names {
+		names[i] = tl.Stages[i].Name
+	}
+	return names
+}
+
+// requireSumInvariant asserts the acceptance criterion: the per-stage
+// durations account for the entire recorded end-to-end latency.
+func requireSumInvariant(t *testing.T, tl stagetrace.Timeline) {
+	t.Helper()
+	var sum int64
+	for i := 0; i < tl.NStages; i++ {
+		if tl.Stages[i].NS < 0 {
+			t.Errorf("%s seq=%d stage %s is negative: %d", tl.Kind, tl.Seq, tl.Stages[i].Name, tl.Stages[i].NS)
+		}
+		sum += tl.Stages[i].NS
+	}
+	if sum != tl.TotalNS {
+		t.Errorf("%s seq=%d: stage sum %d != total %d", tl.Kind, tl.Seq, sum, tl.TotalNS)
+	}
+}
+
+// A client-stamped trace ID must echo on the ack, ride the admission
+// timeline, and come back out on the fire timeline after delivery —
+// the end-to-end correlation the tracing exists for. Stage names must
+// appear in causal order with durations summing to the total.
+func TestTraceEndToEnd(t *testing.T) {
+	f := newFixture(t, nil)
+
+	var ack struct {
+		ID uint64 `json:"id"`
+	}
+	const trace = "e2e-trace-1"
+	if echoed := f.postTraced("/v1/schedule", trace,
+		map[string]any{"after_ms": 20, "payload": "traced"}, &ack, 200); echoed != trace {
+		t.Fatalf("response echoed trace %q, want %q", echoed, trace)
+	}
+	if ack.ID == 0 {
+		t.Fatal("no timer ID in ack")
+	}
+
+	// A request without a trace gets a daemon-minted ID echoed back.
+	var ack2 struct {
+		ID uint64 `json:"id"`
+	}
+	minted := f.postTraced("/v1/schedule", "", map[string]any{"after_ms": 20}, &ack2, 200)
+	if minted == "" {
+		t.Fatal("daemon did not mint a trace ID")
+	}
+	if minted == trace {
+		t.Fatalf("minted ID collided with the client's: %q", minted)
+	}
+
+	// Collect both fires; the first delivery is what records the push
+	// stage, so the timelines below are complete.
+	f.waitFired(5*time.Second, func(fr firedResp) bool { return len(fr.Events) >= 2 })
+
+	tls := parseTimelines(t, f.getText("/v1/trace"))
+	var admits, fires int
+	var admitTL, fireTL stagetrace.Timeline
+	for _, tl := range tls {
+		requireSumInvariant(t, tl)
+		switch {
+		case tl.Kind == "admit":
+			admits++
+			if tl.Trace == trace {
+				admitTL = tl
+			}
+		case tl.Kind == "fire":
+			fires++
+			if tl.Trace == trace {
+				fireTL = tl
+			}
+		}
+	}
+	if admits < 2 || fires < 2 {
+		t.Fatalf("dump holds %d admit / %d fire timelines, want >= 2 each", admits, fires)
+	}
+
+	if admitTL.Seq == 0 {
+		t.Fatalf("no admission timeline for trace %q", trace)
+	}
+	if got, want := stageNames(admitTL), strings.Join(admitStages, ","); strings.Join(got, ",") != want {
+		t.Errorf("admit stages = %v, want %s", got, want)
+	}
+	if admitTL.ID != ack.ID || admitTL.Count != 1 {
+		t.Errorf("admit timeline identity = (id=%d count=%d), want (id=%d count=1)",
+			admitTL.ID, admitTL.Count, ack.ID)
+	}
+
+	if fireTL.Seq == 0 {
+		t.Fatalf("no fire timeline for trace %q", trace)
+	}
+	if fireTL.ID != ack.ID {
+		t.Errorf("fire timeline id = %d, want %d", fireTL.ID, ack.ID)
+	}
+	if got, want := stageNames(fireTL), strings.Join(fireStages, ","); strings.Join(got, ",") != want {
+		t.Errorf("fire stages = %v, want %s (push must be amended in after delivery)", got, want)
+	}
+	if admitTL.StartNS > fireTL.StartNS {
+		t.Errorf("fire deadline %d precedes its admission %d", fireTL.StartNS, admitTL.StartNS)
+	}
+}
+
+// Batch admissions record one timeline covering the whole batch: the
+// first durable ID plus the count, which is what lets an analyzer join
+// any member's fire back to the admission.
+func TestTraceBatchTimeline(t *testing.T) {
+	f := newFixture(t, nil)
+	var acks struct {
+		Timers []struct {
+			ID uint64 `json:"id"`
+		} `json:"timers"`
+	}
+	const trace = "batch-trace"
+	f.postTraced("/v1/schedule-batch", trace, map[string]any{
+		"timers": []map[string]any{{"after_ms": 15}, {"after_ms": 18}, {"after_ms": 21}},
+	}, &acks, 200)
+	if len(acks.Timers) != 3 {
+		t.Fatalf("batch acked %d timers, want 3", len(acks.Timers))
+	}
+
+	tls := parseTimelines(t, f.getText("/v1/trace"))
+	found := false
+	for _, tl := range tls {
+		if tl.Kind == "admit" && tl.Trace == trace {
+			found = true
+			if tl.ID != acks.Timers[0].ID || tl.Count != 3 {
+				t.Errorf("batch timeline = (id=%d count=%d), want (id=%d count=3)",
+					tl.ID, tl.Count, acks.Timers[0].ID)
+			}
+			requireSumInvariant(t, tl)
+		}
+	}
+	if !found {
+		t.Fatalf("no batch admission timeline for trace %q", trace)
+	}
+}
+
+// /v1/trace?facility=1 appends the wheel's own flight recorder after
+// the stage timelines — wall-stamped lines the stage parser skips.
+func TestTraceFacilityAppend(t *testing.T) {
+	f := newFixture(t, nil)
+	var ack struct {
+		ID uint64 `json:"id"`
+	}
+	f.post("/v1/schedule", map[string]any{"after_ms": 10}, &ack, 200)
+	f.waitFired(5*time.Second, func(fr firedResp) bool { return len(fr.Events) >= 1 })
+
+	plain := f.getText("/v1/trace")
+	full := f.getText("/v1/trace?facility=1")
+	if !strings.HasPrefix(full, plain) {
+		t.Error("facility dump does not start with the stage timelines")
+	}
+	tail := strings.TrimPrefix(full, plain)
+	if !strings.Contains(tail, `"wall_ns"`) {
+		t.Errorf("facility section missing wall-stamped events:\n%s", tail)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(tail), "\n") {
+		if line == "" {
+			continue
+		}
+		if !json.Valid([]byte(line)) {
+			t.Errorf("facility line is not valid JSON: %s", line)
+		}
+	}
+}
+
+// The stage histograms must ride the same parse-tested Prometheus
+// exposition as everything else, one family per stage, all prefixed
+// timingwheels_twd_.
+func TestMetricsExposeStageHistograms(t *testing.T) {
+	f := newFixture(t, nil)
+	var ack struct {
+		ID uint64 `json:"id"`
+	}
+	f.post("/v1/schedule", map[string]any{"after_ms": 10}, &ack, 200)
+	f.waitFired(5*time.Second, func(fr firedResp) bool { return len(fr.Events) >= 1 })
+
+	met := f.getText("/metrics")
+	families := []string{"twd_admit_seconds", "twd_fire_seconds", "twd_replica_apply_lag_seconds"}
+	for _, st := range append(append([]string(nil), admitStages...), fireStages...) {
+		families = append(families, "twd_stage_"+st+"_seconds")
+	}
+	for _, fam := range families {
+		if !strings.Contains(met, "# TYPE timingwheels_"+fam+" histogram") {
+			t.Errorf("/metrics missing histogram family %s", fam)
+		}
+	}
+	// The admission path actually recorded: a non-empty count.
+	if strings.Contains(met, "timingwheels_twd_admit_seconds_count 0\n") {
+		t.Error("twd_admit_seconds recorded nothing despite an admission")
+	}
+}
+
+// Slow admissions land in the slow-exemplar ring and the structured
+// log; with a zero threshold every admission qualifies, so the slow
+// ring must retain an exemplar even after the recent ring wraps.
+func TestTraceSlowExemplars(t *testing.T) {
+	f := newFixture(t, func(c *config) { c.traceSlow = time.Nanosecond })
+	var ack struct {
+		ID uint64 `json:"id"`
+	}
+	const trace = "slow-1"
+	f.postTraced("/v1/schedule", trace, map[string]any{"after_ms": 5000}, &ack, 200)
+
+	tls := parseTimelines(t, f.getText("/v1/trace"))
+	for _, tl := range tls {
+		if tl.Kind == "admit" && tl.Trace == trace {
+			return
+		}
+	}
+	t.Fatalf("slow admission %q not in the exemplar dump", trace)
+}

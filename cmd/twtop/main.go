@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"timingwheels/internal/hdr"
 	"timingwheels/timer"
 	"timingwheels/timer/telemetry"
 )
@@ -42,7 +43,7 @@ func main() {
 	switch {
 	case *demo:
 		var sb strings.Builder
-		if err := telemetry.WriteProm(&sb, demoSnapshot()); err != nil {
+		if err := telemetry.WritePromWith(&sb, demoSnapshot(), demoStageMetrics()...); err != nil {
 			fatalf("demo: %v", err)
 		}
 		src = strings.NewReader(sb.String())
@@ -92,6 +93,43 @@ func demoSnapshot() timer.Snapshot {
 		<-done
 	}
 	return rt.Snapshot()
+}
+
+// demoStageMetrics synthesizes the twd daemon's stage histograms — the
+// same names cmd/twd exports — so the demo render exercises the twd
+// panel without a daemon. Shapes are plausible: decode and publish in
+// the tens of microseconds, commit dominating admission, fire lag
+// around a tick, with a slow tail on commit and push.
+func demoStageMetrics() []telemetry.Metric {
+	rng := rand.New(rand.NewSource(2))
+	synth := func(baseUS, tailUS int) func() timer.HistogramSnapshot {
+		h := hdr.New()
+		for i := 0; i < 512; i++ {
+			ns := int64(baseUS+rng.Intn(baseUS+1)) * 1000
+			if i%64 == 0 {
+				ns += int64(tailUS) * 1000
+			}
+			h.Record(ns)
+		}
+		return h.Snapshot
+	}
+	m := []telemetry.Metric{
+		{Name: "twd_admit_seconds", Help: "End-to-end admission latency.", Hist: synth(900, 24_000), Scale: 1e-9},
+		{Name: "twd_fire_seconds", Help: "Deadline-to-fired-ring latency.", Hist: synth(1200, 9_000), Scale: 1e-9},
+		{Name: "twd_replica_apply_lag_seconds", Help: "Standby apply lag.", Hist: synth(2500, 30_000), Scale: 1e-9},
+	}
+	for _, st := range []struct {
+		name           string
+		baseUS, tailUS int
+	}{
+		{"decode", 15, 200}, {"append", 60, 900}, {"commit", 700, 22_000},
+		{"arm", 40, 400}, {"publish", 8, 90},
+		{"fire", 1100, 8_000}, {"enqueue", 70, 600}, {"push", 300, 5_000},
+	} {
+		m = append(m, telemetry.Metric{Name: "twd_stage_" + st.name + "_seconds",
+			Help: "Stage latency.", Hist: synth(st.baseUS, st.tailUS), Scale: 1e-9})
+	}
+	return m
 }
 
 // bucket is one cumulative histogram bucket.
@@ -264,6 +302,52 @@ func render(w io.Writer, m *metrics) {
 			fmt.Fprintf(w, "  %-28s count=%.0f p50=%.0f p99=%.0f p999=%.0f\n", short, h.count,
 				h.quantile(0.50), h.quantile(0.99), h.quantile(0.999))
 		}
+	}
+	renderTwd(w, m)
+}
+
+// twdAdmitStages and twdFireStages mirror cmd/twd's stage order, so the
+// panel reads in causal order rather than alphabetically.
+var (
+	twdAdmitStages = []string{"decode", "append", "commit", "arm", "publish"}
+	twdFireStages  = []string{"fire", "enqueue", "push"}
+)
+
+// renderTwd adds the daemon panels — admission and fire stage
+// decomposition, and standby replication lag — when the scraped
+// exposition came from a twd /metrics endpoint. The exporter prefixes
+// every family with timingwheels_, so the daemon's metrics arrive as
+// timingwheels_twd_*. A bare facility scrape has none of these
+// families and prints nothing extra.
+func renderTwd(w io.Writer, m *metrics) {
+	row := func(indent, label, name string) {
+		h := m.hists["timingwheels_"+name]
+		if h == nil || h.count == 0 {
+			return
+		}
+		fmt.Fprintf(w, "%s%-*s count=%.0f p50=%s p99=%s p999=%s\n", indent, 30-len(indent), label,
+			h.count, durStr(h.quantile(0.50)), durStr(h.quantile(0.99)), durStr(h.quantile(0.999)))
+	}
+	hasAdmit := m.hists["timingwheels_twd_admit_seconds"] != nil
+	hasFire := m.hists["timingwheels_twd_fire_seconds"] != nil
+	if hasAdmit || hasFire {
+		fmt.Fprintf(w, "twd stages\n")
+	}
+	if hasAdmit {
+		row("  ", "admit (end-to-end)", "twd_admit_seconds")
+		for _, st := range twdAdmitStages {
+			row("    ", st, "twd_stage_"+st+"_seconds")
+		}
+	}
+	if hasFire {
+		row("  ", "fire (deadline->ring)", "twd_fire_seconds")
+		for _, st := range twdFireStages {
+			row("    ", st, "twd_stage_"+st+"_seconds")
+		}
+	}
+	if h := m.hists["timingwheels_twd_replica_apply_lag_seconds"]; h != nil && h.count > 0 {
+		fmt.Fprintf(w, "twd replication\n")
+		row("  ", "apply lag", "twd_replica_apply_lag_seconds")
 	}
 }
 

@@ -101,6 +101,60 @@ func TestRenderDashboard(t *testing.T) {
 	}
 }
 
+// The demo exposition carries the synthetic twd stage metrics; the
+// render must show the daemon panels with stages in causal order, and
+// a facility-only scrape must not show them at all.
+func TestRenderTwdPanels(t *testing.T) {
+	var sb strings.Builder
+	if err := telemetry.WritePromWith(&sb, demoSnapshot(), demoStageMetrics()...); err != nil {
+		t.Fatal(err)
+	}
+	m, err := parseProm(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	render(&out, m)
+	got := out.String()
+	for _, want := range []string{
+		"twd stages",
+		"admit (end-to-end)",
+		"fire (deadline->ring)",
+		"twd replication",
+		"apply lag",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("render missing %q:\n%s", want, got)
+		}
+	}
+	order := []string{"decode", "append", "commit", "arm", "publish", "fire (", "enqueue", "push"}
+	last := -1
+	for _, st := range order {
+		i := strings.Index(got, "\n    "+st)
+		if st == "fire (" {
+			i = strings.Index(got, "fire (deadline->ring)")
+		}
+		if i < 0 {
+			t.Fatalf("stage %q missing:\n%s", st, got)
+		}
+		if i < last {
+			t.Fatalf("stage %q out of causal order:\n%s", st, got)
+		}
+		last = i
+	}
+
+	// Facility-only scrape: no twd panels.
+	facOnly, err := parseProm(strings.NewReader(liveExposition(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	render(&out, facOnly)
+	if strings.Contains(out.String(), "twd stages") {
+		t.Errorf("facility-only render grew a twd panel:\n%s", out.String())
+	}
+}
+
 func TestParsePromRejectsGarbage(t *testing.T) {
 	if _, err := parseProm(strings.NewReader("not a metric line\n")); err == nil {
 		t.Fatal("garbage line accepted")

@@ -1,0 +1,298 @@
+// Command twtrace analyzes stage-timeline dumps from twd's /v1/trace:
+// the offline half of the daemon's latency decomposition. It ingests
+// JSON Lines timelines — from files, stdin, or a live endpoint — and
+// prints per-stage quantiles for the admission and fire paths, flags
+// any timeline whose stage durations do not sum to its recorded total,
+// and reconstructs the slowest end-to-end deliveries by joining each
+// fire timeline back to the admission that created the timer.
+//
+//	twtrace -url http://localhost:7474          # scrape a live daemon
+//	twtrace dump-a.jsonl dump-b.jsonl           # merge saved dumps
+//	twtrace < dump.jsonl                        # read stdin
+//
+// Non-timeline lines (the facility flight-recorder events appended by
+// /v1/trace?facility=1) are skipped and counted, so a full capture can
+// be fed back without filtering.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"timingwheels/internal/stagetrace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("twtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		url = fs.String("url", "", "scrape this daemon's /v1/trace (base URL or full trace URL)")
+		top = fs.Int("top", 5, "how many of the slowest deliveries to reconstruct")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *top < 1 {
+		fmt.Fprintln(stderr, "twtrace: -top needs a positive integer")
+		return 2
+	}
+
+	var a analysis
+	switch {
+	case *url != "":
+		u := *url
+		if !strings.Contains(u, "/v1/trace") {
+			u = strings.TrimSuffix(u, "/") + "/v1/trace"
+		}
+		resp, err := http.Get(u)
+		if err != nil {
+			fmt.Fprintf(stderr, "twtrace: fetch %s: %v\n", u, err)
+			return 1
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(stderr, "twtrace: fetch %s: %s\n", u, resp.Status)
+			return 1
+		}
+		a.ingest(resp.Body)
+	case fs.NArg() > 0:
+		for _, name := range fs.Args() {
+			f, err := os.Open(name)
+			if err != nil {
+				fmt.Fprintf(stderr, "twtrace: %v\n", err)
+				return 1
+			}
+			a.ingest(f)
+			f.Close()
+		}
+	default:
+		a.ingest(os.Stdin)
+	}
+
+	a.render(stdout, *top)
+	return 0
+}
+
+// analysis accumulates ingested timelines. Exemplar dumps repeat a Seq
+// across the recent and slow rings by design; the copy with the most
+// stages wins (the other may predate a push amendment).
+type analysis struct {
+	byKey     map[string]stagetrace.Timeline // source#seq -> best copy
+	order     []string                       // insertion order of byKey
+	sources   int
+	skipped   int // non-timeline lines (facility events, blanks)
+	mismatch  []stagetrace.Timeline
+	stageSeen map[string][]string // kind -> stage names, causal order
+}
+
+func (a *analysis) ingest(r io.Reader) {
+	if a.byKey == nil {
+		a.byKey = make(map[string]stagetrace.Timeline)
+		a.stageSeen = make(map[string][]string)
+	}
+	a.sources++
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		tl, err := stagetrace.Parse(line)
+		if err != nil || tl.Seq == 0 || tl.NStages == 0 || tl.Kind == "" {
+			a.skipped++
+			continue
+		}
+		key := fmt.Sprintf("%d#%d", a.sources, tl.Seq)
+		if prev, ok := a.byKey[key]; !ok {
+			a.byKey[key] = tl
+			a.order = append(a.order, key)
+		} else if tl.NStages > prev.NStages {
+			a.byKey[key] = tl
+		}
+	}
+}
+
+// stageSum recomputes the stage total; the analyzer's self-check
+// against the recorded TotalNS.
+func stageSum(tl stagetrace.Timeline) int64 {
+	var sum int64
+	for i := 0; i < tl.NStages; i++ {
+		sum += tl.Stages[i].NS
+	}
+	return sum
+}
+
+// dist is one per-(kind,stage) duration sample set.
+type dist struct{ ns []int64 }
+
+// quantile picks by ceil-rank over the sorted samples, so p99 of a
+// small set leans toward the max rather than collapsing onto p50.
+func (d *dist) quantile(q float64) int64 {
+	if len(d.ns) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(d.ns)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(d.ns) {
+		i = len(d.ns) - 1
+	}
+	return d.ns[i]
+}
+
+func (a *analysis) render(w io.Writer, top int) {
+	var timelines []stagetrace.Timeline
+	for _, key := range a.order {
+		timelines = append(timelines, a.byKey[key])
+	}
+
+	// Per-stage sample sets, stage names in causal first-seen order, and
+	// the sum==total self-check the wire format promises.
+	dists := map[string]*dist{} // "kind\x00stage"; stage "" is the total
+	counts := map[string]int{}
+	for _, tl := range timelines {
+		counts[tl.Kind]++
+		for i := 0; i < tl.NStages; i++ {
+			name := tl.Stages[i].Name
+			dk := tl.Kind + "\x00" + name
+			if dists[dk] == nil {
+				dists[dk] = &dist{}
+				a.stageSeen[tl.Kind] = append(a.stageSeen[tl.Kind], name)
+			}
+			dists[dk].ns = append(dists[dk].ns, tl.Stages[i].NS)
+		}
+		tk := tl.Kind + "\x00"
+		if dists[tk] == nil {
+			dists[tk] = &dist{}
+		}
+		dists[tk].ns = append(dists[tk].ns, tl.TotalNS)
+		if stageSum(tl) != tl.TotalNS {
+			a.mismatch = append(a.mismatch, tl)
+		}
+	}
+	for _, d := range dists {
+		sort.Slice(d.ns, func(i, j int) bool { return d.ns[i] < d.ns[j] })
+	}
+
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+
+	fmt.Fprintf(w, "twtrace  timelines=%d", len(timelines))
+	for _, k := range kinds {
+		fmt.Fprintf(w, " %s=%d", k, counts[k])
+	}
+	fmt.Fprintf(w, "  sources=%d  skipped=%d  sum-mismatch=%d\n", a.sources, a.skipped, len(a.mismatch))
+
+	for _, kind := range kinds {
+		fmt.Fprintf(w, "\n%s stages%*s  count      p50      p99      max\n", kind, 22-len(kind), "")
+		for _, st := range append(append([]string(nil), a.stageSeen[kind]...), "") {
+			d := dists[kind+"\x00"+st]
+			if d == nil {
+				continue
+			}
+			label := st
+			if label == "" {
+				label = "total"
+			}
+			fmt.Fprintf(w, "  %-26s %5d %8s %8s %8s\n", label, len(d.ns),
+				durNS(d.quantile(0.50)), durNS(d.quantile(0.99)), durNS(d.ns[len(d.ns)-1]))
+		}
+	}
+
+	for _, tl := range a.mismatch {
+		fmt.Fprintf(w, "\nWARN %s seq=%d trace=%s: stage sum %s != recorded total %s\n",
+			tl.Kind, tl.Seq, tl.Trace, durNS(stageSum(tl)), durNS(tl.TotalNS))
+	}
+
+	a.renderSlowest(w, timelines, top)
+}
+
+// renderSlowest prints the slowest fire timelines, each joined back to
+// its admission: by trace ID when the fire carries one, falling back to
+// the durable timer ID — the only correlator that survives a failover,
+// since the WAL (and therefore the promoted standby) has no trace
+// column.
+func (a *analysis) renderSlowest(w io.Writer, timelines []stagetrace.Timeline, top int) {
+	byTrace := map[string]stagetrace.Timeline{}
+	byID := map[uint64]stagetrace.Timeline{}
+	var fires []stagetrace.Timeline
+	for _, tl := range timelines {
+		switch tl.Kind {
+		case "admit":
+			if tl.Trace != "" {
+				byTrace[tl.Trace] = tl
+			}
+			// A batch admission's timeline covers IDs [ID, ID+Count).
+			for i := 0; i < tl.Count; i++ {
+				byID[tl.ID+uint64(i)] = tl
+			}
+		case "fire":
+			fires = append(fires, tl)
+		}
+	}
+	if len(fires) == 0 {
+		return
+	}
+	sort.SliceStable(fires, func(i, j int) bool { return fires[i].TotalNS > fires[j].TotalNS })
+	if top > len(fires) {
+		top = len(fires)
+	}
+
+	fmt.Fprintf(w, "\nslowest deliveries (top %d)\n", top)
+	for i := 0; i < top; i++ {
+		tl := fires[i]
+		fmt.Fprintf(w, "  #%d seq=%d id=%d trace=%s total=%s deadline=%s\n",
+			i+1, tl.Seq, tl.ID, orDash(tl.Trace), durNS(tl.TotalNS),
+			time.Unix(0, tl.StartNS).UTC().Format(time.RFC3339Nano))
+		fmt.Fprintf(w, "     %s\n", stageLine(tl))
+		admit, ok := byTrace[tl.Trace]
+		if !ok || tl.Trace == "" {
+			admit, ok = byID[tl.ID]
+		}
+		if ok {
+			fmt.Fprintf(w, "     admitted seq=%d trace=%s total=%s: %s\n",
+				admit.Seq, orDash(admit.Trace), durNS(admit.TotalNS), stageLine(admit))
+		} else {
+			fmt.Fprintf(w, "     admitted before this capture (no matching admit timeline)\n")
+		}
+	}
+}
+
+func stageLine(tl stagetrace.Timeline) string {
+	var sb strings.Builder
+	for i := 0; i < tl.NStages; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s=%s", tl.Stages[i].Name, durNS(tl.Stages[i].NS))
+	}
+	return sb.String()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func durNS(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

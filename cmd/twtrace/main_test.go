@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"timingwheels/internal/stagetrace"
+)
+
+// sampleDump builds a realistic capture: three admissions (one slow),
+// their fires (one missing a push leg, one admitted as a batch), plus
+// a facility flight-recorder line and a corrupt total that the
+// analyzer must call out.
+func sampleDump(t *testing.T) string {
+	t.Helper()
+	rec := stagetrace.NewRecorder(stagetrace.Config{Recent: 64, Slow: 8})
+
+	admit := func(trace string, id uint64, count int, stages ...int64) {
+		tl := stagetrace.Timeline{Kind: "admit", Trace: trace, ID: id, Count: count, StartNS: 1_700_000_000_000_000_000}
+		names := []string{"decode", "append", "commit", "arm", "publish"}
+		for i, ns := range stages {
+			tl.Add(names[i], ns)
+		}
+		rec.Record(tl)
+	}
+	fire := func(trace string, id uint64, fireNS, enqNS int64) uint64 {
+		tl := stagetrace.Timeline{Kind: "fire", Trace: trace, ID: id, Count: 1, StartNS: 1_700_000_001_000_000_000}
+		tl.Add("fire", fireNS)
+		tl.Add("enqueue", enqNS)
+		return rec.Record(tl)
+	}
+
+	admit("cli-1", 10, 1, 10_000, 50_000, 700_000, 30_000, 5_000)
+	admit("cli-2", 11, 2, 12_000, 60_000, 30_000_000, 40_000, 6_000) // slow commit
+	seq := fire("cli-1", 10, 2_000_000, 80_000)
+	rec.Amend(seq, "push", 400_000)
+	fire("", 12, 41_000_000, 90_000) // batch member; trace lost (post-failover)
+
+	var buf bytes.Buffer
+	if err := rec.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A facility flight-recorder line: skipped, counted.
+	buf.WriteString(`{"ev":"fire","tick":42,"wall_ns":123}` + "\n")
+	// A timeline whose recorded total disagrees with its stage sum.
+	buf.WriteString(`{"seq":99,"trace":"bad-1","kind":"admit","id":77,"count":1,` +
+		`"start_unix_ns":1,"total_ns":5000,"stages":[{"stage":"decode","ns":1000}]}` + "\n")
+	return buf.String()
+}
+
+func TestAnalyzeDump(t *testing.T) {
+	var a analysis
+	a.ingest(strings.NewReader(sampleDump(t)))
+	var out bytes.Buffer
+	a.render(&out, 2)
+	got := out.String()
+
+	// Header: exemplar rings repeat the slow admission (recent + slow
+	// ring) but the analyzer dedupes by seq; the facility line and blank
+	// are skipped; the corrupt line is flagged.
+	for _, want := range []string{
+		"timelines=5 admit=3 fire=2",
+		"skipped=1",
+		"sum-mismatch=1",
+		"WARN admit seq=99 trace=bad-1: stage sum 1µs != recorded total 5µs",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+
+	// Per-stage tables exist for both kinds, stages in causal order.
+	decodeRow := regexp.MustCompile(`(?m)^  decode\s+3\s`)
+	if !decodeRow.MatchString(got) {
+		t.Errorf("no decode row with count=3:\n%s", got)
+	}
+	if !regexp.MustCompile(`(?m)^  push\s+1\s+400µs`).MatchString(got) {
+		t.Errorf("push stage (amended) not aggregated:\n%s", got)
+	}
+	adm := strings.Index(got, "admit stages")
+	fir := strings.Index(got, "fire stages")
+	if adm < 0 || fir < 0 || fir < adm {
+		t.Errorf("expected admit stages then fire stages:\n%s", got)
+	}
+
+	// Slowest deliveries: the 41ms trace-less fire leads and is joined
+	// to its batch admission by timer ID (12 is in [11, 11+2)); the 2.48ms
+	// fire joins by trace.
+	slow := got[strings.Index(got, "slowest deliveries"):]
+	first := strings.Index(slow, "#1 ")
+	second := strings.Index(slow, "#2 ")
+	if first < 0 || second < 0 {
+		t.Fatalf("missing slowest entries:\n%s", got)
+	}
+	if !strings.Contains(slow[first:second], "id=12") ||
+		!strings.Contains(slow[first:second], "admitted seq=2 trace=cli-2") {
+		t.Errorf("#1 should be timer 12 joined to batch admit cli-2:\n%s", slow)
+	}
+	if !strings.Contains(slow[second:], "trace=cli-1") ||
+		!strings.Contains(slow[second:], "push=400µs") {
+		t.Errorf("#2 should be the cli-1 fire with its push leg:\n%s", slow)
+	}
+}
+
+// The fire table's total column must equal the sum of its stage
+// quantiles' underlying samples — the acceptance check that stage
+// decomposition accounts for the whole end-to-end latency.
+func TestStageSumMatchesTotal(t *testing.T) {
+	var a analysis
+	a.ingest(strings.NewReader(sampleDump(t)))
+	for _, tl := range a.byKey {
+		if tl.Trace == "bad-1" {
+			continue // the deliberately corrupt line
+		}
+		if got, want := stageSum(tl), tl.TotalNS; got != want {
+			t.Errorf("%s seq=%d: stage sum %d != total %d", tl.Kind, tl.Seq, got, want)
+		}
+	}
+}
+
+func TestRunScrapesURL(t *testing.T) {
+	dump := sampleDump(t)
+	var hitPath string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hitPath = r.URL.Path
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write([]byte(dump))
+	}))
+	defer srv.Close()
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-url", srv.URL, "-top", "1"}, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errOut.String())
+	}
+	if hitPath != "/v1/trace" {
+		t.Errorf("scraped %q, want /v1/trace appended to the base URL", hitPath)
+	}
+	if !strings.Contains(out.String(), "slowest deliveries (top 1)") {
+		t.Errorf("missing slowest section:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "#2 ") {
+		t.Errorf("-top 1 must limit the reconstruction:\n%s", out.String())
+	}
+}
+
+func TestRunReadsFiles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dump.jsonl")
+	if err := os.WriteFile(path, []byte(sampleDump(t)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{path, path}, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errOut.String())
+	}
+	// Two sources: seqs dedupe per source, not across, so counts double.
+	if !strings.Contains(out.String(), "timelines=10") ||
+		!strings.Contains(out.String(), "sources=2") {
+		t.Errorf("two-file merge wrong:\n%s", out.String())
+	}
+}

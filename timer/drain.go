@@ -189,6 +189,7 @@ func (rt *Runtime) drainFireNow(ctx context.Context) {
 		// early by construction, and a stale mirror would misreport
 		// their (clamped-to-zero) firing lag.
 		rt.lastTick.Store(int64(rt.fac.Now()))
+		rt.lastWall.Store(rt.now().UnixNano())
 		fired := rt.fired
 		rt.fired = rt.takeBuf()
 		rt.mu.Unlock()

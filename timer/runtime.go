@@ -191,13 +191,17 @@ type Runtime struct {
 	// recorded into from the hot path with atomic increments only;
 	// lastTick mirrors the facility's virtual time after the most
 	// recent advance so delivery can compute firing lag without taking
-	// rt.mu. granNS converts tick lags to nanoseconds. trace is the
-	// opt-in flight recorder (nil unless WithTrace).
+	// rt.mu. lastWall mirrors the clock's wall reading from the same
+	// advances, so trace records stamp WallNS with one atomic load
+	// instead of a clock read. granNS converts tick lags to
+	// nanoseconds. trace is the opt-in flight recorder (nil unless
+	// WithTrace).
 	lagHist   *hdr.Histogram // firing lag: deadline -> delivery, ns
 	durHist   *hdr.Histogram // callback duration, ns
 	waitHist  *hdr.Histogram // async dispatch queue wait, ns
 	batchHist *hdr.Histogram // expiries fired per poll
 	lastTick  atomic.Int64
+	lastWall  atomic.Int64 // unix ns at the most recent advance
 	granNS    int64
 	trace     *traceRing
 
@@ -334,7 +338,9 @@ func NewRuntime(opts ...RuntimeOption) *Runtime {
 		}
 		rt.ing = newIngressState(cfg.ingressDepth)
 	}
-	rt.wall = iclock.NewWall(rt.now(), cfg.granularity)
+	boot := rt.now()
+	rt.wall = iclock.NewWall(boot, cfg.granularity)
+	rt.lastWall.Store(boot.UnixNano())
 	rt.retryBudget = cfg.retryBudget
 	rt.shedHandler = cfg.shedHandler
 	if cfg.retryBudget > 0 {
@@ -484,6 +490,7 @@ func (rt *Runtime) Poll() int {
 		rt.behind.Store(0)
 	}
 	rt.lastTick.Store(int64(rt.fac.Now()))
+	rt.lastWall.Store(wallNow.UnixNano())
 	fired := rt.fired
 	rt.fired = rt.takeBuf()
 	rt.mu.Unlock()

@@ -47,8 +47,17 @@ type Metric struct {
 	Help string
 	// Gauge exports the sample as a gauge; false means counter.
 	Gauge bool
-	// Value yields the current sample.
+	// Value yields the current sample. Ignored when Hist is set.
 	Value func() float64
+	// Hist, when non-nil, exports the metric as a full Prometheus
+	// histogram (cumulative le buckets, _sum, _count) from an hdr
+	// snapshot taken once per scrape — the hook cmd/twd uses to put its
+	// per-stage latency decompositions on the same endpoint as the
+	// facility's own histograms.
+	Hist func() hdr.Snapshot
+	// Scale converts Hist's recorded integer unit into the exported
+	// unit (1e-9 for nanoseconds -> seconds); 0 means 1 (no scaling).
+	Scale float64
 }
 
 // HandlerWith is Handler plus externally-owned metrics appended to
@@ -66,6 +75,12 @@ func HandlerWith(src Source, extra ...Metric) http.Handler {
 // Prometheus convention.
 func WriteProm(w io.Writer, s timer.Snapshot) error {
 	return writeProm(w, s, nil)
+}
+
+// WritePromWith is WriteProm plus externally-owned metrics — what
+// HandlerWith serves, exposed for fixtures and offline rendering.
+func WritePromWith(w io.Writer, s timer.Snapshot, extra ...Metric) error {
+	return writeProm(w, s, extra)
 }
 
 func writeProm(w io.Writer, s timer.Snapshot, extra []Metric) error {
@@ -158,6 +173,14 @@ func writeProm(w io.Writer, s timer.Snapshot, extra []Metric) error {
 	}
 
 	for _, m := range extra {
+		if m.Hist != nil {
+			scale := m.Scale
+			if scale == 0 {
+				scale = 1
+			}
+			b = appendHistogram(b, m.Name, m.Help, m.Hist(), scale)
+			continue
+		}
 		if m.Value == nil {
 			continue
 		}

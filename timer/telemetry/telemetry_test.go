@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"timingwheels/internal/hdr"
 	"timingwheels/timer"
 )
 
@@ -50,22 +51,16 @@ var (
 	labelRe  = regexp.MustCompile(`^\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\}$`)
 )
 
-// TestPromOutputParsesLineByLine validates every line of the exposition
-// against the text-format grammar: HELP/TYPE comments, then samples
-// whose metric name belongs to the declared family (allowing the
-// _bucket/_sum/_count suffixes for histograms), with parseable values
-// and well-formed label sets.
-func TestPromOutputParsesLineByLine(t *testing.T) {
-	rt := buildSource(t)
-	var sb strings.Builder
-	if err := WriteProm(&sb, rt.Snapshot()); err != nil {
-		t.Fatal(err)
-	}
-	out := sb.String()
+// validateExposition checks every line of a text exposition against the
+// 0.0.4 grammar — HELP/TYPE comments, then samples whose metric name
+// belongs to the declared family (allowing the _bucket/_sum/_count
+// suffixes for histograms), with parseable values and well-formed label
+// sets — and returns the family -> type map for membership assertions.
+func validateExposition(t *testing.T, out string) map[string]string {
+	t.Helper()
 	if !strings.HasSuffix(out, "\n") {
 		t.Fatal("exposition must end in a newline")
 	}
-
 	families := map[string]string{} // name -> type
 	var current string
 	for i, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
@@ -113,6 +108,18 @@ func TestPromOutputParsesLineByLine(t *testing.T) {
 			}
 		}
 	}
+	return families
+}
+
+// TestPromOutputParsesLineByLine validates the base exposition against
+// the text-format grammar and asserts the core families are present.
+func TestPromOutputParsesLineByLine(t *testing.T) {
+	rt := buildSource(t)
+	var sb strings.Builder
+	if err := WriteProm(&sb, rt.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	families := validateExposition(t, sb.String())
 
 	for _, want := range []string{
 		"timingwheels_started_total",
@@ -260,5 +267,68 @@ func TestHandlerWithAppendsExtraMetrics(t *testing.T) {
 		if m := sampleRe.FindStringSubmatch(line); m == nil {
 			t.Fatalf("line %d: malformed sample: %q", i+1, line)
 		}
+	}
+}
+
+// TestHandlerWithHistogramExtras covers the stage-histogram hook that
+// cmd/twd uses for its latency decomposition: extras carrying a Hist
+// snapshot must render as full, cumulative, grammar-clean Prometheus
+// histograms interleaved with the snapshot's own families.
+func TestHandlerWithHistogramExtras(t *testing.T) {
+	rt := buildSource(t)
+
+	commit := hdr.New()
+	for _, ns := range []int64{1_200_000, 3_000_000, 95_000_000} {
+		commit.Record(ns)
+	}
+	lag := hdr.New()
+	lag.Record(40_000_000)
+
+	h := HandlerWith(rt,
+		Metric{Name: "twd_stage_commit_seconds", Help: "Group-commit wait per admission.",
+			Hist: func() hdr.Snapshot { return commit.Snapshot() }, Scale: 1e-9},
+		Metric{Name: "twd_replica_apply_lag_seconds", Help: "Standby apply lag behind the primary.",
+			Hist: func() hdr.Snapshot { return lag.Snapshot() }, Scale: 1e-9},
+		Metric{Name: "twd_wal_appends_total", Help: "Scalar extras still work alongside.",
+			Value: func() float64 { return 7 }},
+	)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+
+	families := validateExposition(t, body)
+	for name, typ := range map[string]string{
+		"timingwheels_twd_stage_commit_seconds":      "histogram",
+		"timingwheels_twd_replica_apply_lag_seconds": "histogram",
+		"timingwheels_twd_wal_appends_total":         "counter",
+	} {
+		if got := families[name]; got != typ {
+			t.Errorf("family %s = %q, want %q", name, got, typ)
+		}
+	}
+
+	// The commit histogram must be cumulative and account for all 3
+	// observations, with the sum converted to seconds.
+	if !strings.Contains(body, `timingwheels_twd_stage_commit_seconds_bucket{le="+Inf"} 3`) {
+		t.Error("commit histogram +Inf bucket != 3")
+	}
+	if !strings.Contains(body, "timingwheels_twd_stage_commit_seconds_count 3") {
+		t.Error("commit histogram _count != 3")
+	}
+	wantSum := strconv.FormatFloat(float64(1_200_000+3_000_000+95_000_000)*1e-9, 'g', -1, 64)
+	if !strings.Contains(body, "timingwheels_twd_stage_commit_seconds_sum "+wantSum) {
+		t.Errorf("commit histogram _sum %s missing", wantSum)
+	}
+	var prev float64 = -1
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, "timingwheels_twd_stage_commit_seconds_bucket{le=") ||
+			strings.Contains(line, "+Inf") {
+			continue
+		}
+		cum, _ := strconv.ParseFloat(strings.Fields(line)[1], 64)
+		if cum < prev {
+			t.Fatalf("commit buckets not cumulative: %v after %v", cum, prev)
+		}
+		prev = cum
 	}
 }

@@ -82,14 +82,23 @@ type TraceEvent struct {
 	// Lag is ticks past deadline for fired/shed events, the magnitude
 	// for anomaly events, and zero otherwise.
 	Lag int64
+	// WallNS is the wall-clock Unix nanosecond of the runtime's most
+	// recent advance when the event was recorded — an atomic mirror
+	// maintained by the driver, not a fresh clock read, so stamping
+	// costs one load and the zero-alloc hot path stays flat. Ticks
+	// order events within one runtime; WallNS lines them up against
+	// stage timelines from the daemon and against dumps from other
+	// processes, to the driver's polling cadence (a fake clock yields
+	// its virtual wall time, keeping simulated traces self-consistent).
+	WallNS int64
 }
 
 // appendJSON renders the event as one JSON object (no trailing newline).
 func (ev TraceEvent) appendJSON(b []byte) []byte {
 	return fmt.Appendf(b,
-		`{"seq":%d,"kind":%q,"id":%d,"prio":%q,"tick":%d,"deadline":%d,"lag":%d}`,
+		`{"seq":%d,"kind":%q,"id":%d,"prio":%q,"tick":%d,"deadline":%d,"lag":%d,"wall_ns":%d}`,
 		ev.Seq, ev.Kind.String(), uint64(ev.ID), ev.Prio.String(),
-		int64(ev.Tick), int64(ev.Deadline), ev.Lag)
+		int64(ev.Tick), int64(ev.Deadline), ev.Lag, ev.WallNS)
 }
 
 // traceRing is the flight recorder: a fixed-capacity ring of the most
@@ -192,12 +201,15 @@ func WithTraceSink(w io.Writer) RuntimeOption {
 }
 
 // traceRecord appends one event when tracing is enabled. The nil check
-// is the only cost on untraced runtimes.
+// is the only cost on untraced runtimes; traced runtimes additionally
+// sample the wall clock (one time.Now-equivalent read, no allocation)
+// so dumps can be correlated across processes.
 func (rt *Runtime) traceRecord(kind TraceKind, id ID, prio Priority, tick, deadline Tick, lag int64) {
 	if rt.trace == nil {
 		return
 	}
-	rt.trace.record(TraceEvent{Kind: kind, ID: id, Prio: prio, Tick: tick, Deadline: deadline, Lag: lag})
+	rt.trace.record(TraceEvent{Kind: kind, ID: id, Prio: prio, Tick: tick,
+		Deadline: deadline, Lag: lag, WallNS: rt.lastWall.Load()})
 }
 
 // TraceEvents returns the flight recorder's contents, oldest first

@@ -65,6 +65,15 @@ func TestTraceRecordsLifecycle(t *testing.T) {
 			}
 		}
 	}
+	// Wall timestamps come from the (fake) clock and never run backwards.
+	for i, ev := range events {
+		if ev.WallNS == 0 {
+			t.Fatalf("events[%d] has no wall timestamp: %+v", i, ev)
+		}
+		if i > 0 && ev.WallNS < events[i-1].WallNS {
+			t.Fatalf("wall time went backwards: %d then %d", events[i-1].WallNS, ev.WallNS)
+		}
+	}
 }
 
 func TestTraceRingWrapsKeepingNewest(t *testing.T) {
@@ -125,6 +134,7 @@ func TestDumpTraceEmitsParseableJSONL(t *testing.T) {
 			Tick     int64  `json:"tick"`
 			Deadline int64  `json:"deadline"`
 			Lag      int64  `json:"lag"`
+			WallNS   int64  `json:"wall_ns"`
 		}
 		dec := json.NewDecoder(strings.NewReader(line))
 		dec.DisallowUnknownFields()

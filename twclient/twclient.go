@@ -11,6 +11,8 @@ package twclient
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -19,6 +21,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -26,6 +29,12 @@ import (
 // internals: the fencing term stamped on every twd response and echoed
 // back on every client request.
 const HeaderTerm = "X-Twd-Term"
+
+// HeaderTrace is the request correlation ID. The client stamps one per
+// logical call — every retry of that call reuses it, so the daemon's
+// stage exemplars show the whole retry storm under one ID — and twd
+// echoes it on the response for log correlation.
+const HeaderTrace = "X-Twd-Trace"
 
 // APIError is a non-retryable daemon rejection: a 4xx with a
 // machine-readable code from the {"error": ..., "message": ...} body.
@@ -64,6 +73,9 @@ type Config struct {
 type Client struct {
 	cfg Config
 
+	tracePrefix string        // per-client random prefix for trace IDs
+	traceSeq    atomic.Uint64 // per-client trace counter
+
 	mu   sync.Mutex
 	cur  int    // index into cfg.Endpoints currently believed primary
 	term uint64 // highest fencing term observed
@@ -87,7 +99,23 @@ func New(cfg Config) (*Client, error) {
 	if cfg.BackoffCap <= 0 {
 		cfg.BackoffCap = 2 * time.Second
 	}
-	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(time.Now().UnixNano()))}, nil
+	var pfx [4]byte
+	if _, err := crand.Read(pfx[:]); err != nil {
+		// Trace IDs only need uniqueness, not unpredictability.
+		copy(pfx[:], []byte{0x7c, 0x11, 0xe9, 0x70})
+	}
+	return &Client{
+		cfg:         cfg,
+		tracePrefix: hex.EncodeToString(pfx[:]),
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+	}, nil
+}
+
+// nextTrace mints a correlation ID: client prefix + call counter, so
+// IDs from different client processes never collide and sort by call
+// order within one client.
+func (c *Client) nextTrace() string {
+	return fmt.Sprintf("%s-%x", c.tracePrefix, c.traceSeq.Add(1))
 }
 
 // Term reports the highest fencing term this client has observed.
@@ -213,6 +241,10 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 	}
 
+	// One trace ID for the whole logical call: retries reuse it, so the
+	// daemon's exemplars and logs tie every attempt together.
+	trace := c.nextTrace()
+
 	var lastErr error
 	var ra time.Duration // server-directed wait for the next attempt
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
@@ -234,6 +266,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if t := c.Term(); t > 0 {
 			req.Header.Set(HeaderTerm, strconv.FormatUint(t, 10))
 		}
+		req.Header.Set(HeaderTrace, trace)
 
 		resp, err := c.cfg.HTTP.Do(req)
 		if err != nil {

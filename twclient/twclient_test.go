@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -187,6 +188,55 @@ func TestTermEcho(t *testing.T) {
 	}
 	if got, _ := echoed.Load().(string); got != "7" {
 		t.Fatalf("second request echoed %q, want \"7\"", got)
+	}
+}
+
+// Every request carries an X-Twd-Trace correlation ID: distinct per
+// logical call, but stable across the retries of one call — that is
+// what lets the daemon's exemplars tie a retry storm together.
+func TestTraceStamping(t *testing.T) {
+	n := newFakeNode(t, "primary", 1)
+	var mu sync.Mutex
+	var traces []string
+	var calls int
+	n.write = func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		traces = append(traces, r.Header.Get(HeaderTrace))
+		calls++
+		first := calls == 1
+		mu.Unlock()
+		if first {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(ScheduleAck{ID: 1})
+	}
+	c := mustNew(t, Config{
+		Endpoints:   []string{n.srv.URL},
+		BackoffBase: time.Millisecond, BackoffCap: 2 * time.Millisecond,
+	})
+
+	ctx := context.Background()
+	if _, err := c.Schedule(ctx, ScheduleReq{AfterMS: 5}); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	if _, err := c.Schedule(ctx, ScheduleReq{AfterMS: 5}); err != nil {
+		t.Fatalf("second call: %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(traces) != 3 {
+		t.Fatalf("saw %d requests, want 3 (retry + success + second call)", len(traces))
+	}
+	if traces[0] == "" {
+		t.Fatal("first request carried no trace ID")
+	}
+	if traces[0] != traces[1] {
+		t.Fatalf("retry changed the trace ID: %q then %q", traces[0], traces[1])
+	}
+	if traces[2] == traces[0] {
+		t.Fatalf("second logical call reused trace ID %q", traces[2])
 	}
 }
 
