@@ -20,7 +20,8 @@ test:
 # overload/shed/drain soak under -race (deterministic virtual time, so
 # it is quick), the twd end-to-end durability test (schedule, SIGKILL
 # mid-traffic, restart, verify every acked timer fires or survives),
-# 30-second smokes of the batched-ingress and WAL-replay fuzz targets,
+# 30-second smokes of the batched-ingress, model-checker (mixed-ops and
+# reset-storm), and WAL-replay fuzz targets,
 # a fleet-simulation smoke (`make sim`: 100k virtual connections, the
 # conservation ledger and firing-lag SLO asserted at exit), and a
 # one-iteration benchmark smoke so `make bench` can never rot
@@ -34,6 +35,7 @@ check:
 	$(GO) test -race -run=TestE2EFailover -count=1 -v ./cmd/twd/
 	$(GO) test -run=xxx -fuzz=FuzzBatchIngress -fuzztime=30s ./timer/
 	$(GO) test -run=xxx -fuzz=FuzzModelMixedOps -fuzztime=30s ./internal/schemetest/
+	$(GO) test -run=xxx -fuzz=FuzzModelResetStorm -fuzztime=30s ./internal/schemetest/
 	$(GO) test -run=xxx -fuzz=FuzzWALReplay -fuzztime=30s ./internal/wal/
 	$(GO) test -run=xxx -fuzz=FuzzReplicaStream -fuzztime=30s ./internal/replica/
 	$(MAKE) sim
@@ -53,11 +55,11 @@ race:
 	$(GO) test -race ./...
 
 # Hot-path benchmarks with allocation counts, summarized as JSON at the
-# repo root (BENCH_9.json) and gated against the committed BENCH_8.json:
+# repo root (BENCH_10.json) and gated against the committed BENCH_9.json:
 # the run fails if AfterFunc+Stop slows down more than 10% or the
-# allocation-free hot path starts allocating — which is what proves
-# stage tracing (and the clock-source indirection before it) costs
-# nothing the hot path can feel. Set
+# allocation-free hot path starts allocating. BENCH_10 adds the
+# reset-heavy race (BenchmarkResetHeavy): wheels vs the grouped sorting
+# queue as the reset ratio sweeps 50/80/95%. Set
 # BENCH_BASELINE to a saved `go test -bench` output file to embed
 # different before/after numbers; BENCH_COUNT repeats each benchmark.
 # `make benchall` is the old kitchen-sink run.
@@ -66,12 +68,12 @@ BENCH_COUNT ?= 1
 bench:
 	$(GO) run ./cmd/benchjson -count=$(BENCH_COUNT) \
 		$(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE)) \
-		-compare BENCH_8.json -o BENCH_9.json
+		-compare BENCH_9.json -o BENCH_10.json
 
 benchall:
 	$(GO) test -bench=. -benchmem ./...
 
-# Regenerate every figure/table from the paper (e1..e15).
+# Regenerate every figure/table from the paper (e1..e16).
 experiments:
 	$(GO) run ./cmd/twbench | tee results_twbench.txt
 
@@ -81,6 +83,7 @@ fuzz:
 	$(GO) test -run=xxx -fuzz=FuzzScheme7Conformance -fuzztime=30s ./internal/schemetest/
 	$(GO) test -run=xxx -fuzz=FuzzHybridConformance -fuzztime=30s ./internal/schemetest/
 	$(GO) test -run=xxx -fuzz=FuzzModelMixedOps -fuzztime=30s ./internal/schemetest/
+	$(GO) test -run=xxx -fuzz=FuzzModelResetStorm -fuzztime=30s ./internal/schemetest/
 	$(GO) test -run=xxx -fuzz=FuzzBatchIngress -fuzztime=30s ./timer/
 
 fmt:

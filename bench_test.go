@@ -28,6 +28,7 @@ import (
 	"timingwheels/internal/baseline"
 	"timingwheels/internal/core"
 	"timingwheels/internal/dist"
+	"timingwheels/internal/gsq"
 	"timingwheels/internal/hashwheel"
 	"timingwheels/internal/hier"
 	"timingwheels/internal/hybrid"
@@ -332,6 +333,92 @@ func BenchmarkHybridOps(b *testing.B) {
 	b.Run("tick/n=16384-parked", func(b *testing.B) {
 		benchPerTick(b, hybrid.New(size, nil), 16384)
 	})
+}
+
+// benchResetHeavy drives one facility through a reset-dominated
+// operation mix: with probability r% an iteration re-arms a random
+// resident timer to a fresh interval, otherwise it Ticks. Schemes
+// implementing core.IDResetter (the grouped sorting queue) re-arm in
+// place; the wheels pay the StopTimerID+StartTimer pair a Runtime
+// issues when its scheme lacks in-place support. Timers that fired
+// under the tick share are restarted on their next selection, holding
+// the population near n throughout.
+func benchResetHeavy(b *testing.B, f core.Facility, n, maxIv, r int) {
+	b.Helper()
+	hs := make([]core.Handle, n)
+	ids := make([]core.ID, n)
+	rng := dist.NewRNG(1987)
+	for i := 0; i < n; i++ {
+		iv := core.Tick(1 + rng.Intn(maxIv))
+		h, err := f.StartTimer(iv, noop)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hs[i], ids[i] = h, h.TimerID()
+	}
+	idr, inPlace := f.(core.IDResetter)
+	ids2, hasIDStop := f.(core.IDStopper)
+	if !inPlace && !hasIDStop {
+		b.Fatal("scheme implements neither IDResetter nor IDStopper")
+	}
+	restart := func(i int, iv core.Tick) {
+		h, err := f.StartTimer(iv, noop)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hs[i], ids[i] = h, h.TimerID()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rng.Intn(100) >= r {
+			f.Tick()
+			continue
+		}
+		j := rng.Intn(n)
+		iv := core.Tick(1 + rng.Intn(maxIv))
+		if inPlace {
+			if idr.ResetTimerID(hs[j], ids[j], iv) != nil {
+				restart(j, iv) // fired under a tick: repopulate
+			}
+			continue
+		}
+		if ids2.StopTimerID(hs[j], ids[j]) != nil {
+			restart(j, iv)
+			continue
+		}
+		restart(j, iv)
+	}
+}
+
+// BenchmarkResetHeavy: the reset-dominated race the grouped sorting
+// queue was added for (wall-clock analogue of twbench e16). Equal-range
+// tables: scheme6/hybrid 4096 buckets, scheme7 spans 2^26 in 448 slots,
+// gsq covers 4096 ticks in 512 bands of width 8. At high reset ratios
+// the wheels churn their free lists twice per re-arm while gsq relinks
+// the same entry, so the ns/op crossover appears as r grows.
+func BenchmarkResetHeavy(b *testing.B) {
+	const (
+		n     = 16384
+		maxIv = 4096
+	)
+	schemes := []struct {
+		name string
+		mk   func() core.Facility
+	}{
+		{"scheme6", func() core.Facility { return hashwheel.NewScheme6(4096, nil) }},
+		{"scheme7", func() core.Facility {
+			return hier.NewScheme7([]int{256, 64, 64, 64}, hier.MigrateAlways, nil)
+		}},
+		{"hybrid", func() core.Facility { return hybrid.New(4096, nil) }},
+		{"gsq", func() core.Facility { return gsq.New(512, 8, nil) }},
+	}
+	for _, s := range schemes {
+		for _, r := range []int{50, 80, 95} {
+			b.Run(fmt.Sprintf("%s/r=%d", s.name, r), func(b *testing.B) {
+				benchResetHeavy(b, s.mk(), n, maxIv, r)
+			})
+		}
+	}
 }
 
 // BenchmarkAblationMaskVsMod: section 6.1.2's "AND instruction" claim —

@@ -71,7 +71,7 @@ type Report struct {
 }
 
 func main() {
-	bench := flag.String("bench", "BenchmarkRuntimeConcurrent|BenchmarkVsStdlib|BenchmarkRuntimeIngress|BenchmarkWALAppend|BenchmarkWALStream|BenchmarkAdmitTraced",
+	bench := flag.String("bench", "BenchmarkRuntimeConcurrent|BenchmarkVsStdlib|BenchmarkRuntimeIngress|BenchmarkWALAppend|BenchmarkWALStream|BenchmarkAdmitTraced|BenchmarkResetHeavy",
 		"benchmark regexp passed to go test -bench")
 	baseline := flag.String("baseline", "", "prior go test -bench output to embed as the before numbers")
 	compare := flag.String("compare", "", "prior BENCH_<n>.json to gate against (>10% ns/op or 0->N allocs/op fails)")

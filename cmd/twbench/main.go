@@ -52,6 +52,7 @@ func experiments() []experiment {
 		{"e13", "Extension: per-tick tail latency under bursty arrivals", runE13},
 		{"e14", "Conclusion (sec. 7): timer-heavy protocol cost vs connection count", runE14},
 		{"e15", "Scenario sweep: every workload preset across the recommended schemes", runE15},
+		{"e16", "Reset-heavy workloads: wheels vs grouped sorting queue crossover", runE16},
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"timingwheels/internal/baseline"
 	"timingwheels/internal/core"
+	"timingwheels/internal/gsq"
 	"timingwheels/internal/hashwheel"
 	"timingwheels/internal/hier"
 	"timingwheels/internal/hybrid"
@@ -137,6 +138,14 @@ func build(name string, size int) (core.Facility, error) {
 		return hier.NewScheme7([]int{256, 64, 64, 64}, hier.MigrateAlways, nil), nil
 	case "hybrid":
 		return hybrid.New(size, nil), nil
+	case "gsq":
+		// size buckets total, width 8: same table memory as a wheel of
+		// size slots over an 8x tick range.
+		bands := size / 8
+		if bands < 1 {
+			bands = 1
+		}
+		return gsq.New(bands, 8, nil), nil
 	default:
 		return nil, fmt.Errorf("unknown scheme %q", name)
 	}

@@ -119,6 +119,33 @@ type IDStopper interface {
 	StopTimerID(h Handle, id ID) error
 }
 
+// Resetter is an optional extension for facilities that can re-arm an
+// outstanding timer in place — the "dynamic update" operation of the
+// grouped-sorting-queue literature (see PAPERS.md): TCP retransmit
+// timers are reset on every ACK, idle timers on every packet, so on
+// reset-dominated workloads update-in-place beats stop+start.
+//
+// ResetTimer re-arms the timer h refers to so it expires interval ticks
+// from now, keeping the same entry and the same ID — the handle remains
+// valid and no free-list churn occurs. It fails with ErrTimerNotPending
+// (and has no side effects) if the timer already fired or was stopped,
+// with ErrNonPositiveInterval if interval < 1, and with
+// ErrForeignHandle for a handle issued elsewhere. Schemes without this
+// extension are reset by the caller as StopTimer followed by
+// StartTimer.
+type Resetter interface {
+	ResetTimer(h Handle, interval Tick) error
+}
+
+// IDResetter is the ABA-guarded variant of Resetter, paired with
+// PayloadStarter/IDStopper exactly as StopTimerID is: ResetTimerID
+// re-arms in place only if h still represents the timer identified by
+// id, so a stale handle into a recycled entry can never re-arm a
+// stranger's timer. It fails with ErrTimerNotPending otherwise.
+type IDResetter interface {
+	ResetTimerID(h Handle, id ID, interval Tick) error
+}
+
 // Advancer is implemented by facilities that can skip over several ticks
 // more efficiently than calling Tick in a loop.
 type Advancer interface {

@@ -5,6 +5,7 @@ import (
 
 	"timingwheels/internal/baseline"
 	"timingwheels/internal/core"
+	"timingwheels/internal/gsq"
 	"timingwheels/internal/hashwheel"
 	"timingwheels/internal/hier"
 	"timingwheels/internal/hybrid"
@@ -47,7 +48,17 @@ func factories() map[string]Factory {
 		},
 		"hybrid":       func() core.Facility { return hybrid.New(32, nil) },
 		"hybrid-size1": func() core.Facility { return hybrid.New(1, nil) },
+		"gsq":          func() core.Facility { return gsq.New(32, 8, nil) },
+		"gsq-w1":       func() core.Facility { return gsq.New(32, 1, nil) },
+		"gsq-band1":    func() core.Facility { return gsq.New(1, 16, nil) },
+		"gsq-nonpow2":  func() core.Facility { return gsq.New(33, 8, nil) },
 	}
+}
+
+// gsqFactory builds a grouped sorting queue with the given shape (used
+// by the fuzz targets, which pick bands and width).
+func gsqFactory(bands int, width core.Tick) Factory {
+	return func() core.Facility { return gsq.New(bands, width, nil) }
 }
 
 // hybridFactory builds a hybrid facility with the given wheel size (used
@@ -87,6 +98,17 @@ func TestConformanceRandomized(t *testing.T) {
 func TestReentrancy(t *testing.T) {
 	for name, factory := range factories() {
 		t.Run(name, func(t *testing.T) { RunReentrancy(t, factory) })
+	}
+}
+
+// TestResetConformance pins the shared Reset semantics on every scheme:
+// update-in-place schemes (core.Resetter) reset natively, the rest as
+// stop+start — either way a reset to sooner fires at the new deadline, a
+// reset to later never fires early, a reset racing expiry settles
+// exactly once, and resets after stop or fire are refused.
+func TestResetConformance(t *testing.T) {
+	for name, factory := range factories() {
+		t.Run(name, func(t *testing.T) { RunResetConformance(t, factory) })
 	}
 }
 

@@ -99,24 +99,53 @@ func (s Script) String() string {
 	return strings.TrimSuffix(b.String(), "; ")
 }
 
-// GenScript generates a random script: ops weighted operations followed
-// by enough ticks to drain every timer the script could leave pending.
+// Mix weights the generator's operation choices. The zero value is
+// replaced by DefaultMix.
+type Mix struct {
+	Schedule, Stop, Reset, Tick int
+}
+
+// DefaultMix reproduces the generator's historical weights: scripts
+// from GenScript are byte-identical to those of earlier revisions for
+// the same seed.
+var DefaultMix = Mix{Schedule: 4, Stop: 2, Reset: 1, Tick: 3}
+
+// ResetStormMix models the retransmit-timer regime the grouped sorting
+// queue targets: half of all operations are Resets, so update-in-place
+// lifecycle bugs (a reset re-arming a fired timer, double-fires, ledger
+// drift) surface and shrink quickly.
+var ResetStormMix = Mix{Schedule: 2, Stop: 1, Reset: 6, Tick: 3}
+
+// GenScript generates a random script with the default mix: ops
+// weighted operations followed by enough ticks to drain every timer the
+// script could leave pending.
 func GenScript(seed uint64, ops int, maxInterval int64) Script {
+	return GenScriptMix(seed, ops, maxInterval, DefaultMix)
+}
+
+// GenScriptMix is GenScript with a configurable operation mix. A stop
+// or reset drawn with no timer alive degrades to a tick, mirroring the
+// executor's tolerance for dead keys.
+func GenScriptMix(seed uint64, ops int, maxInterval int64, mix Mix) Script {
 	if maxInterval < 1 || maxInterval > MaxModelInterval {
 		maxInterval = MaxModelInterval
 	}
+	if mix == (Mix{}) {
+		mix = DefaultMix
+	}
+	total := mix.Schedule + mix.Stop + mix.Reset + mix.Tick
 	rng := dist.NewRNG(seed)
 	s := make(Script, 0, ops+2*int(maxInterval)+4)
 	live := 0
 	for i := 0; i < ops; i++ {
-		switch r := rng.Intn(10); {
-		case r < 4:
+		switch r := rng.Intn(total); {
+		case r < mix.Schedule:
 			s = append(s, ModelOp{Kind: OpSchedule, Interval: 1 + int64(rng.Intn(int(maxInterval)))})
 			live++
-		case r < 6 && live > 0:
+		case r < mix.Schedule+mix.Stop && live > 0:
 			s = append(s, ModelOp{Kind: OpStop, Key: rng.Intn(live * 2)})
 			live-- // approximate: fired keys keep the set larger
-		case r < 7 && live > 0:
+		case r < mix.Schedule+mix.Stop+mix.Reset && live > 0:
 			s = append(s, ModelOp{Kind: OpReset, Key: rng.Intn(live * 2), Interval: 1 + int64(rng.Intn(int(maxInterval)))})
 		default:
 			s = append(s, ModelOp{Kind: OpTick})

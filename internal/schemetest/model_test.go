@@ -10,8 +10,10 @@ import (
 )
 
 // facilitySubject adapts a raw core.Facility (any of the paper's seven
-// schemes) to the model checker. Reset is stop+start, which is its
-// definition at this layer.
+// schemes) to the model checker. Reset is update-in-place when the
+// scheme offers it (core.Resetter) and stop+start otherwise — the
+// checker thereby proves the two implementations observationally
+// equivalent against the same oracle.
 type facilitySubject struct {
 	fac     core.Facility
 	handles map[int]core.Handle
@@ -47,12 +49,20 @@ func (s *facilitySubject) Stop(key int) bool {
 }
 
 func (s *facilitySubject) Reset(key int, interval int64) bool {
-	wasPending := s.fac.StopTimer(s.handles[key]) == nil
-	h, err := s.fac.StartTimer(core.Tick(interval), s.cb(key))
+	h := s.handles[key]
+	if r, ok := s.fac.(core.Resetter); ok {
+		if r.ResetTimer(h, core.Tick(interval)) == nil {
+			return true // re-armed in place: same handle, same entry
+		}
+		// Not pending (already fired): fall through to the re-arm the
+		// oracle's reset-regardless semantics require.
+	}
+	wasPending := s.fac.StopTimer(h) == nil
+	nh, err := s.fac.StartTimer(core.Tick(interval), s.cb(key))
 	if err != nil {
 		panic("facilitySubject.Reset: StartTimer: " + err.Error())
 	}
-	s.handles[key] = h
+	s.handles[key] = nh
 	return wasPending
 }
 
@@ -227,6 +237,13 @@ func modelSubjects() map[string]func() Subject {
 		timer.WithIngress(2))
 	subs["runtime-ingress-tiny-batch"] = newRuntimeSubject("runtime-ingress-tiny-batch", true, false,
 		timer.WithIngress(2))
+	// The runtime over the grouped sorting queue exercises the in-place
+	// Reset fast path (resetInPlaceLocked) in both admission modes.
+	subs["runtime-sync-gsq"] = newRuntimeSubject("runtime-sync-gsq", false, true,
+		timer.WithSchemeFactory(func() timer.Scheme { return timer.NewGroupedQueue(32, 8) }))
+	subs["runtime-ingress-gsq"] = newRuntimeSubject("runtime-ingress-gsq", false, false,
+		timer.WithIngress(0),
+		timer.WithSchemeFactory(func() timer.Scheme { return timer.NewGroupedQueue(32, 8) }))
 	return subs
 }
 
@@ -245,6 +262,30 @@ func TestModelDifferential(t *testing.T) {
 			t.Parallel()
 			for _, seed := range seeds {
 				RunModel(t, mk, GenScript(seed, 800, MaxModelInterval))
+			}
+		})
+	}
+}
+
+// TestModelResetStorm drives the reset-dominated mix (>= 50% Resets)
+// through the update-in-place scheme, its runtime flavors, and the
+// wheels it races, so in-place re-arm bugs diverge from the oracle and
+// shrink to minimal reproducers.
+func TestModelResetStorm(t *testing.T) {
+	seeds := []uint64{3, 9, 77}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	subs := modelSubjects()
+	for _, name := range []string{
+		"gsq", "gsq-w1", "gsq-band1", "scheme6", "scheme7", "hybrid",
+		"runtime-sync-gsq", "runtime-ingress-gsq", "runtime-ingress-batch",
+	} {
+		name, mk := name, subs[name]
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range seeds {
+				RunModel(t, mk, GenScriptMix(seed, 800, MaxModelInterval, ResetStormMix))
 			}
 		})
 	}
@@ -295,6 +336,36 @@ func TestModelShrinkKeepsConformant(t *testing.T) {
 // interleavings of schedule, stop, reset, and tick, including the
 // single/batched mix the batch subjects create — through the
 // recommended scheme, the hierarchy, and the batched-ingress runtime.
+// FuzzModelResetStorm is the reset-storm smoke: the fuzzer picks the
+// script seed, length, and the grouped-sorting-queue shape (band count
+// and width, including degenerate single-band and width-1 queues), and
+// every generated script is >= 50% Resets. The queue runs side by side
+// with Scheme 6 and with the runtime's in-place reset path, all against
+// the same oracle.
+func FuzzModelResetStorm(f *testing.F) {
+	f.Add(uint64(1), uint16(200), uint8(0x1b))
+	f.Add(uint64(9), uint16(400), uint8(0x00))
+	f.Add(uint64(77), uint16(96), uint8(0x0f))
+	f.Add(uint64(42), uint16(640), uint8(0x21))
+	f.Fuzz(func(t *testing.T, seed uint64, opCount uint16, shape uint8) {
+		bands := 1 << (shape & 7)                   // 1..128 bands
+		width := core.Tick(1) << ((shape >> 3) & 3) // width 1..8
+		script := GenScriptMix(seed, int(opCount%800)+20, MaxModelInterval, ResetStormMix)
+		for _, mk := range []func() Subject{
+			newFacilitySubject(gsqFactory(bands, width)),
+			newFacilitySubject(factories()["scheme6"]),
+			newRuntimeSubject("runtime-sync-gsq", false, true,
+				timer.WithSchemeFactory(func() timer.Scheme {
+					return timer.NewGroupedQueue(bands, timer.Tick(width))
+				})),
+		} {
+			if d := CheckScript(mk, script); d != nil {
+				t.Fatal(d)
+			}
+		}
+	})
+}
+
 func FuzzModelMixedOps(f *testing.F) {
 	f.Add([]byte{0, 5, 7, 0, 3, 0, 7, 0})
 	f.Add([]byte{0, 1, 0, 64, 4, 2, 7, 0, 7, 0, 3, 1})

@@ -24,7 +24,7 @@ func TestOverloadSoakUnderChaos(t *testing.T) {
 	if testing.Short() {
 		rounds = 60
 	}
-	schemes := []string{"scheme5", "scheme6", "scheme6-abs", "scheme7", "hybrid"}
+	schemes := []string{"scheme5", "scheme6", "scheme6-abs", "scheme7", "hybrid", "gsq"}
 	for _, name := range schemes {
 		factory := factories()[name]
 		if factory == nil {
@@ -59,7 +59,7 @@ func TestOverloadSoakUnderChaos(t *testing.T) {
 			rt.Poll()
 			<-running
 
-			var scheduled [3]uint64 // by Priority ordinal
+			var scheduled [3]uint64           // by Priority ordinal
 			scheduled[timer.PriorityNormal]++ // the parked plug
 			rng := uint64(0x0DDBA11 + len(name))
 			next := func(n int) int {

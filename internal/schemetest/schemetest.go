@@ -428,3 +428,164 @@ func RunAdvanceConformance(t *testing.T, factory Factory, cfg Config) {
 		t.Fatalf("%s: %d timers pending after drain", fac.Name(), fac.Len())
 	}
 }
+
+// facReset re-arms one outstanding timer at the facility layer,
+// reporting the (possibly new) handle and whether the timer was still
+// pending. Schemes with update-in-place (core.Resetter) reset through
+// it — same entry, same ID, cb ignored (the entry keeps its original
+// callback); the rest reset as stop+start(cb). In both forms a timer
+// that already fired or was stopped is REFUSED: nothing is re-armed,
+// so "reset vs concurrent expiry settles exactly once" holds
+// identically for every scheme.
+func facReset(fac core.Facility, h core.Handle, interval core.Tick, cb core.Callback) (core.Handle, bool) {
+	if r, ok := fac.(core.Resetter); ok {
+		return h, r.ResetTimer(h, interval) == nil
+	}
+	if fac.StopTimer(h) != nil {
+		return h, false
+	}
+	nh, err := fac.StartTimer(interval, cb)
+	if err != nil {
+		panic("facReset: re-arm after successful stop failed: " + err.Error())
+	}
+	return nh, true
+}
+
+// RunResetConformance pins the Reset semantics every scheme must share:
+// a reset to a sooner deadline fires exactly at the new deadline, a
+// reset to a later deadline never fires early, a reset racing the
+// timer's own expiry tick settles exactly once, and a reset after stop
+// (or after firing) is refused without re-arming anything.
+func RunResetConformance(t *testing.T, factory Factory) {
+	t.Helper()
+
+	t.Run("reset-to-sooner", func(t *testing.T) {
+		fac := factory()
+		firedAt := core.Tick(-1)
+		h, err := fac.StartTimer(50, func(core.ID) { firedAt = fac.Now() })
+		if err != nil {
+			t.Fatalf("StartTimer: %v", err)
+		}
+		for i := 0; i < 10; i++ {
+			fac.Tick()
+		}
+		if _, ok := facReset(fac, h, 5, func(core.ID) { firedAt = fac.Now() }); !ok {
+			t.Fatal("reset of a pending timer was refused")
+		}
+		for i := 0; i < 20; i++ {
+			fac.Tick()
+		}
+		if firedAt != 15 {
+			t.Fatalf("%s: reset-to-sooner fired at %d, want 15", fac.Name(), firedAt)
+		}
+	})
+
+	t.Run("reset-to-later-never-early", func(t *testing.T) {
+		fac := factory()
+		fired := 0
+		h, err := fac.StartTimer(5, func(core.ID) { fired++ })
+		if err != nil {
+			t.Fatalf("StartTimer: %v", err)
+		}
+		for i := 0; i < 3; i++ {
+			fac.Tick()
+		}
+		if r, isR := fac.(core.Resetter); isR {
+			if err := r.ResetTimer(h, 50); err != nil {
+				t.Fatalf("ResetTimer: %v", err)
+			}
+		} else {
+			if fac.StopTimer(h) != nil {
+				t.Fatal("stop of a pending timer failed")
+			}
+			if _, err := fac.StartTimer(50, func(core.ID) { fired++ }); err != nil {
+				t.Fatalf("re-arm: %v", err)
+			}
+		}
+		for i := 0; i < 49; i++ {
+			fac.Tick()
+		}
+		if fired != 0 {
+			t.Fatalf("%s: reset-to-later fired %d times before the new deadline", fac.Name(), fired)
+		}
+		fac.Tick()
+		if fired != 1 {
+			t.Fatalf("%s: fired %d times at the new deadline, want 1", fac.Name(), fired)
+		}
+	})
+
+	t.Run("reset-vs-concurrent-expiry-once", func(t *testing.T) {
+		// Two timers due the same tick; the first one's callback resets
+		// the second. Whatever the intra-tick firing order — b may fire
+		// before a's callback runs, or sit batch-resident when the reset
+		// lands — b settles EXACTLY once.
+		fac := factory()
+		bFired := 0
+		hb, err := fac.StartTimer(3, func(core.ID) { bFired++ })
+		if err != nil {
+			t.Fatalf("StartTimer: %v", err)
+		}
+		if _, err := fac.StartTimer(3, func(core.ID) {
+			hb, _ = facReset(fac, hb, 10, func(core.ID) { bFired++ })
+		}); err != nil {
+			t.Fatalf("StartTimer: %v", err)
+		}
+		for i := 0; i < 30; i++ {
+			fac.Tick()
+		}
+		if bFired != 1 {
+			t.Fatalf("%s: reset-vs-expiry settled %d times, want exactly 1", fac.Name(), bFired)
+		}
+		if fac.Len() != 0 {
+			t.Fatalf("%s: Len=%d after drain", fac.Name(), fac.Len())
+		}
+	})
+
+	t.Run("reset-after-stop-refused", func(t *testing.T) {
+		fac := factory()
+		fired := 0
+		h, err := fac.StartTimer(10, func(core.ID) { fired++ })
+		if err != nil {
+			t.Fatalf("StartTimer: %v", err)
+		}
+		if err := fac.StopTimer(h); err != nil {
+			t.Fatalf("StopTimer: %v", err)
+		}
+		if _, ok := facReset(fac, h, 5, func(core.ID) { fired++ }); ok {
+			t.Fatalf("%s: reset after stop reported pending", fac.Name())
+		}
+		if fac.Len() != 0 {
+			t.Fatalf("%s: refused reset re-armed: Len=%d", fac.Name(), fac.Len())
+		}
+		for i := 0; i < 60; i++ {
+			fac.Tick()
+		}
+		if fired != 0 {
+			t.Fatalf("%s: stopped timer fired %d times after refused reset", fac.Name(), fired)
+		}
+	})
+
+	t.Run("reset-after-fire-refused", func(t *testing.T) {
+		fac := factory()
+		fired := 0
+		h, err := fac.StartTimer(3, func(core.ID) { fired++ })
+		if err != nil {
+			t.Fatalf("StartTimer: %v", err)
+		}
+		for i := 0; i < 5; i++ {
+			fac.Tick()
+		}
+		if fired != 1 {
+			t.Fatalf("precondition: fired=%d, want 1", fired)
+		}
+		if _, ok := facReset(fac, h, 5, func(core.ID) { fired++ }); ok {
+			t.Fatalf("%s: reset after fire reported pending", fac.Name())
+		}
+		for i := 0; i < 60; i++ {
+			fac.Tick()
+		}
+		if fired != 1 {
+			t.Fatalf("%s: refused reset re-armed a fired timer (fired=%d)", fac.Name(), fired)
+		}
+	})
+}

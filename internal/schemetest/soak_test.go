@@ -23,6 +23,7 @@ func TestSoakLongHorizon(t *testing.T) {
 		"scheme7":  factories()["scheme7"],
 		"hybrid":   factories()["hybrid"],
 		"scheme3h": factories()["scheme3-heap"],
+		"gsq":      factories()["gsq"],
 	}
 	for name, factory := range soak {
 		name, factory := name, factory

@@ -114,9 +114,64 @@ func Scenarios() []Scenario {
 	return s
 }
 
-// ScenarioByName finds a preset by name.
+// ResetScenarios returns the reset-dominated presets: n connections
+// each holding a retransmission timer that is re-armed (reset) on a
+// fraction r of its lifecycle events — the every-ACK-pushes-the-timeout
+// idiom. They live in their own registry so the classic scenario sweep
+// (experiment E15) is unchanged; experiment E16 races the wheels
+// against the grouped sorting queue across this family to locate the
+// reset-ratio crossover.
+func ResetScenarios() []Scenario {
+	type point struct {
+		label string
+		conns int
+	}
+	sizes := []point{{"10k", 10_000}, {"100k", 100_000}, {"1m", 1_000_000}}
+	ratios := []int{50, 80, 95}
+	var s []Scenario
+	for _, sz := range sizes {
+		for _, r := range ratios {
+			sz, r := sz, r
+			s = append(s, Scenario{
+				Name: fmt.Sprintf("reset-r%d-%s", r, sz.label),
+				Description: fmt.Sprintf("%s connections, %d%% of lifecycle events "+
+					"are resets (retransmit timers re-armed per ACK)", sz.label, r),
+				Build: func(seed uint64) Config {
+					// Steady state ~conns outstanding at the mean interval:
+					// lambda = conns/mean. The reset chain is geometric, so
+					// at r=95 each timer is re-armed ~20 times before it
+					// settles; measurement windows scale with the mean, not
+					// the population, to keep the 1M point tractable.
+					mean := 200.0
+					return Config{
+						Arrival:     &dist.Poisson{RatePerTick: float64(sz.conns) / mean},
+						Interval:    dist.Exponential{MeanTicks: mean},
+						ResetProb:   float64(r) / 100,
+						ResetAt:     0.3, // the ACK lands well before the timeout
+						CancelProb:  0.05,
+						CancelAt:    0.5,
+						Seed:        seed,
+						Warmup:      int64(4 * mean),
+						Measure:     int64(10 * mean),
+						SampleEvery: 64,
+					}
+				},
+			})
+		}
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })
+	return s
+}
+
+// ScenarioByName finds a preset by name, searching the classic registry
+// first and the reset-dominated family second.
 func ScenarioByName(name string) (Scenario, error) {
 	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	for _, s := range ResetScenarios() {
 		if s.Name == name {
 			return s, nil
 		}

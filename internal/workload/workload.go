@@ -47,6 +47,20 @@ type Config struct {
 	// facility holds this many timers, bounding memory for bounded-range
 	// schemes.
 	MaxOutstanding int
+	// ResetProb is the probability that a live timer is RESET (re-armed
+	// to a freshly drawn interval) before it expires — the
+	// retransmission idiom, where every ACK pushes the timeout out.
+	// The decision repeats after each reset, so a timer undergoes
+	// Geometric(ResetProb) resets before it finally expires or is
+	// cancelled: at 0.95 the facility sees ~20 resets per expiry, which
+	// is the regime the grouped sorting queue is built for. Schemes
+	// implementing core.Resetter are re-armed in place; the rest pay a
+	// StopTimer+StartTimer pair, and both flavors are charged to
+	// ResetCost.
+	ResetProb float64
+	// ResetAt is the point in the timer's current life, as a fraction
+	// of its interval, at which the reset lands (default 0.5).
+	ResetAt float64
 }
 
 // Result holds everything measured during a run.
@@ -61,9 +75,16 @@ type Result struct {
 	// Remaining samples the remaining time of outstanding timers (only
 	// when Config.SampleRemaining is set).
 	Remaining metrics.Series
+	// ResetCost is the per-call cost of re-arming a live timer (one
+	// in-place reset, or a stop+start pair on schemes without
+	// core.Resetter).
+	ResetCost metrics.Series
 	// Started, Stopped, and Fired count timer lifecycle events during the
 	// measured window.
 	Started, Stopped, Fired uint64
+	// Resets counts successful re-arms during the measured window;
+	// InPlaceResets counts the subset done through core.Resetter.
+	Resets, InPlaceResets uint64
 	// FinalLen is the facility's Len at the end of the run.
 	FinalLen int
 	// Ticks is the number of measured ticks.
@@ -80,11 +101,56 @@ func Run(f core.Facility, cfg Config, cost *metrics.Cost) *Result {
 	if cfg.CancelAt <= 0 || cfg.CancelAt >= 1 {
 		cfg.CancelAt = 0.5
 	}
+	if cfg.ResetAt <= 0 || cfg.ResetAt >= 1 {
+		cfg.ResetAt = 0.5
+	}
+	// The reset stream forks lazily so a ResetProb=0 run consumes
+	// exactly the random numbers it always did (scenario results stay
+	// reproducible across this feature).
+	var resetRNG *dist.RNG
+	if cfg.ResetProb > 0 {
+		resetRNG = rng.Fork()
+	}
 
-	// Ledgers. outstanding maps timer id -> absolute expiry; cancels maps
-	// an absolute tick -> handles to stop at that tick.
+	// Ledgers. outstanding maps timer id -> absolute expiry; cancels and
+	// resets map an absolute tick -> handles to stop (or re-arm) at that
+	// tick. A timer carries at most one scheduled fate at a time, so at
+	// its fate tick the handle is necessarily still live.
 	outstanding := make(map[core.ID]core.Tick)
 	cancels := make(map[core.Tick][]core.Handle)
+	resets := make(map[core.Tick][]core.Handle)
+
+	// scheduleFate decides what happens to a freshly armed timer before
+	// its deadline: a reset (with probability ResetProb, re-decided
+	// after every re-arm — the geometric retransmission chain), else a
+	// cancellation (with probability CancelProb), else it runs to
+	// expiry.
+	scheduleFate := func(h core.Handle, now, interval core.Tick) {
+		if interval <= 1 {
+			return
+		}
+		if resetRNG != nil && resetRNG.Float64() < cfg.ResetProb {
+			at := now + core.Tick(float64(interval)*cfg.ResetAt)
+			if at <= now {
+				at = now + 1
+			}
+			if at >= now+interval {
+				at = now + interval - 1
+			}
+			resets[at] = append(resets[at], h)
+			return
+		}
+		if cancelRNG.Float64() < cfg.CancelProb {
+			at := now + core.Tick(float64(interval)*cfg.CancelAt)
+			if at <= now {
+				at = now + 1
+			}
+			if at >= now+interval {
+				at = now + interval - 1
+			}
+			cancels[at] = append(cancels[at], h)
+		}
+	}
 
 	measuring := false
 	var fired uint64
@@ -121,18 +187,50 @@ func Run(f core.Facility, cfg Config, cost *metrics.Cost) *Result {
 				r.Started++
 			}
 			outstanding[h.TimerID()] = now + interval
-			if interval > 1 && cancelRNG.Float64() < cfg.CancelProb {
-				at := now + core.Tick(float64(interval)*cfg.CancelAt)
-				if at <= now {
-					at = now + 1
-				}
-				if at >= now+interval {
-					at = now + interval - 1
-				}
-				cancels[at] = append(cancels[at], h)
-			}
+			scheduleFate(h, now, interval)
 		}
 		nextArrival--
+
+		// Re-arm timers scheduled for a reset at this tick: in place
+		// through core.Resetter where the scheme offers it, as a
+		// stop+start pair otherwise. Either way the timer draws a fresh
+		// interval and a fresh fate.
+		if hs, ok := resets[now]; ok {
+			delete(resets, now)
+			for _, h := range hs {
+				id := h.TimerID()
+				interval := core.Tick(cfg.Interval.Draw(rng))
+				before := cost.Snapshot()
+				if rr, ok := f.(core.Resetter); ok {
+					if rr.ResetTimer(h, interval) != nil {
+						continue // interval out of range: the timer keeps its deadline
+					}
+					if measuring {
+						r.ResetCost.Add(float64(cost.Snapshot().Sub(before).Units()))
+						r.Resets++
+						r.InPlaceResets++
+					}
+					outstanding[id] = now + interval
+					scheduleFate(h, now, interval)
+					continue
+				}
+				if f.StopTimer(h) != nil {
+					continue
+				}
+				nh, err := f.StartTimer(interval, onExpiry)
+				if err != nil {
+					delete(outstanding, id) // bounded scheme refused the re-arm
+					continue
+				}
+				if measuring {
+					r.ResetCost.Add(float64(cost.Snapshot().Sub(before).Units()))
+					r.Resets++
+				}
+				delete(outstanding, id)
+				outstanding[nh.TimerID()] = now + interval
+				scheduleFate(nh, now, interval)
+			}
+		}
 
 		// Stop timers scheduled for cancellation at this tick. The stop
 		// happens before the tick advances, so a timer cancelled "at" its

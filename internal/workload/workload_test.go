@@ -7,6 +7,7 @@ import (
 	"timingwheels/internal/analysis"
 	"timingwheels/internal/baseline"
 	"timingwheels/internal/dist"
+	"timingwheels/internal/gsq"
 	"timingwheels/internal/hashwheel"
 	"timingwheels/internal/metrics"
 )
@@ -145,5 +146,110 @@ func TestDeterminism(t *testing.T) {
 	a, b := run(), run()
 	if a.Started != b.Started || a.Fired != b.Fired || a.FinalLen != b.FinalLen {
 		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestResetWorkload drives the reset mechanics on both reset flavors:
+// in place through core.Resetter (the grouped sorting queue) and as a
+// stop+start pair (Scheme 6). In both cases the geometric reset chain
+// must actually run, be charged to ResetCost, and keep the outstanding
+// ledger coherent.
+func TestResetWorkload(t *testing.T) {
+	cfg := func(seed uint64) Config {
+		return Config{
+			Arrival:     &dist.Poisson{RatePerTick: 0.5},
+			Interval:    dist.Uniform{Lo: 20, Hi: 200},
+			ResetProb:   0.8,
+			ResetAt:     0.3,
+			Seed:        seed,
+			Warmup:      1000,
+			Measure:     10000,
+			SampleEvery: 100,
+		}
+	}
+
+	t.Run("in-place", func(t *testing.T) {
+		var cost metrics.Cost
+		fac := gsq.New(64, 8, &cost)
+		res := Run(fac, cfg(11), &cost)
+		if res.Resets == 0 {
+			t.Fatal("no resets despite ResetProb=0.8")
+		}
+		if res.InPlaceResets != res.Resets {
+			t.Fatalf("gsq reset %d timers but only %d in place", res.Resets, res.InPlaceResets)
+		}
+		if res.ResetCost.N() != int(res.Resets) {
+			t.Fatalf("reset samples %d != resets %d", res.ResetCost.N(), res.Resets)
+		}
+		// Geometric(0.8) chain: ~4 resets per started timer on average.
+		if ratio := float64(res.Resets) / float64(res.Started); ratio < 2 || ratio > 6 {
+			t.Fatalf("resets/started = %.2f, want ~4 for p=0.8", ratio)
+		}
+		if err := fac.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("stop-start", func(t *testing.T) {
+		fac := hashwheel.NewScheme6(256, nil)
+		res := Run(fac, cfg(11), nil)
+		if res.Resets == 0 {
+			t.Fatal("no resets despite ResetProb=0.8")
+		}
+		if res.InPlaceResets != 0 {
+			t.Fatalf("scheme6 cannot reset in place, yet InPlaceResets=%d", res.InPlaceResets)
+		}
+	})
+}
+
+// TestResetScenariosRegistry checks the reset-dominated family: nine
+// presets, resolvable by name, and disjoint from the classic registry
+// so the E15 sweep is untouched.
+func TestResetScenariosRegistry(t *testing.T) {
+	rs := ResetScenarios()
+	if len(rs) != 9 {
+		t.Fatalf("got %d reset scenarios, want 9 (3 sizes x 3 ratios)", len(rs))
+	}
+	classic := make(map[string]bool)
+	for _, s := range Scenarios() {
+		classic[s.Name] = true
+	}
+	for _, s := range rs {
+		if classic[s.Name] {
+			t.Fatalf("reset scenario %q collides with the classic registry", s.Name)
+		}
+		got, err := ScenarioByName(s.Name)
+		if err != nil || got.Name != s.Name {
+			t.Fatalf("ScenarioByName(%q) = %v, %v", s.Name, got.Name, err)
+		}
+		cfg := s.Build(1)
+		if cfg.ResetProb <= 0 {
+			t.Fatalf("%s: ResetProb=%v, want > 0", s.Name, cfg.ResetProb)
+		}
+	}
+}
+
+// TestResetProbZeroPreservesStreams pins that the reset feature is
+// inert when disabled: a ResetProb=0 run consumes exactly the random
+// numbers it did before the feature existed (the reset RNG forks
+// lazily), so historical scenario results stay reproducible.
+func TestResetProbZeroPreservesStreams(t *testing.T) {
+	run := func(p float64) *Result {
+		return Run(hashwheel.NewScheme6(64, nil), Config{
+			Arrival:    &dist.Poisson{RatePerTick: 0.3},
+			Interval:   dist.Uniform{Lo: 1, Hi: 200},
+			CancelProb: 0.5,
+			ResetProb:  p,
+			Seed:       42,
+			Warmup:     500,
+			Measure:    5000,
+		}, nil)
+	}
+	a, b := run(0), run(0)
+	if a.Started != b.Started || a.Fired != b.Fired || a.Stopped != b.Stopped {
+		t.Fatalf("ResetProb=0 runs diverged: %+v vs %+v", a, b)
+	}
+	if a.Resets != 0 || a.ResetCost.N() != 0 {
+		t.Fatalf("ResetProb=0 produced resets: %d", a.Resets)
 	}
 }

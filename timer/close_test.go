@@ -156,14 +156,35 @@ func TestShardedCloseIdempotentAndPostClose(t *testing.T) {
 // TestResetCloseRace hammers Reset against a concurrent Close (satellite
 // of the overload work; run under -race). The losing side must fail
 // cleanly — ErrDraining while the shutdown is in flight, ErrRuntimeClosed
-// after — never panic, deadlock, or corrupt the free list.
+// after — never panic, deadlock, or corrupt the free list. The sweep
+// covers the default hashed wheel (stop+start Reset), the grouped
+// sorting queue (update-in-place Reset through core.IDResetter), and
+// the hybrid wheel, so the in-place path races Close exactly as hard
+// as the re-admission path does.
 func TestResetCloseRace(t *testing.T) {
+	schemes := map[string]func() []RuntimeOption{
+		"wheel": func() []RuntimeOption { return nil },
+		"gsq": func() []RuntimeOption {
+			return []RuntimeOption{WithScheme(NewGroupedQueue(64, 8))}
+		},
+		"hybrid": func() []RuntimeOption {
+			return []RuntimeOption{WithScheme(NewHybridWheel(64))}
+		},
+	}
+	for name, mkOpts := range schemes {
+		t.Run(name, func(t *testing.T) { runResetCloseRace(t, mkOpts) })
+	}
+}
+
+func runResetCloseRace(t *testing.T, mkOpts func() []RuntimeOption) {
 	iters := 50
 	if testing.Short() {
 		iters = 10
 	}
 	for iter := 0; iter < iters; iter++ {
-		rt := NewRuntime(WithGranularity(time.Millisecond))
+		rt := NewRuntime(append([]RuntimeOption{
+			WithGranularity(time.Millisecond),
+		}, mkOpts()...)...)
 		tm, err := rt.AfterFunc(time.Hour, func() {})
 		if err != nil {
 			t.Fatal(err)

@@ -41,6 +41,46 @@ func TestScheduleStopAllocFree(t *testing.T) {
 	}
 }
 
+// TestGroupedQueueHotPathAllocFree pins the same steady-state guarantee
+// on the grouped sorting queue, including its headline operation: a
+// warm Schedule+Stop cycle allocates nothing, and — because Reset on
+// this scheme is update-in-place through core.IDResetter, with no
+// Timer churn, no facility re-admission, and no free-list traffic — a
+// warm Schedule+Reset+Reset+Stop cycle allocates nothing either.
+func TestGroupedQueueHotPathAllocFree(t *testing.T) {
+	rt, _ := newManualRuntime(t, WithScheme(NewGroupedQueue(64, 8)))
+	for i := 0; i < 64; i++ {
+		tm, err := rt.AfterFunc(time.Second, noopAction)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tm.Reset(2 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if !tm.Stop() {
+			t.Fatal("warmup Stop failed")
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		tm, err := rt.AfterFunc(time.Second, noopAction)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wasPending, err := tm.Reset(3 * time.Second); err != nil || !wasPending {
+			t.Fatalf("Reset = (%v, %v)", wasPending, err)
+		}
+		if wasPending, err := tm.Reset(500 * time.Millisecond); err != nil || !wasPending {
+			t.Fatalf("Reset = (%v, %v)", wasPending, err)
+		}
+		if !tm.Stop() {
+			t.Fatal("Stop failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("gsq Schedule+Reset+Stop steady state allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
 // TestScheduleStopAllocFreeWithTrace pins the same guarantee with the
 // full telemetry layer engaged: histogram recording is atomic stores
 // into fixed arrays, and the flight recorder writes into a preallocated

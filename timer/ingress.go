@@ -430,17 +430,23 @@ func (rt *Runtime) resetIngressLocked(t *Timer, ticks, wallTicks int64) (bool, e
 		rt.poke()
 		return true, nil
 	case ingArmed:
-		wasPending := rt.stopLocked(t.h, t.id) == nil
-		if wasPending {
-			rt.stopped++
-		}
 		// Retire the old incarnation (voiding any staged reset that
 		// carries it) while preserving the state bits: a concurrent
 		// armed-stop CAS may have just committed ingStopping, and its
 		// intent must still find it there to cancel the re-arm below —
-		// the documented stop-after-reset outcome.
+		// the documented stop-after-reset outcome, which holds for the
+		// in-place path too (the stop intent cancels through the same
+		// handle/ID the in-place reset kept).
 		t.lc.Add(lcIncar)
 		ticks = rt.stretch(ticks, wallTicks)
+		if rt.resetInPlaceLocked(t, Tick(ticks)) {
+			rt.poke()
+			return true, nil
+		}
+		wasPending := rt.stopLocked(t.h, t.id) == nil
+		if wasPending {
+			rt.stopped++
+		}
 		h, err := rt.startLocked(Tick(ticks), t)
 		if err != nil {
 			return wasPending, err
@@ -549,13 +555,16 @@ func (rt *Runtime) applyIngressLocked(it intent) {
 		if t.lc.Load() != it.lc || t.h == nil {
 			return
 		}
-		wasPending := rt.stopLocked(t.h, t.id) == nil
-		if wasPending {
-			rt.stopped++
-		}
 		iv := it.wall + it.ticks - int64(rt.fac.Now())
 		if iv < 1 {
 			iv = 1
+		}
+		if rt.resetInPlaceLocked(t, Tick(iv)) {
+			return
+		}
+		wasPending := rt.stopLocked(t.h, t.id) == nil
+		if wasPending {
+			rt.stopped++
 		}
 		h, err := rt.startLocked(Tick(iv), t)
 		if err != nil {
@@ -968,10 +977,14 @@ func (rt *Runtime) ResetBatch(reqs []ResetReq) (int, error) {
 			}
 		}
 		t := q.T
+		ticks := rt.stretch(rt.wall.TicksFor(q.After), wallTicks)
+		if rt.resetInPlaceLocked(t, Tick(ticks)) {
+			accepted++
+			continue
+		}
 		if rt.stopLocked(t.h, t.id) == nil {
 			rt.stopped++
 		}
-		ticks := rt.stretch(rt.wall.TicksFor(q.After), wallTicks)
 		h, err := rt.startLocked(Tick(ticks), t)
 		if err != nil {
 			// The old arm (if any) terminated as stopped; the re-arm was

@@ -187,6 +187,11 @@ type Runtime struct {
 	// unless WithJournal. See journal.go.
 	journal Journal
 
+	// idr is the facility's update-in-place reset capability (immutable
+	// after NewRuntime); non-nil when the scheme can re-arm a pending
+	// timer without stop+start churn (e.g. the grouped sorting queue).
+	idr core.IDResetter
+
 	// Telemetry (always on). The histograms are lock-free fixed arrays,
 	// recorded into from the hot path with atomic increments only;
 	// lastTick mirrors the facility's virtual time after the most
@@ -323,6 +328,12 @@ func NewRuntime(opts ...RuntimeOption) *Runtime {
 				rt.fired = append(rt.fired, payload.(*Timer))
 			}
 		}
+	}
+	// Update-in-place resets ride the same never-reused-ID ABA guard as
+	// the fast-path stop, so the capability stands on its own: any
+	// scheme offering it gets Reset without stop+start churn.
+	if idr, ok := cfg.scheme.(core.IDResetter); ok {
+		rt.idr = idr
 	}
 	if cfg.asyncWorkers > 0 {
 		rt.pool = dispatch.NewClass(cfg.asyncWorkers, cfg.asyncQueue, rt.runAsync)
@@ -580,6 +591,28 @@ func (rt *Runtime) stopLocked(h Handle, id core.ID) error {
 	return rt.fac.StopTimer(h)
 }
 
+// resetInPlaceLocked re-arms t through the facility's update-in-place
+// reset (core.IDResetter) when available: the timer keeps its entry,
+// handle, and ID, so there is no free-list churn — and because no timer
+// terminates and none starts, neither stopped nor started move: the
+// conservation ledger sees an update, not a lifecycle. It reports false
+// when the caller must fall back to stop+start (no IDResetter on the
+// scheme, or this incarnation is no longer pending in the facility).
+// Caller holds rt.mu; ticks is already stretched/clamped.
+func (rt *Runtime) resetInPlaceLocked(t *Timer, ticks Tick) bool {
+	if rt.idr == nil || t.h == nil {
+		return false
+	}
+	if rt.idr.ResetTimerID(t.h, t.id, ticks) != nil {
+		return false
+	}
+	t.deadline = rt.fac.Now() + ticks
+	t.retries = 0 // a re-armed timer gets a fresh retry budget
+	rt.traceRecord(TraceScheduled, t.id, t.prio, rt.fac.Now(), t.deadline, 0)
+	rt.journalArmed(t)
+	return true
+}
+
 func (rt *Runtime) schedule(ticks int64, fn func(), ch chan time.Time, opts []ScheduleOption) (*Timer, error) {
 	if rt.ing != nil {
 		return rt.scheduleIngress(ticks, fn, ch, opts)
@@ -705,11 +738,16 @@ func (t *Timer) Reset(d time.Duration) (wasPending bool, err error) {
 		// current deadline and is disposed of by the drain policy.
 		return false, ErrDraining
 	}
+	ticks = rt.stretch(ticks, wallTicks)
+	if rt.resetInPlaceLocked(t, Tick(ticks)) {
+		// Re-armed in place: still the same pending timer.
+		rt.poke()
+		return true, nil
+	}
 	wasPending = rt.stopLocked(t.h, t.id) == nil
 	if wasPending {
 		rt.stopped++
 	}
-	ticks = rt.stretch(ticks, wallTicks)
 	h, err := rt.startLocked(Tick(ticks), t)
 	if err != nil {
 		return wasPending, err

@@ -8,8 +8,9 @@
 //
 // A Scheme is the paper's four-routine timer module operating in virtual
 // time: StartTimer and StopTimer are the client calls, Tick is
-// PER_TICK_BOOKKEEPING, and expiry actions run as callbacks. Eight
-// constructors cover the paper's design space:
+// PER_TICK_BOOKKEEPING, and expiry actions run as callbacks. Nine
+// constructors cover the paper's design space plus one post-1987
+// contender:
 //
 //	NewStraightforward     Scheme 1: per-tick decrement of every timer
 //	NewOrderedList         Scheme 2: sorted timer queue (VMS/UNIX style)
@@ -19,6 +20,8 @@
 //	NewHashedWheel         Scheme 6: hashed wheel, unsorted buckets
 //	NewHierarchicalWheel   Scheme 7: hierarchy of wheels
 //	NewHybridWheel         the section 5 wheel+overflow combination
+//	NewGroupedQueue        grouped sorting queue: O(1) update-in-place
+//	                       Reset for reset-dominated workloads
 //
 // Instrument wraps any scheme with operation counters. Virtual-time
 // facilities are single-threaded: they suit simulations,
@@ -61,6 +64,7 @@ package timer
 import (
 	"timingwheels/internal/baseline"
 	"timingwheels/internal/core"
+	"timingwheels/internal/gsq"
 	"timingwheels/internal/hashwheel"
 	"timingwheels/internal/hier"
 	"timingwheels/internal/hybrid"
@@ -195,6 +199,19 @@ func NewHierarchicalWheel(radices []int, policy MigrationPolicy) Scheme {
 // (each migrates exactly once). Unbounded intervals with wheel-grade
 // constants for the common short-timer case.
 func NewHybridWheel(size int) Scheme { return hybrid.New(size, nil) }
+
+// NewGroupedQueue returns a grouped sorting queue (the "dynamic update"
+// structure of the post-1987 timer literature): timers are grouped by
+// coarse deadline band — bands slots of width ticks each, width a power
+// of two — and a band is sorted only when it comes due. Start, stop,
+// and (the headline) Reset are O(1) worst case: a Runtime on this
+// scheme re-arms timers in place, with no cascade, no
+// re-discretization, and no free-list churn, which beats the wheels
+// when timers are reset on nearly every event (retransmit timers reset
+// per ACK, idle timers per packet). Timers a reset moves away before
+// their band comes due are never sorted at all. Size bands*width to
+// cover the common interval range, like a wheel's slot count.
+func NewGroupedQueue(bands int, width Tick) Scheme { return gsq.New(bands, width, nil) }
 
 // AdvanceBy advances a virtual-time Scheme by n ticks, using the
 // scheme's fast path (ordered list and tree schemes skip idle spans in
